@@ -1,0 +1,447 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 8) on the synthetic benchmark suite, plus bechamel
+   micro-benchmarks of the dominating kernels and the ablations listed in
+   DESIGN.md.
+
+   Usage:
+     dune exec bench/main.exe                 # tables + figures + quick micro
+     dune exec bench/main.exe -- --table1     # Table 1 only (small suite)
+     dune exec bench/main.exe -- --table1 --full   # all 23 circuits
+     dune exec bench/main.exe -- --table2     # Table 2 (exposure counts)
+     dune exec bench/main.exe -- --figs       # figure reproductions
+     dune exec bench/main.exe -- --ablation-cec | --ablation-rewrite
+                                 | --ablation-dchoice
+     dune exec bench/main.exe -- --micro      # bechamel micro-benchmarks *)
+
+let pf = Format.printf
+
+(* ------------------------------------------------------------------ *)
+(* Table 1                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table1 ~full () =
+  pf "@.== Table 1: optimization and verification results ==@.";
+  pf "(A = original; C = expose+synth+min-period retime; D = synth only;@.";
+  pf " E = expose+synth+min-area retime at D's period; F/G = like C/E without@.";
+  pf " exposure.  Areas normalized to D, as in the paper.  S = unit-delay period.)@.@.";
+  pf "%-9s| %5s | %4s %5s %3s | %3s | %4s %5s %3s | %3s | %4s | %4s %5s | %4s | %8s@."
+    "circuit" "A#L" "F#L" "Farea" "FS" "%" "C#L" "Carea" "CS" "DS" "G#L" "E#L"
+    "Earea" "ok" "HvJ";
+  pf "%s@." (String.make 100 '-');
+  let suite = if full then Workloads.table1_suite () else Workloads.table1_suite_small () in
+  List.iter
+    (fun (name, c) ->
+      let row = Flow.run c in
+      let darea = float_of_int (max 1 row.Flow.d.Flow.area) in
+      let rel a = float_of_int a /. darea in
+      pf
+        "%-9s| %5d | %4d %5.2f %3d | %3.0f | %4d %5.2f %3d | %3d | %4d | %4d %5.2f | %4s | %7.2fs@."
+        name row.Flow.a.Flow.latches row.Flow.f.Flow.latches (rel row.Flow.f.Flow.area)
+        row.Flow.f.Flow.delay row.Flow.exposed_percent row.Flow.c.Flow.latches
+        (rel row.Flow.c.Flow.area) row.Flow.c.Flow.delay row.Flow.d.Flow.delay
+        row.Flow.g.Flow.latches row.Flow.e.Flow.latches (rel row.Flow.e.Flow.area)
+        (match row.Flow.verify_verdict with
+        | Verify.Equivalent -> "EQ"
+        | Verify.Inequivalent _ -> "NEQ!")
+        row.Flow.verify_seconds)
+    suite
+
+(* ------------------------------------------------------------------ *)
+(* Table 2                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let table2 () =
+  pf "@.== Table 2: latches exposed for the industrial-style circuits ==@.";
+  pf "(structural = the paper's experiment; functional = the unateness-aware@.";
+  pf " analysis the paper predicts 'would lead to reduced numbers'.)@.@.";
+  pf "%-8s %9s %12s %12s %11s@." "example" "# latches" "# structural" "# functional"
+    "# converted";
+  pf "%s@." (String.make 56 '-');
+  List.iter
+    (fun (name, c) ->
+      let total = Circuit.latch_count c in
+      let s = List.length (Feedback.plan_structural c).Feedback.exposed in
+      let fplan = Feedback.plan_functional c in
+      pf "%-8s %9d %12d %12d %11d@." name total s
+        (List.length fplan.Feedback.exposed)
+        (List.length fplan.Feedback.converted))
+    (Workloads.table2_suite ())
+
+(* ------------------------------------------------------------------ *)
+(* Figures                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  let a = Circuit.create "fig1a" in
+  let d = Circuit.add_input a "d" in
+  let q = Circuit.add_latch a ~data:d () in
+  Circuit.mark_output a (Circuit.add_gate a Xor [ q; q ]);
+  Circuit.check a;
+  let b = Circuit.create "fig1b" in
+  ignore (Circuit.add_input b "d");
+  Circuit.mark_output b (Circuit.const_false b);
+  Circuit.check b;
+  let t3 = Sim.run_3v a ~inputs:[ [| true |] ] in
+  let naive_differs = not (Sim.tv_equal (List.hd t3).(0) Sim.F) in
+  let exact_equal = fst (Verify.check a b) = Verify.Equivalent in
+  pf "Fig. 1:  naive 3-valued sim differs: %b; exact/CBF equivalent: %b  %s@."
+    naive_differs exact_equal
+    (if naive_differs && exact_equal then "[reproduced]" else "[MISMATCH]")
+
+let fig10_pair collapse name =
+  let c = Circuit.create name in
+  let x = Circuit.add_input c "x" in
+  let a = Circuit.add_input c "a" in
+  let b = Circuit.add_input c "b" in
+  let ab = Circuit.add_gate c And [ a; b ] in
+  if collapse then Circuit.mark_output c (Circuit.add_latch c ~enable:ab ~data:x ())
+  else begin
+    let l1 = Circuit.add_latch c ~enable:a ~data:x () in
+    Circuit.mark_output c (Circuit.add_latch c ~enable:ab ~data:l1 ())
+  end;
+  Circuit.check c;
+  c
+
+let fig10 () =
+  let fneg =
+    fst (Verify.check ~rewrite_events:false (fig10_pair false "a") (fig10_pair true "b"))
+    <> Verify.Equivalent
+  in
+  let fixed =
+    fst (Verify.check (fig10_pair false "a2") (fig10_pair true "b2")) = Verify.Equivalent
+  in
+  pf "Fig. 10: false negative without rule (5): %b; fixed with it: %b  %s@." fneg fixed
+    (if fneg && fixed then "[reproduced]" else "[MISMATCH]")
+
+let fig11 () =
+  let mk data_kind =
+    let c = Circuit.create ("f11" ^ data_kind) in
+    let a = Circuit.add_input c "a" in
+    let b = Circuit.add_input c "b" in
+    let ab = Circuit.add_gate c Or [ a; b ] in
+    let data = if data_kind = "b" then b else ab in
+    Circuit.mark_output c (Circuit.add_latch c ~enable:ab ~data ());
+    Circuit.check c;
+    c
+  in
+  let conservative =
+    match Verify.check (mk "b") (mk "ab") with
+    | Verify.Inequivalent None, _ -> true
+    | _ -> false
+  in
+  pf "Fig. 11: event/data interaction stays a conservative rejection: %b  %s@."
+    conservative
+    (if conservative then "[reproduced]" else "[MISMATCH]")
+
+let fig6 () =
+  pf "Fig. 6:  pipeline retiming gains (min-period vs synth-only):@.";
+  List.iter
+    (fun imbalance ->
+      let c =
+        Workloads.pipeline
+          ~name:(Printf.sprintf "p_i%d" imbalance)
+          ~width:8 ~stages:6 ~imbalance ~seed:42
+      in
+      let d = Synth_script.delay_script c in
+      let _, rep = Retime.min_period d in
+      pf "         imbalance %d: D period %2d -> C period %2d (%.0f%% faster)@." imbalance
+        rep.Retime.period_before rep.Retime.period_after
+        (100.
+        *. float_of_int (rep.Retime.period_before - rep.Retime.period_after)
+        /. float_of_int (max 1 rep.Retime.period_before)))
+    [ 1; 2; 4; 8 ]
+
+let fig18 () =
+  pf "Fig. 18: CBF unrolled-circuit sizes (cone replication):@.";
+  List.iter
+    (fun name ->
+      let c = Workloads.by_name name in
+      let plan = Feedback.plan_structural c in
+      let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+      let exposed s = List.mem (Circuit.signal_name c s) names in
+      let u, info = Cbf.unroll ~exposed c in
+      pf "         %-9s gates %5d -> unrolled %6d (depth %d, %d variables)@." name
+        (Circuit.area c) (Circuit.area u) info.Cbf.depth info.Cbf.variables)
+    [ "s953"; "s1269"; "s3384"; "minmax10"; "minmax32" ]
+
+let fig16 () =
+  (* enabled-latch forward move across a gate (class-preserving) *)
+  let c = Circuit.create "fig16" in
+  let d1 = Circuit.add_input c "d1" in
+  let d2 = Circuit.add_input c "d2" in
+  let e = Circuit.add_input c "e" in
+  let q1 = Circuit.add_latch c ~enable:e ~data:d1 () in
+  let q2 = Circuit.add_latch c ~enable:e ~data:d2 () in
+  let g = Circuit.add_gate c And [ q1; q2 ] in
+  Circuit.mark_output c g;
+  Circuit.check c;
+  let legal = Classes.can_forward_move c ~gate:g in
+  let moved = Classes.forward_move c ~gate:g in
+  let still_ok = fst (Verify.check c (Synth_script.quick_cleanup moved)) in
+  pf "Fig. 16: same-class forward move legal: %b; EDBF-verified after move: %b@." legal
+    (still_ok = Verify.Equivalent)
+
+let figs () =
+  pf "@.== Figure reproductions ==@.";
+  fig1 ();
+  fig10 ();
+  fig11 ();
+  fig16 ();
+  fig6 ();
+  fig18 ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+let ablation_cec () =
+  pf "@.== Ablation: CEC engine on the unrolled miters ==@.";
+  pf "%-10s %10s %10s %10s@." "circuit" "bdd" "sat" "sweep";
+  List.iter
+    (fun name ->
+      let c = Workloads.by_name name in
+      let b, copt = Flow.circuits c in
+      let plan = Feedback.plan_structural c in
+      let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+      let ex cc s = List.mem (Circuit.signal_name cc s) names in
+      let u1, _ = Cbf.unroll ~exposed:(ex b) b in
+      let u2, _ = Cbf.unroll ~exposed:(ex copt) copt in
+      let run engine =
+        let v, t = time (fun () -> Cec.check ~engine u1 u2) in
+        (match v with Cec.Equivalent -> () | Cec.Inequivalent _ -> pf "NEQ?!");
+        t
+      in
+      let tb = run Cec.Bdd_engine in
+      let ts = run Cec.Sat_engine in
+      let tw = run Cec.Sweep_engine in
+      pf "%-10s %9.3fs %9.3fs %9.3fs@." name tb ts tw)
+    [ "s400"; "s953"; "s1269"; "minmax10"; "minmax12" ]
+
+let ablation_rewrite () =
+  pf "@.== Ablation: rule-(5) event rewrite (Fig. 10 class) ==@.";
+  let fneg = ref 0 and fixed = ref 0 in
+  let n = 10 in
+  for i = 1 to n do
+    let a = fig10_pair false (Printf.sprintf "ra%d" i) in
+    let b = fig10_pair true (Printf.sprintf "rb%d" i) in
+    if fst (Verify.check ~rewrite_events:false a b) <> Verify.Equivalent then incr fneg;
+    if fst (Verify.check a b) = Verify.Equivalent then incr fixed
+  done;
+  pf "without rule (5): %d/%d false negatives@." !fneg n;
+  pf "with rule (5):    %d/%d proven equivalent@." !fixed n
+
+let ablation_synth_rewrite () =
+  pf "@.== Ablation: cut-based AIG rewriting in the synthesis script ==@.";
+  pf "%-10s %14s %14s %10s@." "circuit" "area(balance)" "area(+rewrite)" "saving";
+  List.iter
+    (fun name ->
+      let c = Workloads.by_name name in
+      let base = Synth_script.delay_script c in
+      let opts = { Synth_script.default_options with rewrite = true } in
+      let rw = Synth_script.delay_script ~options:opts c in
+      (* sanity: still equivalent *)
+      (match Cec.check (Comb_view.of_sequential base) (Comb_view.of_sequential rw) with
+      | Cec.Equivalent -> ()
+      | Cec.Inequivalent _ -> pf "REWRITE BUG on %s!@." name);
+      let a0 = Circuit.area base and a1 = Circuit.area rw in
+      pf "%-10s %14d %14d %9.1f%%@." name a0 a1
+        (100. *. float_of_int (a0 - a1) /. float_of_int (max 1 a0)))
+    [ "s400"; "s953"; "s1269"; "prolog"; "minmax10" ]
+
+let ablation_guard () =
+  pf "@.== Ablation: event-consistency guard (beyond the published method) ==@.";
+  (* data functions that differ only where the enable is false *)
+  let mk variant i =
+    let c = Circuit.create (Printf.sprintf "gd%s%d" variant i) in
+    let a = Circuit.add_input c "a" in
+    let b = Circuit.add_input c "b" in
+    let ab = Circuit.add_gate c Or [ a; b ] in
+    let data =
+      if variant = "plain" then b
+      else Circuit.add_gate c Or [ b; Circuit.add_gate c Not [ ab ] ]
+    in
+    Circuit.mark_output c (Circuit.add_latch c ~enable:ab ~data ());
+    Circuit.check c;
+    c
+  in
+  let n = 10 in
+  let without = ref 0 and with_g = ref 0 in
+  for i = 1 to n do
+    if fst (Verify.check (mk "plain" i) (mk "dc" i)) <> Verify.Equivalent then incr without;
+    if fst (Verify.check ~guard_events:true (mk "plain" i) (mk "dc" i)) = Verify.Equivalent
+    then incr with_g
+  done;
+  pf "published method:            %d/%d false negatives@." !without n;
+  pf "with event-consistency guard: %d/%d proven equivalent@." !with_g n
+
+let ablation_dchoice () =
+  pf "@.== Ablation: d-choice in the feedback decomposition ==@.";
+  pf "(the same circuit's conditional registers converted with the two@.";
+  pf " d-choices; mixed choices can diverge when [F0, F1] is not a point.)@.@.";
+  let st = Random.State.make [| 314 |] in
+  let mk i =
+    Workloads.fsm_datapath
+      ~name:(Printf.sprintf "dc%d" i)
+      ~latches:14 ~self_loops:6 ~gates:120 ~width:6
+      ~seed:(Random.State.int st 10000)
+  in
+  let run d1 d2 =
+    let agree = ref 0 and total = ref 0 in
+    for i = 1 to 10 do
+      let c = mk i in
+      let plan = Feedback.plan_functional c in
+      if plan.Feedback.converted <> [] then begin
+        incr total;
+        let c1 = Feedback.apply_plan ~dchoice:d1 c plan in
+        let c2 = Feedback.apply_plan ~dchoice:d2 c plan in
+        let exposed = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+        if fst (Verify.check ~exposed c1 c2) = Verify.Equivalent then incr agree
+      end
+    done;
+    (!agree, !total)
+  in
+  let a1, t1 = run Feedback.D_low Feedback.D_low in
+  pf "D_low  vs D_low:   %d/%d verified equivalent@." a1 t1;
+  let a2, t2 = run Feedback.D_disjoint Feedback.D_disjoint in
+  pf "D_disj vs D_disj:  %d/%d verified equivalent@." a2 t2;
+  let a3, t3 = run Feedback.D_low Feedback.D_disjoint in
+  pf "D_low  vs D_disj:  %d/%d verified equivalent (divergence = Fig. 11 class)@." a3 t3
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper's observation 3: "for only few of these sequential circuits
+   the state-space can be traversed, and for fewer yet the state-space of
+   the product machine" — we race the classical symbolic-traversal checker
+   against the combinational reduction on B-vs-C pairs of growing size. *)
+let baseline () =
+  pf "@.== Baseline: product-machine traversal vs combinational reduction ==@.";
+  pf "(Pipelined circuits, where the baseline's reset equivalence and the@.";
+  pf " paper's exact 3-valued equivalence coincide after the flush.)@.@.";
+  pf "%-22s %8s | %12s %16s | %12s@." "circuit" "latches" "traversal" "(result)"
+    "reduction";
+  pf "%s@." (String.make 80 '-');
+  let budget = 400_000 in
+  List.iter
+    (fun (name, width, stages) ->
+      let c = Workloads.pipeline ~name ~width ~stages ~imbalance:3 ~seed:(Hashtbl.hash name) in
+      let b, copt = Flow.circuits c in
+      let (bv, bstats) = Sec_baseline.check ~node_limit:budget b copt in
+      let bres =
+        match bv with
+        | Sec_baseline.Equivalent -> "EQ"
+        | Sec_baseline.Inequivalent -> "NEQ"
+        | Sec_baseline.Resource_out _ -> "gave up"
+      in
+      let (rv, rstats) = Verify.check b copt in
+      let rres =
+        match rv with Verify.Equivalent -> "EQ" | Verify.Inequivalent _ -> "NEQ"
+      in
+      pf "%-22s %8d | %10.3fs %-16s | %10.3fs %s@." name (Circuit.latch_count c)
+        bstats.Sec_baseline.seconds
+        (Printf.sprintf "(%s, %d st)" bres (int_of_float bstats.Sec_baseline.product_states))
+        rstats.Verify.seconds rres)
+    [ ("pipe4x3", 4, 3); ("pipe6x3", 6, 3); ("pipe8x4", 8, 4); ("pipe10x4", 10, 4);
+      ("pipe12x5", 12, 5); ("pipe16x6", 16, 6) ];
+  (* The two notions differ on power-up-sensitive feedback state: the
+     traversal checks reset equivalence from the all-zero state, under
+     which a retimed circuit's transient can poison exposed feedback
+     registers forever; the paper's exact 3-valued semantics marks those
+     outputs undefined in BOTH circuits.  Demonstrate on an FSM circuit: *)
+  let c =
+    Workloads.fsm_datapath ~name:"fsm8" ~latches:8 ~self_loops:2 ~gates:48
+      ~width:6 ~seed:(Hashtbl.hash "fsm8")
+  in
+  let b, copt = Flow.circuits c in
+  let plan = Feedback.plan_structural c in
+  let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+  let bv, _ = Sec_baseline.check ~node_limit:budget b copt in
+  let rv, _ = Verify.check ~exposed:names b copt in
+  pf "@.semantic gap (feedback + power-up): traversal(reset-eq) = %s, reduction(exact-3v) = %s@."
+    (match bv with
+    | Sec_baseline.Equivalent -> "EQ"
+    | Sec_baseline.Inequivalent -> "NEQ"
+    | Sec_baseline.Resource_out _ -> "gave up")
+    (match rv with Verify.Equivalent -> "EQ" | Verify.Inequivalent _ -> "NEQ")
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  pf "@.== Micro-benchmarks (bechamel, median ns/run) ==@.";
+  let open Bechamel in
+  let open Toolkit in
+  let c953 = Workloads.by_name "s953" in
+  let plan = Feedback.plan_structural c953 in
+  let names = List.map (Circuit.signal_name c953) plan.Feedback.exposed in
+  let expose cc s = List.mem (Circuit.signal_name cc s) names in
+  let b, copt = Flow.circuits c953 in
+  let u1, _ = Cbf.unroll ~exposed:(expose b) b in
+  let u2, _ = Cbf.unroll ~exposed:(expose copt) copt in
+  let synth953 = Synth_script.delay_script c953 in
+  let tests =
+    Test.make_grouped ~name:"seqver"
+      [
+        Test.make ~name:"t1/expose-mfvs-s953"
+          (Staged.stage (fun () -> ignore (Feedback.plan_structural c953)));
+        Test.make ~name:"t1/synth-script-s953"
+          (Staged.stage (fun () -> ignore (Synth_script.delay_script c953)));
+        Test.make ~name:"t1/retime-minperiod-s953"
+          (Staged.stage (fun () ->
+               ignore (Retime.min_period ~exposed:(expose synth953) synth953)));
+        Test.make ~name:"t1/unroll-cbf-s953"
+          (Staged.stage (fun () -> ignore (Cbf.unroll ~exposed:(expose b) b)));
+        Test.make ~name:"t1/cec-sweep-s953"
+          (Staged.stage (fun () -> ignore (Cec.check ~engine:Cec.Sweep_engine u1 u2)));
+        Test.make ~name:"t1/cec-bdd-s953"
+          (Staged.stage (fun () -> ignore (Cec.check ~engine:Cec.Bdd_engine u1 u2)));
+        Test.make ~name:"t2/exposure-ex3"
+          (Staged.stage (fun () ->
+               ignore (Feedback.plan_functional (Workloads.by_name "ex3"))));
+      ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl [] in
+      List.iter
+        (fun (name, r) ->
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> pf "%-32s %14.0f ns/run@." name est
+          | Some _ | None -> pf "%-32s (no estimate)@." name)
+        (List.sort compare rows))
+    results
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has f = List.mem f args in
+  let any =
+    has "--table1" || has "--table2" || has "--figs" || has "--micro"
+    || has "--baseline" || has "--ablation-cec" || has "--ablation-rewrite"
+    || has "--ablation-guard" || has "--ablation-synth" || has "--ablation-dchoice"
+  in
+  let full = has "--full" in
+  if (not any) || has "--table1" then table1 ~full ();
+  if (not any) || has "--table2" then table2 ();
+  if (not any) || has "--figs" then figs ();
+  if (not any) || has "--baseline" then baseline ();
+  if (not any) || has "--ablation-cec" then ablation_cec ();
+  if (not any) || has "--ablation-rewrite" then ablation_rewrite ();
+  if (not any) || has "--ablation-guard" then ablation_guard ();
+  if (not any) || has "--ablation-synth" then ablation_synth_rewrite ();
+  if (not any) || has "--ablation-dchoice" then ablation_dchoice ();
+  if (not any) || has "--micro" then micro ()

@@ -1,0 +1,290 @@
+(* seqver: command-line driver for the sequential-verification library.
+
+   Netlists are read and written in the textual format of Netlist_io (see
+   its documentation); suite circuits can be referenced as "@name" (e.g.
+   "@minmax10" or "@s953") instead of a file. *)
+
+open Cmdliner
+
+let is_blif path = Filename.check_suffix path ".blif"
+
+let load path =
+  if String.length path > 0 && path.[0] = '@' then
+    Workloads.by_name (String.sub path 1 (String.length path - 1))
+  else begin
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    if is_blif path then begin
+      let { Blif.circuit; warnings } = Blif.parse text in
+      List.iter (fun w -> Format.eprintf "warning: %s@." w) warnings;
+      circuit
+    end
+    else Netlist_io.parse text
+  end
+
+let save path c =
+  let oc = open_out path in
+  output_string oc (if is_blif path then Blif.to_string c else Netlist_io.to_string c);
+  close_out oc
+
+let circuit_arg ~pos:p ~doc =
+  Arg.(required & pos p (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+
+let engine_arg =
+  let engine_conv =
+    Arg.enum [ ("sweep", Cec.Sweep_engine); ("sat", Cec.Sat_engine); ("bdd", Cec.Bdd_engine) ]
+  in
+  Arg.(
+    value
+    & opt engine_conv Cec.Sweep_engine
+    & info [ "engine" ] ~docv:"ENGINE" ~doc:"Combinational engine: sweep, sat or bdd.")
+
+let exposed_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "exposed" ] ~docv:"NAMES"
+        ~doc:"Comma-separated latch names to expose (pseudo primary I/O).")
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run path =
+    let c = load path in
+    Format.printf "%a@." Circuit.stats_pp c;
+    let analyses = Feedback.analyze c in
+    let fb = List.filter (fun a -> a.Feedback.in_cycle) analyses in
+    let self = List.filter (fun a -> a.Feedback.self_feedback) analyses in
+    let unate = List.filter (fun a -> a.Feedback.self_feedback && a.Feedback.positive_unate) analyses in
+    Format.printf "latches on cycles: %d, self-feedback: %d, positive-unate: %d@."
+      (List.length fb) (List.length self) (List.length unate);
+    let enabled =
+      List.length
+        (List.filter (fun l -> snd (Circuit.latch_info c l) <> None) (Circuit.latches c))
+    in
+    Format.printf "load-enabled latches: %d@." enabled
+  in
+  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist (or @suite-name).") in
+  Cmd.v (Cmd.info "stats" ~doc:"Print size, timing and feedback statistics.") term
+
+(* ---- expose ---- *)
+
+let expose_cmd =
+  let run path functional =
+    let c = load path in
+    let plan = if functional then Feedback.plan_functional c else Feedback.plan_structural c in
+    Format.printf "exposed %d of %d latches:@." (List.length plan.Feedback.exposed)
+      (Circuit.latch_count c);
+    List.iter (fun l -> Format.printf "  %s@." (Circuit.signal_name c l)) plan.Feedback.exposed;
+    if plan.Feedback.converted <> [] then begin
+      Format.printf "convertible to load-enabled (positive unate, Lemma 6.1):@.";
+      List.iter
+        (fun l -> Format.printf "  %s@." (Circuit.signal_name c l))
+        plan.Feedback.converted
+    end
+  in
+  let functional =
+    Arg.(value & flag & info [ "functional" ] ~doc:"Use the unateness-aware analysis.")
+  in
+  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ functional) in
+  Cmd.v
+    (Cmd.info "expose" ~doc:"Compute the latch exposure plan (minimum feedback vertex set).")
+    term
+
+(* ---- synth ---- *)
+
+let synth_cmd =
+  let run path out =
+    let c = load path in
+    let o = Synth_script.delay_script c in
+    Format.printf "before: %a@.after:  %a@." Circuit.stats_pp c Circuit.stats_pp o;
+    Option.iter (fun p -> save p o) out
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write result.")
+  in
+  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ out) in
+  Cmd.v (Cmd.info "synth" ~doc:"Run the delay-oriented synthesis script (Fig. 17).") term
+
+(* ---- retime ---- *)
+
+let retime_cmd =
+  let run path out period min_area exposed =
+    let c = load path in
+    let pred cc s = List.mem (Circuit.signal_name cc s) exposed in
+    let o, report =
+      match (period, min_area) with
+      | Some p, _ -> Retime.constrained_min_area ~exposed:(pred c) ~period:p c
+      | None, true -> Retime.min_area ~exposed:(pred c) c
+      | None, false -> Retime.min_period ~exposed:(pred c) c
+    in
+    Format.printf "period %d -> %d, latches %d -> %d@." report.Retime.period_before
+      report.Retime.period_after report.Retime.latches_before report.Retime.latches_after;
+    Option.iter (fun p -> save p o) out
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write result.")
+  in
+  let period =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "period" ] ~docv:"N" ~doc:"Minimize latches under this clock period.")
+  in
+  let min_area =
+    Arg.(value & flag & info [ "min-area" ] ~doc:"Minimize latches with no period bound.")
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ out $ period $ min_area
+      $ exposed_arg)
+  in
+  Cmd.v (Cmd.info "retime" ~doc:"Retime (min-period by default).") term
+
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let run p1 p2 engine exposed no_rewrite guard =
+    let c1 = load p1 and c2 = load p2 in
+    let verdict, stats =
+      Verify.check ~engine ~rewrite_events:(not no_rewrite) ~guard_events:guard ~exposed
+        c1 c2
+    in
+    let method_ =
+      match stats.Verify.method_ with
+      | Verify.Cbf_method -> "CBF"
+      | Verify.Edbf_method -> "EDBF"
+    in
+    (match verdict with
+    | Verify.Equivalent -> Format.printf "EQUIVALENT@."
+    | Verify.Inequivalent (Some cex) ->
+        Format.printf "NOT EQUIVALENT@.counterexample:@.";
+        List.iter (fun (n, b) -> Format.printf "  %s = %b@." n b) cex
+    | Verify.Inequivalent None ->
+        Format.printf "NOT EQUIVALENT (conservative EDBF check; may be a false negative)@.");
+    Format.printf
+      "method %s, depth %d, %d variables, %d events, %d+%d unrolled gates, %d SAT calls, %.3fs@."
+      method_ stats.Verify.depth stats.Verify.variables stats.Verify.events
+      (fst stats.Verify.unrolled_gates)
+      (snd stats.Verify.unrolled_gates)
+      stats.Verify.cec_sat_calls stats.Verify.seconds;
+    match verdict with Verify.Equivalent -> () | Verify.Inequivalent _ -> exit 1
+  in
+  let no_rewrite =
+    Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the rule-(5) event rewrite.")
+  in
+  let guard =
+    Arg.(
+      value & flag
+      & info [ "guard-events" ]
+          ~doc:"Apply the event-consistency refinement (fewer EDBF false negatives).")
+  in
+  let term =
+    Term.(
+      const run
+      $ circuit_arg ~pos:0 ~doc:"First netlist."
+      $ circuit_arg ~pos:1 ~doc:"Second netlist."
+      $ engine_arg $ exposed_arg $ no_rewrite $ guard)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Check sequential equivalence through the combinational reduction.")
+    term
+
+(* ---- baseline ---- *)
+
+let baseline_cmd =
+  let run p1 p2 budget =
+    let c1 = load p1 and c2 = load p2 in
+    let v, stats = Sec_baseline.check ~node_limit:budget c1 c2 in
+    (match v with
+    | Sec_baseline.Equivalent -> Format.printf "EQUIVALENT (reset equivalence)@."
+    | Sec_baseline.Inequivalent -> Format.printf "NOT EQUIVALENT (reset equivalence)@."
+    | Sec_baseline.Resource_out why -> Format.printf "GAVE UP: %s@." why);
+    Format.printf "image steps %d, peak BDD nodes %d, recurrent product states %.0f, %.3fs@."
+      stats.Sec_baseline.steps stats.Sec_baseline.peak_nodes
+      stats.Sec_baseline.product_states stats.Sec_baseline.seconds
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int 2_000_000
+      & info [ "node-budget" ] ~docv:"N" ~doc:"BDD node budget before giving up.")
+  in
+  let term =
+    Term.(
+      const run
+      $ circuit_arg ~pos:0 ~doc:"First netlist."
+      $ circuit_arg ~pos:1 ~doc:"Second netlist."
+      $ budget)
+  in
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Classical product-machine traversal (for comparison; may explode).")
+    term
+
+(* ---- redundancy ---- *)
+
+let redundancy_cmd =
+  let run path out =
+    let c = load path in
+    let o, report = Redundancy.run c in
+    Format.printf "removed %d redundant connections (%d SAT calls), area %d -> %d@."
+      report.Redundancy.removed report.Redundancy.sat_calls report.Redundancy.area_before
+      report.Redundancy.area_after;
+    Option.iter (fun p -> save p o) out
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write result.")
+  in
+  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ out) in
+  Cmd.v (Cmd.info "redundancy" ~doc:"SAT-based redundancy removal.") term
+
+(* ---- flow ---- *)
+
+let flow_cmd =
+  let run path =
+    let c = load path in
+    let row = Flow.run c in
+    Format.printf
+      "%s: A(l=%d d=%d) exposed=%d(%.0f%%) C(l=%d a=%d d=%d) D(a=%d d=%d) E(l=%d) F(l=%d d=%d) verify=%s %.2fs@."
+      row.Flow.name row.Flow.a.Flow.latches row.Flow.a.Flow.delay row.Flow.exposed
+      row.Flow.exposed_percent row.Flow.c.Flow.latches row.Flow.c.Flow.area
+      row.Flow.c.Flow.delay row.Flow.d.Flow.area row.Flow.d.Flow.delay
+      row.Flow.e.Flow.latches row.Flow.f.Flow.latches row.Flow.f.Flow.delay
+      (match row.Flow.verify_verdict with
+      | Verify.Equivalent -> "EQ"
+      | Verify.Inequivalent _ -> "NEQ")
+      row.Flow.verify_seconds
+  in
+  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist.") in
+  Cmd.v (Cmd.info "flow" ~doc:"Run the full Fig. 19 experimental flow.") term
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let run name out =
+    let c = Workloads.by_name name in
+    match out with
+    | Some p -> save p c
+    | None -> print_string (Netlist_io.to_string c)
+  in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Suite circuit name.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write netlist.")
+  in
+  let term = Term.(const run $ name_arg $ out) in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit a benchmark-suite circuit as a netlist.") term
+
+let () =
+  let doc = "sequential verification by combinational reduction (DATE'99 reproduction)" in
+  let info = Cmd.info "seqver" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; generate_cmd ]))

@@ -1,0 +1,1 @@
+examples/baseline_race.ml: Circuit Format List Printf Retime Sec_baseline Synth_script Verify Workloads

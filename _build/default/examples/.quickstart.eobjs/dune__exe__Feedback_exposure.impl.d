@@ -1,0 +1,1 @@
+examples/feedback_exposure.ml: Bdd Circuit Feedback Flow Format List Verify Workloads

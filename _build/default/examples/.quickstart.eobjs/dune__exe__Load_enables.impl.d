@@ -1,0 +1,1 @@
+examples/load_enables.ml: Circuit Edbf Events Format List Printf Synth_script Verify

@@ -1,0 +1,1 @@
+examples/pipeline_retiming.ml: Circuit Format List Retime Synth_script Verify Workloads

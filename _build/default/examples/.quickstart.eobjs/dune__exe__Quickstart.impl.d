@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Circuit Format Hashtbl List Option Printf Retime Synth_script Verify

@@ -1,0 +1,1 @@
+examples/three_valued.ml: Array Circuit Format List Sim Verify

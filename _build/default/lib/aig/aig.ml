@@ -1,0 +1,198 @@
+type lit = int
+
+(* Node storage: fanin arrays; inputs have fanin0 = -1.  Node 0 is the
+   constant false. *)
+type t = {
+  fanin0 : lit Vgraph.Vec.t;
+  fanin1 : lit Vgraph.Vec.t;
+  levels : int Vgraph.Vec.t;
+  strash : (int * int, int) Hashtbl.t; (* (lit0, lit1) with lit0 <= lit1 -> node *)
+  inputs : int Vgraph.Vec.t; (* node ids *)
+}
+
+let lit_false = 0
+let lit_true = 1
+let neg l = l lxor 1
+let is_complement l = l land 1 = 1
+let node_of l = l lsr 1
+let mk_lit node compl = (2 * node) lor (if compl then 1 else 0)
+
+let create () =
+  let g =
+    {
+      fanin0 = Vgraph.Vec.create ~dummy:0 ();
+      fanin1 = Vgraph.Vec.create ~dummy:0 ();
+      levels = Vgraph.Vec.create ~dummy:0 ();
+      strash = Hashtbl.create 4096;
+      inputs = Vgraph.Vec.create ~dummy:0 ();
+    }
+  in
+  (* constant node *)
+  ignore (Vgraph.Vec.push g.fanin0 (-2));
+  ignore (Vgraph.Vec.push g.fanin1 (-2));
+  ignore (Vgraph.Vec.push g.levels 0);
+  g
+
+let node_count g = Vgraph.Vec.length g.fanin0
+
+let input g =
+  let n = Vgraph.Vec.push g.fanin0 (-1) in
+  ignore (Vgraph.Vec.push g.fanin1 (-1));
+  ignore (Vgraph.Vec.push g.levels 0);
+  ignore (Vgraph.Vec.push g.inputs n);
+  mk_lit n false
+
+let num_inputs g = Vgraph.Vec.length g.inputs
+let input_lit g i = mk_lit (Vgraph.Vec.get g.inputs i) false
+
+let is_input_node g n = Vgraph.Vec.get g.fanin0 n = -1
+
+let fanins g n =
+  let f0 = Vgraph.Vec.get g.fanin0 n in
+  if f0 < 0 then invalid_arg "Aig.fanins: not an AND node";
+  (f0, Vgraph.Vec.get g.fanin1 n)
+
+let level g n = Vgraph.Vec.get g.levels n
+
+let and_ g a b =
+  let a, b = if a <= b then (a, b) else (b, a) in
+  if a = lit_false then lit_false
+  else if a = lit_true then b
+  else if a = b then a
+  else if a = neg b then lit_false
+  else
+    match Hashtbl.find_opt g.strash (a, b) with
+    | Some n -> mk_lit n false
+    | None ->
+        let n = Vgraph.Vec.push g.fanin0 a in
+        ignore (Vgraph.Vec.push g.fanin1 b);
+        let lv = 1 + max (level g (node_of a)) (level g (node_of b)) in
+        ignore (Vgraph.Vec.push g.levels lv);
+        Hashtbl.add g.strash (a, b) n;
+        mk_lit n false
+
+let or_ g a b = neg (and_ g (neg a) (neg b))
+
+let xor_ g a b =
+  (* a xor b = (a + b)(~a + ~b) *)
+  and_ g (or_ g a b) (neg (and_ g a b))
+
+let mux g s t e = or_ g (and_ g s t) (and_ g (neg s) e)
+
+let and_list g = List.fold_left (and_ g) lit_true
+let or_list g = List.fold_left (or_ g) lit_false
+
+let and_count g =
+  let c = ref 0 in
+  for n = 1 to node_count g - 1 do
+    if not (is_input_node g n) then incr c
+  done;
+  !c
+
+let simulate g in_words =
+  if Array.length in_words <> num_inputs g then
+    invalid_arg "Aig.simulate: wrong number of input words";
+  let n = node_count g in
+  let vals = Array.make n 0L in
+  let next_input = ref 0 in
+  for v = 1 to n - 1 do
+    let f0 = Vgraph.Vec.get g.fanin0 v in
+    if f0 = -1 then begin
+      vals.(v) <- in_words.(!next_input);
+      incr next_input
+    end
+    else begin
+      let f1 = Vgraph.Vec.get g.fanin1 v in
+      let w0 = vals.(node_of f0) in
+      let w0 = if is_complement f0 then Int64.lognot w0 else w0 in
+      let w1 = vals.(node_of f1) in
+      let w1 = if is_complement f1 then Int64.lognot w1 else w1 in
+      vals.(v) <- Int64.logand w0 w1
+    end
+  done;
+  vals
+
+let sim_lit vals l =
+  let w = vals.(node_of l) in
+  if is_complement l then Int64.lognot w else w
+
+let eval g env l =
+  if Array.length env <> num_inputs g then invalid_arg "Aig.eval: env size";
+  let words = Array.map (fun b -> if b then 1L else 0L) env in
+  let vals = simulate g words in
+  Int64.logand (sim_lit vals l) 1L = 1L
+
+type cnf_map = { var_of_node : int array; solver : Sat.t }
+
+let cnf_lit m l =
+  let v = m.var_of_node.(node_of l) in
+  if v = 0 then invalid_arg "Aig.cnf_lit: node not encoded";
+  if is_complement l then -v else v
+
+let to_cnf ?solver g ~roots =
+  let solver = match solver with Some s -> s | None -> Sat.create () in
+  let var_of_node = Array.make (node_count g) 0 in
+  (* mark cones *)
+  let rec mark n =
+    if var_of_node.(n) = 0 then begin
+      var_of_node.(n) <- Sat.new_var solver;
+      if n > 0 && not (is_input_node g n) then begin
+        let f0, f1 = fanins g n in
+        mark (node_of f0);
+        mark (node_of f1)
+      end
+    end
+  in
+  List.iter (fun l -> mark (node_of l)) roots;
+  let m = { var_of_node; solver } in
+  (* constant node, if referenced *)
+  if var_of_node.(0) <> 0 then Sat.add_clause solver [ -var_of_node.(0) ];
+  for n = 1 to node_count g - 1 do
+    if var_of_node.(n) <> 0 && not (is_input_node g n) then begin
+      let f0, f1 = fanins g n in
+      let ln = var_of_node.(n) in
+      let l0 = cnf_lit m f0 and l1 = cnf_lit m f1 in
+      Sat.add_clause solver [ -ln; l0 ];
+      Sat.add_clause solver [ -ln; l1 ];
+      Sat.add_clause solver [ ln; -l0; -l1 ]
+    end
+  done;
+  m
+
+type env = { of_signal : lit array }
+
+let of_circuit_comb g c ~source =
+  let n = Circuit.signal_count c in
+  let of_signal = Array.make n (-1) in
+  for s = 0 to n - 1 do
+    match Circuit.driver c s with
+    | Input | Latch _ -> of_signal.(s) <- source s
+    | Undriven | Gate _ -> ()
+  done;
+  let lit_of s =
+    let l = of_signal.(s) in
+    assert (l >= 0);
+    l
+  in
+  List.iter
+    (fun s ->
+      match Circuit.driver c s with
+      | Gate (fn, fs) ->
+          let ins = Array.map lit_of fs in
+          let l =
+            match fn with
+            | Const b -> if b then lit_true else lit_false
+            | Buf -> ins.(0)
+            | Not -> neg ins.(0)
+            | And -> Array.fold_left (and_ g) lit_true ins
+            | Nand -> neg (Array.fold_left (and_ g) lit_true ins)
+            | Or -> Array.fold_left (or_ g) lit_false ins
+            | Nor -> neg (Array.fold_left (or_ g) lit_false ins)
+            | Xor -> Array.fold_left (xor_ g) lit_false ins
+            | Xnor -> neg (Array.fold_left (xor_ g) lit_false ins)
+            | Mux -> mux g ins.(0) ins.(1) ins.(2)
+          in
+          of_signal.(s) <- l
+      | Undriven | Input | Latch _ -> ())
+    (Circuit.comb_topo c);
+  { of_signal }

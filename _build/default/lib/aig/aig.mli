@@ -1,0 +1,95 @@
+(** Structurally hashed and-inverter graphs.
+
+    The combinational workhorse behind the equivalence checker: circuits are
+    compiled into a shared AIG, simulated 64 assignments at a time, and
+    exported to CNF for SAT queries.
+
+    Literals pack a node id and a complement bit: [lit = 2*node + compl].
+    Node 0 is the constant false, so literal 0 is false and literal 1 is
+    true. *)
+
+type t
+(** AIG manager. *)
+
+type lit = int
+
+val create : unit -> t
+
+val lit_false : lit
+val lit_true : lit
+
+val input : t -> lit
+(** A fresh primary-input node (positive literal). *)
+
+val num_inputs : t -> int
+
+val input_lit : t -> int -> lit
+(** [input_lit g i] is the positive literal of the [i]-th input (creation
+    order). *)
+
+val neg : lit -> lit
+val is_complement : lit -> bool
+val node_of : lit -> int
+
+val and_ : t -> lit -> lit -> lit
+(** Hash-consed conjunction with constant and unit simplification. *)
+
+val or_ : t -> lit -> lit -> lit
+val xor_ : t -> lit -> lit -> lit
+val mux : t -> lit -> lit -> lit -> lit
+(** [mux g s t e] is [if s then t else e]. *)
+
+val and_list : t -> lit list -> lit
+val or_list : t -> lit list -> lit
+
+val node_count : t -> int
+(** Number of nodes including the constant and inputs. *)
+
+val and_count : t -> int
+
+val is_input_node : t -> int -> bool
+
+val fanins : t -> int -> lit * lit
+(** Fanins of an AND node.  @raise Invalid_argument for inputs/constant. *)
+
+val level : t -> int -> int
+(** Depth of a node: inputs at 0, an AND at [1 + max fanin levels]. *)
+
+(** {1 Simulation} *)
+
+val simulate : t -> int64 array -> int64 array
+(** [simulate g in_words] computes 64 parallel evaluations.  [in_words]
+    gives one word per input (creation order); the result has one word per
+    node.  Read a literal's value with {!sim_lit}. *)
+
+val sim_lit : int64 array -> lit -> int64
+(** Interprets a node-indexed simulation vector at a literal (applies the
+    complement). *)
+
+val eval : t -> bool array -> lit -> bool
+(** Single-pattern reference evaluation. *)
+
+(** {1 CNF export} *)
+
+type cnf_map = { var_of_node : int array; solver : Sat.t }
+
+val to_cnf : ?solver:Sat.t -> t -> roots:lit list -> cnf_map
+(** Tseitin-encodes the cones of [roots] into a SAT solver (a fresh one
+    unless [solver] is given).  Every node in the cones gets a SAT
+    variable. *)
+
+val cnf_lit : cnf_map -> lit -> int
+(** DIMACS literal for an encoded AIG literal.
+    @raise Invalid_argument if the node was not encoded. *)
+
+(** {1 Circuit conversion} *)
+
+type env = { of_signal : lit array }
+(** Mapping from circuit signals to AIG literals. *)
+
+val of_circuit_comb :
+  t -> Circuit.t -> source:(Circuit.signal -> lit) -> env
+(** Compiles the combinational part of a circuit into the AIG.  [source]
+    supplies literals for primary inputs and latch outputs; gate-driven
+    signals are translated.  The returned environment maps every signal
+    that lies in the combinational cones. *)

@@ -1,0 +1,300 @@
+type counterexample = (string * bool) list
+
+type verdict = Equivalent | Inequivalent of counterexample
+
+type engine = Bdd_engine | Sat_engine | Sweep_engine
+
+let last_sat_calls = ref 0
+
+let stats_last_sat_calls () = !last_sat_calls
+
+let require_comb c =
+  if Circuit.latch_count c > 0 then
+    invalid_arg
+      (Printf.sprintf "Cec: circuit %s is not combinational" (Circuit.name c))
+
+(* United input universe: name -> index, in order of first appearance. *)
+let united_inputs c1 c2 =
+  let names = ref [] in
+  let seen = Hashtbl.create 64 in
+  let collect c =
+    List.iter
+      (fun s ->
+        let n = Circuit.signal_name c s in
+        if not (Hashtbl.mem seen n) then begin
+          Hashtbl.replace seen n (List.length !names);
+          names := n :: !names
+        end)
+      (Circuit.inputs c)
+  in
+  collect c1;
+  collect c2;
+  (List.rev !names, seen)
+
+(* ---------- BDD engine ---------- *)
+
+let bdd_outputs man index c =
+  let source s = Bdd.var man (Hashtbl.find index (Circuit.signal_name c s)) in
+  let n = Circuit.signal_count c in
+  let node = Array.make n (Bdd.zero man) in
+  for s = 0 to n - 1 do
+    match Circuit.driver c s with
+    | Input -> node.(s) <- source s
+    | Undriven | Gate _ | Latch _ -> ()
+  done;
+  List.iter
+    (fun s ->
+      match Circuit.driver c s with
+      | Gate (fn, fs) ->
+          let ins = Array.map (fun f -> node.(f)) fs in
+          let v =
+            match fn with
+            | Const b -> if b then Bdd.one man else Bdd.zero man
+            | Buf -> ins.(0)
+            | Not -> Bdd.not_ man ins.(0)
+            | And -> Array.fold_left (Bdd.and_ man) (Bdd.one man) ins
+            | Nand -> Bdd.not_ man (Array.fold_left (Bdd.and_ man) (Bdd.one man) ins)
+            | Or -> Array.fold_left (Bdd.or_ man) (Bdd.zero man) ins
+            | Nor -> Bdd.not_ man (Array.fold_left (Bdd.or_ man) (Bdd.zero man) ins)
+            | Xor -> Array.fold_left (Bdd.xor_ man) (Bdd.zero man) ins
+            | Xnor -> Bdd.not_ man (Array.fold_left (Bdd.xor_ man) (Bdd.zero man) ins)
+            | Mux -> Bdd.ite man ins.(0) ins.(1) ins.(2)
+          in
+          node.(s) <- v
+      | Undriven | Input | Latch _ -> ())
+    (Circuit.comb_topo c);
+  List.map (fun o -> node.(o)) (Circuit.outputs c)
+
+let check_bdd c1 c2 =
+  let names, index = united_inputs c1 c2 in
+  let man = Bdd.man () in
+  (* allocate variables in order *)
+  List.iteri (fun i _ -> ignore (Bdd.var man i)) names;
+  let o1 = bdd_outputs man index c1 in
+  let o2 = bdd_outputs man index c2 in
+  let rec cmp o1 o2 =
+    match (o1, o2) with
+    | [], [] -> Equivalent
+    | f :: r1, g :: r2 ->
+        if Bdd.equal f g then cmp r1 r2
+        else begin
+          let diff = Bdd.xor_ man f g in
+          match Bdd.any_sat man diff with
+          | None -> assert false
+          | Some assignment ->
+              let name_arr = Array.of_list names in
+              Inequivalent
+                (List.map (fun (v, b) -> (name_arr.(v), b)) assignment)
+        end
+    | _ -> invalid_arg "Cec: output counts differ"
+  in
+  cmp o1 o2
+
+(* ---------- shared AIG construction ---------- *)
+
+let build_shared_aig c1 c2 =
+  let names, index = united_inputs c1 c2 in
+  let g = Aig.create () in
+  let input_lits = List.map (fun _ -> Aig.input g) names in
+  let lit_arr = Array.of_list input_lits in
+  let source c s = lit_arr.(Hashtbl.find index (Circuit.signal_name c s)) in
+  let env1 = Aig.of_circuit_comb g c1 ~source:(source c1) in
+  let env2 = Aig.of_circuit_comb g c2 ~source:(source c2) in
+  let outs c (env : Aig.env) =
+    List.map (fun o -> env.of_signal.(o)) (Circuit.outputs c)
+  in
+  (g, names, outs c1 env1, outs c2 env2)
+
+(* Incremental Tseitin encoder over a (possibly growing) AIG. *)
+module Encoder = struct
+  type t = {
+    g : Aig.t;
+    solver : Sat.t;
+    vars : int Vgraph.Vec.t; (* node -> sat var, 0 = unencoded *)
+  }
+
+  let create g = { g; solver = Sat.create (); vars = Vgraph.Vec.create ~dummy:0 () }
+
+  let var_of e n =
+    while Vgraph.Vec.length e.vars <= n do
+      ignore (Vgraph.Vec.push e.vars 0)
+    done;
+    Vgraph.Vec.get e.vars n
+
+  let rec encode_node e n =
+    let v = var_of e n in
+    if v <> 0 then v
+    else begin
+      let v = Sat.new_var e.solver in
+      Vgraph.Vec.set e.vars n v;
+      if n = 0 then Sat.add_clause e.solver [ -v ]
+      else if not (Aig.is_input_node e.g n) then begin
+        let f0, f1 = Aig.fanins e.g n in
+        let l0 = encode_lit e f0 and l1 = encode_lit e f1 in
+        Sat.add_clause e.solver [ -v; l0 ];
+        Sat.add_clause e.solver [ -v; l1 ];
+        Sat.add_clause e.solver [ v; -l0; -l1 ]
+      end;
+      v
+    end
+
+  and encode_lit e l =
+    let v = encode_node e (Aig.node_of l) in
+    if Aig.is_complement l then -v else v
+end
+
+let sat_solve_counted solver ?assumptions () =
+  incr last_sat_calls;
+  Sat.solve ?assumptions solver
+
+(* extract input assignment from a SAT model *)
+let model_cex enc g names =
+  let n_in = Aig.num_inputs g in
+  let cex = ref [] in
+  let name_arr = Array.of_list names in
+  for i = 0 to n_in - 1 do
+    let l = Aig.input_lit g i in
+    let node = Aig.node_of l in
+    let v = Encoder.var_of enc node in
+    if v <> 0 then cex := (name_arr.(i), Sat.value enc.Encoder.solver v) :: !cex
+  done;
+  List.rev !cex
+
+let check_sat c1 c2 =
+  let g, names, o1, o2 = build_shared_aig c1 c2 in
+  if List.length o1 <> List.length o2 then invalid_arg "Cec: output counts differ";
+  let enc = Encoder.create g in
+  (* miter: OR of XORs *)
+  let diffs = List.map2 (fun a b -> Aig.xor_ g a b) o1 o2 in
+  let miter = Aig.or_list g diffs in
+  if miter = Aig.lit_false then Equivalent
+  else begin
+    let ml = Encoder.encode_lit enc miter in
+    match sat_solve_counted enc.Encoder.solver ~assumptions:[ ml ] () with
+    | Sat.Unsat -> Equivalent
+    | Sat.Sat -> Inequivalent (model_cex enc g names)
+  end
+
+(* ---------- sweep engine ---------- *)
+
+let sim_rounds = 4 (* 4 * 64 = 256 random patterns *)
+
+let check_sweep ?(seed = 0xC0FFEE) c1 c2 =
+  let g, names, o1, o2 = build_shared_aig c1 c2 in
+  if List.length o1 <> List.length o2 then invalid_arg "Cec: output counts differ";
+  let st = Random.State.make [| seed |] in
+  let n_in = Aig.num_inputs g in
+  let n_nodes = Aig.node_count g in
+  (* signatures *)
+  let sigs = Array.make n_nodes [] in
+  for _round = 1 to sim_rounds do
+    let words = Array.init n_in (fun _ -> Random.State.int64 st Int64.max_int) in
+    let vals = Aig.simulate g words in
+    for n = 0 to n_nodes - 1 do
+      sigs.(n) <- vals.(n) :: sigs.(n)
+    done
+  done;
+  (* canonical signature: complement so that bit0 of first word is 0 *)
+  let canon n =
+    match sigs.(n) with
+    | [] -> ([], false)
+    | w :: _ as ws ->
+        if Int64.logand w 1L = 1L then (List.map Int64.lognot ws, true) else (ws, false)
+  in
+  (* rebuild into g2 merging proven-equivalent nodes *)
+  let g2 = Aig.create () in
+  let enc = Encoder.create g2 in
+  let map = Array.make n_nodes (-1) in
+  map.(0) <- Aig.lit_false;
+  let classes : (int64 list, int) Hashtbl.t = Hashtbl.create 1024 in
+  (* class table: canonical signature -> representative node (original id) *)
+  let lit_map l =
+    let m = map.(Aig.node_of l) in
+    assert (m >= 0);
+    if Aig.is_complement l then Aig.neg m else m
+  in
+  let prove_equal la lb =
+    (* equal iff both (la & ~lb) and (~la & lb) unsatisfiable *)
+    let a = Encoder.encode_lit enc la and b = Encoder.encode_lit enc lb in
+    match sat_solve_counted enc.Encoder.solver ~assumptions:[ a; -b ] () with
+    | Sat.Sat -> false
+    | Sat.Unsat -> (
+        match sat_solve_counted enc.Encoder.solver ~assumptions:[ -a; b ] () with
+        | Sat.Sat -> false
+        | Sat.Unsat -> true)
+  in
+  for n = 1 to n_nodes - 1 do
+    if Aig.is_input_node g n then begin
+      map.(n) <- Aig.input g2;
+      (* inputs are never merged, but register their class so that internal
+         nodes equivalent to an input can merge into it *)
+      let key, phase = canon n in
+      if not (Hashtbl.mem classes key) then Hashtbl.replace classes key n
+      else ignore phase
+    end
+    else begin
+      let f0, f1 = Aig.fanins g n in
+      let l = Aig.and_ g2 (lit_map f0) (lit_map f1) in
+      map.(n) <- l;
+      if Aig.node_of l <> 0 then begin
+        let key, phase = canon n in
+        match Hashtbl.find_opt classes key with
+        | None -> Hashtbl.replace classes key n
+        | Some repr when repr = n -> ()
+        | Some repr ->
+            let _, rphase = canon repr in
+            let rlit = map.(repr) in
+            let rlit = if phase <> rphase then Aig.neg rlit else rlit in
+            if Aig.node_of rlit <> Aig.node_of l && prove_equal l rlit then
+              map.(n) <- rlit
+      end
+    end
+  done;
+  (* final miter on g2 *)
+  let m1 = List.map lit_map o1 and m2 = List.map lit_map o2 in
+  let diffs = List.map2 (fun a b -> Aig.xor_ g2 a b) m1 m2 in
+  let miter = Aig.or_list g2 diffs in
+  if miter = Aig.lit_false then Equivalent
+  else begin
+    let ml = Encoder.encode_lit enc miter in
+    match sat_solve_counted enc.Encoder.solver ~assumptions:[ ml ] () with
+    | Sat.Unsat -> Equivalent
+    | Sat.Sat ->
+        (* map model back through original input order: input i of g maps to
+           input i of g2 (inputs created in the same order) *)
+        let cex = ref [] in
+        let name_arr = Array.of_list names in
+        for i = 0 to n_in - 1 do
+          let l2 = map.(Aig.node_of (Aig.input_lit g i)) in
+          let v = Encoder.var_of enc (Aig.node_of l2) in
+          if v <> 0 then
+            cex := (name_arr.(i), Sat.value enc.Encoder.solver v) :: !cex
+        done;
+        Inequivalent (List.rev !cex)
+  end
+
+let check ?(engine = Sweep_engine) c1 c2 =
+  require_comb c1;
+  require_comb c2;
+  if List.length (Circuit.outputs c1) <> List.length (Circuit.outputs c2) then
+    invalid_arg "Cec: output counts differ";
+  last_sat_calls := 0;
+  match engine with
+  | Bdd_engine -> check_bdd c1 c2
+  | Sat_engine -> check_sat c1 c2
+  | Sweep_engine -> check_sweep c1 c2
+
+let counterexample_is_valid c1 c2 cex =
+  let env = Hashtbl.create 16 in
+  List.iter (fun (n, b) -> Hashtbl.replace env n b) cex;
+  let outs c =
+    let source s =
+      match Hashtbl.find_opt env (Circuit.signal_name c s) with
+      | Some b -> b
+      | None -> false
+    in
+    let values = Eval.comb_eval c ~source in
+    List.map (fun o -> values.(o)) (Circuit.outputs c)
+  in
+  let o1 = outs c1 and o2 = outs c2 in
+  List.exists2 (fun a b -> a <> b) o1 o2

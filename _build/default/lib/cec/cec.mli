@@ -1,0 +1,38 @@
+(** Combinational equivalence checking.
+
+    The paper reduces sequential verification to combinational verification
+    and hands the result to "an in-house tool similar to [10, 12]".  This is
+    that tool: three engines over latch-free netlists.
+
+    Inputs of the two circuits are matched {e by name}; the variable
+    universe is the union of both input sets (a missing input is a free
+    variable the circuit ignores) — exactly the semantics needed for
+    CBF/EDBF comparison, where the time- or event-indexed variables are
+    encoded in the names.  Outputs are matched by position. *)
+
+type counterexample = (string * bool) list
+(** Assignment to (a subset of) the united primary inputs; unlisted inputs
+    are [false]. *)
+
+type verdict = Equivalent | Inequivalent of counterexample
+
+type engine =
+  | Bdd_engine  (** monolithic BDDs, shared variable per input name *)
+  | Sat_engine  (** one CNF miter, one SAT call *)
+  | Sweep_engine
+      (** fraig-style: random simulation classes + incremental SAT merging,
+          then a miter check on the swept AIG *)
+
+val check : ?engine:engine -> Circuit.t -> Circuit.t -> verdict
+(** Decides functional equivalence.  Default engine: [Sweep_engine].
+    @raise Invalid_argument if either circuit contains latches or the output
+    counts differ. *)
+
+val counterexample_is_valid :
+  Circuit.t -> Circuit.t -> counterexample -> bool
+(** Replays a counterexample on both circuits and confirms some output pair
+    differs. *)
+
+val stats_last_sat_calls : unit -> int
+(** Number of SAT solver invocations made by the most recent {!check} call
+    (diagnostic; not thread-safe). *)

@@ -1,0 +1,1 @@
+lib/circuit/blif.ml: Array Buffer Circuit Format List Printf String

@@ -1,0 +1,1 @@
+lib/circuit/comb_view.ml: Array Circuit Hashtbl List Option

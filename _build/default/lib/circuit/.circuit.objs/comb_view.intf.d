@@ -1,0 +1,1 @@
+lib/circuit/comb_view.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/eval.ml: Array Circuit Fun Int64 List

@@ -1,0 +1,1 @@
+lib/circuit/netlist_io.ml: Array Circuit Format List Printf String

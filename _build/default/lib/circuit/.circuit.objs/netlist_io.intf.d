@@ -1,0 +1,1 @@
+lib/circuit/netlist_io.mli: Circuit Format

@@ -1,0 +1,10 @@
+(** Combinational view of a sequential circuit.
+
+    Latch outputs become primary inputs (keeping their names) and the
+    combinational sink functions — primary outputs, then latch data inputs,
+    then latch enables, in [Circuit.latches] order — become the outputs.
+    Two circuits whose combinational views are equivalent and whose latch
+    sets correspond by name implement the same sequential machine
+    state-for-state (this is what combinational synthesis preserves). *)
+
+val of_sequential : Circuit.t -> Circuit.t

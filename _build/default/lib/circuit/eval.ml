@@ -1,0 +1,59 @@
+let gate_eval (fn : Circuit.gate_fn) (vs : bool array) =
+  match fn with
+  | Const b -> b
+  | Buf -> vs.(0)
+  | Not -> not vs.(0)
+  | And -> Array.for_all Fun.id vs
+  | Or -> Array.exists Fun.id vs
+  | Nand -> not (Array.for_all Fun.id vs)
+  | Nor -> not (Array.exists Fun.id vs)
+  | Xor -> Array.fold_left (fun acc v -> if v then not acc else acc) false vs
+  | Xnor -> Array.fold_left (fun acc v -> if v then not acc else acc) true vs
+  | Mux -> if vs.(0) then vs.(1) else vs.(2)
+
+let comb_eval c ~source =
+  let n = Circuit.signal_count c in
+  let value = Array.make n false in
+  for s = 0 to n - 1 do
+    match Circuit.driver c s with
+    | Input | Latch _ -> value.(s) <- source s
+    | Undriven | Gate _ -> ()
+  done;
+  List.iter
+    (fun s ->
+      match Circuit.driver c s with
+      | Gate (fn, fs) -> value.(s) <- gate_eval fn (Array.map (fun f -> value.(f)) fs)
+      | Undriven | Input | Latch _ -> assert false)
+    (Circuit.comb_topo c);
+  value
+
+let gate_eval_word (fn : Circuit.gate_fn) (vs : int64 array) =
+  let open Int64 in
+  match fn with
+  | Const b -> if b then minus_one else zero
+  | Buf -> vs.(0)
+  | Not -> lognot vs.(0)
+  | And -> Array.fold_left logand minus_one vs
+  | Or -> Array.fold_left logor zero vs
+  | Nand -> lognot (Array.fold_left logand minus_one vs)
+  | Nor -> lognot (Array.fold_left logor zero vs)
+  | Xor -> Array.fold_left logxor zero vs
+  | Xnor -> lognot (Array.fold_left logxor zero vs)
+  | Mux -> logor (logand vs.(0) vs.(1)) (logand (lognot vs.(0)) vs.(2))
+
+let comb_eval_words c ~source =
+  let n = Circuit.signal_count c in
+  let value = Array.make n 0L in
+  for s = 0 to n - 1 do
+    match Circuit.driver c s with
+    | Input | Latch _ -> value.(s) <- source s
+    | Undriven | Gate _ -> ()
+  done;
+  List.iter
+    (fun s ->
+      match Circuit.driver c s with
+      | Gate (fn, fs) ->
+          value.(s) <- gate_eval_word fn (Array.map (fun f -> value.(f)) fs)
+      | Undriven | Input | Latch _ -> assert false)
+    (Circuit.comb_topo c);
+  value

@@ -1,0 +1,15 @@
+(** Combinational evaluation of netlists. *)
+
+val gate_eval : Circuit.gate_fn -> bool array -> bool
+(** Semantics of one gate on concrete fanin values. *)
+
+val comb_eval : Circuit.t -> source:(Circuit.signal -> bool) -> bool array
+(** [comb_eval c ~source] computes the value of every signal given values of
+    the sources ([source] is consulted exactly on primary inputs and latch
+    outputs). *)
+
+val comb_eval_words : Circuit.t -> source:(Circuit.signal -> int64) -> int64 array
+(** 64 parallel evaluations: like {!comb_eval} but on bit-packed words. *)
+
+val gate_eval_word : Circuit.gate_fn -> int64 array -> int64
+(** Word-level semantics of one gate. *)

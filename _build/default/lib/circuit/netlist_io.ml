@@ -1,0 +1,97 @@
+let fn_to_string : Circuit.gate_fn -> string = function
+  | Const false -> "const0"
+  | Const true -> "const1"
+  | Buf -> "buf"
+  | Not -> "not"
+  | And -> "and"
+  | Or -> "or"
+  | Nand -> "nand"
+  | Nor -> "nor"
+  | Xor -> "xor"
+  | Xnor -> "xnor"
+  | Mux -> "mux"
+
+let fn_of_string = function
+  | "const0" -> Circuit.Const false
+  | "const1" -> Const true
+  | "buf" -> Buf
+  | "not" -> Not
+  | "and" -> And
+  | "or" -> Or
+  | "nand" -> Nand
+  | "nor" -> Nor
+  | "xor" -> Xor
+  | "xnor" -> Xnor
+  | "mux" -> Mux
+  | s -> invalid_arg (Printf.sprintf "Netlist_io: unknown gate function %S" s)
+
+let print ppf c =
+  let sn = Circuit.signal_name c in
+  Format.fprintf ppf ".model %s@." (Circuit.name c);
+  (match Circuit.inputs c with
+  | [] -> ()
+  | ins ->
+      Format.fprintf ppf ".inputs %s@." (String.concat " " (List.map sn ins)));
+  (match Circuit.outputs c with
+  | [] -> ()
+  | outs ->
+      Format.fprintf ppf ".outputs %s@." (String.concat " " (List.map sn outs)));
+  List.iter
+    (fun l ->
+      let data, enable = Circuit.latch_info c l in
+      match enable with
+      | None -> Format.fprintf ppf ".latch %s %s@." (sn l) (sn data)
+      | Some e -> Format.fprintf ppf ".latche %s %s %s@." (sn l) (sn data) (sn e))
+    (Circuit.latches c);
+  List.iter
+    (fun g ->
+      match Circuit.driver c g with
+      | Gate (fn, fs) ->
+          Format.fprintf ppf ".gate %s %s%s@." (fn_to_string fn) (sn g)
+            (Array.fold_left (fun acc f -> acc ^ " " ^ sn f) "" fs)
+      | Undriven | Input | Latch _ -> assert false)
+    (Circuit.gates c);
+  Format.fprintf ppf ".end@."
+
+let to_string c = Format.asprintf "%a" print c
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let c = ref (Circuit.create "anonymous") in
+  let resolve s =
+    match Circuit.find_signal !c s with
+    | Some id -> id
+    | None -> Circuit.declare !c ~name:s ()
+  in
+  let strip line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    String.trim line
+  in
+  let ended = ref false in
+  List.iter
+    (fun raw ->
+      let line = strip raw in
+      if line <> "" && not !ended then
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | ".model" :: rest ->
+            let name = match rest with [ n ] -> n | _ -> "anonymous" in
+            c := Circuit.create name
+        | ".inputs" :: names ->
+            List.iter (fun n -> ignore (Circuit.add_input !c n)) names
+        | ".outputs" :: names ->
+            List.iter (fun n -> Circuit.mark_output !c (resolve n)) names
+        | [ ".latch"; q; d ] ->
+            Circuit.set_latch !c (resolve q) ~data:(resolve d) ()
+        | [ ".latche"; q; d; e ] ->
+            Circuit.set_latch !c (resolve q) ~enable:(resolve e) ~data:(resolve d) ()
+        | ".gate" :: fn :: out :: fanins ->
+            Circuit.set_gate !c (resolve out) (fn_of_string fn) (List.map resolve fanins)
+        | [ ".end" ] -> ended := true
+        | _ -> invalid_arg (Printf.sprintf "Netlist_io.parse: bad line %S" line))
+    lines;
+  Circuit.check !c;
+  !c

@@ -1,0 +1,1 @@
+lib/core/bdd_gates.ml: Bdd Circuit

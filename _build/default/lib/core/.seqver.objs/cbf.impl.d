@@ -1,0 +1,1 @@
+lib/core/cbf.ml: Array Bdd Circuit Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/core/cbf.mli: Circuit

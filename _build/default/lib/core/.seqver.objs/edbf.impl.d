@@ -1,0 +1,1 @@
+lib/core/edbf.ml: Array Bdd Bdd_gates Circuit Events Hashtbl List Printf

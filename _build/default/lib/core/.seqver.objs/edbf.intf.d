@@ -1,0 +1,1 @@
+lib/core/edbf.mli: Circuit Events

@@ -1,0 +1,1 @@
+lib/core/events.ml: Bdd Hashtbl List String Vgraph

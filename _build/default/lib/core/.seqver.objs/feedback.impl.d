@@ -1,0 +1,1 @@
+lib/core/feedback.ml: Array Bdd Bdd_gates Circuit Hashtbl List Option Vgraph

@@ -1,0 +1,1 @@
+lib/core/flow.ml: Circuit Feedback Hashtbl List Retime Synth_script Verify

@@ -1,0 +1,1 @@
+lib/core/verify.ml: Array Cbf Cec Circuit Edbf Events Hashtbl List Printf Sim String Sys

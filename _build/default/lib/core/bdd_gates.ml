@@ -1,0 +1,7 @@
+(* Shared BDD -> netlist synthesis (mux tree per DAG node). *)
+
+let to_gates nc man f ~sig_of =
+  Bdd.fold man f
+    ~const:(fun b -> if b then Circuit.const_true nc else Circuit.const_false nc)
+    ~node:(fun v lo hi ->
+      if lo = hi then lo else Circuit.add_gate nc Mux [ sig_of v; hi; lo ])

@@ -1,0 +1,5 @@
+(** Synthesize a BDD back into netlist gates: one [Mux] per DAG node,
+    shared through the fold's memoization. *)
+
+val to_gates :
+  Circuit.t -> Bdd.man -> Bdd.t -> sig_of:(int -> Circuit.signal) -> Circuit.signal

@@ -1,0 +1,158 @@
+type info = { depth : int; variables : int; replication : int }
+
+let var_name i d = Printf.sprintf "%s@%d" i d
+
+let unroll ?(exposed = fun _ -> false) c =
+  Circuit.check c;
+  let nc = Circuit.create (Circuit.name c ^ "_cbf") in
+  let memo : (Circuit.signal * int, Circuit.signal) Hashtbl.t = Hashtbl.create 256 in
+  let pins : (string, Circuit.signal) Hashtbl.t = Hashtbl.create 64 in
+  let depth = ref 0 in
+  let replication = ref 0 in
+  let visiting : (Circuit.signal * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let pin name d =
+    depth := max !depth d;
+    let n = var_name name d in
+    match Hashtbl.find_opt pins n with
+    | Some s -> s
+    | None ->
+        let s = Circuit.add_input nc n in
+        Hashtbl.replace pins n s;
+        s
+  in
+  (* Compute_CBF_Recursively (Fig. 7) *)
+  let rec cbf s d =
+    match Hashtbl.find_opt memo (s, d) with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem visiting (s, d) then
+          invalid_arg "Cbf.unroll: sequential cycle with no exposed latch";
+        Hashtbl.replace visiting (s, d) ();
+        let r =
+          match Circuit.driver c s with
+          | Input -> pin (Circuit.signal_name c s) d
+          | Latch _ when exposed s -> pin (Circuit.signal_name c s) d
+          | Latch { data; enable = None } -> cbf data (d + 1)
+          | Latch { enable = Some _; _ } ->
+              invalid_arg
+                (Printf.sprintf "Cbf.unroll: non-exposed load-enabled latch %s"
+                   (Circuit.signal_name c s))
+          | Gate (fn, fs) ->
+              incr replication;
+              Circuit.add_gate nc fn (Array.to_list (Array.map (fun f -> cbf f d) fs))
+          | Undriven -> assert false
+        in
+        Hashtbl.remove visiting (s, d);
+        Hashtbl.replace memo (s, d) r;
+        r
+  in
+  List.iter (fun o -> Circuit.mark_output nc (cbf o 0)) (Circuit.outputs c);
+  (* exposed latches: data (and enable) functions become outputs, ordered by
+     latch name so both sides of a comparison line up *)
+  let exposed_latches =
+    List.filter exposed (Circuit.latches c)
+    |> List.sort (fun a b -> compare (Circuit.signal_name c a) (Circuit.signal_name c b))
+  in
+  List.iter
+    (fun l ->
+      let data, _ = Circuit.latch_info c l in
+      Circuit.mark_output nc (cbf data 0))
+    exposed_latches;
+  List.iter
+    (fun l ->
+      match Circuit.latch_info c l with
+      | _, Some e -> Circuit.mark_output nc (cbf e 0)
+      | _, None -> ())
+    exposed_latches;
+  Circuit.check nc;
+  (nc, { depth = !depth; variables = Hashtbl.length pins; replication = !replication })
+
+let sequential_depth ?(exposed = fun _ -> false) c =
+  let memo = Hashtbl.create 256 in
+  let rec go s =
+    match Hashtbl.find_opt memo s with
+    | Some d -> d
+    | None ->
+        Hashtbl.replace memo s 0;
+        (* cycle guard: exposed breaks cycles; a hit during recursion would
+           mean a non-exposed cycle, reported by unroll *)
+        let d =
+          match Circuit.driver c s with
+          | Input -> 0
+          | Latch _ when exposed s -> 0
+          | Latch { data; _ } -> 1 + go data
+          | Gate (_, fs) -> Array.fold_left (fun acc f -> max acc (go f)) 0 fs
+          | Undriven -> 0
+        in
+        Hashtbl.replace memo s d;
+        d
+  in
+  let at_outputs = List.fold_left (fun acc o -> max acc (go o)) 0 (Circuit.outputs c) in
+  List.fold_left
+    (fun acc l ->
+      if exposed l then
+        let data, enable = Circuit.latch_info c l in
+        let acc = max acc (go data) in
+        match enable with None -> acc | Some e -> max acc (go e)
+      else acc)
+    at_outputs (Circuit.latches c)
+
+let functional_depth ?exposed c =
+  let u, info = unroll ?exposed c in
+  (* BDD support of the unrolled outputs, mapped back to delays *)
+  let man = Bdd.man () in
+  let var_of_input = Hashtbl.create 32 in
+  let delay_of_var = Hashtbl.create 32 in
+  let next = ref 0 in
+  List.iter
+    (fun s ->
+      let n = Circuit.signal_name u s in
+      let d =
+        match String.rindex_opt n '@' with
+        | None -> 0
+        | Some j -> (
+            match int_of_string_opt (String.sub n (j + 1) (String.length n - j - 1)) with
+            | Some d -> d
+            | None -> 0)
+      in
+      let v = !next in
+      incr next;
+      Hashtbl.replace var_of_input s (Bdd.var man v);
+      Hashtbl.replace delay_of_var v d)
+    (Circuit.inputs u);
+  let node = Hashtbl.create 256 in
+  let rec bdd_of s =
+    match Hashtbl.find_opt node s with
+    | Some b -> b
+    | None ->
+        let b =
+          match Circuit.driver u s with
+          | Input -> Hashtbl.find var_of_input s
+          | Undriven | Latch _ -> assert false
+          | Gate (fn, fs) -> (
+              let ins = Array.map bdd_of fs in
+              let ins_l = Array.to_list ins in
+              match fn with
+              | Const b -> if b then Bdd.one man else Bdd.zero man
+              | Buf -> ins.(0)
+              | Not -> Bdd.not_ man ins.(0)
+              | And -> Bdd.and_list man ins_l
+              | Nand -> Bdd.not_ man (Bdd.and_list man ins_l)
+              | Or -> Bdd.or_list man ins_l
+              | Nor -> Bdd.not_ man (Bdd.or_list man ins_l)
+              | Xor -> List.fold_left (Bdd.xor_ man) (Bdd.zero man) ins_l
+              | Xnor -> Bdd.not_ man (List.fold_left (Bdd.xor_ man) (Bdd.zero man) ins_l)
+              | Mux -> Bdd.ite man ins.(0) ins.(1) ins.(2))
+        in
+        Hashtbl.replace node s b;
+        b
+  in
+  let depth = ref 0 in
+  List.iter
+    (fun o ->
+      List.iter
+        (fun v -> depth := max !depth (Hashtbl.find delay_of_var v))
+        (Bdd.support man (bdd_of o)))
+    (Circuit.outputs u);
+  ignore info;
+  !depth

@@ -1,0 +1,51 @@
+(** Clocked Boolean Functions (Section 4.1, 5.1 of the paper).
+
+    For an acyclic sequential circuit with regular latches, the CBF of each
+    output is an ordinary Boolean function over time-indexed copies of the
+    primary inputs: a latch output at relative delay [d] is its data input
+    at delay [d+1].  {!unroll} materializes the CBFs as a combinational
+    circuit (Fig. 18): input [(i, d)] becomes a primary input named
+    ["i@d"], and the cone of every signal is replicated once per distinct
+    delay at which it is needed.
+
+    Theorem 5.1: two such circuits are exact 3-valued equivalent iff their
+    CBFs are equal — so equivalence of the unrolled circuits (decided by
+    {!Cec.check}) decides sequential equivalence.
+
+    Latches designated [exposed] are treated as an I/O boundary: their
+    output is a fresh CBF variable ["<latch>@d"] and their data function is
+    appended to the unrolled circuit's outputs (so that verification also
+    checks the exposed next-state functions).  Exposed latches may be
+    load-enabled (their enable is then also checked, as part of the data /
+    enable output pair). *)
+
+type info = {
+  depth : int;  (** largest delay at which any input variable is used *)
+  variables : int;  (** distinct (source, delay) input variables *)
+  replication : int;  (** gate instances in the unrolled circuit *)
+}
+
+val unroll : ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * info
+(** Unrolled combinational circuit.  Its outputs are: the original primary
+    outputs (in order) at delay 0, then for every exposed latch (in name
+    order) its data CBF, then for every exposed load-enabled latch its
+    enable CBF.  Non-exposed latches must be regular.
+    @raise Invalid_argument on a non-exposed load-enabled latch or on a
+    sequential cycle that contains no exposed latch. *)
+
+val sequential_depth : ?exposed:(Circuit.signal -> bool) -> Circuit.t -> int
+(** Topological latch depth (an upper bound on the functional sequential
+    depth of Definition 4, which can be lower due to false
+    dependencies). *)
+
+val var_name : string -> int -> string
+(** [var_name i d] is the unrolled input name for source [i] at delay [d]
+    (["i@0" = i] at the current cycle). *)
+
+val functional_depth : ?exposed:(Circuit.signal -> bool) -> Circuit.t -> int
+(** The {e functional} sequential depth of Definition 4: the largest delay
+    [d] such that some output (or exposed next-state function) truly
+    depends on an input at delay [d].  Can be strictly smaller than
+    {!sequential_depth} when deep paths carry only false dependencies
+    (e.g. logic that cancels, like [q XOR q]).  Detected with BDDs on the
+    unrolled circuit. *)

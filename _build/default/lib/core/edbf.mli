@@ -1,0 +1,41 @@
+(** Event-Driven Boolean Functions (Sections 4.2, 5.2).
+
+    Extends CBF unrolling to load-enabled latches: the value of an enabled
+    latch at evaluation context [(d, E)] (delay [d] relative to the event
+    [E]) is its data input at context [(0, push(pred, E))], where [pred] is
+    the semantic predicate of its enable at shift [d].  Unrolled input
+    variables are named ["source@d@event"], with event identities drawn from
+    a {!Events.table} that must be {e shared} between the two circuits being
+    compared.
+
+    The check is {e conservative} (Theorem 5.2): equal unrollings imply
+    equivalence for circuits related by enable-class-preserving synthesis,
+    but false negatives exist (Figs. 10, 11); the rule-(5) rewrite in
+    {!Events} removes the Fig. 10 class. *)
+
+type info = {
+  depth : int;  (** largest delay used in any context *)
+  variables : int;  (** distinct unrolled input variables *)
+  events : int;  (** distinct events in the shared table after unrolling *)
+  replication : int;  (** gate instances created *)
+}
+
+val unroll :
+  ?guard:bool ->
+  table:Events.table ->
+  ?exposed:(Circuit.signal -> bool) ->
+  Circuit.t ->
+  Circuit.t * info
+(** With [~guard:true] (default false), every unrolled output is weakened
+    by the {e event-consistency} facts — the head predicate of each event
+    held at the instant the event denotes — so the comparison becomes
+    [facts → outputs equal].  This is a sound refinement implementing the
+    paper's future-work direction ("a complete technique to distinguish
+    events and combination of events and signals"): data functions that
+    differ only where their enable is false no longer cause false
+    negatives.  Both circuits sharing the table build identical guards.
+
+    Outputs: primary outputs in order, then exposed-latch data functions
+    (name order), then exposed-latch enable functions (name order, enabled
+    latches only) — the same convention as {!Cbf.unroll}.
+    @raise Invalid_argument on a sequential cycle with no exposed latch. *)

@@ -1,0 +1,53 @@
+(** The experimental flow of Fig. 19 (Section 8).
+
+    From an original circuit [A]:
+    - [B]: [A] with a minimal feedback vertex set of latches exposed
+      (their outputs are made observable, i.e. added to the primary
+      outputs, and they are pinned during retiming);
+    - [C]: [B] after delay-oriented synthesis and minimum-period retiming;
+    - [D]: [A] after combinational synthesis only;
+    - [E]: [B] after synthesis and minimum-area retiming constrained to
+      [D]'s delay;
+    - [F]: like [C] but from the unmodified [A] (measures the optimization
+      penalty of exposure);
+    - [G]: like [E] but from the unmodified [A];
+    - [H]/[J]: CBF unrollings of [B] and [C], checked by combinational
+      equivalence (Table 1's "H vs J" time). *)
+
+type metrics = { latches : int; area : int; delay : int }
+
+type row = {
+  name : string;
+  a : metrics;
+  exposed : int;
+  exposed_percent : float;
+  b : metrics;
+  c : metrics;
+  d : metrics;
+  e : metrics;
+  f : metrics;
+  g : metrics;
+  verify_seconds : float;
+  verify_verdict : Verify.verdict;
+  verify_stats : Verify.stats;
+}
+
+val metrics_of : Circuit.t -> metrics
+
+val run : ?engine:Cec.engine -> ?skip_verify:bool -> Circuit.t -> row
+(** Runs the full pipeline on a regular-latch circuit.  When [skip_verify]
+    is set the H-vs-J check is skipped (the verdict reads [Equivalent] and
+    the time is 0 — used when only optimization numbers are wanted).
+    @raise Invalid_argument on load-enabled latches: like the paper (which
+    lacked a retiming tool for them), the optimizing flow covers regular
+    latches; load-enabled circuits get {!exposure_report},
+    {!Verify.check}, and {!Classes.min_period_single_class} instead. *)
+
+val circuits : ?engine:Cec.engine -> Circuit.t -> Circuit.t * Circuit.t
+(** Just [B] and [C] (exposed + optimized), for callers that want to verify
+    or inspect them separately. *)
+
+val exposure_report : Circuit.t -> int * int * int
+(** [(total_latches, structural_exposed, functional_exposed)] — the Table 2
+    numbers plus the paper's predicted improvement from unateness
+    analysis. *)

@@ -1,0 +1,185 @@
+type method_ = Cbf_method | Edbf_method
+
+type verdict = Equivalent | Inequivalent of Cec.counterexample option
+
+type stats = {
+  method_ : method_;
+  depth : int;
+  variables : int;
+  events : int;
+  unrolled_gates : int * int;
+  cec_sat_calls : int;
+  seconds : float;
+}
+
+let exposed_pred c names =
+  let set = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      match Circuit.find_signal c n with
+      | Some s -> (
+          match Circuit.driver c s with
+          | Latch _ -> Hashtbl.replace set s ()
+          | Undriven | Input | Gate _ ->
+              invalid_arg (Printf.sprintf "Verify.check: %s is not a latch" n))
+      | None -> invalid_arg (Printf.sprintf "Verify.check: no signal named %s" n))
+    names;
+  fun s -> Hashtbl.mem set s
+
+let has_hidden_enabled c exposed =
+  List.exists
+    (fun l -> (not (exposed l)) && snd (Circuit.latch_info c l) <> None)
+    (Circuit.latches c)
+
+let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = []) c1 c2 =
+  let t0 = Sys.time () in
+  let ex1 = exposed_pred c1 exposed in
+  let ex2 = exposed_pred c2 exposed in
+  let needs_edbf = has_hidden_enabled c1 ex1 || has_hidden_enabled c2 ex2 in
+  let result =
+    if needs_edbf then begin
+      let table = Events.create ~rewrite:rewrite_events () in
+      let u1, i1 = Edbf.unroll ~guard:guard_events ~table ~exposed:ex1 c1 in
+      let u2, i2 = Edbf.unroll ~guard:guard_events ~table ~exposed:ex2 c2 in
+      let verdict =
+        match Cec.check ?engine u1 u2 with
+        | Cec.Equivalent -> Equivalent
+        | Cec.Inequivalent _ ->
+            (* conservative method: a differing unrolling is not a certified
+               sequential counterexample *)
+            Inequivalent None
+      in
+      ( verdict,
+        Edbf_method,
+        max i1.Edbf.depth i2.Edbf.depth,
+        i1.Edbf.variables + i2.Edbf.variables,
+        Events.count table,
+        (Circuit.area u1, Circuit.area u2) )
+    end
+    else begin
+      let u1, i1 = Cbf.unroll ~exposed:ex1 c1 in
+      let u2, i2 = Cbf.unroll ~exposed:ex2 c2 in
+      let verdict =
+        match Cec.check ?engine u1 u2 with
+        | Cec.Equivalent -> Equivalent
+        | Cec.Inequivalent cex -> Inequivalent (Some cex)
+      in
+      ( verdict,
+        Cbf_method,
+        max i1.Cbf.depth i2.Cbf.depth,
+        i1.Cbf.variables + i2.Cbf.variables,
+        1,
+        (Circuit.area u1, Circuit.area u2) )
+    end
+  in
+  let verdict, method_, depth, variables, events, unrolled_gates = result in
+  ( verdict,
+    {
+      method_;
+      depth;
+      variables;
+      events;
+      unrolled_gates;
+      cec_sat_calls = Cec.stats_last_sat_calls ();
+      seconds = Sys.time () -. t0;
+    } )
+
+(* ---- counterexample replay ---- *)
+
+let parse_var n =
+  match String.rindex_opt n '@' with
+  | None -> None
+  | Some j -> (
+      let base = String.sub n 0 j in
+      match int_of_string_opt (String.sub n (j + 1) (String.length n - j - 1)) with
+      | Some d when d >= 0 -> Some (base, d)
+      | Some _ | None -> None)
+
+let cex_depth cex =
+  List.fold_left
+    (fun acc (n, _) -> match parse_var n with Some (_, d) -> max acc d | None -> acc)
+    0 cex
+
+let cex_to_sequence c cex =
+  let depth = cex_depth cex in
+  let assignment = Hashtbl.create 16 in
+  List.iter
+    (fun (n, b) ->
+      match parse_var n with
+      | Some (base, d) -> Hashtbl.replace assignment (base, d) b
+      | None -> ())
+    cex;
+  let input_names = List.map (Circuit.signal_name c) (Circuit.inputs c) in
+  (* cycle t (0-based, length depth+1): variable i@d refers to cycle
+     (depth - d); the failing cycle is the last *)
+  List.init (depth + 1) (fun t ->
+      Array.of_list
+        (List.map
+           (fun n ->
+             match Hashtbl.find_opt assignment (n, depth - t) with
+             | Some b -> b
+             | None -> false)
+           input_names))
+
+(* Replaying with exposed latches: where the latch still exists we cannot
+   drive it mid-run, but the CBF treats its output at each delay as a free
+   variable.  For confirmation purposes we compare the exact 3-valued
+   outputs of the two circuits at the failing cycle; a genuine CBF
+   counterexample disagrees for every power-up consistent with the
+   assignment, which implies the exact 3-valued outputs differ (value vs
+   value, or value vs ⊥) for at least one output when no exposed variables
+   are involved.  With exposed variables involved the replay is best-effort
+   and may fail to reproduce; we then fall back to validating on the
+   unrolled circuits. *)
+let confirm_cex ?(exposed = []) c1 c2 cex =
+  let replayable =
+    List.for_all
+      (fun (n, _) ->
+        match parse_var n with
+        | Some (base, _) -> not (List.mem base exposed)
+        | None -> true)
+      cex
+  in
+  if not replayable then begin
+    let ex1 = exposed_pred c1 exposed in
+    let ex2 = exposed_pred c2 exposed in
+    let u1, _ = Cbf.unroll ~exposed:ex1 c1 in
+    let u2, _ = Cbf.unroll ~exposed:ex2 c2 in
+    Cec.counterexample_is_valid u1 u2 cex
+  end
+  else begin
+    (* pad to the full sequential depth of both circuits so that the final
+       cycle's window never reaches before the sequence (which would leave
+       both outputs undefined and mask the difference) *)
+    let d_cex = cex_depth cex in
+    let d1 = try Cbf.sequential_depth c1 with Invalid_argument _ -> d_cex in
+    let d2 = try Cbf.sequential_depth c2 with Invalid_argument _ -> d_cex in
+    let pad = max 0 (max d1 d2 - d_cex) in
+    let ni = List.length (Circuit.inputs c1) in
+    let seq =
+      List.init pad (fun _ -> Array.make ni false) @ cex_to_sequence c1 cex
+    in
+    let limit = 14 in
+    if Circuit.latch_count c1 > limit || Circuit.latch_count c2 > limit then begin
+      (* too many power-up states to enumerate: validate on the unrollings *)
+      let ex1 = exposed_pred c1 exposed in
+      let ex2 = exposed_pred c2 exposed in
+      let u1, _ = Cbf.unroll ~exposed:ex1 c1 in
+      let u2, _ = Cbf.unroll ~exposed:ex2 c2 in
+      Cec.counterexample_is_valid u1 u2 cex
+    end
+    else begin
+      let t1 = Sim.run_exact ~max_latches:limit c1 ~inputs:seq in
+      let t2 = Sim.run_exact ~max_latches:limit c2 ~inputs:seq in
+      match (List.rev t1, List.rev t2) with
+      | last1 :: _, last2 :: _ ->
+          (* differ = some output where both are defined and unequal, or one
+             defined and the other undefined *)
+          let differs = ref false in
+          Array.iteri
+            (fun i v1 -> if not (Sim.tv_equal v1 last2.(i)) then differs := true)
+            last1;
+          !differs
+      | _ -> false
+    end
+  end

@@ -1,0 +1,72 @@
+(** Sequential equivalence checking via combinational verification — the
+    paper's headline reduction.
+
+    Both circuits are unrolled (CBF for regular latches, EDBF when
+    load-enabled latches are present) and the unrollings are handed to the
+    combinational equivalence checker.  Latches listed in [exposed] (by
+    name, which must exist in both circuits) are treated as pseudo-I/O, and
+    their next-state functions are verified along with the outputs.
+
+    Completeness: for acyclic regular-latch circuits the check is exact
+    (Theorem 5.1).  With load-enabled latches it is sound but conservative
+    (Theorem 5.2) — an [Inequivalent] answer may be a false negative, which
+    the [counterexample] being [None] signals. *)
+
+type method_ = Cbf_method | Edbf_method
+
+type verdict =
+  | Equivalent
+  | Inequivalent of Cec.counterexample option
+      (** [Some cex]: a replayable witness (CBF, exact).  [None]: the
+          conservative EDBF check failed — possibly a false negative. *)
+
+type stats = {
+  method_ : method_;
+  depth : int;
+  variables : int;  (** united unrolled variable count *)
+  events : int;  (** 1 when CBF (just the empty event) *)
+  unrolled_gates : int * int;
+  cec_sat_calls : int;
+  seconds : float;
+}
+
+val check :
+  ?engine:Cec.engine ->
+  ?rewrite_events:bool ->
+  ?guard_events:bool ->
+  ?exposed:string list ->
+  Circuit.t ->
+  Circuit.t ->
+  verdict * stats
+(** [rewrite_events] (default true) applies the paper's rule (5);
+    [guard_events] (default false) additionally applies the
+    event-consistency refinement of {!Edbf.unroll} — a sound strengthening
+    beyond the published method that removes more EDBF false negatives.
+    @raise Invalid_argument if an exposed name is missing from either
+    circuit, if output counts differ, or if a sequential cycle survives the
+    exposure. *)
+
+(** {1 Counterexample replay}
+
+    A CBF counterexample assigns time-indexed variables ["i@d"] (input [i],
+    [d] cycles before the failing cycle).  These helpers turn it back into
+    a concrete input sequence and confirm it on the original circuits. *)
+
+val cex_to_sequence :
+  Circuit.t -> Cec.counterexample -> bool array list
+(** [cex_to_sequence c cex] is an input sequence for [c] (vectors in
+    [Circuit.inputs] order) of length [depth+1] whose last cycle is the
+    failing one.  Variables not mentioned in [cex] (including exposed-latch
+    variables, which cannot be driven) read [false]. *)
+
+val confirm_cex :
+  ?exposed:string list ->
+  Circuit.t ->
+  Circuit.t ->
+  Cec.counterexample ->
+  bool
+(** Replays the sequence on both circuits under the exact 3-valued
+    semantics (all power-up states, with exposed-latch variables forced
+    through their [cex] values where the latch still exists) and checks
+    that some output differs at the final cycle.  Only meaningful for
+    pairs rejected through the CBF path. *)

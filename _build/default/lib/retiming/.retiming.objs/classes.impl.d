@@ -1,0 +1,1 @@
+lib/retiming/classes.ml: Array Circuit Fun Hashtbl List Option Retime

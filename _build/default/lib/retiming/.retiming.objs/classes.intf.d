@@ -1,0 +1,1 @@
+lib/retiming/classes.mli: Circuit Retime

@@ -1,0 +1,1 @@
+lib/retiming/feas.ml: Array Digraph List Rgraph Topo Vgraph

@@ -1,0 +1,1 @@
+lib/retiming/minarea.ml: Array Bellman_ford Digraph Dijkstra Feas List Mincost_flow Rgraph Vgraph

@@ -1,0 +1,1 @@
+lib/retiming/retime.ml: Circuit Feas Minarea Rgraph

@@ -1,0 +1,1 @@
+lib/retiming/rgraph.ml: Array Circuit Digraph Hashtbl List Printf Vgraph

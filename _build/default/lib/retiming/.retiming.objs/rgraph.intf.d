@@ -1,0 +1,1 @@
+lib/retiming/rgraph.mli: Circuit Digraph Vgraph

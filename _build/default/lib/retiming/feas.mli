@@ -1,0 +1,18 @@
+(** Minimum-period retiming: the FEAS algorithm of Leiserson–Saxe with a
+    binary search over clock periods (unit-delay model). *)
+
+val arrival : Rgraph.t -> r:int array -> int array
+(** Combinational arrival time Δ(v) of every vertex under retiming labels
+    [r]: the longest register-free path delay ending at (and including)
+    [v]. *)
+
+val period_of : Rgraph.t -> r:int array -> int
+(** Clock period of the retimed graph: max arrival time. *)
+
+val feasible : ?init:int array -> Rgraph.t -> period:int -> int array option
+(** [feasible g ~period] is [Some r] (normalized, legal) if a retiming
+    achieving the period exists, starting the FEAS iteration from [init]
+    (default all-zero, which must be legal). *)
+
+val min_period : Rgraph.t -> int * int array
+(** The minimum feasible clock period and labels achieving it. *)

@@ -1,0 +1,99 @@
+open Vgraph
+(* Constraints have the form r(u) - r(v) <= b.  The LP
+     min Σ_v a(v)·r(v)   s.t.   r(u) − r(v) ≤ b(u,v)
+   with a(v) = indeg(v) − outdeg(v) is the dual of a min-cost flow problem:
+   one arc per constraint (u -> v, cost b, infinite capacity), node net
+   outflow −a(v); the optimal node potentials π give r = −π. *)
+
+let lp_solve ~nvertices ~constraints ~a =
+  (* Feasibility first: the difference-constraint graph (edge v -> u with
+     weight b per constraint r(u) - r(v) <= b) must have no negative cycle;
+     otherwise the flow below would see a negative-cost cycle. *)
+  let cg = Digraph.create () in
+  Digraph.add_nodes cg nvertices;
+  List.iter (fun (u, v, b) -> ignore (Digraph.add_edge cg ~weight:b v u)) constraints;
+  if Bellman_ford.feasible_potentials cg = None then None
+  else
+  let cap =
+    1 + Array.fold_left (fun acc x -> acc + abs x) 0 a
+  in
+  let arcs =
+    List.map
+      (fun (u, v, b) -> { Mincost_flow.src = u; dst = v; capacity = cap; cost = b })
+      constraints
+  in
+  let supply = Array.map (fun x -> -x) a in
+  match Mincost_flow.solve ~nodes:nvertices ~arcs ~supply with
+  | None -> None
+  | Some { potentials; _ } -> Some (Array.map (fun p -> -p) potentials)
+
+let edge_constraints g =
+  (* the two host vertices must retime identically *)
+  let acc = ref [ (Rgraph.host, Rgraph.host_sink, 0); (Rgraph.host_sink, Rgraph.host, 0) ] in
+  Digraph.iter_edges (fun _ e -> acc := (e.src, e.dst, e.weight) :: !acc) g.Rgraph.graph;
+  !acc
+
+let period_constraints g ~period =
+  let n = Digraph.node_count g.Rgraph.graph in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    let w, d = Dijkstra.lexicographic g.graph ~src:u ~tie:(fun e -> g.delay.(e.dst)) in
+    for v = 0 to n - 1 do
+      if w.(v) < max_int then begin
+        let duv = d.(v) + g.delay.(u) in
+        if duv > period && u <> v then acc := (u, v, w.(v) - 1) :: !acc
+      end
+    done
+  done;
+  !acc
+
+let objective g =
+  let n = Digraph.node_count g.Rgraph.graph in
+  let a = Array.make n 0 in
+  Digraph.iter_edges
+    (fun _ e ->
+      a.(e.dst) <- a.(e.dst) + 1;
+      a.(e.src) <- a.(e.src) - 1)
+    g.Rgraph.graph;
+  a
+
+let check_constraints r constraints =
+  List.for_all (fun (u, v, b) -> r.(u) - r.(v) <= b) constraints
+
+let solve ?period ?(max_exact_vertices = 1500) g =
+  let n = Digraph.node_count g.Rgraph.graph in
+  let a = objective g in
+  let base = edge_constraints g in
+  let exact_period =
+    match period with
+    | Some c when n <= max_exact_vertices -> Some c
+    | Some _ | None -> None
+  in
+  let constraints =
+    match exact_period with
+    | Some c -> period_constraints g ~period:c @ base
+    | None -> base
+  in
+  let r =
+    match lp_solve ~nvertices:n ~constraints ~a with
+    | Some r -> Rgraph.normalize g ~r
+    | None -> invalid_arg "Minarea.solve: infeasible constraint system"
+  in
+  assert (check_constraints r base);
+  if not (check_constraints r constraints) then
+    invalid_arg "Minarea.solve: requested period is infeasible";
+  match period with
+  | None -> r
+  | Some c -> (
+      (* exact mode already satisfies the period; fallback mode repairs.
+         FEAS's round bound only covers the all-zero start, so if the
+         repair from the min-area labels stalls, restart from scratch
+         (area-suboptimal but correct). *)
+      if Feas.period_of g ~r <= c then r
+      else
+        match Feas.feasible ~init:r g ~period:c with
+        | Some r' -> r'
+        | None -> (
+            match Feas.feasible g ~period:c with
+            | Some r' -> r'
+            | None -> invalid_arg "Minarea.solve: requested period is infeasible"))

@@ -1,0 +1,16 @@
+(** Minimum-area retiming as a dual min-cost-flow (the algorithm underlying
+    Minaret [6]).
+
+    Minimizes the per-edge latch total [Σ_e w_r(e)] subject to legality
+    ([w_r(e) ≥ 0]) and, optionally, a clock-period bound implemented by the
+    classical [W]/[D]-matrix constraints: [r(u) − r(v) ≤ W(u,v) − 1] for
+    every vertex pair with [D(u,v) > c]. *)
+
+val solve : ?period:int -> ?max_exact_vertices:int -> Rgraph.t -> int array
+(** Optimal (normalized, legal) labels.  When a period is requested and the
+    graph has more than [max_exact_vertices] (default 1500) vertices, the
+    quadratic [W]/[D] constraint generation is skipped: the unconstrained
+    optimum is repaired with FEAS iterations instead (area-suboptimal but
+    period-legal).
+
+    @raise Invalid_argument if the requested period is infeasible. *)

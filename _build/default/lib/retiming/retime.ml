@@ -1,0 +1,35 @@
+type report = {
+  period_before : int;
+  period_after : int;
+  latches_before : int;
+  latches_after : int;
+}
+
+let finish g c r =
+  let nc = Rgraph.apply g ~r in
+  let report =
+    {
+      period_before = Circuit.delay c;
+      period_after = Circuit.delay nc;
+      latches_before = Circuit.latch_count c;
+      latches_after = Circuit.latch_count nc;
+    }
+  in
+  (nc, report)
+
+let min_period ?exposed c =
+  let g = Rgraph.build ?exposed c in
+  let period, _ = Feas.min_period g in
+  (* among the min-period retimings, take a latch-minimal one *)
+  let r = Minarea.solve ~period g in
+  finish g c r
+
+let constrained_min_area ?exposed ~period c =
+  let g = Rgraph.build ?exposed c in
+  let r = Minarea.solve ~period g in
+  finish g c r
+
+let min_area ?exposed c =
+  let g = Rgraph.build ?exposed c in
+  let r = Minarea.solve g in
+  finish g c r

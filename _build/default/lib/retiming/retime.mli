@@ -1,0 +1,23 @@
+(** Top-level retiming transformations on netlists. *)
+
+type report = {
+  period_before : int;
+  period_after : int;
+  latches_before : int;
+  latches_after : int;
+}
+
+val min_period :
+  ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report
+(** Retimes for the minimum feasible clock period, then minimizes latch
+    count under that period.  [exposed] latches stay in place (pseudo-I/O).
+    The circuit must contain only regular latches. *)
+
+val constrained_min_area :
+  ?exposed:(Circuit.signal -> bool) -> period:int -> Circuit.t -> Circuit.t * report
+(** Minimizes latch count subject to a clock-period bound.
+    @raise Invalid_argument if the period is infeasible. *)
+
+val min_area :
+  ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report
+(** Minimizes latch count with no period constraint. *)

@@ -1,0 +1,69 @@
+open Vgraph
+(** Retiming graphs (Leiserson–Saxe model) extracted from netlists.
+
+    Vertices are combinational gates plus a host vertex 0 representing the
+    environment (all primary inputs and outputs).  An edge [u -> v] with
+    weight [w] records a connection passing through [w] latches.
+
+    Only regular (non-load-enabled) latches participate; latches named by
+    [exposed] are treated as an I/O boundary (their output is a pseudo
+    primary input and their data a pseudo primary output), which is exactly
+    the paper's latch-exposure mechanism, and they keep their position.
+
+    Logic with no path to a primary output (or to an exposed latch's data
+    or enable) is pruned: dangling cones would otherwise bound the clock
+    period and attract pointless registers, and {!apply} rebuilds only what
+    the graph covers (sweep semantics).
+
+    @raise Invalid_argument on load-enabled latches or on latch-only cycles
+    (a feedback loop with no gate must be exposed first). *)
+
+type origin = { vertex : int; weight : int; src : Circuit.signal }
+(** Where a connection comes from: the driving vertex, the number of latches
+    crossed, and the driving signal in the original circuit (the gate
+    output, primary input, or exposed latch output). *)
+
+type t = {
+  graph : Digraph.t;
+      (** vertex 0 = host source (drives primary inputs), vertex 1 = host
+          sink (reads primary outputs).  Splitting the environment in two
+          keeps the graph free of cycles through the host, so the
+          register-free subgraph used for timing is always acyclic. *)
+  delay : int array;  (** combinational delay per vertex (hosts 0) *)
+  signal_of_vertex : Circuit.signal array;  (** vertex -> gate-output signal *)
+  fanin_origin : origin array array;
+      (** [fanin_origin.(vertex).(k)]: origin of the [k]-th fanin *)
+  po_origin : origin array;  (** per primary output, in order *)
+  exposed_origin : (Circuit.signal * origin) array;
+      (** per exposed latch: (latch signal, origin of its data) *)
+  circuit : Circuit.t;
+}
+
+val host : int
+(** The host source vertex (0). *)
+
+val host_sink : int
+(** The host sink vertex (1).  Legal retimings keep both hosts at label
+    0. *)
+
+val build : ?exposed:(Circuit.signal -> bool) -> Circuit.t -> t
+
+val vertex_count : t -> int
+
+val is_legal : t -> r:int array -> bool
+(** [r.(host) = r.(host_sink) = 0] and all retimed edge weights
+    [w + r(dst) - r(src)] non-negative. *)
+
+val normalize : t -> r:int array -> int array
+(** Shifts labels so that [r.(host) = 0].
+    @raise Invalid_argument if the two host labels differ. *)
+
+val total_latches_after : t -> r:int array -> int
+(** Per-edge latch total after retiming (an upper bound on the real latch
+    count; {!apply} shares fanout chains). *)
+
+val apply : t -> r:int array -> Circuit.t
+(** Rebuilds the netlist with latches moved according to [r] (fanout latch
+    chains shared per driver).  Exposed latches are reinstated unmoved.
+    Primary input/output names are preserved.
+    @raise Invalid_argument if [r] is not legal. *)

@@ -1,0 +1,38 @@
+(** A CDCL SAT solver.
+
+    Conflict-driven clause learning with two-literal watches, first-UIP
+    learning, VSIDS branching, phase saving, Luby restarts and
+    activity-based learned-clause deletion.
+
+    Literals use the DIMACS convention: variables are positive integers
+    [1..nvars]; a negative integer denotes negation.  Variables are created
+    on demand by {!new_var} or implicitly by {!add_clause}. *)
+
+type t
+
+type result = Sat | Unsat
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates the next variable (1-based). *)
+
+val nvars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Adds a clause.  The empty clause makes the instance trivially
+    unsatisfiable.  @raise Invalid_argument on literal 0. *)
+
+val solve : ?assumptions:int list -> t -> result
+(** Decides satisfiability under the given assumption literals.  The solver
+    may be re-used: clauses persist across calls, assumptions do not. *)
+
+val value : t -> int -> bool
+(** [value s v] is the model value of variable [v] after a [Sat] answer
+    (unassigned variables read [false]). *)
+
+val model : t -> bool array
+(** Model indexed by variable (entry 0 unused). *)
+
+val stats : t -> int * int * int
+(** [(conflicts, decisions, propagations)] since creation. *)

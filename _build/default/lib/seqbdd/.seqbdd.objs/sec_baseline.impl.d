@@ -1,0 +1,1 @@
+lib/seqbdd/sec_baseline.ml: Array Bdd Circuit Hashtbl List Option Sys Transition

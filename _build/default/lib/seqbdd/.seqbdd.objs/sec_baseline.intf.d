@@ -1,0 +1,1 @@
+lib/seqbdd/sec_baseline.mli: Circuit

@@ -1,0 +1,1 @@
+lib/seqbdd/transition.ml: Array Bdd Circuit Hashtbl List

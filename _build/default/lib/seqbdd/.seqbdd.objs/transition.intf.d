@@ -1,0 +1,1 @@
+lib/seqbdd/transition.mli: Bdd Circuit

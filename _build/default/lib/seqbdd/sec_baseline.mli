@@ -1,0 +1,38 @@
+(** The classical baseline: sequential equivalence by symbolic traversal of
+    the product machine ([13, 14] in the paper).
+
+    The two circuits are joined on their (name-matched) primary inputs and
+    the product machine is traversed from the all-zero power-up state (the
+    classical reset-equivalence setting — with unknown power-up the strong
+    all-pairs criterion would reject even identical circuits whose state
+    never flushes, e.g. any load-enabled latch).  Because a retimed circuit
+    may disagree during the first few cycles (the initialization transient
+    — see README "fine print"), outputs are compared on the {e recurrent}
+    subset of the reachable states: the greatest fixpoint of the image
+    inside the reachable set.
+
+    This is exactly the approach whose cost explodes with the latch count;
+    the bench uses it to reproduce the paper's observation that "for only
+    few of these sequential circuits the state-space can be traversed". *)
+
+type verdict =
+  | Equivalent
+  | Inequivalent  (** some recurrent product state distinguishes them *)
+  | Resource_out of string  (** node budget / step bound exceeded *)
+
+type stats = {
+  steps : int;  (** image computations performed *)
+  peak_nodes : int;  (** BDD manager size at the end *)
+  product_states : float;  (** recurrent product states (if finished) *)
+  seconds : float;
+}
+
+val check :
+  ?node_limit:int ->
+  ?max_steps:int ->
+  Circuit.t ->
+  Circuit.t ->
+  verdict * stats
+(** [check c1 c2] with a default node budget of 2_000_000 nodes and at most
+    [max_steps] (default 4096) image steps.
+    @raise Invalid_argument if output counts differ. *)

@@ -1,0 +1,40 @@
+(** Symbolic (BDD) functional representation of a sequential circuit.
+
+    This is the substrate of the classical state-traversal equivalence
+    checkers ([13, 14] in the paper) that the combinational reduction is
+    positioned against: present-state and input variables, next-state and
+    output functions as BDDs, and image computation by composition.
+
+    Variable order: present-state variables first (one per latch, in
+    [Circuit.latches] order), then primary inputs — interleaving is not
+    attempted; the baseline is intentionally the textbook construction. *)
+
+type t = {
+  man : Bdd.man;
+  circuit : Circuit.t;
+  state_vars : int array;  (** BDD variable index per latch *)
+  input_vars : int array;  (** BDD variable index per primary input *)
+  next_state : Bdd.t array;
+      (** next-state function per latch (enable folded in: [e·d + ē·q]) *)
+  outputs : Bdd.t array;  (** output functions *)
+}
+
+val build : ?node_limit:int -> Circuit.t -> t
+(** @raise Feedback.Node_budget_exceeded via [Bdd] growth past [node_limit]
+    (default unlimited). *)
+
+exception Node_limit
+
+val image : ?node_limit:int -> t -> Bdd.t -> Bdd.t
+(** [image t s] is the set of states reachable from state-set [s] (a BDD
+    over state variables) in one step, for some input: [∃x,s. S(s) ∧ (s' =
+    δ(s,x))], re-expressed over the state variables.
+    @raise Node_limit when the manager outgrows [node_limit]. *)
+
+val reachable :
+  ?node_limit:int -> ?max_steps:int -> t -> init:Bdd.t -> Bdd.t option
+(** Least fixpoint of [image] from [init]; [None] if [max_steps] (default
+    10_000) or the node limit is exceeded. *)
+
+val state_count : t -> Bdd.t -> float
+(** Number of states in a state-set BDD. *)

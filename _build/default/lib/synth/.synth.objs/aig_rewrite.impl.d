@@ -1,0 +1,1 @@
+lib/synth/aig_rewrite.ml: Aig Array Hashtbl List

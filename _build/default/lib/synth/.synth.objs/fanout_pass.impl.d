@@ -1,0 +1,1 @@
+lib/synth/fanout_pass.ml: Array Circuit Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/synth/rebalance.ml: Aig Aig_rewrite Array Circuit Hashtbl List Vgraph

@@ -1,0 +1,1 @@
+lib/synth/rebalance.mli: Circuit

@@ -1,0 +1,1 @@
+lib/synth/redundancy.ml: Array Cec Circuit Comb_view Eval Hashtbl Int64 List Option Random Sweep_pass

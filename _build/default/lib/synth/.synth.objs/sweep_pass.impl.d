@@ -1,0 +1,1 @@
+lib/synth/sweep_pass.ml: Array Circuit Hashtbl List Option Set

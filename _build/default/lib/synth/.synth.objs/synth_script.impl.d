@@ -1,0 +1,1 @@
+lib/synth/synth_script.ml: Fanout_pass Rebalance Sweep_pass

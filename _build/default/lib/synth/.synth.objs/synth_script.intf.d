@@ -1,0 +1,1 @@
+lib/synth/synth_script.mli: Circuit

@@ -1,0 +1,183 @@
+(* 16-bit truth tables over <= 4 variables: variable i has the canonical
+   pattern [patterns.(i)]; an assignment m in 0..15 reads bit m. *)
+let patterns = [| 0xAAAA; 0xCCCC; 0xF0F0; 0xFF00 |]
+
+let tt_mask = 0xFFFF
+
+(* ---- cut enumeration ---- *)
+
+let merge_cuts a b ~max_leaves =
+  let merged = List.sort_uniq compare (a @ b) in
+  if List.length merged <= max_leaves then Some merged else None
+
+let dominates a b =
+  (* cut a dominates b if a ⊆ b (a is at least as good) *)
+  List.for_all (fun x -> List.mem x b) a
+
+let add_cut cuts cut =
+  if List.exists (fun c -> dominates c cut) cuts then cuts
+  else cut :: List.filter (fun c -> not (dominates cut c)) cuts
+
+let cuts g ~node ~max_leaves ~max_cuts =
+  (* bottom-up over the cone; memoized per node *)
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    match Hashtbl.find_opt memo n with
+    | Some cs -> cs
+    | None ->
+        let cs =
+          if n = 0 || Aig.is_input_node g n then [ [ n ] ]
+          else begin
+            let f0, f1 = Aig.fanins g n in
+            let c0 = go (Aig.node_of f0) in
+            let c1 = go (Aig.node_of f1) in
+            let merged =
+              List.concat_map
+                (fun a ->
+                  List.filter_map (fun b -> merge_cuts a b ~max_leaves) c1)
+                c0
+            in
+            let all = List.fold_left add_cut [ [ n ] ] merged in
+            (* keep the smallest few to bound the work *)
+            let sorted =
+              List.sort (fun a b -> compare (List.length a) (List.length b)) all
+            in
+            List.filteri (fun i _ -> i < max_cuts) sorted
+          end
+        in
+        Hashtbl.replace memo n cs;
+        cs
+  in
+  go node
+
+(* ---- truth tables ---- *)
+
+let truth_table g ~node ~leaves =
+  if List.length leaves > 4 then invalid_arg "Aig_rewrite.truth_table: > 4 leaves";
+  let leaf_tt = Hashtbl.create 8 in
+  List.iteri (fun i l -> Hashtbl.replace leaf_tt l patterns.(i)) leaves;
+  let memo = Hashtbl.create 16 in
+  let rec go n =
+    match Hashtbl.find_opt leaf_tt n with
+    | Some tt -> tt
+    | None -> (
+        match Hashtbl.find_opt memo n with
+        | Some tt -> tt
+        | None ->
+            if n = 0 then 0
+            else if Aig.is_input_node g n then
+              invalid_arg "Aig_rewrite.truth_table: cone escapes the leaves"
+            else begin
+              let f0, f1 = Aig.fanins g n in
+              let t0 = go (Aig.node_of f0) in
+              let t0 = if Aig.is_complement f0 then lnot t0 land tt_mask else t0 in
+              let t1 = go (Aig.node_of f1) in
+              let t1 = if Aig.is_complement f1 then lnot t1 land tt_mask else t1 in
+              let tt = t0 land t1 in
+              Hashtbl.replace memo n tt;
+              tt
+            end)
+  in
+  go node
+
+(* ---- resynthesis from a truth table ---- *)
+
+(* Shannon decomposition into [g2], reusing hash-consed nodes.  [vars] are
+   the leaf literals in [g2], variable i with pattern patterns.(i). *)
+(* positive/negative cofactor of [tt] on variable [i], expanded back to a
+   full (variable-i-independent) table *)
+let cofactor tt i keep =
+  let r = ref 0 in
+  for m = 0 to 15 do
+    let m' = if (m lsr i) land 1 = keep then m else m lxor (1 lsl i) in
+    r := !r lor (((tt lsr m') land 1) lsl m)
+  done;
+  !r
+
+let rec synth_tt g2 vars tt =
+  if tt = 0 then Aig.lit_false
+  else if tt = tt_mask then Aig.lit_true
+  else begin
+    (* Shannon-decompose on the first variable the function depends on *)
+    let rec pick i =
+      if i >= Array.length vars then None
+      else
+        let f1 = cofactor tt i 1 and f0 = cofactor tt i 0 in
+        if f1 <> f0 then Some (i, f0, f1) else pick (i + 1)
+    in
+    match pick 0 with
+    | None -> assert false (* non-constant table must depend on something *)
+    | Some (i, f0, f1) ->
+        let v = vars.(i) in
+        let hi = synth_tt g2 vars f1 in
+        let lo = synth_tt g2 vars f0 in
+        Aig.mux g2 v hi lo
+  end
+
+(* ---- the rewriting pass ---- *)
+
+let rewrite g ~sinks =
+  let n = Aig.node_count g in
+  let g2 = Aig.create () in
+  let map = Array.make n (-1) in
+  map.(0) <- Aig.lit_false;
+  (* cuts computed bottom-up once, shared across the pass *)
+  let all_cuts : int list list array = Array.make n [] in
+  all_cuts.(0) <- [ [ 0 ] ];
+  let max_leaves = 4 and max_cuts = 6 in
+  let lit_map l =
+    let m = map.(Aig.node_of l) in
+    assert (m >= 0);
+    if Aig.is_complement l then Aig.neg m else m
+  in
+  for node = 1 to n - 1 do
+    (if Aig.is_input_node g node then all_cuts.(node) <- [ [ node ] ]
+     else begin
+       let f0, f1 = Aig.fanins g node in
+       let c0 = all_cuts.(Aig.node_of f0) in
+       let c1 = all_cuts.(Aig.node_of f1) in
+       let merged =
+         List.concat_map
+           (fun a -> List.filter_map (fun b -> merge_cuts a b ~max_leaves) c1)
+           c0
+       in
+       let all = List.fold_left add_cut [ [ node ] ] merged in
+       let sorted =
+         List.sort (fun a b -> compare (List.length a) (List.length b)) all
+       in
+       all_cuts.(node) <- List.filteri (fun i _ -> i < max_cuts) sorted
+     end);
+    if Aig.is_input_node g node then map.(node) <- Aig.input g2
+    else begin
+      let f0, f1 = Aig.fanins g node in
+      (* default: structural copy; count the fresh nodes it materializes *)
+      let snap0 = Aig.node_count g2 in
+      let default = Aig.and_ g2 (lit_map f0) (lit_map f1) in
+      let best = ref default in
+      let best_fresh = ref (Aig.node_count g2 - snap0) in
+      (* candidates: resynthesize each non-trivial 4-cut; keep whichever
+         implementation materializes the fewest fresh nodes (rejected trial
+         nodes stay in g2 unused; only sink cones are emitted later) *)
+      List.iter
+        (fun cut ->
+          match cut with
+          | [ single ] when single = node -> ()
+          | leaves -> (
+              match truth_table g ~node ~leaves with
+              | tt ->
+                  let vars = Array.of_list (List.map (fun l -> map.(l)) leaves) in
+                  if Array.for_all (fun v -> v >= 0) vars then begin
+                    let snapshot = Aig.node_count g2 in
+                    let cand = synth_tt g2 vars tt in
+                    let fresh = Aig.node_count g2 - snapshot in
+                    if fresh < !best_fresh then begin
+                      best := cand;
+                      best_fresh := fresh
+                    end
+                  end
+              | exception Invalid_argument _ -> ()))
+        all_cuts.(node);
+      map.(node) <- !best
+    end
+  done;
+  (g2, List.map lit_map sinks)

@@ -1,0 +1,23 @@
+(** Cut-based AIG rewriting (the restructuring step of the synthesis
+    script, standing in for SIS's [simplify]/[fx]).
+
+    For every AND node, 4-feasible cuts are enumerated; each cut's 16-entry
+    truth table is resynthesized by Shannon decomposition (reusing existing
+    nodes through structural hashing), and the cheapest implementation —
+    original or resynthesized — wins.  Rewriting is function-preserving by
+    construction and typically removes the redundancy that a random or
+    legacy netlist accumulates. *)
+
+val rewrite : Aig.t -> sinks:Aig.lit list -> Aig.t * Aig.lit list
+(** Returns a fresh AIG and the images of [sinks].  Nodes not reachable
+    from the sinks are dropped. *)
+
+val cuts : Aig.t -> node:int -> max_leaves:int -> max_cuts:int -> int list list
+(** The enumerated cuts of a node (each cut a sorted list of leaf nodes,
+    including the trivial cut [[node]]); exposed for tests. *)
+
+val truth_table : Aig.t -> node:int -> leaves:int list -> int
+(** 16-bit truth table of [node] over up to 4 [leaves] (entry [i] = value
+    under the assignment encoded by [i]'s bits, leaf 0 = LSB).
+    @raise Invalid_argument if the node's cone is not covered by the
+    leaves or there are more than 4. *)

@@ -1,0 +1,12 @@
+(** Fanout limiting.
+
+    The paper's library restricts every gate to at most four fanouts "for
+    reasonable optimization results"; this pass enforces such a bound by
+    inserting buffer trees (each buffer costs one unit of area and delay).
+    Function-preserving. *)
+
+val run : max_fanout:int -> Circuit.t -> Circuit.t
+(** @raise Invalid_argument if [max_fanout < 2]. *)
+
+val max_fanout : Circuit.t -> int
+(** Largest fanout count over gate/input/latch signals (diagnostic). *)

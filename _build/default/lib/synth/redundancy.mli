@@ -1,0 +1,26 @@
+(** SAT-based redundancy removal.
+
+    A gate fanin is {e stuck-at redundant} when tying it to a constant does
+    not change any combinational sink function (primary outputs, latch data
+    and enables).  Such connections are untestable faults; removing them is
+    the classical ATPG-flavoured cleanup the paper mentions when discussing
+    AQUILA-style flows ("redundancy identification and removal").
+
+    Candidates are screened with 256-pattern parallel simulation, then
+    confirmed with an incremental SAT miter; each committed removal
+    restarts screening on the simplified circuit (a removal can expose
+    further redundancies).  Function-preserving on the sequential circuit;
+    latch positions unchanged. *)
+
+type report = {
+  removed : int;  (** connections tied to constants *)
+  sat_calls : int;
+  area_before : int;
+  area_after : int;
+}
+
+val run : ?max_rounds:int -> Circuit.t -> Circuit.t * report
+(** [run c]: each round scans for the first provable redundancy, commits
+    it, and rescans (a removal changes downstream testability); stops when
+    a scan finds nothing or after [max_rounds] (default 50) commits, then
+    sweeps. *)

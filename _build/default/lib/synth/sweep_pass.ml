@@ -1,0 +1,140 @@
+(* Values flowing through the rewrite: a constant, or a new-circuit signal
+   with a polarity (so double inversions vanish without creating gates). *)
+type v = C of bool | S of Circuit.signal * bool
+
+let cneg = function C b -> C (not b) | S (s, p) -> S (s, not p)
+
+let run c =
+  Circuit.check c;
+  let live = Circuit.seq_cone c (Circuit.outputs c) in
+  let nc = Circuit.create (Circuit.name c ^ "_sw") in
+  let values = Array.make (Circuit.signal_count c) (C false) in
+  let const_cache = Hashtbl.create 2 in
+  let not_cache = Hashtbl.create 64 in
+  let const_sig b =
+    match Hashtbl.find_opt const_cache b with
+    | Some s -> s
+    | None ->
+        let s = if b then Circuit.const_true nc else Circuit.const_false nc in
+        Hashtbl.replace const_cache b s;
+        s
+  in
+  let realize = function
+    | C b -> const_sig b
+    | S (s, false) -> s
+    | S (s, true) -> (
+        match Hashtbl.find_opt not_cache s with
+        | Some n -> n
+        | None ->
+            let n = Circuit.add_gate nc Not [ s ] in
+            Hashtbl.replace not_cache s n;
+            n)
+  in
+  (* inputs (all kept) *)
+  List.iter
+    (fun s -> values.(s) <- S (Circuit.add_input nc (Circuit.signal_name c s), false))
+    (Circuit.inputs c);
+  (* live latches: declare outputs up front so gates can reference them *)
+  let live_latches = List.filter (fun l -> live.(l)) (Circuit.latches c) in
+  List.iter
+    (fun l ->
+      values.(l) <- S (Circuit.declare nc ~name:(Circuit.signal_name c l) (), false))
+    live_latches;
+  (* AND/OR with polarity-tracked operands; returns simplified value *)
+  let mk_andor ~is_and ~complement operands =
+    let absorbing = C (not is_and) and neutral = C is_and in
+    let module SS = Set.Make (struct
+      type t = int * bool
+
+      let compare = compare
+    end) in
+    let rec collect acc = function
+      | [] -> Some acc
+      | C b :: rest ->
+          if b = is_and then collect acc rest (* neutral *) else None (* absorbing *)
+      | S (s, p) :: rest ->
+          if SS.mem (s, not p) acc then None (* x op ~x *)
+          else collect (SS.add (s, p) acc) rest
+    in
+    let v =
+      match collect SS.empty operands with
+      | None -> absorbing
+      | Some set -> (
+          match SS.elements set with
+          | [] -> neutral
+          | [ (s, p) ] -> S (s, p)
+          | elts ->
+              let fanins = List.map (fun (s, p) -> realize (S (s, p))) elts in
+              let fn : Circuit.gate_fn = if is_and then And else Or in
+              S (Circuit.add_gate nc fn fanins, false))
+    in
+    if complement then cneg v else v
+  in
+  let mk_xor ~complement operands =
+    let parity = ref complement in
+    let count = Hashtbl.create 8 in
+    List.iter
+      (fun op ->
+        match op with
+        | C b -> if b then parity := not !parity
+        | S (s, p) ->
+            if p then parity := not !parity;
+            Hashtbl.replace count s (1 + Option.value (Hashtbl.find_opt count s) ~default:0))
+      operands;
+    let sigs = Hashtbl.fold (fun s n acc -> if n mod 2 = 1 then s :: acc else acc) count [] in
+    match List.sort compare sigs with
+    | [] -> C !parity
+    | [ s ] -> S (s, !parity)
+    | sigs -> S (Circuit.add_gate nc (if !parity then Xnor else Xor) sigs, false)
+  in
+  let mk_mux s t e =
+    match (s, t, e) with
+    | C true, _, _ -> t
+    | C false, _, _ -> e
+    | _, t, e when t = e -> t
+    | s, C true, C false -> s
+    | s, C false, C true -> cneg s
+    | s, t, C false -> mk_andor ~is_and:true ~complement:false [ s; t ]
+    | s, C true, e -> mk_andor ~is_and:false ~complement:false [ s; e ]
+    | s, t, C true ->
+        (* s·t + ~s = t + ~s *)
+        mk_andor ~is_and:false ~complement:false [ cneg s; t ]
+    | s, C false, e -> mk_andor ~is_and:true ~complement:false [ cneg s; e ]
+    | s, t, e -> S (Circuit.add_gate nc Mux [ realize s; realize t; realize e ], false)
+  in
+  (* gates in topological order, only those in a live cone *)
+  List.iter
+    (fun g ->
+      if live.(g) then
+        match Circuit.driver c g with
+        | Gate (fn, fs) ->
+            let ops = Array.to_list (Array.map (fun f -> values.(f)) fs) in
+            let v =
+              match (fn, ops) with
+              | Const b, _ -> C b
+              | Buf, [ a ] -> a
+              | Not, [ a ] -> cneg a
+              | And, ops -> mk_andor ~is_and:true ~complement:false ops
+              | Nand, ops -> mk_andor ~is_and:true ~complement:true ops
+              | Or, ops -> mk_andor ~is_and:false ~complement:false ops
+              | Nor, ops -> mk_andor ~is_and:false ~complement:true ops
+              | Xor, ops -> mk_xor ~complement:false ops
+              | Xnor, ops -> mk_xor ~complement:true ops
+              | Mux, [ s; t; e ] -> mk_mux s t e
+              | (Buf | Not | Mux), _ -> assert false
+            in
+            values.(g) <- v
+        | Undriven | Input | Latch _ -> assert false)
+    (Circuit.comb_topo c);
+  (* connect live latches *)
+  List.iter
+    (fun l ->
+      let data, enable = Circuit.latch_info c l in
+      let out = match values.(l) with S (s, false) -> s | C _ | S _ -> assert false in
+      Circuit.set_latch nc out
+        ?enable:(Option.map (fun e -> realize values.(e)) enable)
+        ~data:(realize values.(data)) ())
+    live_latches;
+  List.iter (fun o -> Circuit.mark_output nc (realize values.(o))) (Circuit.outputs c);
+  Circuit.check nc;
+  nc

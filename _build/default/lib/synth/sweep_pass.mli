@@ -1,0 +1,7 @@
+(** Netlist cleanup ("sweep" in SIS): constant propagation, buffer and
+    double-inverter collapsing, removal of logic and latches that reach no
+    primary output.  Function-preserving; latch positions of live latches
+    are unchanged.  Primary inputs are all kept (the interface is part of
+    the circuit's identity). *)
+
+val run : Circuit.t -> Circuit.t

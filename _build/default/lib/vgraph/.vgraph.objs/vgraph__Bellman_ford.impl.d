@@ -1,0 +1,1 @@
+lib/vgraph/bellman_ford.ml: Array Digraph

@@ -1,0 +1,1 @@
+lib/vgraph/digraph.ml: List Vec

@@ -1,0 +1,1 @@
+lib/vgraph/dijkstra.ml: Array Digraph Heap

@@ -1,0 +1,1 @@
+lib/vgraph/mfvs.ml: Array Digraph List Queue Topo

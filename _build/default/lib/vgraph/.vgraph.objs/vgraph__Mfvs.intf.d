@@ -1,0 +1,1 @@
+lib/vgraph/mfvs.mli: Digraph

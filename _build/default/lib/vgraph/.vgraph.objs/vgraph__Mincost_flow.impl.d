@@ -1,0 +1,1 @@
+lib/vgraph/mincost_flow.ml: Array Heap List

@@ -1,0 +1,1 @@
+lib/vgraph/scc.mli: Digraph

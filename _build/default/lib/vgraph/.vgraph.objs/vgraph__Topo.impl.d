@@ -1,0 +1,1 @@
+lib/vgraph/topo.ml: Array Digraph List Option Queue

@@ -1,0 +1,1 @@
+lib/vgraph/vec.ml: Array List Printf

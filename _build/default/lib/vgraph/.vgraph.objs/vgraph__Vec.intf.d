@@ -1,0 +1,1 @@
+lib/vgraph/vec.mli:

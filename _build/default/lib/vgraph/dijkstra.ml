@@ -1,0 +1,50 @@
+let shortest g ~src =
+  let n = Digraph.node_count g in
+  let dist = Array.make n max_int in
+  let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) ~dummy:(0, -1) () in
+  dist.(src) <- 0;
+  Heap.add heap (0, src);
+  while not (Heap.is_empty heap) do
+    let d, v = Heap.pop_min heap in
+    if d = dist.(v) then
+      Digraph.iter_succ g v (fun _ e ->
+          assert (e.weight >= 0);
+          let nd = d + e.weight in
+          if nd < dist.(e.dst) then begin
+            dist.(e.dst) <- nd;
+            Heap.add heap (nd, e.dst)
+          end)
+  done;
+  dist
+
+(* Lexicographic (min primary, then max secondary).  We order heap entries by
+   (w, -d); a node is settled the first time it is popped with its current
+   best label. *)
+let lexicographic g ~src ~tie =
+  let n = Digraph.node_count g in
+  let w = Array.make n max_int in
+  let d = Array.make n 0 in
+  let cmp (w1, nd1, _) (w2, nd2, _) =
+    if w1 <> w2 then compare w1 w2 else compare nd1 nd2
+  in
+  let heap = Heap.create ~cmp ~dummy:(0, 0, -1) () in
+  w.(src) <- 0;
+  d.(src) <- 0;
+  Heap.add heap (0, 0, src);
+  while not (Heap.is_empty heap) do
+    let wv, ndv, v = Heap.pop_min heap in
+    if wv = w.(v) && ndv = -d.(v) then
+      Digraph.iter_succ g v (fun _ e ->
+          assert (e.weight >= 0);
+          let w' = wv + e.weight in
+          let d' = d.(v) + tie e in
+          let better =
+            w' < w.(e.dst) || (w' = w.(e.dst) && d' > d.(e.dst))
+          in
+          if better then begin
+            w.(e.dst) <- w';
+            d.(e.dst) <- d';
+            Heap.add heap (w', -d', e.dst)
+          end)
+  done;
+  (w, d)

@@ -1,0 +1,15 @@
+(** Shortest paths with non-negative weights, including the lexicographic
+    two-criteria variant used to build retiming [W]/[D] matrices. *)
+
+val shortest : Digraph.t -> src:int -> int array
+(** [shortest g ~src] is the array of shortest distances from [src]
+    ([max_int] for unreachable nodes).  All edge weights must be
+    non-negative. *)
+
+val lexicographic :
+  Digraph.t -> src:int -> tie:(Digraph.edge -> int) -> int array * int array
+(** [lexicographic g ~src ~tie] minimizes primary weight, and among paths of
+    equal primary weight *maximizes* the sum of [tie e] — exactly the
+    [(W(u,v), D(u,v))] computation of Leiserson–Saxe retiming where the
+    primary weight is the latch count and the tie-breaker the accumulated
+    gate delay.  Returns [(w, d)]; unreachable entries are [(max_int, 0)]. *)

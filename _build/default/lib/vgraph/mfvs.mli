@@ -1,0 +1,18 @@
+(** Minimum feedback vertex set heuristic.
+
+    Finding a minimum set of vertices whose removal makes a digraph acyclic
+    is NP-complete; the paper uses a modified Lee–Reddy partial-scan
+    heuristic.  We implement the classical reduction + greedy selection
+    scheme followed by a redundancy-removal minimization pass. *)
+
+val solve : Digraph.t -> candidates:(int -> bool) -> int list
+(** [solve g ~candidates] returns a set [S] of candidate nodes such that
+    removing [S] from [g] leaves no cycle through a candidate-breakable
+    cycle; every cycle of [g] passes through at least one node of [S],
+    provided every cycle contains at least one candidate (which holds for
+    latch-dependency graphs where candidates are the latches).
+
+    @raise Invalid_argument if some cycle contains no candidate node. *)
+
+val is_feedback_set : Digraph.t -> int list -> bool
+(** [is_feedback_set g s] checks that removing [s] leaves [g] acyclic. *)

@@ -1,0 +1,21 @@
+(** Minimum-cost flow by successive shortest paths with potentials.
+
+    Used as the LP engine for minimum-area retiming: the dual of
+    [min Σ a(v)·r(v)  s.t.  r(u) − r(v) ≤ b(u,v)] is a min-cost flow whose
+    optimal node potentials give the optimal retiming labels. *)
+
+type arc = { src : int; dst : int; capacity : int; cost : int }
+
+type result = {
+  flow : int array;  (** flow on each arc, in input order *)
+  potentials : int array;
+      (** node potentials [π] with [cost + π(src) − π(dst) ≥ 0] on every
+          residual arc at optimality *)
+  total_cost : int;
+}
+
+val solve : nodes:int -> arcs:arc list -> supply:int array -> result option
+(** [solve ~nodes ~arcs ~supply] computes a feasible min-cost flow where node
+    [v] has net outflow [supply.(v)] (positive = source, negative = sink).
+    Supplies must sum to zero.  Returns [None] when no feasible flow
+    exists. *)

@@ -1,0 +1,67 @@
+(* Iterative Tarjan: explicit stack of (node, remaining successor edges). *)
+
+let components g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let next_index = ref 0 in
+  let comps = ref [] in
+  let rec visit root =
+    let call = ref [ (root, succ_edges root) ] in
+    push_node root;
+    while !call <> [] do
+      match !call with
+      | [] -> assert false
+      | (v, edges) :: rest -> (
+          match edges with
+          | [] ->
+              call := rest;
+              (match rest with
+              | (p, _) :: _ -> lowlink.(p) <- min lowlink.(p) lowlink.(v)
+              | [] -> ());
+              if lowlink.(v) = index.(v) then pop_component v
+          | e :: edges' ->
+              call := (v, edges') :: rest;
+              let w = (Digraph.edge g e).dst in
+              if index.(w) = -1 then begin
+                push_node w;
+                call := (w, succ_edges w) :: !call
+              end
+              else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+    done
+  and succ_edges v = Digraph.succ g v
+  and push_node v =
+    index.(v) <- !next_index;
+    lowlink.(v) <- !next_index;
+    incr next_index;
+    stack := v :: !stack;
+    on_stack.(v) <- true
+  and pop_component v =
+    let rec take acc =
+      match !stack with
+      | [] -> assert false
+      | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else take (w :: acc)
+    in
+    comps := take [] :: !comps
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  List.rev !comps
+
+let component_ids g =
+  let comps = components g in
+  let id = Array.make (Digraph.node_count g) (-1) in
+  let count = List.length comps in
+  List.iteri (fun i comp -> List.iter (fun v -> id.(v) <- i) comp) comps;
+  (id, count)
+
+let is_nontrivial g = function
+  | [] -> false
+  | [ v ] -> Digraph.has_self_loop g v
+  | _ :: _ :: _ -> true

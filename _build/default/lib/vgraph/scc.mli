@@ -1,0 +1,16 @@
+(** Strongly connected components (Tarjan's algorithm, iterative). *)
+
+val components : Digraph.t -> int list list
+(** The SCCs of the graph in reverse topological order of the component
+    DAG: sink components (those every cross edge points into) come first,
+    so for a cross-component edge [u -> v], [v]'s component index is
+    smaller than [u]'s. *)
+
+val component_ids : Digraph.t -> int array * int
+(** [component_ids g] is [(id, count)] where [id.(v)] is the component index
+    of node [v] and [count] is the number of components.  Indices are
+    consistent with [components]. *)
+
+val is_nontrivial : Digraph.t -> int list -> bool
+(** A component is non-trivial if it has more than one node, or is a single
+    node with a self-loop — i.e. it contains a cycle. *)

@@ -1,0 +1,65 @@
+let sort g =
+  let n = Digraph.node_count g in
+  let indeg = Array.make n 0 in
+  Digraph.iter_edges (fun _ e -> indeg.(e.dst) <- indeg.(e.dst) + 1) g;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    Digraph.iter_succ g v (fun _ e ->
+        indeg.(e.dst) <- indeg.(e.dst) - 1;
+        if indeg.(e.dst) = 0 then Queue.add e.dst queue)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let sort_exn g =
+  match sort g with
+  | Some order -> order
+  | None -> invalid_arg "Topo.sort_exn: graph has a cycle"
+
+let is_acyclic g = Option.is_some (sort g)
+
+(* Iterative DFS with colors; returns the first back-edge cycle found. *)
+let find_cycle g =
+  let n = Digraph.node_count g in
+  let color = Array.make n 0 in
+  (* 0 white, 1 gray, 2 black *)
+  let parent = Array.make n (-1) in
+  let cycle = ref None in
+  let rec dfs v =
+    color.(v) <- 1;
+    Digraph.iter_succ g v (fun _ e ->
+        if !cycle = None then
+          let w = e.dst in
+          if color.(w) = 0 then begin
+            parent.(w) <- v;
+            dfs w
+          end
+          else if color.(w) = 1 then begin
+            (* found cycle w -> ... -> v -> w *)
+            let rec collect u acc = if u = w then w :: acc else collect parent.(u) (u :: acc) in
+            cycle := Some (collect v [])
+          end);
+    color.(v) <- 2
+  in
+  let v = ref 0 in
+  while !cycle = None && !v < n do
+    if color.(!v) = 0 then dfs !v;
+    incr v
+  done;
+  !cycle
+
+let levels g =
+  let order = sort_exn g in
+  let lev = Array.make (Digraph.node_count g) 0 in
+  List.iter
+    (fun v ->
+      Digraph.iter_succ g v (fun _ e -> lev.(e.dst) <- max lev.(e.dst) (lev.(v) + 1)))
+    order;
+  lev

@@ -1,0 +1,19 @@
+(** Topological ordering and acyclicity tests. *)
+
+val sort : Digraph.t -> int list option
+(** [sort g] is [Some order] (sources first) if [g] is acyclic, [None]
+    otherwise. *)
+
+val sort_exn : Digraph.t -> int list
+(** @raise Invalid_argument if the graph has a cycle. *)
+
+val is_acyclic : Digraph.t -> bool
+
+val find_cycle : Digraph.t -> int list option
+(** [find_cycle g] is [Some nodes] — a directed cycle listed in order — when
+    one exists. *)
+
+val levels : Digraph.t -> int array
+(** Longest-path level of each node in an acyclic graph (sources at level
+    0), counting each edge as one unit.  @raise Invalid_argument on cyclic
+    input. *)

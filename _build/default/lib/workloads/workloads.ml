@@ -1,0 +1,369 @@
+(* All generators are deterministic in their parameters (fixed seeds). *)
+
+(* Array-backed signal pool: O(1) pick (list pools are quadratic at the
+   industrial sizes of Table 2). *)
+type pool = { mutable data : Circuit.signal array; mutable len : int }
+
+let pool_of_list l =
+  let data = Array.of_list l in
+  { data = (if Array.length data = 0 then Array.make 4 0 else data); len = Array.length data }
+
+let pool_add p s =
+  if p.len = Array.length p.data then begin
+    let d = Array.make (2 * p.len) 0 in
+    Array.blit p.data 0 d 0 p.len;
+    p.data <- d
+  end;
+  p.data.(p.len) <- s;
+  p.len <- p.len + 1
+
+let pick st p = p.data.(Random.State.int st p.len)
+
+let random_gate st c pool =
+  let fn : Circuit.gate_fn =
+    match Random.State.int st 8 with
+    | 0 -> And
+    | 1 -> Or
+    | 2 -> Nand
+    | 3 -> Nor
+    | 4 | 5 -> Xor
+    | 6 -> Not
+    | _ -> Mux
+  in
+  let arity = match fn with Not -> 1 | Mux -> 3 | _ -> 2 in
+  Circuit.add_gate c fn (List.init arity (fun _ -> pick st pool))
+
+(* A block of [n] random gates over [ins]; returns [outs] freshly picked
+   from the created gates (so depth grows with n). *)
+let logic_block st c ~ins ~gates ~outs =
+  let p = pool_of_list ins in
+  let created = pool_of_list [] in
+  for _ = 1 to gates do
+    let g = random_gate st c p in
+    pool_add p g;
+    pool_add created g
+  done;
+  let deep = if created.len = 0 then p else created in
+  List.init outs (fun _ -> pick st deep)
+
+(* ---- minmax ---- *)
+
+(* Tree comparator (log depth): true iff a < b (unsigned, a.(0) = LSB). *)
+let tree_less c a b =
+  let w = Array.length a in
+  (* per-bit (lt, eq) pairs, combined pairwise: MSB side dominates *)
+  let bits =
+    List.init w (fun i ->
+        let j = w - 1 - i in
+        (* list is MSB-first *)
+        let na = Circuit.add_gate c Not [ a.(j) ] in
+        let lt = Circuit.add_gate c And [ na; b.(j) ] in
+        let eq = Circuit.add_gate c Xnor [ a.(j); b.(j) ] in
+        (lt, eq))
+  in
+  let combine (lt_hi, eq_hi) (lt_lo, eq_lo) =
+    let lt = Circuit.add_gate c Or [ lt_hi; Circuit.add_gate c And [ eq_hi; lt_lo ] ] in
+    let eq = Circuit.add_gate c And [ eq_hi; eq_lo ] in
+    (lt, eq)
+  in
+  let rec reduce = function
+    | [] -> (Circuit.const_false c, Circuit.const_true c)
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | x :: y :: rest -> combine x y :: pair rest
+          | rest -> rest
+        in
+        reduce (pair xs)
+  in
+  fst (reduce bits)
+
+let minmax ~width =
+  let c = Circuit.create (Printf.sprintf "minmax%d" width) in
+  let din = Array.init width (fun i -> Circuit.add_input c (Printf.sprintf "in%d" i)) in
+  let reset = Circuit.add_input c "reset" in
+  (* Input conditioning: a deep, unbalanced mixing chain in front of the
+     input registers.  It is purely combinational, so the latch count stays
+     at 3*width, but its depth dwarfs the (log-depth) comparator loop —
+     min-period retiming recovers the slack by moving the input bank into
+     the chain (the delay gains of the paper's minmax rows). *)
+  let cond = Array.make width din.(0) in
+  let acc = ref din.(0) in
+  for pass = 0 to 1 do
+    for i = 0 to width - 1 do
+      acc := Circuit.add_gate c Xor [ !acc; din.(i) ];
+      let mixed = Circuit.add_gate c Xnor [ !acc; din.((i + pass + 1) mod width) ] in
+      cond.(i) <-
+        Circuit.add_gate c And
+          [ mixed; Circuit.add_gate c Or [ (if pass = 0 then din.(i) else cond.(i)); !acc ] ]
+    done
+  done;
+  (* input register bank *)
+  let inreg = Array.map (fun d -> Circuit.add_latch c ~data:d ()) cond in
+  (* min and max feedback registers *)
+  let minreg = Array.init width (fun i -> Circuit.declare c ~name:(Printf.sprintf "min%d" i) ()) in
+  let maxreg = Array.init width (fun i -> Circuit.declare c ~name:(Printf.sprintf "max%d" i) ()) in
+  let lt_min = tree_less c inreg minreg in
+  let gt_max = tree_less c maxreg inreg in
+  let nreset = Circuit.add_gate c Not [ reset ] in
+  let upd_min = Circuit.add_gate c Or [ lt_min; reset ] in
+  let upd_max = Circuit.add_gate c Or [ gt_max; reset ] in
+  ignore nreset;
+  Array.iteri
+    (fun i m ->
+      let next = Circuit.add_gate c Mux [ upd_min; inreg.(i); m ] in
+      Circuit.set_latch c m ~data:next ())
+    minreg;
+  Array.iteri
+    (fun i m ->
+      let next = Circuit.add_gate c Mux [ upd_max; inreg.(i); m ] in
+      Circuit.set_latch c m ~data:next ())
+    maxreg;
+  (* outputs: min, max and a comparison flag *)
+  Array.iter (fun m -> Circuit.mark_output c m) minreg;
+  Array.iter (fun m -> Circuit.mark_output c m) maxreg;
+  Circuit.mark_output c (tree_less c minreg maxreg);
+  Circuit.check c;
+  c
+
+(* ---- pipeline ---- *)
+
+let pipeline ~name ~width ~stages ~imbalance ~seed =
+  let st = Random.State.make [| seed; 0x9e3779 |] in
+  let c = Circuit.create name in
+  let ins = List.init width (fun i -> Circuit.add_input c (Printf.sprintf "in%d" i)) in
+  let bus = ref ins in
+  for stage = 1 to stages do
+    let gates = if stage mod 2 = 0 then width * imbalance else max 2 (width / 2) in
+    let outs = logic_block st c ~ins:!bus ~gates ~outs:width in
+    bus := List.map (fun o -> Circuit.add_latch c ~data:o ()) outs
+  done;
+  let final = logic_block st c ~ins:!bus ~gates:width ~outs:(max 1 (width / 2)) in
+  List.iter (Circuit.mark_output c) final;
+  Circuit.check c;
+  c
+
+(* ---- conditional-update and toggle registers (Figs. 14, 15) ----
+
+   Their control and data come from a shallow prefix of the pool (control
+   signals are decoded near the inputs in real designs), which also keeps
+   the unateness analysis cones small. *)
+
+let shallow_prefix pool = { pool with len = min pool.len 64 }
+
+(* q' = cond ? d : q  — positive unate in q, convertible *)
+let conditional_register st c pool =
+  let shallow = shallow_prefix pool in
+  let q = Circuit.declare c () in
+  let cond = random_gate st c shallow in
+  let d = random_gate st c shallow in
+  let next = Circuit.add_gate c Mux [ cond; d; q ] in
+  Circuit.set_latch c q ~data:next ();
+  q
+
+(* q' = cond ? ~q : q  — toggle, NOT unate in q, must be exposed *)
+let toggle_register st c pool =
+  let shallow = shallow_prefix pool in
+  let q = Circuit.declare c () in
+  let cond = random_gate st c shallow in
+  let nq = Circuit.add_gate c Not [ q ] in
+  let next = Circuit.add_gate c Mux [ cond; nq; q ] in
+  Circuit.set_latch c q ~data:next ();
+  q
+
+(* ---- fsm_datapath (Table 1 shape) ---- *)
+
+let fsm_datapath ~name ~latches ~self_loops ~gates ~width ~seed =
+  let st = Random.State.make [| seed; 0xABCDEF |] in
+  let c = Circuit.create name in
+  let ins = List.init width (fun i -> Circuit.add_input c (Printf.sprintf "in%d" i)) in
+  let pool = pool_of_list ins in
+  if latches - self_loops < 0 then invalid_arg "fsm_datapath: self_loops > latches";
+  (* one acyclic latch is reserved for the observation register below *)
+  let observe_reserved = latches - self_loops >= 1 in
+  let n_acyclic = latches - self_loops - if observe_reserved then 1 else 0 in
+  (* Feedback registers are declared first so the datapath reads them (they
+     are live state, like the FSMs of the paper's designs); their next-state
+     logic is connected at the end. *)
+  let fb = Array.init self_loops (fun i -> Circuit.declare c ~name:(Printf.sprintf "fsm_q%d" i) ()) in
+  Array.iter (fun q -> pool_add pool q) fb;
+  (* interleave pipeline latches and logic *)
+  let budget = max gates (2 * latches) in
+  let gate_count = ref 0 in
+  let latch_count = ref 0 in
+  while !gate_count < budget || !latch_count < n_acyclic do
+    if
+      !latch_count < n_acyclic
+      && (!gate_count >= budget || Random.State.int st (max 1 (budget / max 1 n_acyclic)) = 0)
+    then begin
+      incr latch_count;
+      pool_add pool (Circuit.add_latch c ~data:(pick st pool) ())
+    end
+    else begin
+      incr gate_count;
+      pool_add pool (random_gate st c pool)
+    end
+  done;
+  (* Connect the feedback registers: half toggles (non-unate), half
+     conditional updates (unate); each is a self-loop, so the structural
+     analysis exposes exactly these. *)
+  Array.iteri
+    (fun i q ->
+      let shallow = shallow_prefix pool in
+      let cond = random_gate st c shallow in
+      let next =
+        if i mod 2 = 0 then
+          Circuit.add_gate c Mux [ cond; random_gate st c shallow; q ]
+        else Circuit.add_gate c Mux [ cond; Circuit.add_gate c Not [ q ]; q ]
+      in
+      Circuit.set_latch c q ~data:next ())
+    fb;
+  (* Outputs are registered (realistic, and it leaves retiming freedom on
+     the input-to-register paths); the last pipeline latch is re-purposed
+     as an observation register over every latch, so no latch is dead. *)
+  let latches = Circuit.latches c in
+  let n_out = max 1 (width / 2) in
+  let registered =
+    List.filteri (fun i _ -> i mod (max 1 (List.length latches / n_out)) = 0) latches
+  in
+  List.iteri (fun i l -> if i < n_out then Circuit.mark_output c l) registered;
+  (* observation register: balanced xor tree over all latch outputs,
+     registered (it uses the reserved acyclic-latch slot, keeping the
+     published latch count).  The tree is balanced so that observation does
+     not dominate the critical path — the datapath's own imbalance is what
+     retiming exploits. *)
+  let rec xor_tree = function
+    | [] -> Circuit.const_false c
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | a :: b :: rest -> Circuit.add_gate c Xor [ a; b ] :: pair rest
+          | rest -> rest
+        in
+        xor_tree (pair xs)
+  in
+  let parity = xor_tree latches in
+  if observe_reserved then
+    Circuit.mark_output c (Circuit.add_latch c ~name:"observe" ~data:parity ())
+  else Circuit.mark_output c parity;
+  Circuit.check c;
+  c
+
+(* ---- industrial (Table 2 shape) ---- *)
+
+let industrial ~name ~latches ~exposed ~unate_fraction ~enable_fraction ~seed =
+  let st = Random.State.make [| seed; 0x51DE |] in
+  let c = Circuit.create name in
+  let width = 16 in
+  let ins = List.init width (fun i -> Circuit.add_input c (Printf.sprintf "in%d" i)) in
+  let pool = pool_of_list ins in
+  let n_acyclic = latches - exposed in
+  if n_acyclic < 0 then invalid_arg "industrial: exposed > latches";
+  (* acyclic glue logic with load-enabled latches *)
+  let gates = 4 * latches in
+  let gate_count = ref 0 in
+  let latch_count = ref 0 in
+  while !gate_count < gates || !latch_count < n_acyclic do
+    if
+      !latch_count < n_acyclic
+      && (!gate_count >= gates || Random.State.int st (max 1 (gates / max 1 n_acyclic)) = 0)
+    then begin
+      incr latch_count;
+      let enable =
+        if Random.State.float st 1.0 < enable_fraction then Some (pick st pool) else None
+      in
+      pool_add pool (Circuit.add_latch c ?enable ~data:(pick st pool) ())
+    end
+    else begin
+      incr gate_count;
+      pool_add pool (random_gate st c pool)
+    end
+  done;
+  (* feedback registers to be exposed; a [unate_fraction] of them are
+     conditional updates, which the functional analysis converts instead *)
+  let n_unate = int_of_float (Float.round (unate_fraction *. float_of_int exposed)) in
+  for i = 1 to exposed do
+    let q =
+      if i <= n_unate then conditional_register st c pool else toggle_register st c pool
+    in
+    pool_add pool q
+  done;
+  for _ = 1 to 8 do
+    Circuit.mark_output c (random_gate st c pool)
+  done;
+  Circuit.check c;
+  c
+
+(* ---- suites ---- *)
+
+(* (name, latches, percent exposed, gate scale) from Table 1; the minmax
+   rows are generated structurally. *)
+let table1_params =
+  [
+    ("prolog", 65, 43, 6);
+    ("s1196", 18, 0, 8);
+    ("s1238", 18, 0, 8);
+    ("s1269", 37, 75, 7);
+    ("s1423", 74, 95, 7);
+    ("s3271", 116, 94, 6);
+    ("s3384", 183, 39, 6);
+    ("s400", 21, 71, 6);
+    ("s444", 21, 71, 6);
+    ("s4863", 88, 18, 6);
+    ("s641", 19, 78, 7);
+    ("s6669", 231, 17, 5);
+    ("s713", 19, 78, 7);
+    ("s9234", 135, 66, 5);
+    ("s953", 29, 20, 7);
+    ("s967", 29, 20, 7);
+    ("s3330", 65, 43, 6);
+    ("s15850", 515, 72, 3);
+    ("s38417", 1464, 70, 3);
+  ]
+
+let table1_gen (name, latches, percent, scale) =
+  let self_loops = latches * percent / 100 in
+  let seed = Hashtbl.hash name in
+  fsm_datapath ~name ~latches ~self_loops ~gates:(scale * latches)
+    ~width:(8 + (latches / 64)) ~seed
+
+let table1_suite () =
+  let minmaxes = List.map (fun w -> minmax ~width:w) [ 10; 12; 20; 32 ] in
+  List.map (fun c -> (Circuit.name c, c)) minmaxes
+  @ List.map (fun p -> (let n, _, _, _ = p in n), table1_gen p) table1_params
+
+let table1_suite_small () =
+  List.filter (fun (_, c) -> Circuit.latch_count c <= 120) (table1_suite ())
+
+(* (name, latches, exposed) from Table 2 *)
+let table2_params =
+  [
+    ("ex1", 2157, 934);
+    ("ex2", 160, 16);
+    ("ex3", 146, 56);
+    ("ex4", 1437, 835);
+    ("ex5", 672, 305);
+    ("ex6", 412, 250);
+    ("ex7", 453, 81);
+    ("ex8", 968, 470);
+    ("ex9", 783, 15);
+    ("ex10", 634, 174);
+    ("ex11", 792, 369);
+    ("ex12", 2206, 691);
+  ]
+
+let table2_suite () =
+  List.map
+    (fun (name, latches, exposed) ->
+      ( name,
+        industrial ~name ~latches ~exposed ~unate_fraction:0.5 ~enable_fraction:0.35
+          ~seed:(Hashtbl.hash name) ))
+    table2_params
+
+let by_name n =
+  match List.assoc_opt n (table1_suite ()) with
+  | Some c -> c
+  | None -> (
+      match List.assoc_opt n (table2_suite ()) with
+      | Some c -> c
+      | None -> raise Not_found)

@@ -1,0 +1,62 @@
+(** Benchmark circuit generators.
+
+    The paper evaluates on MCNC/ISCAS'89 netlists ([minmax*], [prolog],
+    [s*]) and twelve proprietary industrial designs; neither set ships with
+    this repository.  These generators rebuild the {e shape} of each
+    benchmark from fixed seeds: published latch count, feedback structure
+    (share of latches that must be exposed), pipeline depth imbalance (what
+    retiming exploits) and, for the industrial set, load-enabled latches
+    with conditional-update feedback (Figs. 14, 20).  See DESIGN.md,
+    "Substitutions". *)
+
+val minmax : width:int -> Circuit.t
+(** Pipelined min/max tracker over a [width]-bit input stream: an input
+    register bank plus feedback min- and max-registers behind ripple
+    comparators.  [3*width] latches, two thirds of which are feedback
+    (matching the 66% exposure of the paper's minmax rows). *)
+
+val pipeline :
+  name:string -> width:int -> stages:int -> imbalance:int -> seed:int -> Circuit.t
+(** Acyclic pipeline (Fig. 6): [stages] register banks of [width] bits
+    separated by random logic whose depth alternates between shallow and
+    [imbalance]-times deeper — the slack min-period retiming recovers. *)
+
+val fsm_datapath :
+  name:string ->
+  latches:int ->
+  self_loops:int ->
+  gates:int ->
+  width:int ->
+  seed:int ->
+  Circuit.t
+(** The Table 1 shape: [self_loops] conditional/toggle registers (each
+    forces itself into the feedback vertex set) embedded in an otherwise
+    acyclic latch network of [latches] total latches and roughly [gates]
+    gates. *)
+
+val industrial :
+  name:string ->
+  latches:int ->
+  exposed:int ->
+  unate_fraction:float ->
+  enable_fraction:float ->
+  seed:int ->
+  Circuit.t
+(** The Table 2 shape (Fig. 20): [exposed] self-feedback registers (a
+    [unate_fraction] of them conditional-update, hence convertible by the
+    functional analysis), the rest an acyclic glue/pipeline network, with
+    [enable_fraction] of the acyclic latches load-enabled. *)
+
+val table1_suite : unit -> (string * Circuit.t) list
+(** The 23 circuits of Table 1 (published latch counts, scaled gate
+    counts). *)
+
+val table1_suite_small : unit -> (string * Circuit.t) list
+(** The subset of {!table1_suite} cheap enough for unit tests and quick
+    benches. *)
+
+val table2_suite : unit -> (string * Circuit.t) list
+(** ex1..ex12 of Table 2 (published latch and exposure counts). *)
+
+val by_name : string -> Circuit.t
+(** Look up any suite circuit by name.  @raise Not_found. *)

@@ -1,0 +1,1 @@
+test/gen.ml: Array Circuit Hashtbl List Option Printf Random

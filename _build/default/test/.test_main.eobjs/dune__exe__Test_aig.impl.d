@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Circuit Eval Gen Hashtbl Int64 List Random Sat

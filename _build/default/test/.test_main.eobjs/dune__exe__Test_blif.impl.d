@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Array Blif Circuit Eval Gen Hashtbl List Printf Random Sim Verify

@@ -1,0 +1,1 @@
+test/test_cbf.ml: Alcotest Array Cbf Cec Circuit Eval Feedback Gen List Printf Random Retime Sim String Synth_script Vgraph

@@ -1,0 +1,1 @@
+test/test_cec.ml: Alcotest Array Cec Circuit Eval Gen List Printf Random

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Circuit Eval Gen Hashtbl List Netlist_io Printf Random Sim

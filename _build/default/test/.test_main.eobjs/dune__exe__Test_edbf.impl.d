@@ -1,0 +1,1 @@
+test/test_edbf.ml: Alcotest Bdd Cec Circuit Edbf Events Gen List Printf Random Sim Synth_script Verify

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Bdd Cbf Cec Circuit Eval Fanout_pass Gen Hashtbl List Printf Random Retime Rgraph Sweep_pass Verify Vgraph

@@ -1,0 +1,1 @@
+test/test_feedback.ml: Alcotest Array Bdd Circuit Feedback Gen List Printf Random Sim Vgraph

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Circuit Flow Gen List Printf Random Verify Workloads

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Blif Cbf Cec Circuit Eval Feedback Flow Gen Hashtbl Int64 List Netlist_io Printf Random Redundancy Retime Synth_script Verify Workloads

@@ -1,0 +1,1 @@
+test/test_properties.ml: Aig Array Bdd Cbf Cec Circuit Feedback Gen List Minarea Netlist_io Printf QCheck QCheck_alcotest Random Retime Rgraph Sat Sim Sweep_pass Synth_script Test_bdd Verify Vgraph

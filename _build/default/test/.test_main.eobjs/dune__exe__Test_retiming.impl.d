@@ -1,0 +1,1 @@
+test/test_retiming.ml: Alcotest Array Circuit Classes Feedback Gen List Minarea Printf Random Retime Rgraph Sim Verify Vgraph Workloads

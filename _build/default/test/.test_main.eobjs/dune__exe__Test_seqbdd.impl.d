@@ -1,0 +1,1 @@
+test/test_seqbdd.ml: Alcotest Array Bdd Circuit Gen List Printf Random Retime Sec_baseline Synth_script Transition Verify

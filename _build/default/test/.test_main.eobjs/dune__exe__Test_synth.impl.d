@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Aig_rewrite Alcotest Array Cec Circuit Comb_view Fanout_pass Gen List Printf Random Rebalance Redundancy Sim Sweep_pass Synth_script

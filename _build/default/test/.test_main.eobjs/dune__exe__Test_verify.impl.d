@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Array Circuit Feedback Gen List Printf Random Retime Synth_script Verify Workloads

@@ -1,0 +1,1 @@
+test/test_vgraph.ml: Alcotest Array List Printf Random Vgraph

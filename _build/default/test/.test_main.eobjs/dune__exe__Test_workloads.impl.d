@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Circuit Eval Feedback Hashtbl List Netlist_io Printf Random Sim Vgraph Workloads

@@ -1,0 +1,232 @@
+(* BDD package: semantics checked against brute-force truth tables. *)
+
+let st = Random.State.make [| 0xB0D |]
+
+(* Random Boolean expression over [n] variables. *)
+type expr =
+  | V of int
+  | Const of bool
+  | Not of expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Xor of expr * expr
+  | Ite of expr * expr * expr
+
+let rec random_expr n depth =
+  if depth = 0 || Random.State.int st 4 = 0 then
+    if Random.State.int st 8 = 0 then Const (Random.State.bool st)
+    else V (Random.State.int st n)
+  else
+    match Random.State.int st 5 with
+    | 0 -> Not (random_expr n (depth - 1))
+    | 1 -> And (random_expr n (depth - 1), random_expr n (depth - 1))
+    | 2 -> Or (random_expr n (depth - 1), random_expr n (depth - 1))
+    | 3 -> Xor (random_expr n (depth - 1), random_expr n (depth - 1))
+    | _ -> Ite (random_expr n (depth - 1), random_expr n (depth - 1), random_expr n (depth - 1))
+
+let rec eval_expr env = function
+  | V i -> env i
+  | Const b -> b
+  | Not e -> not (eval_expr env e)
+  | And (a, b) -> eval_expr env a && eval_expr env b
+  | Or (a, b) -> eval_expr env a || eval_expr env b
+  | Xor (a, b) -> eval_expr env a <> eval_expr env b
+  | Ite (s, t, e) -> if eval_expr env s then eval_expr env t else eval_expr env e
+
+let rec build man = function
+  | V i -> Bdd.var man i
+  | Const b -> if b then Bdd.one man else Bdd.zero man
+  | Not e -> Bdd.not_ man (build man e)
+  | And (a, b) -> Bdd.and_ man (build man a) (build man b)
+  | Or (a, b) -> Bdd.or_ man (build man a) (build man b)
+  | Xor (a, b) -> Bdd.xor_ man (build man a) (build man b)
+  | Ite (s, t, e) -> Bdd.ite man (build man s) (build man t) (build man e)
+
+let env_of_mask m i = m land (1 lsl i) <> 0
+
+let test_semantics () =
+  for _ = 1 to 200 do
+    let n = 1 + Random.State.int st 6 in
+    let e = random_expr n 6 in
+    let man = Bdd.man () in
+    let f = build man e in
+    for m = 0 to (1 lsl n) - 1 do
+      Alcotest.(check bool) "eval" (eval_expr (env_of_mask m) e)
+        (Bdd.eval man f (env_of_mask m))
+    done
+  done
+
+let test_canonicity () =
+  (* semantically equal expressions build identical nodes *)
+  for _ = 1 to 100 do
+    let n = 1 + Random.State.int st 5 in
+    let e1 = random_expr n 5 and e2 = random_expr n 5 in
+    let man = Bdd.man () in
+    let f1 = build man e1 and f2 = build man e2 in
+    let sem_equal = ref true in
+    for m = 0 to (1 lsl n) - 1 do
+      if eval_expr (env_of_mask m) e1 <> eval_expr (env_of_mask m) e2 then sem_equal := false
+    done;
+    Alcotest.(check bool) "canonicity" !sem_equal (Bdd.equal f1 f2)
+  done
+
+let test_ite_identities () =
+  let man = Bdd.man () in
+  let a = Bdd.var man 0 and b = Bdd.var man 1 in
+  Alcotest.(check bool) "ite(a,1,0)=a" true (Bdd.equal (Bdd.ite man a (Bdd.one man) (Bdd.zero man)) a);
+  Alcotest.(check bool) "ite(a,b,b)=b" true (Bdd.equal (Bdd.ite man a b b) b);
+  Alcotest.(check bool) "not not a = a" true (Bdd.equal (Bdd.not_ man (Bdd.not_ man a)) a);
+  Alcotest.(check bool) "a xor a = 0" true (Bdd.is_zero man (Bdd.xor_ man a a));
+  Alcotest.(check bool) "a nand a = not a" true
+    (Bdd.equal (Bdd.nand_ man a a) (Bdd.not_ man a));
+  Alcotest.(check bool) "de morgan" true
+    (Bdd.equal (Bdd.nor_ man a b) (Bdd.and_ man (Bdd.not_ man a) (Bdd.not_ man b)))
+
+let test_cofactor_shannon () =
+  for _ = 1 to 100 do
+    let n = 1 + Random.State.int st 5 in
+    let e = random_expr n 5 in
+    let man = Bdd.man () in
+    let f = build man e in
+    let v = Random.State.int st n in
+    let f0 = Bdd.cofactor man f ~var:v false in
+    let f1 = Bdd.cofactor man f ~var:v true in
+    (* Shannon: f = v·f1 + ~v·f0 *)
+    let x = Bdd.var man v in
+    let recomposed = Bdd.or_ man (Bdd.and_ man x f1) (Bdd.and_ man (Bdd.not_ man x) f0) in
+    Alcotest.(check bool) "shannon expansion" true (Bdd.equal f recomposed);
+    (* cofactors independent of v *)
+    Alcotest.(check bool) "f0 indep" false (Bdd.depends_on man f0 v);
+    Alcotest.(check bool) "f1 indep" false (Bdd.depends_on man f1 v)
+  done
+
+let test_compose () =
+  for _ = 1 to 60 do
+    let n = 2 + Random.State.int st 4 in
+    let e = random_expr n 4 and g = random_expr n 4 in
+    let man = Bdd.man () in
+    let f = build man e and gb = build man g in
+    let v = Random.State.int st n in
+    let composed = Bdd.compose man f ~var:v gb in
+    for m = 0 to (1 lsl n) - 1 do
+      let env = env_of_mask m in
+      let gv = eval_expr env g in
+      let env' i = if i = v then gv else env i in
+      Alcotest.(check bool) "compose semantics" (eval_expr env' e)
+        (Bdd.eval man composed env)
+    done
+  done
+
+let test_quantifiers () =
+  for _ = 1 to 60 do
+    let n = 2 + Random.State.int st 4 in
+    let e = random_expr n 4 in
+    let man = Bdd.man () in
+    let f = build man e in
+    let v = Random.State.int st n in
+    let ex = Bdd.exists man [ v ] f in
+    let fa = Bdd.forall man [ v ] f in
+    for m = 0 to (1 lsl n) - 1 do
+      let env = env_of_mask m in
+      let at b i = if i = v then b else env i in
+      let e0 = eval_expr (at false) e and e1 = eval_expr (at true) e in
+      Alcotest.(check bool) "exists" (e0 || e1) (Bdd.eval man ex env);
+      Alcotest.(check bool) "forall" (e0 && e1) (Bdd.eval man fa env)
+    done
+  done
+
+let test_support () =
+  let man = Bdd.man () in
+  let a = Bdd.var man 0 and b = Bdd.var man 2 in
+  let f = Bdd.and_ man a (Bdd.or_ man b (Bdd.not_ man a)) in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Bdd.support man f);
+  (* false dependency: a xor a has empty support *)
+  Alcotest.(check (list int)) "no false deps" [] (Bdd.support man (Bdd.xor_ man a a))
+
+let test_sat_count () =
+  for _ = 1 to 60 do
+    let n = 1 + Random.State.int st 5 in
+    let e = random_expr n 5 in
+    let man = Bdd.man () in
+    let f = build man e in
+    let expected = ref 0 in
+    for m = 0 to (1 lsl n) - 1 do
+      if eval_expr (env_of_mask m) e then incr expected
+    done;
+    Alcotest.(check int) "sat count" !expected
+      (int_of_float (Bdd.sat_count man f ~nvars:n))
+  done
+
+let test_any_sat () =
+  for _ = 1 to 60 do
+    let n = 1 + Random.State.int st 5 in
+    let e = random_expr n 5 in
+    let man = Bdd.man () in
+    let f = build man e in
+    match Bdd.any_sat man f with
+    | None -> Alcotest.(check bool) "zero" true (Bdd.is_zero man f)
+    | Some assignment ->
+        let env i =
+          match List.assoc_opt i assignment with Some b -> b | None -> false
+        in
+        Alcotest.(check bool) "witness satisfies" true (Bdd.eval man f env)
+  done
+
+let test_unateness () =
+  let man = Bdd.man () in
+  let a = Bdd.var man 0 and b = Bdd.var man 1 and c = Bdd.var man 2 in
+  (* f = a·b + c: positive unate in a, b, c *)
+  let f = Bdd.or_ man (Bdd.and_ man a b) c in
+  Alcotest.(check bool) "pos unate a" true (Bdd.is_positive_unate man f ~var:0);
+  Alcotest.(check bool) "pos unate c" true (Bdd.is_positive_unate man f ~var:2);
+  Alcotest.(check bool) "not neg unate a" false (Bdd.is_negative_unate man f ~var:0);
+  (* g = a xor b: neither *)
+  let g = Bdd.xor_ man a b in
+  Alcotest.(check bool) "xor not pos" false (Bdd.is_positive_unate man g ~var:0);
+  Alcotest.(check bool) "xor not neg" false (Bdd.is_negative_unate man g ~var:0);
+  (* h = ~a·b: negative unate in a *)
+  let h = Bdd.and_ man (Bdd.not_ man a) b in
+  Alcotest.(check bool) "neg unate" true (Bdd.is_negative_unate man h ~var:0);
+  (* constants are both *)
+  Alcotest.(check bool) "const unate" true (Bdd.is_positive_unate man (Bdd.one man) ~var:0)
+
+let test_unateness_random () =
+  for _ = 1 to 60 do
+    let n = 1 + Random.State.int st 4 in
+    let e = random_expr n 5 in
+    let man = Bdd.man () in
+    let f = build man e in
+    let v = Random.State.int st n in
+    (* brute-force positive unateness: no m with f(v=0)=1 and f(v=1)=0 *)
+    let pos = ref true in
+    for m = 0 to (1 lsl n) - 1 do
+      let at b i = if i = v then b else env_of_mask m i in
+      if eval_expr (at false) e && not (eval_expr (at true) e) then pos := false
+    done;
+    Alcotest.(check bool) "unate matches brute force" !pos
+      (Bdd.is_positive_unate man f ~var:v)
+  done
+
+let test_size_and_sharing () =
+  let man = Bdd.man () in
+  let a = Bdd.var man 0 and b = Bdd.var man 1 in
+  let f = Bdd.and_ man a b in
+  let g = Bdd.and_ man a b in
+  Alcotest.(check bool) "hash consing shares" true (Bdd.equal f g);
+  Alcotest.(check bool) "size of var" true (Bdd.size man a = 3)
+
+let suite =
+  [
+    Alcotest.test_case "semantics vs truth table" `Quick test_semantics;
+    Alcotest.test_case "canonicity" `Quick test_canonicity;
+    Alcotest.test_case "ite identities" `Quick test_ite_identities;
+    Alcotest.test_case "cofactor/shannon" `Quick test_cofactor_shannon;
+    Alcotest.test_case "compose" `Quick test_compose;
+    Alcotest.test_case "quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "sat_count" `Quick test_sat_count;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "unateness basics" `Quick test_unateness;
+    Alcotest.test_case "unateness random" `Quick test_unateness_random;
+    Alcotest.test_case "sharing/size" `Quick test_size_and_sharing;
+  ]

@@ -1,0 +1,153 @@
+(* BLIF import/export: hand-written fragments, round trips, semantics. *)
+
+let st = Random.State.make [| 0xB11F |]
+
+let test_parse_simple () =
+  let text =
+    {|# a full adder
+.model adder
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end|}
+  in
+  let { Blif.circuit = c; warnings } = Blif.parse text in
+  Alcotest.(check (list string)) "no warnings" [] warnings;
+  Alcotest.(check string) "name" "adder" (Circuit.name c);
+  Alcotest.(check int) "inputs" 3 (List.length (Circuit.inputs c));
+  Alcotest.(check int) "outputs" 2 (List.length (Circuit.outputs c));
+  (* semantics: full adder truth table *)
+  for m = 0 to 7 do
+    let bit i = m land (1 lsl i) <> 0 in
+    let tbl = Hashtbl.create 4 in
+    List.iteri (fun i s -> Hashtbl.replace tbl s (bit i)) (Circuit.inputs c);
+    let values = Eval.comb_eval c ~source:(Hashtbl.find tbl) in
+    let outs = List.map (fun o -> values.(o)) (Circuit.outputs c) in
+    let total = (if bit 0 then 1 else 0) + (if bit 1 then 1 else 0) + if bit 2 then 1 else 0 in
+    Alcotest.(check (list bool)) "adder row" [ total mod 2 = 1; total >= 2 ] outs
+  done
+
+let test_parse_latch_and_warning () =
+  let text =
+    {|.model seq
+.inputs d
+.outputs q
+.latch d q re clk 1
+.end|}
+  in
+  let { Blif.circuit = c; warnings } = Blif.parse text in
+  Alcotest.(check int) "one latch" 1 (Circuit.latch_count c);
+  Alcotest.(check int) "init warning" 1 (List.length warnings)
+
+let test_parse_constants_and_offset () =
+  let text =
+    {|.model k
+.inputs x
+.outputs one zero notx
+.names one
+1
+.names zero
+.names x notx
+1 0
+.end|}
+  in
+  let { Blif.circuit = c; _ } = Blif.parse text in
+  let tbl = Hashtbl.create 1 in
+  List.iter (fun s -> Hashtbl.replace tbl s true) (Circuit.inputs c);
+  let values = Eval.comb_eval c ~source:(Hashtbl.find tbl) in
+  Alcotest.(check (list bool)) "const / off-set cover" [ true; false; false ]
+    (List.map (fun o -> values.(o)) (Circuit.outputs c))
+
+let test_parse_continuation () =
+  let text = ".model m\n.inputs a \\\nb\n.outputs o\n.names a b o\n11 1\n.end" in
+  let { Blif.circuit = c; _ } = Blif.parse text in
+  Alcotest.(check int) "continued inputs" 2 (List.length (Circuit.inputs c))
+
+let test_roundtrip () =
+  for i = 1 to 20 do
+    let c =
+      Gen.acyclic st
+        ~name:(Printf.sprintf "blif%d" i)
+        ~inputs:(2 + Random.State.int st 3)
+        ~gates:(10 + Random.State.int st 30)
+        ~latches:(Random.State.int st 5)
+        ~outputs:(1 + Random.State.int st 3)
+        ~enables:false
+    in
+    let { Blif.circuit = c2; warnings } = Blif.parse (Blif.to_string c) in
+    Alcotest.(check (list string)) "no warnings" [] warnings;
+    (* behavioural identity, matching latch state by name *)
+    let inputs = Gen.random_inputs st c ~cycles:10 in
+    let names1 = List.map (Circuit.signal_name c) (Circuit.latches c) in
+    let names2 = List.map (Circuit.signal_name c2) (Circuit.latches c2) in
+    let init1 = Array.init (List.length names1) (fun _ -> Random.State.bool st) in
+    let init2 =
+      Array.of_list
+        (List.map
+           (fun n ->
+             let rec find i = function
+               | [] -> false
+               | m :: _ when m = n -> init1.(i)
+               | _ :: tl -> find (i + 1) tl
+             in
+             find 0 names1)
+           names2)
+    in
+    Alcotest.(check bool) "behaviour preserved" true
+      (Sim.run c ~init:init1 ~inputs = Sim.run c2 ~init:init2 ~inputs)
+  done
+
+let test_print_rejects_enables () =
+  let c = Circuit.create "en" in
+  let d = Circuit.add_input c "d" in
+  let e = Circuit.add_input c "e" in
+  Circuit.mark_output c (Circuit.add_latch c ~enable:e ~data:d ());
+  Circuit.check c;
+  try
+    ignore (Blif.to_string c);
+    Alcotest.fail "enabled latch printed"
+  with Invalid_argument _ -> ()
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      try
+        ignore (Blif.parse text);
+        Alcotest.fail ("accepted: " ^ text)
+      with Invalid_argument _ -> ())
+    [
+      ".model m\n.gate foo\n.end";
+      ".model m\n.inputs a\n.outputs o\n.names a o\n111 1\n.end";
+      ".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n0 0\n.end";
+      ".model m\n.latch\n.end";
+    ]
+
+let test_verify_across_formats () =
+  (* a circuit exported to BLIF and reimported verifies equivalent *)
+  let c =
+    Gen.acyclic st ~name:"xfmt" ~inputs:3 ~gates:25 ~latches:3 ~outputs:2 ~enables:false
+  in
+  let { Blif.circuit = c2; _ } = Blif.parse (Blif.to_string c) in
+  match Verify.check c c2 with
+  | Verify.Equivalent, _ -> ()
+  | Verify.Inequivalent _, _ -> Alcotest.fail "format round trip broke equivalence"
+
+let suite =
+  [
+    Alcotest.test_case "full adder" `Quick test_parse_simple;
+    Alcotest.test_case "latch + init warning" `Quick test_parse_latch_and_warning;
+    Alcotest.test_case "constants and off-set covers" `Quick test_parse_constants_and_offset;
+    Alcotest.test_case "line continuation" `Quick test_parse_continuation;
+    Alcotest.test_case "round trip" `Quick test_roundtrip;
+    Alcotest.test_case "print rejects enables" `Quick test_print_rejects_enables;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "verify across formats" `Quick test_verify_across_formats;
+  ]

@@ -1,0 +1,172 @@
+(* Combinational equivalence checking: all three engines against
+   structure-perturbing rewrites, seeded bugs and brute-force reference. *)
+
+let st = Random.State.make [| 0xCEC |]
+
+let engines = [ ("bdd", Cec.Bdd_engine); ("sat", Cec.Sat_engine); ("sweep", Cec.Sweep_engine) ]
+
+let test_equivalent_rewrites () =
+  for i = 1 to 40 do
+    let c1 =
+      Gen.comb st ~name:(Printf.sprintf "eq%d" i) ~inputs:(2 + Random.State.int st 5)
+        ~gates:(5 + Random.State.int st 50)
+        ~outputs:(1 + Random.State.int st 3)
+    in
+    let c2 = Gen.demorganize c1 in
+    List.iter
+      (fun (nm, e) ->
+        match Cec.check ~engine:e c1 c2 with
+        | Cec.Equivalent -> ()
+        | Cec.Inequivalent _ -> Alcotest.fail (nm ^ ": false inequivalence"))
+      engines
+  done
+
+let test_seeded_bugs_found () =
+  for i = 1 to 40 do
+    let c1 =
+      Gen.comb st ~name:(Printf.sprintf "bug%d" i) ~inputs:(2 + Random.State.int st 4)
+        ~gates:(5 + Random.State.int st 40)
+        ~outputs:(1 + Random.State.int st 3)
+    in
+    let c2 = Gen.negate_one_output (Gen.demorganize c1) in
+    List.iter
+      (fun (nm, e) ->
+        match Cec.check ~engine:e c1 c2 with
+        | Cec.Equivalent -> Alcotest.fail (nm ^ ": missed seeded bug")
+        | Cec.Inequivalent cex ->
+            Alcotest.(check bool) (nm ^ ": cex replays") true
+              (Cec.counterexample_is_valid c1 c2 cex))
+      engines
+  done
+
+let test_engines_agree () =
+  (* random pairs (often inequivalent): all engines agree on the verdict *)
+  for i = 1 to 30 do
+    let n_in = 2 + Random.State.int st 3 in
+    let c1 = Gen.comb st ~name:(Printf.sprintf "p%da" i) ~inputs:n_in ~gates:15 ~outputs:2 in
+    let c2 = Gen.comb st ~name:(Printf.sprintf "p%db" i) ~inputs:n_in ~gates:15 ~outputs:2 in
+    let verdicts =
+      List.map
+        (fun (_, e) ->
+          match Cec.check ~engine:e c1 c2 with Cec.Equivalent -> true | Cec.Inequivalent _ -> false)
+        engines
+    in
+    Alcotest.(check bool) "engines agree" true
+      (List.for_all (fun v -> v = List.hd verdicts) verdicts)
+  done
+
+let test_vs_brute_force () =
+  for i = 1 to 30 do
+    let n_in = 2 + Random.State.int st 3 in
+    let c1 = Gen.comb st ~name:(Printf.sprintf "b%da" i) ~inputs:n_in ~gates:12 ~outputs:1 in
+    let c2 = Gen.comb st ~name:(Printf.sprintf "b%db" i) ~inputs:n_in ~gates:12 ~outputs:1 in
+    (* brute force over the union input space; inputs matched by name *)
+    let names =
+      List.sort_uniq compare
+        (List.map (Circuit.signal_name c1) (Circuit.inputs c1)
+        @ List.map (Circuit.signal_name c2) (Circuit.inputs c2))
+    in
+    let nv = List.length names in
+    let equal = ref true in
+    for m = 0 to (1 lsl nv) - 1 do
+      let env name =
+        let rec idx i = function
+          | [] -> false
+          | n :: _ when n = name -> m land (1 lsl i) <> 0
+          | _ :: tl -> idx (i + 1) tl
+        in
+        idx 0 names
+      in
+      let outs c =
+        let source s = env (Circuit.signal_name c s) in
+        let v = Eval.comb_eval c ~source in
+        List.map (fun o -> v.(o)) (Circuit.outputs c)
+      in
+      if outs c1 <> outs c2 then equal := false
+    done;
+    List.iter
+      (fun (nm, e) ->
+        let got =
+          match Cec.check ~engine:e c1 c2 with Cec.Equivalent -> true | Cec.Inequivalent _ -> false
+        in
+        Alcotest.(check bool) (nm ^ " matches brute force") !equal got)
+      engines
+  done
+
+let test_constants () =
+  let c1 = Circuit.create "k1" in
+  ignore (Circuit.add_input c1 "x");
+  Circuit.mark_output c1 (Circuit.const_true c1);
+  Circuit.check c1;
+  let c2 = Circuit.create "k2" in
+  let x = Circuit.add_input c2 "x" in
+  Circuit.mark_output c2 (Circuit.add_gate c2 Or [ x; Circuit.add_gate c2 Not [ x ] ]);
+  Circuit.check c2;
+  List.iter
+    (fun (nm, e) ->
+      match Cec.check ~engine:e c1 c2 with
+      | Cec.Equivalent -> ()
+      | Cec.Inequivalent _ -> Alcotest.fail (nm ^ ": tautology not proven"))
+    engines
+
+let test_rejects_latches () =
+  let c = Circuit.create "seq" in
+  let d = Circuit.add_input c "d" in
+  Circuit.mark_output c (Circuit.add_latch c ~data:d ());
+  Circuit.check c;
+  try
+    ignore (Cec.check c c);
+    Alcotest.fail "latch accepted"
+  with Invalid_argument _ -> ()
+
+let test_output_count_mismatch () =
+  let c1 = Gen.comb st ~name:"o1" ~inputs:2 ~gates:5 ~outputs:1 in
+  let c2 = Gen.comb st ~name:"o2" ~inputs:2 ~gates:5 ~outputs:2 in
+  try
+    ignore (Cec.check c1 c2);
+    Alcotest.fail "output mismatch accepted"
+  with Invalid_argument _ -> ()
+
+let test_disjoint_inputs_free () =
+  (* an input present in only one circuit is a free variable: f(x) vs
+     g(x,y) must compare over x AND y *)
+  let c1 = Circuit.create "d1" in
+  let x = Circuit.add_input c1 "x" in
+  Circuit.mark_output c1 (Circuit.add_gate c1 Buf [ x ]);
+  Circuit.check c1;
+  let c2 = Circuit.create "d2" in
+  let x2 = Circuit.add_input c2 "x" in
+  let y2 = Circuit.add_input c2 "y" in
+  Circuit.mark_output c2 (Circuit.add_gate c2 And [ x2; y2 ]);
+  Circuit.check c2;
+  List.iter
+    (fun (nm, e) ->
+      match Cec.check ~engine:e c1 c2 with
+      | Cec.Equivalent -> Alcotest.fail (nm ^ ": y dependence missed")
+      | Cec.Inequivalent cex ->
+          Alcotest.(check bool) (nm ^ " valid cex") true
+            (Cec.counterexample_is_valid c1 c2 cex))
+    engines
+
+let test_sweep_on_identical_structures () =
+  (* sweeping a miter of two copies should need few/no SAT calls on the
+     final miter (internal equivalences collapse it) *)
+  let c1 = Gen.comb st ~name:"same" ~inputs:4 ~gates:60 ~outputs:2 in
+  let c2 = Gen.demorganize c1 in
+  (match Cec.check ~engine:Cec.Sweep_engine c1 c2 with
+  | Cec.Equivalent -> ()
+  | Cec.Inequivalent _ -> Alcotest.fail "sweep failed");
+  Alcotest.(check bool) "sat calls recorded" true (Cec.stats_last_sat_calls () >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "equivalent rewrites proven" `Quick test_equivalent_rewrites;
+    Alcotest.test_case "seeded bugs found + cex valid" `Quick test_seeded_bugs_found;
+    Alcotest.test_case "engines agree" `Quick test_engines_agree;
+    Alcotest.test_case "matches brute force" `Quick test_vs_brute_force;
+    Alcotest.test_case "constants / tautologies" `Quick test_constants;
+    Alcotest.test_case "rejects latches" `Quick test_rejects_latches;
+    Alcotest.test_case "output count mismatch" `Quick test_output_count_mismatch;
+    Alcotest.test_case "union input space" `Quick test_disjoint_inputs_free;
+    Alcotest.test_case "sweep collapses identical logic" `Quick test_sweep_on_identical_structures;
+  ]

@@ -1,0 +1,394 @@
+(* Retiming: graph extraction, FEAS min-period, min-area LP vs brute force,
+   application legality, sequential equivalence of the result. *)
+
+let st = Random.State.make [| 0x4E7 |]
+
+let flush_compare c1 c2 ~cycles ~skip =
+  let ni = List.length (Circuit.inputs c1) in
+  let seq = List.init cycles (fun _ -> Array.init ni (fun _ -> Random.State.bool st)) in
+  let t1 = Sim.run c1 ~init:(Array.make (Circuit.latch_count c1) false) ~inputs:seq in
+  let t2 = Sim.run c2 ~init:(Array.make (Circuit.latch_count c2) false) ~inputs:seq in
+  List.iteri
+    (fun t o1 ->
+      if t >= skip && o1 <> List.nth t2 t then Alcotest.fail "retimed behaviour differs")
+    t1
+
+let random_acyclic i =
+  Gen.acyclic st
+    ~name:(Printf.sprintf "r%d" i)
+    ~inputs:(2 + Random.State.int st 4)
+    ~gates:(15 + Random.State.int st 60)
+    ~latches:(2 + Random.State.int st 8)
+    ~outputs:(1 + Random.State.int st 3)
+    ~enables:false
+
+let random_feedback i =
+  Gen.feedback st
+    ~name:(Printf.sprintf "rf%d" i)
+    ~inputs:(2 + Random.State.int st 3)
+    ~gates:(20 + Random.State.int st 50)
+    ~latches:(2 + Random.State.int st 6)
+    ~outputs:(1 + Random.State.int st 3)
+
+let test_rgraph_weights () =
+  (* two latches in series between gates = edge weight 2 *)
+  let c = Circuit.create "w2" in
+  let a = Circuit.add_input c "a" in
+  let g1 = Circuit.add_gate c Not [ a ] in
+  let l1 = Circuit.add_latch c ~data:g1 () in
+  let l2 = Circuit.add_latch c ~data:l1 () in
+  let g2 = Circuit.add_gate c Not [ l2 ] in
+  Circuit.mark_output c g2;
+  Circuit.check c;
+  let g = Rgraph.build c in
+  let found = ref false in
+  Vgraph.Digraph.iter_edges
+    (fun _ e -> if e.weight = 2 then found := true)
+    g.Rgraph.graph;
+  Alcotest.(check bool) "weight-2 edge" true !found
+
+let test_rgraph_rejects_enabled () =
+  let c = Circuit.create "en" in
+  let a = Circuit.add_input c "a" in
+  let e = Circuit.add_input c "e" in
+  let q = Circuit.add_latch c ~enable:e ~data:a () in
+  Circuit.mark_output c (Circuit.add_gate c Not [ q ]);
+  Circuit.check c;
+  try
+    ignore (Rgraph.build c);
+    Alcotest.fail "enabled latch accepted"
+  with Invalid_argument _ -> ()
+
+let test_latch_ring_auto_exposed () =
+  (* a gate-free latch ring must survive via auto-exposure *)
+  let c = Circuit.create "ring" in
+  let q0 = Circuit.declare c ~name:"q0" () in
+  let q1 = Circuit.add_latch c ~data:q0 () in
+  Circuit.set_latch c q0 ~data:q1 ();
+  let a = Circuit.add_input c "a" in
+  Circuit.mark_output c (Circuit.add_gate c And [ a; q0 ]);
+  Circuit.check c;
+  let rt, _ = Retime.min_period c in
+  Circuit.check rt;
+  flush_compare c rt ~cycles:20 ~skip:10
+
+let test_min_period_legal_and_better () =
+  for i = 1 to 40 do
+    let c = random_acyclic i in
+    let rt, rep = Retime.min_period c in
+    Alcotest.(check bool) "period not worse" true
+      (rep.Retime.period_after <= rep.Retime.period_before);
+    Alcotest.(check int) "delay agrees with report" rep.Retime.period_after
+      (Circuit.delay rt);
+    flush_compare c rt ~cycles:40 ~skip:20
+  done
+
+let test_min_period_feedback () =
+  (* Feedback state need not flush, so behaviour is compared under the
+     paper's exact 3-valued semantics (all power-up states), past the
+     initialization transient that retiming may lengthen. *)
+  for i = 1 to 12 do
+    let c =
+      Gen.feedback st
+        ~name:(Printf.sprintf "rf%d" i)
+        ~inputs:2 ~gates:(15 + Random.State.int st 25) ~latches:(2 + Random.State.int st 3)
+        ~outputs:2
+    in
+    let rt, rep = Retime.min_period c in
+    Alcotest.(check bool) "period not worse" true
+      (rep.Retime.period_after <= rep.Retime.period_before);
+    if Circuit.latch_count rt <= 10 then begin
+      let cycles = 12 in
+      let skip = Circuit.latch_count c + Circuit.latch_count rt + 2 in
+      let seq = Gen.random_inputs st c ~cycles in
+      let t1 = Sim.run_exact ~max_latches:10 c ~inputs:seq in
+      let t2 = Sim.run_exact ~max_latches:10 rt ~inputs:seq in
+      List.iteri
+        (fun t o1 ->
+          let o2 = List.nth t2 t in
+          if t >= skip then
+            Array.iteri
+              (fun j v1 ->
+                (* a defined original output must stay defined and equal *)
+                if not (Sim.tv_equal v1 Sim.X) && not (Sim.tv_equal v1 o2.(j)) then
+                  Alcotest.fail "retimed exact-3v behaviour differs")
+              o1)
+        t1
+    end
+  done
+
+let test_min_area_vs_bruteforce () =
+  (* exhaustive check of the LP on small graphs: enumerate r in [-2..2]^V *)
+  for i = 1 to 20 do
+    let c =
+      Gen.acyclic st
+        ~name:(Printf.sprintf "ma%d" i)
+        ~inputs:2 ~gates:(5 + Random.State.int st 8) ~latches:(2 + Random.State.int st 3)
+        ~outputs:2 ~enables:false
+    in
+    let g = Rgraph.build c in
+    let n = Vgraph.Digraph.node_count g.Rgraph.graph in
+    if n <= 9 then begin
+      let r = Minarea.solve g in
+      let cost = Rgraph.total_latches_after g ~r in
+      (* brute force *)
+      let best = ref max_int in
+      let labels = Array.make n 0 in
+      let rec go v =
+        if v = n then begin
+          if Rgraph.is_legal g ~r:labels then
+            best := min !best (Rgraph.total_latches_after g ~r:labels)
+        end
+        else if v <= 1 then begin
+          labels.(v) <- 0;
+          go (v + 1) (* both hosts pinned *)
+        end
+        else
+          for x = -2 to 2 do
+            labels.(v) <- x;
+            go (v + 1)
+          done
+      in
+      go 0;
+      Alcotest.(check bool) "legal" true (Rgraph.is_legal g ~r);
+      Alcotest.(check int) "LP optimum = brute force" !best cost
+    end
+  done
+
+let test_constrained_min_area () =
+  for i = 1 to 25 do
+    let c = random_acyclic (100 + i) in
+    let period0 = Circuit.delay c in
+    let rt, rep = Retime.constrained_min_area ~period:period0 c in
+    Alcotest.(check bool) "period respected" true (rep.Retime.period_after <= period0);
+    flush_compare c rt ~cycles:40 ~skip:20;
+    (* unconstrained can only be <= constrained in latches *)
+    let _, rep_u = Retime.min_area c in
+    Alcotest.(check bool) "unconstrained <= constrained" true
+      (rep_u.Retime.latches_after <= rep.Retime.latches_after)
+  done
+
+let test_infeasible_period () =
+  let c = Circuit.create "inf" in
+  let a = Circuit.add_input c "a" in
+  (* combinational path of depth 4 with no latch: period < 4 impossible *)
+  let g = ref a in
+  for _ = 1 to 4 do
+    g := Circuit.add_gate c Not [ !g ]
+  done;
+  Circuit.mark_output c !g;
+  Circuit.check c;
+  try
+    ignore (Retime.constrained_min_area ~period:2 c);
+    Alcotest.fail "infeasible period accepted"
+  with Invalid_argument _ -> ()
+
+let test_exposed_latches_stay () =
+  for i = 1 to 15 do
+    let c = random_feedback (200 + i) in
+    let plan = Feedback.plan_structural c in
+    let exposed_names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+    let exposed s = List.mem (Circuit.signal_name c s) exposed_names in
+    let rt, _ = Retime.min_period ~exposed c in
+    (* every exposed latch survives with its name and stays a latch *)
+    List.iter
+      (fun n ->
+        match Circuit.find_signal rt n with
+        | None -> Alcotest.fail (Printf.sprintf "exposed latch %s vanished" n)
+        | Some s -> (
+            match Circuit.driver rt s with
+            | Latch _ -> ()
+            | Undriven | Input | Gate _ ->
+                Alcotest.fail (Printf.sprintf "exposed %s no longer a latch" n)))
+      exposed_names;
+    flush_compare c rt ~cycles:40 ~skip:20
+  done
+
+let test_pipeline_balances () =
+  let c = Workloads.pipeline ~name:"pb" ~width:6 ~stages:4 ~imbalance:5 ~seed:3 in
+  let rt, rep = Retime.min_period c in
+  Alcotest.(check bool) "pipeline delay improves" true
+    (rep.Retime.period_after < rep.Retime.period_before);
+  flush_compare c rt ~cycles:40 ~skip:20
+
+(* ---- latch classes (Fig. 16) ---- *)
+
+let test_classes_grouping () =
+  let c = Circuit.create "cls" in
+  let d = Circuit.add_input c "d" in
+  let e1 = Circuit.add_input c "e1" in
+  let _q1 = Circuit.add_latch c ~enable:e1 ~data:d () in
+  let _q2 = Circuit.add_latch c ~enable:e1 ~data:d () in
+  let _q3 = Circuit.add_latch c ~data:d () in
+  Alcotest.(check int) "two classes" 2 (List.length (Classes.classes c))
+
+let test_forward_move_legality () =
+  let c = Circuit.create "fwd" in
+  let d1 = Circuit.add_input c "d1" in
+  let d2 = Circuit.add_input c "d2" in
+  let e = Circuit.add_input c "e" in
+  let q1 = Circuit.add_latch c ~enable:e ~data:d1 () in
+  let q2 = Circuit.add_latch c ~enable:e ~data:d2 () in
+  let g = Circuit.add_gate c And [ q1; q2 ] in
+  Circuit.mark_output c g;
+  Circuit.check c;
+  Alcotest.(check bool) "same class movable" true (Classes.can_forward_move c ~gate:g);
+  (* different classes: not movable *)
+  let c2 = Circuit.create "fwd2" in
+  let d1 = Circuit.add_input c2 "d1" in
+  let e1 = Circuit.add_input c2 "e1" in
+  let e2 = Circuit.add_input c2 "e2" in
+  let q1 = Circuit.add_latch c2 ~enable:e1 ~data:d1 () in
+  let q2 = Circuit.add_latch c2 ~enable:e2 ~data:d1 () in
+  let g2 = Circuit.add_gate c2 And [ q1; q2 ] in
+  Circuit.mark_output c2 g2;
+  Circuit.check c2;
+  Alcotest.(check bool) "mixed classes blocked" false (Classes.can_forward_move c2 ~gate:g2)
+
+let test_forward_move_preserves () =
+  (* Fig. 16: moving same-class enabled latches across a gate preserves the
+     sequential function when power-up states are matched (we check the
+     flushed behaviour: after the first enable pulse the outputs agree) *)
+  let c = Circuit.create "fwd3" in
+  let d1 = Circuit.add_input c "d1" in
+  let d2 = Circuit.add_input c "d2" in
+  let e = Circuit.add_input c "e" in
+  let q1 = Circuit.add_latch c ~enable:e ~data:d1 () in
+  let q2 = Circuit.add_latch c ~enable:e ~data:d2 () in
+  let g = Circuit.add_gate c Or [ q1; q2 ] in
+  Circuit.mark_output c g;
+  Circuit.check c;
+  let moved = Classes.forward_move c ~gate:g in
+  Circuit.check moved;
+  (* drive with enable always on after cycle 0 -> states flush *)
+  let seq =
+    List.init 20 (fun _ ->
+        [| Random.State.bool st; Random.State.bool st; true |])
+  in
+  let t1 = Sim.run c ~init:(Array.make (Circuit.latch_count c) false) ~inputs:seq in
+  let t2 = Sim.run moved ~init:(Array.make (Circuit.latch_count moved) false) ~inputs:seq in
+  List.iteri
+    (fun t o1 -> if t >= 2 && o1 <> List.nth t2 t then Alcotest.fail "move changed function")
+    t1
+
+let suite =
+  [
+    Alcotest.test_case "rgraph edge weights" `Quick test_rgraph_weights;
+    Alcotest.test_case "rgraph rejects enabled latches" `Quick test_rgraph_rejects_enabled;
+    Alcotest.test_case "latch ring auto-exposed" `Quick test_latch_ring_auto_exposed;
+    Alcotest.test_case "min-period legal + better" `Quick test_min_period_legal_and_better;
+    Alcotest.test_case "min-period with feedback" `Quick test_min_period_feedback;
+    Alcotest.test_case "min-area LP = brute force" `Quick test_min_area_vs_bruteforce;
+    Alcotest.test_case "constrained min-area" `Quick test_constrained_min_area;
+    Alcotest.test_case "infeasible period rejected" `Quick test_infeasible_period;
+    Alcotest.test_case "exposed latches pinned" `Quick test_exposed_latches_stay;
+    Alcotest.test_case "pipeline balancing" `Quick test_pipeline_balances;
+    Alcotest.test_case "latch class grouping" `Quick test_classes_grouping;
+    Alcotest.test_case "forward move legality" `Quick test_forward_move_legality;
+    Alcotest.test_case "forward move preserves" `Quick test_forward_move_preserves;
+  ]
+
+(* ---- single-class retiming (Legl reduction) ---- *)
+
+let single_class_circuit st ~gates ~latches =
+  let c = Circuit.create "sc" in
+  let ins = List.init 3 (fun i -> Circuit.add_input c (Printf.sprintf "i%d" i)) in
+  let en = Circuit.add_input c "en" in
+  let pool = ref ins in
+  let pick () = List.nth !pool (Random.State.int st (List.length !pool)) in
+  let total = gates + latches in
+  for k = 1 to total do
+    if k mod (total / max 1 latches) = 0 && Circuit.latch_count c < latches then
+      pool := Circuit.add_latch c ~enable:en ~data:(pick ()) () :: !pool
+    else begin
+      let fn : Circuit.gate_fn =
+        match Random.State.int st 5 with
+        | 0 -> And | 1 -> Or | 2 -> Nand | 3 -> Xor | _ -> Not
+      in
+      let arity = match fn with Not -> 1 | _ -> 2 in
+      pool := Circuit.add_gate c fn (List.init arity (fun _ -> pick ())) :: !pool
+    end
+  done;
+  Circuit.mark_output c (pick ());
+  Circuit.mark_output c (pick ());
+  Circuit.check c;
+  c
+
+let test_single_class_detection () =
+  let c = single_class_circuit st ~gates:20 ~latches:4 in
+  Alcotest.(check bool) "detected" true (Classes.single_class_enable c <> None);
+  (* mixed classes rejected *)
+  let m = Circuit.create "mixed" in
+  let d = Circuit.add_input m "d" in
+  let e = Circuit.add_input m "e" in
+  let _q1 = Circuit.add_latch m ~enable:e ~data:d () in
+  let _q2 = Circuit.add_latch m ~data:d () in
+  Circuit.mark_output m d;
+  Circuit.check m;
+  Alcotest.(check bool) "mixed rejected" true (Classes.single_class_enable m = None);
+  (* gate-driven enable rejected *)
+  let g = Circuit.create "gen" in
+  let d = Circuit.add_input g "d" in
+  let e = Circuit.add_gate g Not [ d ] in
+  let _q = Circuit.add_latch g ~enable:e ~data:d () in
+  Circuit.mark_output g d;
+  Circuit.check g;
+  Alcotest.(check bool) "derived enable rejected" true (Classes.single_class_enable g = None)
+
+let test_single_class_retime_verified () =
+  (* the Legl reduction: retimed single-class circuits verify by EDBF *)
+  for i = 1 to 10 do
+    ignore i;
+    let c = single_class_circuit st ~gates:(20 + Random.State.int st 40) ~latches:(3 + Random.State.int st 4) in
+    let rt, rep = Classes.min_period_single_class c in
+    Alcotest.(check bool) "period not worse" true
+      (rep.Retime.period_after <= rep.Retime.period_before);
+    (* all surviving latches still single-class (dangling latches may have
+       been pruned away entirely) *)
+    Alcotest.(check bool) "class preserved" true
+      (Circuit.latch_count rt = 0 || Classes.single_class_enable rt <> None);
+    match Verify.check c rt with
+    | Verify.Equivalent, stats ->
+        Alcotest.(check bool) "edbf used" true (stats.Verify.method_ = Verify.Edbf_method)
+    | Verify.Inequivalent _, _ -> Alcotest.fail "single-class retime not verified"
+  done
+
+let test_single_class_retime_simulated () =
+  (* belt and braces: simulation with sparse enables, matched flush *)
+  for i = 1 to 10 do
+    ignore i;
+    let c = single_class_circuit st ~gates:30 ~latches:4 in
+    let rt, _ = Classes.min_period_single_class c in
+    let cycles = 60 in
+    let seq =
+      List.init cycles (fun t ->
+          (* inputs random; enable on ~half the cycles, always early *)
+          [| Random.State.bool st; Random.State.bool st; Random.State.bool st;
+             t < 20 || Random.State.bool st |])
+    in
+    let t1 = Sim.run c ~init:(Array.make (Circuit.latch_count c) false) ~inputs:seq in
+    let t2 = Sim.run rt ~init:(Array.make (Circuit.latch_count rt) false) ~inputs:seq in
+    List.iteri
+      (fun t o1 ->
+        if t >= 30 && o1 <> List.nth t2 t then
+          Alcotest.fail "single-class retime behaviour differs")
+      t1
+  done
+
+let test_single_class_min_area () =
+  let c = single_class_circuit st ~gates:40 ~latches:5 in
+  let period = Circuit.delay c in
+  let rt, rep = Classes.constrained_min_area_single_class ~period c in
+  Alcotest.(check bool) "period respected" true (rep.Retime.period_after <= period);
+  match Verify.check c rt with
+  | Verify.Equivalent, _ -> ()
+  | Verify.Inequivalent _, _ -> Alcotest.fail "single-class min-area not verified"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "single-class detection" `Quick test_single_class_detection;
+      Alcotest.test_case "single-class retime verified" `Quick test_single_class_retime_verified;
+      Alcotest.test_case "single-class retime simulated" `Quick test_single_class_retime_simulated;
+      Alcotest.test_case "single-class min-area" `Quick test_single_class_min_area;
+    ]

@@ -1,0 +1,149 @@
+(* CDCL solver cross-checked against brute force on random instances. *)
+
+let st = Random.State.make [| 0x5A7 |]
+
+let brute nvars clauses =
+  let sat = ref false in
+  for m = 0 to (1 lsl nvars) - 1 do
+    if not !sat then begin
+      let value v = m land (1 lsl (v - 1)) <> 0 in
+      let ok_clause c =
+        List.exists (fun l -> if l > 0 then value l else not (value (-l))) c
+      in
+      if List.for_all ok_clause clauses then sat := true
+    end
+  done;
+  !sat
+
+let random_instance () =
+  let nvars = 1 + Random.State.int st 10 in
+  let nclauses = 1 + Random.State.int st 45 in
+  let clauses =
+    List.init nclauses (fun _ ->
+        let len = 1 + Random.State.int st 3 in
+        List.init len (fun _ ->
+            let v = 1 + Random.State.int st nvars in
+            if Random.State.bool st then v else -v))
+  in
+  (nvars, clauses)
+
+let model_ok s clauses =
+  let value v = Sat.value s v in
+  List.for_all
+    (fun c -> List.exists (fun l -> if l > 0 then value l else not (value (-l))) c)
+    clauses
+
+let test_random_3sat () =
+  for _ = 1 to 500 do
+    let nvars, clauses = random_instance () in
+    let s = Sat.create () in
+    List.iter (Sat.add_clause s) clauses;
+    let expected = brute nvars clauses in
+    (match Sat.solve s with
+    | Sat.Sat ->
+        Alcotest.(check bool) "expected sat" true expected;
+        Alcotest.(check bool) "model valid" true (model_ok s clauses)
+    | Sat.Unsat -> Alcotest.(check bool) "expected unsat" false expected)
+  done
+
+let test_assumptions () =
+  for _ = 1 to 300 do
+    let nvars, clauses = random_instance () in
+    let s = Sat.create () in
+    List.iter (Sat.add_clause s) clauses;
+    let a1 = (if Random.State.bool st then 1 else -1) * (1 + Random.State.int st nvars) in
+    let a2 = (if Random.State.bool st then 1 else -1) * (1 + Random.State.int st nvars) in
+    let expected = brute nvars ([ a1 ] :: [ a2 ] :: clauses) in
+    let got = Sat.solve ~assumptions:[ a1; a2 ] s = Sat.Sat in
+    Alcotest.(check bool) "under assumptions" expected got;
+    (* solver unchanged: solving without assumptions afterwards *)
+    let expected0 = brute nvars clauses in
+    Alcotest.(check bool) "reuse after assumptions" expected0 (Sat.solve s = Sat.Sat)
+  done
+
+let test_incremental_clauses () =
+  (* add clauses progressively; satisfiability is monotonically
+     non-increasing *)
+  for _ = 1 to 50 do
+    let nvars = 1 + Random.State.int st 8 in
+    let s = Sat.create () in
+    let acc = ref [] in
+    let was_unsat = ref false in
+    for _ = 1 to 25 do
+      let len = 1 + Random.State.int st 3 in
+      let clause =
+        List.init len (fun _ ->
+            let v = 1 + Random.State.int st nvars in
+            if Random.State.bool st then v else -v)
+      in
+      Sat.add_clause s clause;
+      acc := clause :: !acc;
+      let expected = brute nvars !acc in
+      let got = Sat.solve s = Sat.Sat in
+      Alcotest.(check bool) "incremental" expected got;
+      if !was_unsat then Alcotest.(check bool) "stays unsat" false got;
+      if not got then was_unsat := true
+    done
+  done
+
+let test_empty_clause () =
+  let s = Sat.create () in
+  Sat.add_clause s [ 1; 2 ];
+  Sat.add_clause s [];
+  Alcotest.(check bool) "empty clause unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_tautology () =
+  let s = Sat.create () in
+  Sat.add_clause s [ 1; -1 ];
+  Alcotest.(check bool) "tautology sat" true (Sat.solve s = Sat.Sat)
+
+let test_unit_chain () =
+  (* long implication chain forced by units *)
+  let s = Sat.create () in
+  let n = 200 in
+  Sat.add_clause s [ 1 ];
+  for v = 1 to n - 1 do
+    Sat.add_clause s [ -v; v + 1 ]
+  done;
+  Alcotest.(check bool) "chain sat" true (Sat.solve s = Sat.Sat);
+  for v = 1 to n do
+    Alcotest.(check bool) "all true" true (Sat.value s v)
+  done;
+  Sat.add_clause s [ -n ];
+  Alcotest.(check bool) "contradiction" true (Sat.solve s = Sat.Unsat)
+
+let test_pigeonhole_4_3 () =
+  (* 4 pigeons, 3 holes: classic small UNSAT requiring real search *)
+  let s = Sat.create () in
+  let var p h = (p * 3) + h + 1 in
+  for p = 0 to 3 do
+    Sat.add_clause s [ var p 0; var p 1; var p 2 ]
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Sat.add_clause s [ -var p1 h; -var p2 h ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(4,3) unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_stats_move () =
+  let s = Sat.create () in
+  Sat.add_clause s [ 1; 2 ];
+  Sat.add_clause s [ -1; 2 ];
+  ignore (Sat.solve s);
+  let _c, _d, p = Sat.stats s in
+  Alcotest.(check bool) "propagations counted" true (p >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "random 3-SAT vs brute force" `Quick test_random_3sat;
+    Alcotest.test_case "assumptions" `Quick test_assumptions;
+    Alcotest.test_case "incremental clause addition" `Quick test_incremental_clauses;
+    Alcotest.test_case "empty clause" `Quick test_empty_clause;
+    Alcotest.test_case "tautology" `Quick test_tautology;
+    Alcotest.test_case "unit chain" `Quick test_unit_chain;
+    Alcotest.test_case "pigeonhole 4/3" `Quick test_pigeonhole_4_3;
+    Alcotest.test_case "stats" `Quick test_stats_move;
+  ]

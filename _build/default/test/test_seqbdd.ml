@@ -1,0 +1,216 @@
+(* The symbolic-traversal baseline: transition functions, image/reachable,
+   and the product-machine check cross-validated against the combinational
+   reduction. *)
+
+let st = Random.State.make [| 0x5EC |]
+
+let test_transition_functions () =
+  (* toggle counter: q' = q xor 1 when en *)
+  let c = Circuit.create "cnt" in
+  let en = Circuit.add_input c "en" in
+  let q = Circuit.declare c ~name:"q" () in
+  Circuit.set_latch c q ~data:(Circuit.add_gate c Xor [ q; en ]) ();
+  Circuit.mark_output c q;
+  Circuit.check c;
+  let t = Transition.build c in
+  let man = t.Transition.man in
+  (* next-state = q xor en *)
+  let expected =
+    Bdd.xor_ man
+      (Bdd.var man t.Transition.state_vars.(0))
+      (Bdd.var man t.Transition.input_vars.(0))
+  in
+  Alcotest.(check bool) "delta" true (Bdd.equal t.Transition.next_state.(0) expected)
+
+let test_image () =
+  (* shift register q1 <- in, q2 <- q1: image of {q1=1,q2=0} is {q2=1} *)
+  let c = Circuit.create "shift" in
+  let i = Circuit.add_input c "i" in
+  let q1 = Circuit.add_latch c ~data:i () in
+  let q2 = Circuit.add_latch c ~data:q1 () in
+  Circuit.mark_output c q2;
+  Circuit.check c;
+  let t = Transition.build c in
+  let man = t.Transition.man in
+  let v1 = Bdd.var man t.Transition.state_vars.(0) in
+  let v2 = Bdd.var man t.Transition.state_vars.(1) in
+  let s = Bdd.and_ man v1 (Bdd.not_ man v2) in
+  let img = Transition.image t s in
+  (* q2' = q1 = 1; q1' = input (free) -> img = v2 *)
+  Alcotest.(check bool) "image" true (Bdd.equal img v2)
+
+let test_reachable_counter () =
+  (* 3-bit ripple counter from 000 reaches all 8 states *)
+  let c = Circuit.create "c3" in
+  let one = Circuit.const_true c in
+  let q0 = Circuit.declare c ~name:"q0" () in
+  let q1 = Circuit.declare c ~name:"q1" () in
+  let q2 = Circuit.declare c ~name:"q2" () in
+  let carry0 = one in
+  let carry1 = Circuit.add_gate c And [ q0; carry0 ] in
+  let carry2 = Circuit.add_gate c And [ q1; carry1 ] in
+  Circuit.set_latch c q0 ~data:(Circuit.add_gate c Xor [ q0; carry0 ]) ();
+  Circuit.set_latch c q1 ~data:(Circuit.add_gate c Xor [ q1; carry1 ]) ();
+  Circuit.set_latch c q2 ~data:(Circuit.add_gate c Xor [ q2; carry2 ]) ();
+  Circuit.mark_output c q2;
+  Circuit.check c;
+  let t = Transition.build c in
+  let man = t.Transition.man in
+  let zero_state =
+    Bdd.and_list man
+      (List.map (fun v -> Bdd.not_ man (Bdd.var man v)) (Array.to_list t.Transition.state_vars))
+  in
+  match Transition.reachable t ~init:zero_state with
+  | None -> Alcotest.fail "fixpoint not reached"
+  | Some r ->
+      Alcotest.(check int) "all 8 states" 8 (int_of_float (Transition.state_count t r))
+
+let test_reachable_invariant () =
+  (* a one-hot ring counter starting one-hot stays one-hot *)
+  let c = Circuit.create "ring" in
+  let q0 = Circuit.declare c ~name:"q0" () in
+  let q1 = Circuit.declare c ~name:"q1" () in
+  let q2 = Circuit.declare c ~name:"q2" () in
+  Circuit.set_latch c q0 ~data:q2 ();
+  Circuit.set_latch c q1 ~data:q0 ();
+  Circuit.set_latch c q2 ~data:q1 ();
+  Circuit.mark_output c q0;
+  Circuit.check c;
+  let t = Transition.build c in
+  let man = t.Transition.man in
+  let v i = Bdd.var man t.Transition.state_vars.(i) in
+  let onehot i =
+    Bdd.and_list man
+      (List.init 3 (fun j -> if i = j then v j else Bdd.not_ man (v j)))
+  in
+  match Transition.reachable t ~init:(onehot 0) with
+  | None -> Alcotest.fail "fixpoint not reached"
+  | Some r ->
+      Alcotest.(check int) "3 rotations" 3 (int_of_float (Transition.state_count t r));
+      let any_onehot = Bdd.or_list man [ onehot 0; onehot 1; onehot 2 ] in
+      Alcotest.(check bool) "one-hot invariant" true (Bdd.leq man r any_onehot)
+
+let test_baseline_self () =
+  for i = 1 to 8 do
+    let c =
+      Gen.acyclic st ~name:(Printf.sprintf "sb%d" i) ~inputs:3
+        ~gates:(10 + Random.State.int st 20)
+        ~latches:(1 + Random.State.int st 4)
+        ~outputs:2 ~enables:false
+    in
+    match Sec_baseline.check c c with
+    | Sec_baseline.Equivalent, _ -> ()
+    | Sec_baseline.Inequivalent, _ -> Alcotest.fail "self inequivalent"
+    | Sec_baseline.Resource_out why, _ -> Alcotest.fail ("resources: " ^ why)
+  done
+
+let test_baseline_agrees_with_cbf () =
+  (* on retimed/synthesized pairs both methods must say Equivalent; on
+     seeded bugs both must say Inequivalent *)
+  for i = 1 to 8 do
+    let c =
+      Gen.acyclic st ~name:(Printf.sprintf "ag%d" i) ~inputs:2
+        ~gates:(10 + Random.State.int st 25)
+        ~latches:(1 + Random.State.int st 4)
+        ~outputs:2 ~enables:false
+    in
+    let o, _ = Retime.min_period (Synth_script.delay_script c) in
+    (match (Sec_baseline.check c o, Verify.check c o) with
+    | (Sec_baseline.Equivalent, _), (Verify.Equivalent, _) -> ()
+    | (Sec_baseline.Resource_out _, _), _ -> () (* baseline may give up *)
+    | _ -> Alcotest.fail "methods disagree on an equivalent pair");
+    let bug = Gen.negate_one_output o in
+    match (Sec_baseline.check c bug, Verify.check c bug) with
+    | (Sec_baseline.Inequivalent, _), (Verify.Inequivalent _, _) -> ()
+    | (Sec_baseline.Resource_out _, _), (Verify.Inequivalent _, _) -> ()
+    | _ -> Alcotest.fail "methods disagree on a seeded bug"
+  done
+
+let test_baseline_enabled_latches () =
+  (* the baseline handles load-enables natively (e·d + ē·q) *)
+  let c = Circuit.create "ben" in
+  let d = Circuit.add_input c "d" in
+  let e = Circuit.add_input c "e" in
+  let q = Circuit.add_latch c ~enable:e ~data:d () in
+  Circuit.mark_output c q;
+  Circuit.check c;
+  let o = Synth_script.delay_script c in
+  match Sec_baseline.check c o with
+  | Sec_baseline.Equivalent, _ -> ()
+  | _ -> Alcotest.fail "baseline failed on enabled latch"
+
+let test_baseline_resource_out () =
+  (* a tiny node budget must be reported, not crash *)
+  let c =
+    Gen.acyclic st ~name:"big" ~inputs:4 ~gates:80 ~latches:8 ~outputs:2 ~enables:false
+  in
+  match Sec_baseline.check ~node_limit:50 c c with
+  | Sec_baseline.Resource_out _, _ -> ()
+  | _ -> Alcotest.fail "node budget ignored"
+
+let test_baseline_transient_tolerated () =
+  (* retiming may shift latches to the outputs; the recurrent-set check
+     tolerates the power-up transient that a step-0 comparison would not *)
+  let c = Circuit.create "tr" in
+  let a = Circuit.add_input c "a" in
+  let q = Circuit.add_latch c ~data:a () in
+  (* out = q AND ~q = 0, but a retimed version latches the AND output *)
+  Circuit.mark_output c (Circuit.add_gate c And [ q; Circuit.add_gate c Not [ q ] ]);
+  Circuit.check c;
+  let rt = Circuit.create "tr2" in
+  let a2 = Circuit.add_input rt "a" in
+  let z = Circuit.add_gate rt And [ a2; Circuit.add_gate rt Not [ a2 ] ] in
+  Circuit.mark_output rt (Circuit.add_latch rt ~data:z ());
+  Circuit.check rt;
+  match Sec_baseline.check c rt with
+  | Sec_baseline.Equivalent, _ -> ()
+  | _ -> Alcotest.fail "transient not tolerated"
+
+let suite =
+  [
+    Alcotest.test_case "transition functions" `Quick test_transition_functions;
+    Alcotest.test_case "image" `Quick test_image;
+    Alcotest.test_case "reachable: counter" `Quick test_reachable_counter;
+    Alcotest.test_case "reachable: ring invariant" `Quick test_reachable_invariant;
+    Alcotest.test_case "baseline: self" `Quick test_baseline_self;
+    Alcotest.test_case "baseline agrees with CBF" `Quick test_baseline_agrees_with_cbf;
+    Alcotest.test_case "baseline: enabled latches" `Quick test_baseline_enabled_latches;
+    Alcotest.test_case "baseline: resource out" `Quick test_baseline_resource_out;
+    Alcotest.test_case "baseline: transient tolerated" `Quick test_baseline_transient_tolerated;
+  ]
+
+let test_semantic_gap () =
+  (* Reset equivalence and the paper's exact 3-valued equivalence differ on
+     power-up-sensitive feedback state.  B: toggle accumulating a pipelined
+     input; C: the same with the pipeline latch retimed across an inverter
+     pair.  The CBFs agree (same function of the input window), but from
+     the all-zero reset the inverter pair's latch powers up to a different
+     effective value and the toggles diverge forever. *)
+  let b = Circuit.create "gapB" in
+  let i = Circuit.add_input b "i" in
+  let p = Circuit.add_latch b ~data:i () in
+  let q = Circuit.declare b ~name:"q" () in
+  Circuit.set_latch b q ~data:(Circuit.add_gate b Xor [ q; p ]) ();
+  Circuit.mark_output b q;
+  Circuit.check b;
+  let c = Circuit.create "gapC" in
+  let i = Circuit.add_input c "i" in
+  let ni = Circuit.add_gate c Not [ i ] in
+  let p' = Circuit.add_latch c ~data:ni () in
+  let g = Circuit.add_gate c Not [ p' ] in
+  let q' = Circuit.declare c ~name:"q" () in
+  Circuit.set_latch c q' ~data:(Circuit.add_gate c Xor [ q'; g ]) ();
+  Circuit.mark_output c q';
+  Circuit.check c;
+  (* the combinational reduction (exposing q in both) proves equivalence *)
+  (match Verify.check ~exposed:[ "q" ] b c with
+  | Verify.Equivalent, _ -> ()
+  | Verify.Inequivalent _, _ -> Alcotest.fail "reduction should prove the pair");
+  (* the reset-equivalence traversal correctly rejects it *)
+  match Sec_baseline.check b c with
+  | Sec_baseline.Inequivalent, _ -> ()
+  | Sec_baseline.Equivalent, _ -> Alcotest.fail "baseline should reject from reset"
+  | Sec_baseline.Resource_out w, _ -> Alcotest.fail ("resources: " ^ w)
+
+let suite =
+  suite @ [ Alcotest.test_case "semantic gap vs reset equivalence" `Quick test_semantic_gap ]

@@ -1,0 +1,180 @@
+(* Simulation semantics: 2-valued stepping, conservative 3-valued X
+   propagation, and the exact 3-valued oracle of Definition 1. *)
+
+let st = Random.State.make [| 0x51A |]
+
+let test_step_latch_semantics () =
+  (* q(t+1) = d(t); output reads the pre-update state *)
+  let c = Circuit.create "dff" in
+  let d = Circuit.add_input c "d" in
+  let q = Circuit.add_latch c ~data:d () in
+  Circuit.mark_output c q;
+  Circuit.check c;
+  let trace = Sim.run c ~init:[| false |] ~inputs:[ [| true |]; [| false |]; [| true |] ] in
+  Alcotest.(check (list (list bool)))
+    "shift by one"
+    [ [ false ]; [ true ]; [ false ] ]
+    (List.map Array.to_list trace)
+
+let test_enabled_latch_holds () =
+  let c = Circuit.create "en" in
+  let d = Circuit.add_input c "d" in
+  let e = Circuit.add_input c "e" in
+  let q = Circuit.add_latch c ~enable:e ~data:d () in
+  Circuit.mark_output c q;
+  Circuit.check c;
+  let inputs =
+    [ [| true; true |]; [| false; false |]; [| false; false |]; [| false; true |]; [| true; false |] ]
+  in
+  (* init q=false; load 1; hold; hold; load 0; hold *)
+  let trace = Sim.run c ~init:[| false |] ~inputs in
+  Alcotest.(check (list (list bool)))
+    "enable gating"
+    [ [ false ]; [ true ]; [ true ]; [ true ]; [ false ] ]
+    (List.map Array.to_list trace)
+
+let test_run_3v_conservative () =
+  (* 3-valued simulation may say X but never gives a wrong defined value *)
+  for _ = 1 to 30 do
+    let c =
+      Gen.acyclic st ~name:"c3v" ~inputs:3 ~gates:25 ~latches:4 ~outputs:2 ~enables:true
+    in
+    let inputs = Gen.random_inputs st c ~cycles:8 in
+    let t3 = Sim.run_3v c ~inputs in
+    let nl = Circuit.latch_count c in
+    for powerup = 0 to (1 lsl nl) - 1 do
+      let init = Array.init nl (fun i -> powerup land (1 lsl i) <> 0) in
+      let t2 = Sim.run c ~init ~inputs in
+      List.iter2
+        (fun o3 o2 ->
+          Array.iteri
+            (fun i v3 ->
+              match v3 with
+              | Sim.X -> ()
+              | Sim.T -> Alcotest.(check bool) "3v sound (T)" true o2.(i)
+              | Sim.F -> Alcotest.(check bool) "3v sound (F)" false o2.(i))
+            o3)
+        t3 t2
+    done
+  done
+
+let test_exact_refines_3v () =
+  (* exact 3-valued is at least as defined as conservative 3-valued *)
+  for _ = 1 to 30 do
+    let c =
+      Gen.acyclic st ~name:"cx" ~inputs:3 ~gates:20 ~latches:4 ~outputs:2 ~enables:false
+    in
+    let inputs = Gen.random_inputs st c ~cycles:6 in
+    let t3 = Sim.run_3v c ~inputs in
+    let tx = Sim.run_exact c ~inputs in
+    List.iter2
+      (fun o3 ox ->
+        Array.iteri
+          (fun i v3 ->
+            match (v3, ox.(i)) with
+            | Sim.X, _ -> () (* exact may be more defined *)
+            | v, w -> Alcotest.(check bool) "agrees when 3v defined" true (Sim.tv_equal v w))
+          o3)
+      t3 tx
+  done
+
+let test_exact_definition () =
+  (* run_exact output = value iff all power-up states agree *)
+  for _ = 1 to 20 do
+    let c =
+      Gen.acyclic st ~name:"cd" ~inputs:2 ~gates:15 ~latches:3 ~outputs:1 ~enables:false
+    in
+    let inputs = Gen.random_inputs st c ~cycles:5 in
+    let tx = Sim.run_exact c ~inputs in
+    let nl = Circuit.latch_count c in
+    let traces =
+      List.init (1 lsl nl) (fun m ->
+          Sim.run c ~init:(Array.init nl (fun i -> m land (1 lsl i) <> 0)) ~inputs)
+    in
+    List.iteri
+      (fun t ox ->
+        Array.iteri
+          (fun i v ->
+            let values = List.map (fun tr -> (List.nth tr t).(i)) traces in
+            let all_same = List.for_all (fun b -> b = List.hd values) values in
+            match v with
+            | Sim.X -> Alcotest.(check bool) "X iff disagreement" false all_same
+            | Sim.T | Sim.F ->
+                Alcotest.(check bool) "defined iff agreement" true all_same;
+                Alcotest.(check bool) "value correct" true
+                  (Sim.tv_equal v (if List.hd values then Sim.T else Sim.F)))
+          ox)
+      tx
+  done
+
+(* Fig. 1: circuits that are exact-3-valued equivalent but NOT 3-valued
+   equivalent (conservative X correlation loss).  Circuit (a): o = q XOR q
+   (always 0 exactly, X under naive 3-valued sim when q is X).  Circuit (b):
+   o = 0. *)
+let fig1_a () =
+  let c = Circuit.create "fig1a" in
+  let d = Circuit.add_input c "d" in
+  let q = Circuit.add_latch c ~data:d () in
+  Circuit.mark_output c (Circuit.add_gate c Xor [ q; q ]);
+  Circuit.check c;
+  c
+
+let fig1_b () =
+  let c = Circuit.create "fig1b" in
+  let _d = Circuit.add_input c "d" in
+  Circuit.mark_output c (Circuit.const_false c);
+  Circuit.check c;
+  c
+
+let test_fig1 () =
+  let a = fig1_a () and b = fig1_b () in
+  let inputs = [ [| true |]; [| false |] ] in
+  (* conservative 3-valued: circuit (a) reports X in cycle 0 *)
+  let t3a = Sim.run_3v a ~inputs in
+  Alcotest.(check bool) "naive 3v sees X" true (Sim.tv_equal (List.hd t3a).(0) Sim.X);
+  (* exact semantics: both are constant 0 *)
+  Alcotest.(check bool) "exactly equivalent" true
+    (Sim.equivalent_exact a b ~input_seqs:[ inputs ] = None)
+
+let test_equivalent_exact_detects () =
+  let a = fig1_a () in
+  let c = Circuit.create "one" in
+  let _d = Circuit.add_input c "d" in
+  Circuit.mark_output c (Circuit.const_true c);
+  Circuit.check c;
+  let inputs = [ [| true |] ] in
+  match Sim.equivalent_exact a c ~input_seqs:[ inputs ] with
+  | None -> Alcotest.fail "missed inequivalence"
+  | Some (_, t1, t2) ->
+      Alcotest.(check bool) "traces differ" false
+        (List.for_all2 (fun x y -> Array.for_all2 Sim.tv_equal x y) t1 t2)
+
+let test_all_input_seqs () =
+  let c = Circuit.create "ai" in
+  ignore (Circuit.add_input c "a");
+  ignore (Circuit.add_input c "b");
+  Circuit.mark_output c (Circuit.const_true c);
+  Circuit.check c;
+  let seqs = Sim.all_input_seqs c ~depth:2 in
+  Alcotest.(check int) "4^2 sequences" 16 (List.length seqs);
+  List.iter (fun s -> Alcotest.(check int) "length" 2 (List.length s)) seqs
+
+let test_latch_limit () =
+  let c = Gen.acyclic st ~name:"big" ~inputs:2 ~gates:10 ~latches:20 ~outputs:1 ~enables:false in
+  try
+    ignore (Sim.run_exact ~max_latches:4 c ~inputs:[ [| true; true |] ]);
+    Alcotest.fail "limit not enforced"
+  with Invalid_argument _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "latch step semantics" `Quick test_step_latch_semantics;
+    Alcotest.test_case "enabled latch holds" `Quick test_enabled_latch_holds;
+    Alcotest.test_case "3-valued is conservative" `Quick test_run_3v_conservative;
+    Alcotest.test_case "exact refines 3-valued" `Quick test_exact_refines_3v;
+    Alcotest.test_case "exact matches Definition 1" `Quick test_exact_definition;
+    Alcotest.test_case "Fig. 1 X-correlation" `Quick test_fig1;
+    Alcotest.test_case "inequivalence detection" `Quick test_equivalent_exact_detects;
+    Alcotest.test_case "all_input_seqs" `Quick test_all_input_seqs;
+    Alcotest.test_case "exact latch limit" `Quick test_latch_limit;
+  ]

@@ -1,0 +1,141 @@
+(* Benchmark generators: published latch counts, determinism, structure. *)
+
+let table1_latches =
+  [
+    ("minmax10", 30); ("minmax12", 36); ("minmax20", 60); ("minmax32", 96);
+    ("prolog", 65); ("s1196", 18); ("s1238", 18); ("s1269", 37); ("s1423", 74);
+    ("s3271", 116); ("s3384", 183); ("s400", 21); ("s444", 21); ("s4863", 88);
+    ("s641", 19); ("s6669", 231); ("s713", 19); ("s9234", 135); ("s953", 29);
+    ("s967", 29); ("s3330", 65); ("s15850", 515); ("s38417", 1464);
+  ]
+
+let table2_shape =
+  [
+    ("ex1", 2157, 934); ("ex2", 160, 16); ("ex3", 146, 56); ("ex4", 1437, 835);
+    ("ex5", 672, 305); ("ex6", 412, 250); ("ex7", 453, 81); ("ex8", 968, 470);
+    ("ex9", 783, 15); ("ex10", 634, 174); ("ex11", 792, 369); ("ex12", 2206, 691);
+  ]
+
+let test_table1_latch_counts () =
+  let suite = Workloads.table1_suite () in
+  Alcotest.(check int) "23 circuits" 23 (List.length suite);
+  List.iter
+    (fun (name, expected) ->
+      match List.assoc_opt name suite with
+      | None -> Alcotest.fail (name ^ " missing")
+      | Some c ->
+          Alcotest.(check int) (name ^ " latch count") expected (Circuit.latch_count c))
+    table1_latches
+
+let test_table1_valid () =
+  List.iter (fun (_, c) -> Circuit.check c) (Workloads.table1_suite ())
+
+let test_table2_exposure_counts () =
+  (* small members only, to keep the test quick; the bench covers all *)
+  List.iter
+    (fun (name, latches, exposed) ->
+      if latches <= 700 then begin
+        let c = Workloads.by_name name in
+        Alcotest.(check int) (name ^ " latches") latches (Circuit.latch_count c);
+        let plan = Feedback.plan_structural c in
+        Alcotest.(check int)
+          (name ^ " structural exposure")
+          exposed
+          (List.length plan.Feedback.exposed)
+      end)
+    table2_shape
+
+let test_table2_has_enables () =
+  let c = Workloads.by_name "ex3" in
+  let enabled =
+    List.length
+      (List.filter (fun l -> snd (Circuit.latch_info c l) <> None) (Circuit.latches c))
+  in
+  Alcotest.(check bool) "load-enabled latches present" true (enabled > 0)
+
+let test_determinism () =
+  let c1 = Workloads.by_name "s400" in
+  let c2 = Workloads.by_name "s400" in
+  Alcotest.(check string) "generators deterministic" (Netlist_io.to_string c1)
+    (Netlist_io.to_string c2)
+
+let test_minmax_functionality () =
+  (* The tracker min/max-es the *conditioned* input stream (the deep mixing
+     chain feeds the input registers).  Reference-model it: evaluate the
+     conditioning combinationally, then replay the register update rules. *)
+  let w = 4 in
+  let c = Workloads.minmax ~width:w in
+  Circuit.check c;
+  let latches = Circuit.latches c in
+  let inreg = List.filteri (fun i _ -> i < w) latches in
+  let cond_data = List.map (fun l -> fst (Circuit.latch_info c l)) inreg in
+  let st = Random.State.make [| 77 |] in
+  let inputs =
+    List.init 12 (fun t ->
+        Array.init (w + 1) (fun i ->
+            if i < w then Random.State.bool st else t = 0 (* reset pulse *)))
+  in
+  (* conditioned value per cycle *)
+  let conditioned =
+    List.map
+      (fun (vec : bool array) ->
+        let input_order = Circuit.inputs c in
+        let tbl = Hashtbl.create 8 in
+        List.iteri (fun i s -> Hashtbl.replace tbl s vec.(i)) input_order;
+        let source s =
+          match Hashtbl.find_opt tbl s with Some b -> b | None -> false
+        in
+        let values = Eval.comb_eval c ~source in
+        let bits = List.map (fun d -> values.(d)) cond_data in
+        List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0 (List.rev bits))
+      inputs
+  in
+  (* reference tracker: inreg delays by 1; min/max update on compare or
+     reset; all registers power up at 0 *)
+  let minr = ref 0 and maxr = ref 0 and inr = ref 0 in
+  let trace = Sim.run c ~init:(Array.make (Circuit.latch_count c) false) ~inputs in
+  List.iteri
+    (fun t (vec : bool array) ->
+      let outs = List.nth trace t in
+      let value lo =
+        let bits = Array.to_list (Array.sub outs lo w) in
+        List.fold_left (fun acc b -> (2 * acc) + if b then 1 else 0) 0 (List.rev bits)
+      in
+      Alcotest.(check int) (Printf.sprintf "min @%d" t) !minr (value 0);
+      Alcotest.(check int) (Printf.sprintf "max @%d" t) !maxr (value w);
+      (* state update *)
+      let reset = vec.(w) in
+      if !inr < !minr || reset then minr := !inr;
+      if !inr > !maxr || reset then maxr := !inr;
+      inr := List.nth conditioned t)
+    inputs
+
+let test_pipeline_acyclic () =
+  let c = Workloads.pipeline ~name:"tp" ~width:6 ~stages:5 ~imbalance:3 ~seed:1 in
+  let g, _ = Feedback.latch_graph c in
+  Alcotest.(check bool) "no latch cycles" true (Vgraph.Topo.is_acyclic g)
+
+let test_fsm_datapath_selfloops () =
+  let c = Workloads.fsm_datapath ~name:"tf" ~latches:40 ~self_loops:12 ~gates:200 ~width:8 ~seed:2 in
+  Alcotest.(check int) "latches" 40 (Circuit.latch_count c);
+  let plan = Feedback.plan_structural c in
+  Alcotest.(check int) "exposure = self loops" 12 (List.length plan.Feedback.exposed)
+
+let test_by_name_missing () =
+  try
+    ignore (Workloads.by_name "nonexistent");
+    Alcotest.fail "missing name accepted"
+  with Not_found -> ()
+
+let suite =
+  [
+    Alcotest.test_case "table 1 latch counts" `Quick test_table1_latch_counts;
+    Alcotest.test_case "table 1 circuits valid" `Quick test_table1_valid;
+    Alcotest.test_case "table 2 exposure counts" `Quick test_table2_exposure_counts;
+    Alcotest.test_case "table 2 enables present" `Quick test_table2_has_enables;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "minmax tracks min/max" `Quick test_minmax_functionality;
+    Alcotest.test_case "pipeline acyclic" `Quick test_pipeline_acyclic;
+    Alcotest.test_case "fsm_datapath self-loops" `Quick test_fsm_datapath_selfloops;
+    Alcotest.test_case "by_name missing" `Quick test_by_name_missing;
+  ]
