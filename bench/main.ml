@@ -19,32 +19,143 @@ let pf = Format.printf
 (* Table 1                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let table1 ~full () =
+(* One measured circuit of the Table-1 run, for the text summary and the
+   machine-readable BENCH_table1.json trajectory file. *)
+type t1_record = {
+  r_name : string;
+  r_verdict : string;
+  r_seconds : float;  (* verify wall-clock at the requested --jobs *)
+  r_seq_seconds : float option;  (* same check, jobs=1 monolithic *)
+  r_seq_verdict : string option;
+  r_cec : Cec.stats;
+}
+
+let verdict_str = function
+  | Verify.Equivalent -> "EQ"
+  | Verify.Inequivalent _ -> "NEQ"
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf ch
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_table1_json ~path ~suite_name ~jobs records =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  let total = List.fold_left (fun a r -> a +. r.r_seconds) 0. records in
+  let seq_total =
+    if List.for_all (fun r -> r.r_seq_seconds <> None) records && records <> [] then
+      Some
+        (List.fold_left
+           (fun a r -> a +. Option.value ~default:0. r.r_seq_seconds)
+           0. records)
+    else None
+  in
+  p "{\n";
+  p "  \"suite\": \"%s\",\n" (json_escape suite_name);
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\"circuit\": \"%s\", \"verdict\": \"%s\", \"verify_seconds\": %.6f, "
+        (json_escape r.r_name) (json_escape r.r_verdict) r.r_seconds;
+      (match (r.r_seq_seconds, r.r_seq_verdict) with
+      | Some s, Some v ->
+          p "\"verify_seconds_jobs1\": %.6f, \"verdict_jobs1\": \"%s\", " s (json_escape v)
+      | _ -> ());
+      p "\"sat_calls\": %d, \"sim_rounds\": %d, \"partitions\": %d, \"cache_hits\": %d}%s\n"
+        r.r_cec.Cec.sat_calls r.r_cec.Cec.sim_rounds r.r_cec.Cec.partitions
+        r.r_cec.Cec.cache_hits
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  p "  ],\n";
+  p "  \"total_verify_seconds\": %.6f" total;
+  (match seq_total with
+  | Some s ->
+      p ",\n  \"total_verify_seconds_jobs1\": %.6f" s;
+      p ",\n  \"speedup\": %.3f" (if total > 0. then s /. total else 1.)
+  | None -> ());
+  p "\n}\n";
+  close_out oc
+
+let table1 ~full ~jobs () =
   pf "@.== Table 1: optimization and verification results ==@.";
   pf "(A = original; C = expose+synth+min-period retime; D = synth only;@.";
   pf " E = expose+synth+min-area retime at D's period; F/G = like C/E without@.";
-  pf " exposure.  Areas normalized to D, as in the paper.  S = unit-delay period.)@.@.";
+  pf " exposure.  Areas normalized to D, as in the paper.  S = unit-delay period.)@.";
+  if jobs > 1 then
+    pf "(HvJ checked with --jobs %d: output-partitioned, %d domains; the jobs=1@.\
+       \ column re-times the same check monolithically for the speedup.)@." jobs jobs;
+  pf "@.";
   pf "%-9s| %5s | %4s %5s %3s | %3s | %4s %5s %3s | %3s | %4s | %4s %5s | %4s | %8s@."
     "circuit" "A#L" "F#L" "Farea" "FS" "%" "C#L" "Carea" "CS" "DS" "G#L" "E#L"
     "Earea" "ok" "HvJ";
   pf "%s@." (String.make 100 '-');
   let suite = if full then Workloads.table1_suite () else Workloads.table1_suite_small () in
-  List.iter
-    (fun (name, c) ->
-      let row = Flow.run c in
-      let darea = float_of_int (max 1 row.Flow.d.Flow.area) in
-      let rel a = float_of_int a /. darea in
-      pf
-        "%-9s| %5d | %4d %5.2f %3d | %3.0f | %4d %5.2f %3d | %3d | %4d | %4d %5.2f | %4s | %7.2fs@."
-        name row.Flow.a.Flow.latches row.Flow.f.Flow.latches (rel row.Flow.f.Flow.area)
-        row.Flow.f.Flow.delay row.Flow.exposed_percent row.Flow.c.Flow.latches
-        (rel row.Flow.c.Flow.area) row.Flow.c.Flow.delay row.Flow.d.Flow.delay
-        row.Flow.g.Flow.latches row.Flow.e.Flow.latches (rel row.Flow.e.Flow.area)
-        (match row.Flow.verify_verdict with
-        | Verify.Equivalent -> "EQ"
-        | Verify.Inequivalent _ -> "NEQ!")
-        row.Flow.verify_seconds)
-    suite
+  let records =
+    List.map
+      (fun (name, c) ->
+        let row = Flow.run ~jobs c in
+        let darea = float_of_int (max 1 row.Flow.d.Flow.area) in
+        let rel a = float_of_int a /. darea in
+        pf
+          "%-9s| %5d | %4d %5.2f %3d | %3.0f | %4d %5.2f %3d | %3d | %4d | %4d %5.2f | %4s | %7.2fs@."
+          name row.Flow.a.Flow.latches row.Flow.f.Flow.latches (rel row.Flow.f.Flow.area)
+          row.Flow.f.Flow.delay row.Flow.exposed_percent row.Flow.c.Flow.latches
+          (rel row.Flow.c.Flow.area) row.Flow.c.Flow.delay row.Flow.d.Flow.delay
+          row.Flow.g.Flow.latches row.Flow.e.Flow.latches (rel row.Flow.e.Flow.area)
+          (match row.Flow.verify_verdict with
+          | Verify.Equivalent -> "EQ"
+          | Verify.Inequivalent _ -> "NEQ!")
+          row.Flow.verify_seconds;
+        let seq =
+          if jobs <= 1 then None
+          else begin
+            (* re-run the H-vs-J check monolithically on the same B/C pair *)
+            let plan = Feedback.plan_structural c in
+            let exposed = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+            let b, copt = Flow.circuits c in
+            let v, s = Verify.check ~jobs:1 ~exposed b copt in
+            Some (s.Verify.seconds, verdict_str v)
+          end
+        in
+        {
+          r_name = name;
+          r_verdict = verdict_str row.Flow.verify_verdict;
+          r_seconds = row.Flow.verify_seconds;
+          r_seq_seconds = Option.map fst seq;
+          r_seq_verdict = Option.map snd seq;
+          r_cec = row.Flow.verify_stats.Verify.cec;
+        })
+      suite
+  in
+  let total = List.fold_left (fun a r -> a +. r.r_seconds) 0. records in
+  pf "%s@." (String.make 100 '-');
+  if jobs > 1 then begin
+    let seq_total =
+      List.fold_left (fun a r -> a +. Option.value ~default:0. r.r_seq_seconds) 0. records
+    in
+    let agree =
+      List.for_all (fun r -> r.r_seq_verdict = Some r.r_verdict) records
+    in
+    pf "verify wall-clock: jobs=%d %.2fs vs jobs=1 %.2fs  (speedup %.2fx, verdicts %s)@."
+      jobs total seq_total
+      (if total > 0. then seq_total /. total else 1.)
+      (if agree then "agree" else "DISAGREE!")
+  end
+  else pf "verify wall-clock: jobs=1 %.2fs@." total;
+  let suite_name = if full then "full" else "small" in
+  write_table1_json ~path:"BENCH_table1.json" ~suite_name ~jobs records;
+  pf "wrote BENCH_table1.json@."
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
@@ -429,13 +540,19 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
+  let rec opt_int flag = function
+    | f :: v :: _ when f = flag -> int_of_string_opt v
+    | _ :: tl -> opt_int flag tl
+    | [] -> None
+  in
   let any =
     has "--table1" || has "--table2" || has "--figs" || has "--micro"
     || has "--baseline" || has "--ablation-cec" || has "--ablation-rewrite"
     || has "--ablation-guard" || has "--ablation-synth" || has "--ablation-dchoice"
   in
   let full = has "--full" in
-  if (not any) || has "--table1" then table1 ~full ();
+  let jobs = max 1 (Option.value ~default:1 (opt_int "--jobs" args)) in
+  if (not any) || has "--table1" then table1 ~full ~jobs ();
   if (not any) || has "--table2" then table2 ();
   if (not any) || has "--figs" then figs ();
   if (not any) || has "--baseline" then baseline ();

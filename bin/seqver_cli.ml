@@ -48,6 +48,16 @@ let exposed_arg =
     & info [ "exposed" ] ~docv:"NAMES"
         ~doc:"Comma-separated latch names to expose (pseudo primary I/O).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the combinational check.  With N > 1 the miter \
+           is partitioned per output cone and checked in parallel; 1 keeps \
+           the monolithic single-domain check.")
+
 (* ---- stats ---- *)
 
 let stats_cmd =
@@ -146,11 +156,11 @@ let retime_cmd =
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run p1 p2 engine exposed no_rewrite guard =
+  let run p1 p2 engine exposed no_rewrite guard jobs =
     let c1 = load p1 and c2 = load p2 in
     let verdict, stats =
-      Verify.check ~engine ~rewrite_events:(not no_rewrite) ~guard_events:guard ~exposed
-        c1 c2
+      Verify.check ~engine ~jobs ~rewrite_events:(not no_rewrite) ~guard_events:guard
+        ~exposed c1 c2
     in
     let method_ =
       match stats.Verify.method_ with
@@ -170,6 +180,7 @@ let verify_cmd =
       (fst stats.Verify.unrolled_gates)
       (snd stats.Verify.unrolled_gates)
       stats.Verify.cec_sat_calls stats.Verify.seconds;
+    Format.printf "cec: %a@." Cec.stats_pp stats.Verify.cec;
     match verdict with Verify.Equivalent -> () | Verify.Inequivalent _ -> exit 1
   in
   let no_rewrite =
@@ -186,7 +197,7 @@ let verify_cmd =
       const run
       $ circuit_arg ~pos:0 ~doc:"First netlist."
       $ circuit_arg ~pos:1 ~doc:"Second netlist."
-      $ engine_arg $ exposed_arg $ no_rewrite $ guard)
+      $ engine_arg $ exposed_arg $ no_rewrite $ guard $ jobs_arg)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -245,9 +256,9 @@ let redundancy_cmd =
 (* ---- flow ---- *)
 
 let flow_cmd =
-  let run path =
+  let run path jobs =
     let c = load path in
-    let row = Flow.run c in
+    let row = Flow.run ~jobs c in
     Format.printf
       "%s: A(l=%d d=%d) exposed=%d(%.0f%%) C(l=%d a=%d d=%d) D(a=%d d=%d) E(l=%d) F(l=%d d=%d) verify=%s %.2fs@."
       row.Flow.name row.Flow.a.Flow.latches row.Flow.a.Flow.delay row.Flow.exposed
@@ -259,7 +270,7 @@ let flow_cmd =
       | Verify.Inequivalent _ -> "NEQ")
       row.Flow.verify_seconds
   in
-  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist.") in
+  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg) in
   Cmd.v (Cmd.info "flow" ~doc:"Run the full Fig. 19 experimental flow.") term
 
 (* ---- generate ---- *)

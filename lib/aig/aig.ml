@@ -122,6 +122,54 @@ let eval g env l =
   let vals = simulate g words in
   Int64.logand (sim_lit vals l) 1L = 1L
 
+let cone_signature g ~input_label groups =
+  let buf = Buffer.create 1024 in
+  let canon = Hashtbl.create 256 in
+  (* node -> canonical id *)
+  let next = ref 0 in
+  let canon_lit l =
+    (2 * Hashtbl.find canon (node_of l)) lor (if is_complement l then 1 else 0)
+  in
+  let rec visit n =
+    if not (Hashtbl.mem canon n) then
+      if n = 0 then begin
+        Hashtbl.add canon n !next;
+        incr next;
+        Buffer.add_string buf "K;"
+      end
+      else if is_input_node g n then begin
+        Hashtbl.add canon n !next;
+        incr next;
+        Buffer.add_char buf 'I';
+        Buffer.add_string buf (input_label n);
+        Buffer.add_char buf ';'
+      end
+      else begin
+        let f0, f1 = fanins g n in
+        visit (node_of f0);
+        visit (node_of f1);
+        Hashtbl.add canon n !next;
+        incr next;
+        Buffer.add_char buf 'A';
+        Buffer.add_string buf (string_of_int (canon_lit f0));
+        Buffer.add_char buf ',';
+        Buffer.add_string buf (string_of_int (canon_lit f1));
+        Buffer.add_char buf ';'
+      end
+  in
+  List.iter
+    (fun roots ->
+      List.iter (fun l -> visit (node_of l)) roots;
+      Buffer.add_char buf '[';
+      List.iter
+        (fun l ->
+          Buffer.add_string buf (string_of_int (canon_lit l));
+          Buffer.add_char buf ' ')
+        roots;
+      Buffer.add_char buf ']')
+    groups;
+  Buffer.contents buf
+
 type cnf_map = { var_of_node : int array; solver : Sat.t }
 
 let cnf_lit m l =

@@ -69,6 +69,16 @@ val sim_lit : int64 array -> lit -> int64
 val eval : t -> bool array -> lit -> bool
 (** Single-pattern reference evaluation. *)
 
+val cone_signature : t -> input_label:(int -> string) -> lit list list -> string
+(** Canonical structural signature of the cones of the given root-literal
+    groups.  Nodes are renumbered in first-visit (DFS, fanin-before-node)
+    order starting from the roots, so the signature is invariant under the
+    creation order of nodes outside the cones; input nodes are rendered
+    through [input_label] (which receives the node id).  Two calls return
+    the same string iff the root groups denote structurally identical
+    cones over identically labelled inputs — the key used by the
+    equivalence checker's result cache. *)
+
 (** {1 CNF export} *)
 
 type cnf_map = { var_of_node : int array; solver : Sat.t }

@@ -4,9 +4,106 @@ type verdict = Equivalent | Inequivalent of counterexample
 
 type engine = Bdd_engine | Sat_engine | Sweep_engine
 
-let last_sat_calls = ref 0
+type stats = {
+  sat_calls : int;
+  sim_rounds : int;
+  partitions : int;
+  cache_hits : int;
+  bdd_seconds : float;
+  sat_seconds : float;
+  sweep_seconds : float;
+}
 
-let stats_last_sat_calls () = !last_sat_calls
+let empty_stats =
+  {
+    sat_calls = 0;
+    sim_rounds = 0;
+    partitions = 0;
+    cache_hits = 0;
+    bdd_seconds = 0.;
+    sat_seconds = 0.;
+    sweep_seconds = 0.;
+  }
+
+let stats_pp ppf s =
+  Format.fprintf ppf
+    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, engines bdd %.3fs sat %.3fs sweep %.3fs"
+    s.partitions s.sat_calls s.sim_rounds s.cache_hits s.bdd_seconds
+    s.sat_seconds s.sweep_seconds
+
+(* Per-partition mutable counters.  Each partition task owns exactly one of
+   these, so no synchronization is needed; they are merged after the pool
+   joins (the join provides the happens-before edge). *)
+type counters = {
+  mutable k_sat_calls : int;
+  mutable k_sim_rounds : int;
+  mutable k_cache_hits : int;
+  mutable k_bdd_s : float;
+  mutable k_sat_s : float;
+  mutable k_sweep_s : float;
+}
+
+let fresh_counters () =
+  {
+    k_sat_calls = 0;
+    k_sim_rounds = 0;
+    k_cache_hits = 0;
+    k_bdd_s = 0.;
+    k_sat_s = 0.;
+    k_sweep_s = 0.;
+  }
+
+let stats_of_counters ~partitions cts =
+  Array.fold_left
+    (fun acc k ->
+      {
+        acc with
+        sat_calls = acc.sat_calls + k.k_sat_calls;
+        sim_rounds = acc.sim_rounds + k.k_sim_rounds;
+        cache_hits = acc.cache_hits + k.k_cache_hits;
+        bdd_seconds = acc.bdd_seconds +. k.k_bdd_s;
+        sat_seconds = acc.sat_seconds +. k.k_sat_s;
+        sweep_seconds = acc.sweep_seconds +. k.k_sweep_s;
+      })
+    { empty_stats with partitions }
+    cts
+
+let now () = Unix.gettimeofday ()
+
+(* ---------- result cache ---------- *)
+
+module Cache = struct
+  (* Counterexamples are stored over united-input *indices*, so a hit on a
+     structurally identical cone pair with different input names (e.g. the
+     same cone at another unrolling depth) can be replayed by renaming. *)
+  type entry = E_equivalent | E_inequivalent of (int * bool) list
+
+  type t = { tbl : (string, entry) Hashtbl.t; m : Mutex.t }
+
+  let create () = { tbl = Hashtbl.create 256; m = Mutex.create () }
+
+  let clear t =
+    Mutex.lock t.m;
+    Hashtbl.reset t.tbl;
+    Mutex.unlock t.m
+
+  let size t =
+    Mutex.lock t.m;
+    let n = Hashtbl.length t.tbl in
+    Mutex.unlock t.m;
+    n
+
+  let find t key =
+    Mutex.lock t.m;
+    let r = Hashtbl.find_opt t.tbl key in
+    Mutex.unlock t.m;
+    r
+
+  let add t key entry =
+    Mutex.lock t.m;
+    if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key entry;
+    Mutex.unlock t.m
+end
 
 let require_comb c =
   if Circuit.latch_count c > 0 then
@@ -16,13 +113,15 @@ let require_comb c =
 (* United input universe: name -> index, in order of first appearance. *)
 let united_inputs c1 c2 =
   let names = ref [] in
+  let count = ref 0 in
   let seen = Hashtbl.create 64 in
   let collect c =
     List.iter
       (fun s ->
         let n = Circuit.signal_name c s in
         if not (Hashtbl.mem seen n) then begin
-          Hashtbl.replace seen n (List.length !names);
+          Hashtbl.replace seen n !count;
+          incr count;
           names := n :: !names
         end)
       (Circuit.inputs c)
@@ -143,8 +242,8 @@ module Encoder = struct
     if Aig.is_complement l then -v else v
 end
 
-let sat_solve_counted solver ?assumptions () =
-  incr last_sat_calls;
+let sat_solve_counted ct solver ?assumptions () =
+  ct.k_sat_calls <- ct.k_sat_calls + 1;
   Sat.solve ?assumptions solver
 
 (* extract input assignment from a SAT model *)
@@ -160,9 +259,7 @@ let model_cex enc g names =
   done;
   List.rev !cex
 
-let check_sat c1 c2 =
-  let g, names, o1, o2 = build_shared_aig c1 c2 in
-  if List.length o1 <> List.length o2 then invalid_arg "Cec: output counts differ";
+let check_sat ct (g, names, o1, o2) =
   let enc = Encoder.create g in
   (* miter: OR of XORs *)
   let diffs = List.map2 (fun a b -> Aig.xor_ g a b) o1 o2 in
@@ -170,7 +267,7 @@ let check_sat c1 c2 =
   if miter = Aig.lit_false then Equivalent
   else begin
     let ml = Encoder.encode_lit enc miter in
-    match sat_solve_counted enc.Encoder.solver ~assumptions:[ ml ] () with
+    match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ ml ] () with
     | Sat.Unsat -> Equivalent
     | Sat.Sat -> Inequivalent (model_cex enc g names)
   end
@@ -179,9 +276,7 @@ let check_sat c1 c2 =
 
 let sim_rounds = 4 (* 4 * 64 = 256 random patterns *)
 
-let check_sweep ?(seed = 0xC0FFEE) c1 c2 =
-  let g, names, o1, o2 = build_shared_aig c1 c2 in
-  if List.length o1 <> List.length o2 then invalid_arg "Cec: output counts differ";
+let check_sweep ct ?(seed = 0xC0FFEE) (g, names, o1, o2) =
   let st = Random.State.make [| seed |] in
   let n_in = Aig.num_inputs g in
   let n_nodes = Aig.node_count g in
@@ -194,6 +289,7 @@ let check_sweep ?(seed = 0xC0FFEE) c1 c2 =
       sigs.(n) <- vals.(n) :: sigs.(n)
     done
   done;
+  ct.k_sim_rounds <- ct.k_sim_rounds + sim_rounds;
   (* canonical signature: complement so that bit0 of first word is 0 *)
   let canon n =
     match sigs.(n) with
@@ -216,10 +312,10 @@ let check_sweep ?(seed = 0xC0FFEE) c1 c2 =
   let prove_equal la lb =
     (* equal iff both (la & ~lb) and (~la & lb) unsatisfiable *)
     let a = Encoder.encode_lit enc la and b = Encoder.encode_lit enc lb in
-    match sat_solve_counted enc.Encoder.solver ~assumptions:[ a; -b ] () with
+    match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ a; -b ] () with
     | Sat.Sat -> false
     | Sat.Unsat -> (
-        match sat_solve_counted enc.Encoder.solver ~assumptions:[ -a; b ] () with
+        match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ -a; b ] () with
         | Sat.Sat -> false
         | Sat.Unsat -> true)
   in
@@ -257,7 +353,7 @@ let check_sweep ?(seed = 0xC0FFEE) c1 c2 =
   if miter = Aig.lit_false then Equivalent
   else begin
     let ml = Encoder.encode_lit enc miter in
-    match sat_solve_counted enc.Encoder.solver ~assumptions:[ ml ] () with
+    match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ ml ] () with
     | Sat.Unsat -> Equivalent
     | Sat.Sat ->
         (* map model back through original input order: input i of g maps to
@@ -273,16 +369,220 @@ let check_sweep ?(seed = 0xC0FFEE) c1 c2 =
         Inequivalent (List.rev !cex)
   end
 
-let check ?(engine = Sweep_engine) c1 c2 =
+(* ---------- engine dispatch, cache, partitioning ---------- *)
+
+(* Runs one engine on one (sub)circuit pair, charging wall-clock to the
+   engine's stats bucket.  [prebuilt] avoids rebuilding the shared AIG when
+   the caller already made one for the cache key. *)
+let run_engine ct ~engine ?prebuilt c1 c2 =
+  let built () =
+    match prebuilt with Some t -> t | None -> build_shared_aig c1 c2
+  in
+  let t0 = now () in
+  match engine with
+  | Bdd_engine ->
+      let v = check_bdd c1 c2 in
+      ct.k_bdd_s <- ct.k_bdd_s +. (now () -. t0);
+      v
+  | Sat_engine ->
+      let v = check_sat ct (built ()) in
+      ct.k_sat_s <- ct.k_sat_s +. (now () -. t0);
+      v
+  | Sweep_engine ->
+      let v = check_sweep ct (built ()) in
+      ct.k_sweep_s <- ct.k_sweep_s +. (now () -. t0);
+      v
+
+(* Cache key: canonical signature of the two output-literal groups in the
+   shared AIG, with input nodes labelled by their united-input index.  Key
+   equality implies the pair computes the same two functions over the
+   united index space, so verdicts (and index-encoded counterexamples)
+   transfer even when the input *names* differ. *)
+let pair_signature g o1 o2 =
+  let idx_of_node = Hashtbl.create 64 in
+  for i = 0 to Aig.num_inputs g - 1 do
+    Hashtbl.replace idx_of_node (Aig.node_of (Aig.input_lit g i)) i
+  done;
+  Aig.cone_signature g
+    ~input_label:(fun n -> string_of_int (Hashtbl.find idx_of_node n))
+    [ o1; o2 ]
+
+let check_pair ct ~engine ~cache c1 c2 =
+  match cache with
+  | None -> run_engine ct ~engine c1 c2
+  | Some cache -> (
+      let ((g, names, o1, o2) as prebuilt) = build_shared_aig c1 c2 in
+      let key = pair_signature g o1 o2 in
+      match Cache.find cache key with
+      | Some Cache.E_equivalent ->
+          ct.k_cache_hits <- ct.k_cache_hits + 1;
+          Equivalent
+      | Some (Cache.E_inequivalent ixs) ->
+          ct.k_cache_hits <- ct.k_cache_hits + 1;
+          let name_arr = Array.of_list names in
+          Inequivalent (List.map (fun (i, b) -> (name_arr.(i), b)) ixs)
+      | None ->
+          let v = run_engine ct ~engine ~prebuilt c1 c2 in
+          let entry =
+            match v with
+            | Equivalent -> Cache.E_equivalent
+            | Inequivalent cex ->
+                let index = Hashtbl.create 16 in
+                List.iteri (fun i n -> Hashtbl.replace index n i) names;
+                Cache.E_inequivalent
+                  (List.map (fun (n, b) -> (Hashtbl.find index n, b)) cex)
+          in
+          Cache.add cache key entry;
+          v)
+
+(* Output clustering.  Checking each output pair in isolation is sound but
+   can be quadratically wasteful: when cones overlap heavily (a min/max
+   chain, a shared datapath) every partition re-extracts, re-sweeps and
+   re-SATs nearly the whole circuit.  So outputs are greedily clustered:
+   an output joins an existing partition when at least half of the smaller
+   cone (its own, or the partition's accumulated one) is already covered
+   by the other.  Chains collapse into one partition — degrading
+   gracefully to the monolithic check — while independent cones split.
+   The clustering depends only on the two circuits, never on [jobs], so
+   partition boundaries (and hence verdicts and cache keys) are identical
+   at every parallelism level. *)
+type out_group = {
+  mutable members : int list; (* output indices, reversed *)
+  g1 : bool array; (* accumulated cone marks over c1 signals *)
+  g2 : bool array; (* accumulated cone marks over c2 signals *)
+  mutable gsize : int; (* marked signals across both arrays *)
+}
+
+let cluster_outputs c1 c2 =
+  let outs1 = Array.of_list (Circuit.outputs c1) in
+  let outs2 = Array.of_list (Circuit.outputs c2) in
+  let n = Array.length outs1 in
+  let groups = ref [] in
+  let marked m =
+    let acc = ref [] in
+    Array.iteri (fun s b -> if b then acc := s :: !acc) m;
+    !acc
+  in
+  for i = 0 to n - 1 do
+    let m1 = Circuit.cone c1 [ outs1.(i) ] in
+    let m2 = Circuit.cone c2 [ outs2.(i) ] in
+    (* work on the marked-signal lists so scoring an output against a group
+       costs O(|cone|), not O(|circuit|) *)
+    let sigs1 = marked m1 and sigs2 = marked m2 in
+    let size = List.length sigs1 + List.length sigs2 in
+    let best = ref None in
+    List.iter
+      (fun g ->
+        let overlap = ref 0 in
+        List.iter (fun s -> if g.g1.(s) then incr overlap) sigs1;
+        List.iter (fun s -> if g.g2.(s) then incr overlap) sigs2;
+        let score = 2 * !overlap in
+        if score >= min size g.gsize then
+          match !best with
+          | Some (bscore, _) when bscore >= score -> ()
+          | _ -> best := Some (score, g))
+      !groups;
+    match !best with
+    | Some (_, g) ->
+        List.iter
+          (fun s -> if not g.g1.(s) then (g.g1.(s) <- true; g.gsize <- g.gsize + 1))
+          sigs1;
+        List.iter
+          (fun s -> if not g.g2.(s) then (g.g2.(s) <- true; g.gsize <- g.gsize + 1))
+          sigs2;
+        g.members <- i :: g.members
+    | None -> groups := { members = [ i ]; g1 = m1; g2 = m2; gsize = size } :: !groups
+  done;
+  List.rev_map (fun g -> (List.rev g.members, g.gsize)) !groups
+
+(* Each partition pays a fixed cost (extraction, AIG build, simulation
+   warm-up, solver setup), so hundreds of tiny cones are much slower to
+   check separately than together.  Pack the overlap clusters into at most
+   [max_partitions] bins, largest first onto the lightest bin.  The bound
+   is a constant — not a function of [jobs] — so the partition layout is
+   identical at every parallelism level. *)
+let max_partitions = 16
+
+let pack_clusters clusters =
+  let n = List.length clusters in
+  if n <= max_partitions then List.map fst clusters
+  else begin
+    let sorted =
+      List.stable_sort (fun (_, a) (_, b) -> compare (b : int) a) clusters
+    in
+    let bins = Array.make max_partitions ([], 0) in
+    List.iter
+      (fun (members, size) ->
+        let lightest = ref 0 in
+        Array.iteri
+          (fun i (_, w) -> if w < snd bins.(!lightest) then lightest := i)
+          bins;
+        let ms, w = bins.(!lightest) in
+        bins.(!lightest) <- (members :: ms, w + size))
+      sorted;
+    Array.to_list bins
+    |> List.filter_map (fun (ms, _) ->
+           match List.concat (List.rev ms) with
+           | [] -> None
+           | members -> Some (List.sort compare members))
+  end
+
+let check_partitioned ~engine ~jobs ~cache c1 c2 =
+  let outs1 = Array.of_list (Circuit.outputs c1) in
+  let outs2 = Array.of_list (Circuit.outputs c2) in
+  if Array.length outs1 = 0 then (Equivalent, empty_stats)
+  else begin
+    let cache = match cache with Some c -> c | None -> Cache.create () in
+    let clusters = pack_clusters (cluster_outputs c1 c2) in
+    (* Cone extraction is cheap and sequential; afterwards every partition
+       task owns its two sub-circuits outright, so nothing mutable crosses
+       domains. *)
+    let parts =
+      List.mapi
+        (fun k members ->
+          let e1, _ =
+            Circuit.extract c1 ~keep_outputs:(List.map (fun i -> outs1.(i)) members)
+          in
+          let e2, _ =
+            Circuit.extract c2 ~keep_outputs:(List.map (fun i -> outs2.(i)) members)
+          in
+          (k, e1, e2))
+        clusters
+    in
+    let n = List.length parts in
+    let counters = Array.init n (fun _ -> fresh_counters ()) in
+    let found =
+      (* never spawn more workers than there are partitions *)
+      Par.Pool.with_pool ~jobs:(min jobs n) (fun pool ->
+          Par.Pool.find_first pool
+            (fun (k, e1, e2) ->
+              match check_pair counters.(k) ~engine ~cache:(Some cache) e1 e2 with
+              | Equivalent -> None
+              | Inequivalent cex -> Some cex)
+            parts)
+    in
+    let stats = stats_of_counters ~partitions:n counters in
+    match found with
+    | Some cex -> (Inequivalent cex, stats)
+    | None -> (Equivalent, stats)
+  end
+
+let check_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition ?cache c1 c2 =
   require_comb c1;
   require_comb c2;
   if List.length (Circuit.outputs c1) <> List.length (Circuit.outputs c2) then
     invalid_arg "Cec: output counts differ";
-  last_sat_calls := 0;
-  match engine with
-  | Bdd_engine -> check_bdd c1 c2
-  | Sat_engine -> check_sat c1 c2
-  | Sweep_engine -> check_sweep c1 c2
+  let jobs = max 1 jobs in
+  let partitioned = match partition with Some b -> b | None -> jobs > 1 in
+  if partitioned then check_partitioned ~engine ~jobs ~cache c1 c2
+  else begin
+    let ct = fresh_counters () in
+    let v = check_pair ct ~engine ~cache c1 c2 in
+    (v, stats_of_counters ~partitions:1 [| ct |])
+  end
+
+let check ?engine ?jobs ?partition ?cache c1 c2 =
+  fst (check_with_stats ?engine ?jobs ?partition ?cache c1 c2)
 
 let counterexample_is_valid c1 c2 cex =
   let env = Hashtbl.create 16 in

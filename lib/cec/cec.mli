@@ -2,7 +2,8 @@
 
     The paper reduces sequential verification to combinational verification
     and hands the result to "an in-house tool similar to [10, 12]".  This is
-    that tool: three engines over latch-free netlists.
+    that tool: three engines over latch-free netlists, optionally run in
+    parallel over cone-clustered output partitions of the miter.
 
     Inputs of the two circuits are matched {e by name}; the variable
     universe is the union of both input sets (a missing input is a free
@@ -23,16 +24,77 @@ type engine =
       (** fraig-style: random simulation classes + incremental SAT merging,
           then a miter check on the swept AIG *)
 
-val check : ?engine:engine -> Circuit.t -> Circuit.t -> verdict
+type stats = {
+  sat_calls : int;  (** SAT solver invocations *)
+  sim_rounds : int;  (** 64-pattern random simulation rounds (sweep) *)
+  partitions : int;  (** output-cone partitions checked (1 = monolithic) *)
+  cache_hits : int;  (** partitions answered from the result cache *)
+  bdd_seconds : float;
+      (** wall-clock spent in each engine; in parallel mode these are
+          summed across partitions, so they can exceed the elapsed time *)
+  sat_seconds : float;
+  sweep_seconds : float;
+}
+(** Per-check statistics.  Unlike the old [stats_last_sat_calls] global,
+    a [stats] value is owned by the caller of one check: concurrent checks
+    (and the partitions within one check) never share mutable state. *)
+
+val empty_stats : stats
+
+val stats_pp : Format.formatter -> stats -> unit
+
+(** Structural-hash result cache.  Keyed by the canonical AIG signature of
+    an output-cone pair (see {!Aig.cone_signature}); structurally identical
+    cone pairs — common across the Table-1 variants of one circuit and
+    across unrolling depths — are proven once.  Counterexamples are stored
+    over united-input indices so a hit replays under the hitting pair's own
+    input names.  Safe to share across domains and across checks. *)
+module Cache : sig
+  type t
+
+  val create : unit -> t
+  val clear : t -> unit
+  val size : t -> int
+end
+
+val check :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?partition:bool ->
+  ?cache:Cache.t ->
+  Circuit.t ->
+  Circuit.t ->
+  verdict
 (** Decides functional equivalence.  Default engine: [Sweep_engine].
+
+    With [jobs > 1] (or [~partition:true]) the miter is split into
+    output-cone partitions — each an independent check by soundness of
+    output splitting.  Output pairs whose fanin cones overlap by at least
+    half of the smaller cone are clustered into one partition (so shared
+    logic is swept once), and clusters are packed largest-first into a
+    bounded number of partitions to cap per-partition fixed costs.  The
+    layout depends only on the circuits, never on [jobs].  Partitions run
+    on a {!Par.Pool} of [jobs] domains with early cancellation once a
+    counterexample is found.  The verdict is deterministic: the reported
+    counterexample comes from the lowest-index failing partition,
+    regardless of scheduling.  Each partition builds its own AIG and SAT
+    solver; a fresh {!Cache} is used per check unless [cache] supplies a
+    shared one.
+
     @raise Invalid_argument if either circuit contains latches or the output
     counts differ. *)
+
+val check_with_stats :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?partition:bool ->
+  ?cache:Cache.t ->
+  Circuit.t ->
+  Circuit.t ->
+  verdict * stats
+(** Like {!check}, also returning the per-check statistics. *)
 
 val counterexample_is_valid :
   Circuit.t -> Circuit.t -> counterexample -> bool
 (** Replays a counterexample on both circuits and confirms some output pair
     differs. *)
-
-val stats_last_sat_calls : unit -> int
-(** Number of SAT solver invocations made by the most recent {!check} call
-    (diagnostic; not thread-safe). *)

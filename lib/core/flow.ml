@@ -72,7 +72,7 @@ let circuits ?engine:_ a =
   let b = make_b a exposed_names in
   (b, optimize_c ~exposed_names b)
 
-let run ?engine ?(skip_verify = false) a =
+let run ?engine ?jobs ?cache ?(skip_verify = false) a =
   Circuit.check a;
   let plan = Feedback.plan_structural a in
   let exposed_names = List.map (Circuit.signal_name a) plan.Feedback.exposed in
@@ -97,9 +97,10 @@ let run ?engine ?(skip_verify = false) a =
           events = 0;
           unrolled_gates = (0, 0);
           cec_sat_calls = 0;
+          cec = Cec.empty_stats;
           seconds = 0.;
         } )
-    else Verify.check ?engine ~exposed:exposed_names b c
+    else Verify.check ?engine ?jobs ?cache ~exposed:exposed_names b c
   in
   {
     name = Circuit.name a;

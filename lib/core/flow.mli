@@ -34,10 +34,18 @@ type row = {
 
 val metrics_of : Circuit.t -> metrics
 
-val run : ?engine:Cec.engine -> ?skip_verify:bool -> Circuit.t -> row
-(** Runs the full pipeline on a regular-latch circuit.  When [skip_verify]
-    is set the H-vs-J check is skipped (the verdict reads [Equivalent] and
-    the time is 0 — used when only optimization numbers are wanted).
+val run :
+  ?engine:Cec.engine ->
+  ?jobs:int ->
+  ?cache:Cec.Cache.t ->
+  ?skip_verify:bool ->
+  Circuit.t ->
+  row
+(** Runs the full pipeline on a regular-latch circuit.  [jobs] and [cache]
+    are passed to the H-vs-J combinational check (see {!Verify.check}).
+    When [skip_verify] is set the H-vs-J check is skipped (the verdict
+    reads [Equivalent] and the time is 0 — used when only optimization
+    numbers are wanted).
     @raise Invalid_argument on load-enabled latches: like the paper (which
     lacked a retiming tool for them), the optimizing flow covers regular
     latches; load-enabled circuits get {!exposure_report},

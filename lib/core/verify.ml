@@ -9,6 +9,7 @@ type stats = {
   events : int;
   unrolled_gates : int * int;
   cec_sat_calls : int;
+  cec : Cec.stats;
   seconds : float;
 }
 
@@ -31,8 +32,9 @@ let has_hidden_enabled c exposed =
     (fun l -> (not (exposed l)) && snd (Circuit.latch_info c l) <> None)
     (Circuit.latches c)
 
-let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = []) c1 c2 =
-  let t0 = Sys.time () in
+let check ?engine ?jobs ?cache ?(rewrite_events = true) ?(guard_events = false)
+    ?(exposed = []) c1 c2 =
+  let t0 = Unix.gettimeofday () in
   let ex1 = exposed_pred c1 exposed in
   let ex2 = exposed_pred c2 exposed in
   let needs_edbf = has_hidden_enabled c1 ex1 || has_hidden_enabled c2 ex2 in
@@ -41,8 +43,9 @@ let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = [
       let table = Events.create ~rewrite:rewrite_events () in
       let u1, i1 = Edbf.unroll ~guard:guard_events ~table ~exposed:ex1 c1 in
       let u2, i2 = Edbf.unroll ~guard:guard_events ~table ~exposed:ex2 c2 in
+      let cec_verdict, cec = Cec.check_with_stats ?engine ?jobs ?cache u1 u2 in
       let verdict =
-        match Cec.check ?engine u1 u2 with
+        match cec_verdict with
         | Cec.Equivalent -> Equivalent
         | Cec.Inequivalent _ ->
             (* conservative method: a differing unrolling is not a certified
@@ -50,6 +53,7 @@ let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = [
             Inequivalent None
       in
       ( verdict,
+        cec,
         Edbf_method,
         max i1.Edbf.depth i2.Edbf.depth,
         i1.Edbf.variables + i2.Edbf.variables,
@@ -59,12 +63,14 @@ let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = [
     else begin
       let u1, i1 = Cbf.unroll ~exposed:ex1 c1 in
       let u2, i2 = Cbf.unroll ~exposed:ex2 c2 in
+      let cec_verdict, cec = Cec.check_with_stats ?engine ?jobs ?cache u1 u2 in
       let verdict =
-        match Cec.check ?engine u1 u2 with
+        match cec_verdict with
         | Cec.Equivalent -> Equivalent
         | Cec.Inequivalent cex -> Inequivalent (Some cex)
       in
       ( verdict,
+        cec,
         Cbf_method,
         max i1.Cbf.depth i2.Cbf.depth,
         i1.Cbf.variables + i2.Cbf.variables,
@@ -72,7 +78,7 @@ let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = [
         (Circuit.area u1, Circuit.area u2) )
     end
   in
-  let verdict, method_, depth, variables, events, unrolled_gates = result in
+  let verdict, cec, method_, depth, variables, events, unrolled_gates = result in
   ( verdict,
     {
       method_;
@@ -80,8 +86,9 @@ let check ?engine ?(rewrite_events = true) ?(guard_events = false) ?(exposed = [
       variables;
       events;
       unrolled_gates;
-      cec_sat_calls = Cec.stats_last_sat_calls ();
-      seconds = Sys.time () -. t0;
+      cec_sat_calls = cec.Cec.sat_calls;
+      cec;
+      seconds = Unix.gettimeofday () -. t0;
     } )
 
 (* ---- counterexample replay ---- *)

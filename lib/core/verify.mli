@@ -26,12 +26,15 @@ type stats = {
   variables : int;  (** united unrolled variable count *)
   events : int;  (** 1 when CBF (just the empty event) *)
   unrolled_gates : int * int;
-  cec_sat_calls : int;
-  seconds : float;
+  cec_sat_calls : int;  (** = [cec.Cec.sat_calls], kept for convenience *)
+  cec : Cec.stats;  (** full per-check combinational statistics *)
+  seconds : float;  (** wall-clock of the whole check *)
 }
 
 val check :
   ?engine:Cec.engine ->
+  ?jobs:int ->
+  ?cache:Cec.Cache.t ->
   ?rewrite_events:bool ->
   ?guard_events:bool ->
   ?exposed:string list ->
@@ -42,6 +45,9 @@ val check :
     [guard_events] (default false) additionally applies the
     event-consistency refinement of {!Edbf.unroll} — a sound strengthening
     beyond the published method that removes more EDBF false negatives.
+    [jobs] (default 1) runs the combinational check partitioned per output
+    cone on that many domains (see {!Cec.check}); [cache] shares a
+    combinational result cache across checks.
     @raise Invalid_argument if an exposed name is missing from either
     circuit, if output counts differ, or if a sequential cycle survives the
     exposure. *)

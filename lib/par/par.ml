@@ -1,0 +1,145 @@
+let cpu_count () = Domain.recommended_domain_count ()
+
+module Pool = struct
+  type t = {
+    jobs : int;
+    mutable domains : unit Domain.t list;
+    q : (unit -> unit) Queue.t;
+    qm : Mutex.t;
+    qcv : Condition.t;
+    mutable stop : bool;
+  }
+
+  let jobs p = p.jobs
+
+  let rec worker p =
+    Mutex.lock p.qm;
+    while Queue.is_empty p.q && not p.stop do
+      Condition.wait p.qcv p.qm
+    done;
+    if Queue.is_empty p.q then Mutex.unlock p.qm (* stop, queue drained *)
+    else begin
+      let task = Queue.pop p.q in
+      Mutex.unlock p.qm;
+      task ();
+      worker p
+    end
+
+  let create ~jobs =
+    let jobs = max 1 jobs in
+    let p =
+      {
+        jobs;
+        domains = [];
+        q = Queue.create ();
+        qm = Mutex.create ();
+        qcv = Condition.create ();
+        stop = false;
+      }
+    in
+    p.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+    p
+
+  let shutdown p =
+    Mutex.lock p.qm;
+    p.stop <- true;
+    Condition.broadcast p.qcv;
+    Mutex.unlock p.qm;
+    List.iter Domain.join p.domains;
+    p.domains <- []
+
+  let with_pool ~jobs f =
+    let p = create ~jobs in
+    Fun.protect ~finally:(fun () -> shutdown p) (fun () -> f p)
+
+  let run p n f =
+    if n > 0 then begin
+      if p.jobs = 1 || n = 1 then
+        for i = 0 to n - 1 do
+          f i
+        done
+      else begin
+        let jm = Mutex.create () and jcv = Condition.create () in
+        let pending = ref n in
+        let failure = Atomic.make None in
+        let task i () =
+          (try f i
+           with e ->
+             let bt = Printexc.get_raw_backtrace () in
+             ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+          Mutex.lock jm;
+          decr pending;
+          if !pending = 0 then Condition.signal jcv;
+          Mutex.unlock jm
+        in
+        Mutex.lock p.qm;
+        for i = 1 to n - 1 do
+          Queue.push (task i) p.q
+        done;
+        Condition.broadcast p.qcv;
+        Mutex.unlock p.qm;
+        task 0 ();
+        (* the submitter helps drain the queue instead of blocking *)
+        let rec help () =
+          Mutex.lock p.qm;
+          let t = if Queue.is_empty p.q then None else Some (Queue.pop p.q) in
+          Mutex.unlock p.qm;
+          match t with
+          | Some t ->
+              t ();
+              help ()
+          | None -> ()
+        in
+        help ();
+        Mutex.lock jm;
+        while !pending > 0 do
+          Condition.wait jcv jm
+        done;
+        Mutex.unlock jm;
+        match Atomic.get failure with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
+      end
+    end
+
+  let map p f xs =
+    match xs with
+    | [] -> []
+    | [ x ] -> [ f x ]
+    | _ ->
+        let arr = Array.of_list xs in
+        let res = Array.make (Array.length arr) None in
+        run p (Array.length arr) (fun i -> res.(i) <- Some (f arr.(i)));
+        Array.to_list
+          (Array.map
+             (function Some r -> r | None -> assert false)
+             res)
+
+  (* Determinism argument: indices are handed out in increasing order, and
+     a started task always runs to completion, so when a match at index [i]
+     is recorded every index [< i] either already ran or is running and
+     will still be able to lower [best].  Indices above the current best
+     are skipped.  The final [best] is therefore the smallest matching
+     index, independent of scheduling. *)
+  let find_first p f xs =
+    match xs with
+    | [] -> None
+    | _ ->
+        let arr = Array.of_list xs in
+        let n = Array.length arr in
+        let res = Array.make n None in
+        let best = Atomic.make max_int in
+        run p n (fun i ->
+            if i < Atomic.get best then
+              match f arr.(i) with
+              | None -> ()
+              | Some r ->
+                  res.(i) <- Some r;
+                  let rec lower () =
+                    let b = Atomic.get best in
+                    if i < b && not (Atomic.compare_and_set best b i) then lower ()
+                  in
+                  lower ());
+        let b = Atomic.get best in
+        if b = max_int then None else res.(b)
+end

@@ -1,0 +1,52 @@
+(** Fixed-size domain pool for data-parallel sweeps.
+
+    OCaml 5 gives us true shared-memory parallelism through [Domain]; this
+    module wraps it in the only two shapes the verification stack needs:
+    an order-preserving parallel [map] and an early-cancelling
+    [find_first].  Workers are plain domains blocked on a condition
+    variable; the submitting domain participates in the work instead of
+    idling, so a pool of [jobs = 1] spawns no domains at all and runs the
+    tasks inline (bit-for-bit the sequential behavior).
+
+    Tasks must be self-contained: they may share read-only data with the
+    submitter (publication happens-before is provided by the internal
+    queue mutex) but must not mutate anything another task can reach
+    unless they synchronize it themselves. *)
+
+val cpu_count : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible default for
+    [~jobs]. *)
+
+module Pool : sig
+  type t
+
+  val create : jobs:int -> t
+  (** A pool that runs up to [max 1 jobs] tasks in parallel
+      ([jobs - 1] worker domains plus the submitting domain). *)
+
+  val jobs : t -> int
+
+  val shutdown : t -> unit
+  (** Drains queued tasks, stops the workers and joins their domains.
+      The pool must not be used afterwards. *)
+
+  val with_pool : jobs:int -> (t -> 'a) -> 'a
+  (** [create], run, then [shutdown] (also on exception). *)
+
+  val run : t -> int -> (int -> unit) -> unit
+  (** [run p n f] executes [f 0 .. f (n-1)], distributing indices over
+      the pool, and returns when all have completed.  If any task raises,
+      one of the exceptions is re-raised in the caller after all tasks
+      finish.  Effects made by the tasks happen-before the return. *)
+
+  val map : t -> ('a -> 'b) -> 'a list -> 'b list
+  (** Parallel [List.map] with deterministic (input-order) results. *)
+
+  val find_first : t -> ('a -> 'b option) -> 'a list -> 'b option
+  (** [find_first p f xs] returns [f x] for the {e first} element (in
+      list order) on which [f] answers [Some _], or [None].  The result
+      is deterministic — identical to [List.find_map f xs] whenever [f]
+      is a pure function — but once some match is found, elements beyond
+      it are cancelled (their [f] is never started), which is the
+      counterexample short-circuit of the partitioned checker. *)
+end

@@ -114,11 +114,12 @@ let run ?(max_rounds = 50) c =
                         then begin
                           (* SAT confirmation on the combinational views *)
                           let faulty = with_fault c ~gate:g ~pos:j ~const in
-                          let v =
-                            Cec.check ~engine:Cec.Sat_engine (Comb_view.of_sequential c)
+                          let v, cstats =
+                            Cec.check_with_stats ~engine:Cec.Sat_engine
+                              (Comb_view.of_sequential c)
                               (Comb_view.of_sequential faulty)
                           in
-                          sat_calls := !sat_calls + Cec.stats_last_sat_calls ();
+                          sat_calls := !sat_calls + cstats.Cec.sat_calls;
                           match v with
                           | Cec.Equivalent ->
                               current := faulty;

@@ -153,10 +153,176 @@ let test_sweep_on_identical_structures () =
      final miter (internal equivalences collapse it) *)
   let c1 = Gen.comb st ~name:"same" ~inputs:4 ~gates:60 ~outputs:2 in
   let c2 = Gen.demorganize c1 in
-  (match Cec.check ~engine:Cec.Sweep_engine c1 c2 with
+  let v, stats = Cec.check_with_stats ~engine:Cec.Sweep_engine c1 c2 in
+  (match v with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "sweep failed");
-  Alcotest.(check bool) "sat calls recorded" true (Cec.stats_last_sat_calls () >= 0)
+  Alcotest.(check bool) "sat calls recorded" true (stats.Cec.sat_calls >= 0);
+  Alcotest.(check int) "monolithic = 1 partition" 1 stats.Cec.partitions;
+  Alcotest.(check bool) "sim rounds recorded" true (stats.Cec.sim_rounds > 0)
+
+(* ---- partitioned / parallel mode ---- *)
+
+let job_counts = [ 1; 2; 4 ]
+
+let test_parallel_agrees_on_equivalent () =
+  for i = 1 to 12 do
+    let c1 =
+      Gen.comb st ~name:(Printf.sprintf "peq%d" i) ~inputs:(2 + Random.State.int st 5)
+        ~gates:(10 + Random.State.int st 50)
+        ~outputs:(2 + Random.State.int st 4)
+    in
+    let c2 = Gen.demorganize c1 in
+    let parts_seen =
+      List.map
+        (fun jobs ->
+          let v, stats = Cec.check_with_stats ~jobs ~partition:true c1 c2 in
+          (match v with
+          | Cec.Equivalent -> ()
+          | Cec.Inequivalent _ ->
+              Alcotest.fail (Printf.sprintf "jobs=%d: false inequivalence" jobs));
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: partition count within bounds" jobs)
+            true
+            (stats.Cec.partitions >= 1
+            && stats.Cec.partitions <= List.length (Circuit.outputs c1));
+          stats.Cec.partitions)
+        job_counts
+    in
+    (* cone clustering depends only on the circuits, never on jobs *)
+    Alcotest.(check bool) "partition layout independent of jobs" true
+      (List.for_all (fun p -> p = List.hd parts_seen) parts_seen)
+  done
+
+let test_parallel_agrees_on_bugs () =
+  for i = 1 to 12 do
+    let c1 =
+      Gen.comb st ~name:(Printf.sprintf "pbug%d" i) ~inputs:(2 + Random.State.int st 4)
+        ~gates:(10 + Random.State.int st 40)
+        ~outputs:(2 + Random.State.int st 3)
+    in
+    let c2 = Gen.negate_one_output (Gen.demorganize c1) in
+    List.iter
+      (fun jobs ->
+        match Cec.check ~jobs ~partition:true c1 c2 with
+        | Cec.Equivalent ->
+            Alcotest.fail (Printf.sprintf "jobs=%d: missed seeded bug" jobs)
+        | Cec.Inequivalent cex ->
+            Alcotest.(check bool)
+              (Printf.sprintf "jobs=%d: cex replays" jobs)
+              true
+              (Cec.counterexample_is_valid c1 c2 cex))
+      job_counts
+  done
+
+let test_parallel_matches_sequential_verdict () =
+  (* random (usually inequivalent) pairs: partitioned/parallel and
+     monolithic verdicts coincide for every engine *)
+  for i = 1 to 15 do
+    let n_in = 2 + Random.State.int st 3 in
+    let c1 = Gen.comb st ~name:(Printf.sprintf "pm%da" i) ~inputs:n_in ~gates:15 ~outputs:3 in
+    let c2 = Gen.comb st ~name:(Printf.sprintf "pm%db" i) ~inputs:n_in ~gates:15 ~outputs:3 in
+    List.iter
+      (fun (nm, e) ->
+        let mono =
+          match Cec.check ~engine:e c1 c2 with Cec.Equivalent -> true | Cec.Inequivalent _ -> false
+        in
+        List.iter
+          (fun jobs ->
+            match Cec.check ~engine:e ~jobs ~partition:true c1 c2 with
+            | Cec.Equivalent ->
+                Alcotest.(check bool) (Printf.sprintf "%s jobs=%d" nm jobs) mono true
+            | Cec.Inequivalent cex ->
+                Alcotest.(check bool) (Printf.sprintf "%s jobs=%d" nm jobs) mono false;
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s jobs=%d cex valid" nm jobs)
+                  true
+                  (Cec.counterexample_is_valid c1 c2 cex))
+          job_counts)
+      engines
+  done
+
+let test_cache_hits_identical_verdicts () =
+  let cache = Cec.Cache.create () in
+  let c1 = Gen.comb st ~name:"cachea" ~inputs:5 ~gates:40 ~outputs:3 in
+  let c2 = Gen.demorganize c1 in
+  let v1, s1 = Cec.check_with_stats ~partition:true ~cache c1 c2 in
+  Alcotest.(check int) "cold run misses" 0 s1.Cec.cache_hits;
+  let v2, s2 = Cec.check_with_stats ~partition:true ~cache c1 c2 in
+  Alcotest.(check bool) "verdicts equal" true (v1 = v2);
+  Alcotest.(check int) "warm run all hits" s2.Cec.partitions s2.Cec.cache_hits;
+  Alcotest.(check int) "no new SAT work" 0 s2.Cec.sat_calls;
+  (* inequivalent pairs replay identically through the cache too *)
+  let b1 = Gen.comb st ~name:"cacheb" ~inputs:4 ~gates:30 ~outputs:2 in
+  let b2 = Gen.negate_one_output (Gen.demorganize b1) in
+  let w1 = Cec.check ~partition:true ~cache b1 b2 in
+  let w2 = Cec.check ~partition:true ~cache b1 b2 in
+  (match (w1, w2) with
+  | Cec.Inequivalent cex1, Cec.Inequivalent cex2 ->
+      Alcotest.(check bool) "cached cex identical" true (cex1 = cex2);
+      Alcotest.(check bool) "cached cex valid" true
+        (Cec.counterexample_is_valid b1 b2 cex2)
+  | _ -> Alcotest.fail "seeded bug not found through cache");
+  Alcotest.(check bool) "cache populated" true (Cec.Cache.size cache > 0);
+  Cec.Cache.clear cache;
+  Alcotest.(check int) "cache cleared" 0 (Cec.Cache.size cache)
+
+let test_cache_shares_isomorphic_cones () =
+  (* two copies of the same function under different input names: the
+     index-encoded cache entry must transfer and the renamed cex must
+     replay *)
+  let mk prefix =
+    let c = Circuit.create (prefix ^ "c") in
+    let a = Circuit.add_input c (prefix ^ "a") in
+    let b = Circuit.add_input c (prefix ^ "b") in
+    Circuit.mark_output c (Circuit.add_gate c And [ a; b ]);
+    Circuit.check c;
+    c
+  in
+  let mk_neg prefix =
+    let c = Circuit.create (prefix ^ "n") in
+    let a = Circuit.add_input c (prefix ^ "a") in
+    let b = Circuit.add_input c (prefix ^ "b") in
+    Circuit.mark_output c (Circuit.add_gate c Not [ Circuit.add_gate c And [ a; b ] ]);
+    Circuit.check c;
+    c
+  in
+  let cache = Cec.Cache.create () in
+  let _, s1 = Cec.check_with_stats ~partition:true ~cache (mk "x") (mk_neg "x") in
+  Alcotest.(check int) "first pair computes" 0 s1.Cec.cache_hits;
+  let v2, s2 = Cec.check_with_stats ~partition:true ~cache (mk "y") (mk_neg "y") in
+  Alcotest.(check int) "renamed pair hits" 1 s2.Cec.cache_hits;
+  match v2 with
+  | Cec.Inequivalent cex ->
+      Alcotest.(check bool) "renamed cex valid" true
+        (Cec.counterexample_is_valid (mk "y") (mk_neg "y") cex);
+      List.iter
+        (fun (n, _) ->
+          Alcotest.(check bool) "cex uses the hitting pair's names" true
+            (String.length n > 0 && n.[0] = 'y'))
+        cex
+  | Cec.Equivalent -> Alcotest.fail "AND vs NAND accepted"
+
+let test_parallel_stress () =
+  (* repeated parallel checks: no shared mutable state, stable verdicts *)
+  let cache = Cec.Cache.create () in
+  for round = 1 to 10 do
+    let c1 =
+      Gen.comb st ~name:(Printf.sprintf "st%d" round) ~inputs:4 ~gates:30 ~outputs:4
+    in
+    let c2 = Gen.demorganize c1 in
+    let bug = Gen.negate_one_output c2 in
+    for _rep = 1 to 3 do
+      (match Cec.check ~jobs:4 ~cache c1 c2 with
+      | Cec.Equivalent -> ()
+      | Cec.Inequivalent _ -> Alcotest.fail "stress: false inequivalence");
+      match Cec.check ~jobs:4 ~cache c1 bug with
+      | Cec.Equivalent -> Alcotest.fail "stress: missed bug"
+      | Cec.Inequivalent cex ->
+          Alcotest.(check bool) "stress cex valid" true
+            (Cec.counterexample_is_valid c1 bug cex)
+    done
+  done
 
 let suite =
   [
@@ -169,4 +335,13 @@ let suite =
     Alcotest.test_case "output count mismatch" `Quick test_output_count_mismatch;
     Alcotest.test_case "union input space" `Quick test_disjoint_inputs_free;
     Alcotest.test_case "sweep collapses identical logic" `Quick test_sweep_on_identical_structures;
+    Alcotest.test_case "parallel agrees: equivalent pairs" `Quick test_parallel_agrees_on_equivalent;
+    Alcotest.test_case "parallel agrees: seeded bugs" `Quick test_parallel_agrees_on_bugs;
+    Alcotest.test_case "parallel matches sequential verdict" `Quick
+      test_parallel_matches_sequential_verdict;
+    Alcotest.test_case "cache: hits return identical verdicts" `Quick
+      test_cache_hits_identical_verdicts;
+    Alcotest.test_case "cache: isomorphic cones transfer" `Quick
+      test_cache_shares_isomorphic_cones;
+    Alcotest.test_case "parallel stress" `Quick test_parallel_stress;
   ]

@@ -68,9 +68,43 @@ let test_exposure_report () =
   (* half the self-loops are conditional updates: functional about halves *)
   Alcotest.(check bool) "functional close to half" true (functional <= 14)
 
+let test_flow_parallel_verify_agrees () =
+  (* the whole reduction, end to end, at jobs 1/2/4: same verdict, and the
+     parallel runs report a jobs-independent cone partitioning *)
+  for i = 1 to 3 do
+    let c =
+      Gen.feedback st
+        ~name:(Printf.sprintf "flp%d" i)
+        ~inputs:3 ~gates:(30 + Random.State.int st 30) ~latches:(3 + Random.State.int st 3)
+        ~outputs:2
+    in
+    let rows = List.map (fun jobs -> (jobs, Flow.run ~jobs c)) [ 1; 2; 4 ] in
+    let verdicts =
+      List.map (fun (_, r) -> r.Flow.verify_verdict = Verify.Equivalent) rows
+    in
+    Alcotest.(check bool) "verdicts agree across jobs" true
+      (List.for_all (fun v -> v = List.hd verdicts) verdicts);
+    let parts =
+      List.filter_map
+        (fun (jobs, r) ->
+          let cec = r.Flow.verify_stats.Verify.cec in
+          if jobs > 1 then begin
+            Alcotest.(check bool)
+              (Printf.sprintf "jobs=%d partitioned" jobs)
+              true (cec.Cec.partitions >= 1);
+            Some cec.Cec.partitions
+          end
+          else None)
+        rows
+    in
+    Alcotest.(check bool) "partition layout independent of jobs" true
+      (List.for_all (fun p -> p = List.hd parts) parts)
+  done
+
 let suite =
   [
     Alcotest.test_case "flow verifies B vs C" `Quick test_flow_verifies;
+    Alcotest.test_case "parallel flow verify agrees" `Quick test_flow_parallel_verify_agrees;
     Alcotest.test_case "pipeline shape" `Quick test_flow_shape_on_pipeline;
     Alcotest.test_case "minmax shape" `Quick test_flow_minmax_shape;
     Alcotest.test_case "B keeps outputs" `Quick test_flow_b_keeps_outputs;

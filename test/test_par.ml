@@ -1,0 +1,97 @@
+(* The domain pool: ordering, determinism, cancellation, exceptions. *)
+
+let job_counts = [ 1; 2; 4 ]
+
+let test_map_preserves_order () =
+  List.iter
+    (fun jobs ->
+      Par.Pool.with_pool ~jobs (fun p ->
+          let xs = List.init 100 Fun.id in
+          let got = Par.Pool.map p (fun x -> x * x) xs in
+          Alcotest.(check (list int))
+            (Printf.sprintf "jobs=%d" jobs)
+            (List.map (fun x -> x * x) xs)
+            got;
+          Alcotest.(check (list int)) "empty" [] (Par.Pool.map p (fun x -> x) []);
+          Alcotest.(check (list int)) "singleton" [ 7 ] (Par.Pool.map p (fun x -> x) [ 7 ])))
+    job_counts
+
+let test_find_first_deterministic () =
+  List.iter
+    (fun jobs ->
+      Par.Pool.with_pool ~jobs (fun p ->
+          let xs = List.init 64 Fun.id in
+          let f x = if x mod 7 = 3 then Some (x * 10) else None in
+          (* smallest match is 3, independently of scheduling *)
+          for _ = 1 to 5 do
+            Alcotest.(check (option int))
+              (Printf.sprintf "jobs=%d" jobs)
+              (List.find_map f xs)
+              (Par.Pool.find_first p f xs)
+          done;
+          Alcotest.(check (option int))
+            "no match" None
+            (Par.Pool.find_first p (fun _ -> None) xs)))
+    job_counts
+
+let test_find_first_cancels () =
+  (* once the match at index 0 is known, most later elements must never
+     start; with the match placed first this is deterministic enough to
+     assert a strict bound even under adversarial scheduling *)
+  Par.Pool.with_pool ~jobs:4 (fun p ->
+      let started = Atomic.make 0 in
+      let n = 10_000 in
+      let f i =
+        Atomic.incr started;
+        if i = 0 then Some i else None
+      in
+      let r = Par.Pool.find_first p f (List.init n Fun.id) in
+      Alcotest.(check (option int)) "found" (Some 0) r;
+      Alcotest.(check bool)
+        (Printf.sprintf "cancelled most of the sweep (started %d)" (Atomic.get started))
+        true
+        (Atomic.get started < n))
+
+let test_exceptions_propagate () =
+  List.iter
+    (fun jobs ->
+      Par.Pool.with_pool ~jobs (fun p ->
+          match Par.Pool.map p (fun x -> if x = 13 then failwith "boom" else x) (List.init 20 Fun.id) with
+          | _ -> Alcotest.fail (Printf.sprintf "jobs=%d: exception swallowed" jobs)
+          | exception Failure m -> Alcotest.(check string) "message" "boom" m))
+    job_counts
+
+let test_pool_reuse_and_nesting () =
+  (* many runs on one pool; pools created inside pool tasks *)
+  Par.Pool.with_pool ~jobs:2 (fun outer ->
+      for round = 1 to 20 do
+        let xs = List.init 50 (fun i -> i + round) in
+        let got =
+          Par.Pool.map outer
+            (fun x ->
+              if x mod 17 = 0 then
+                Par.Pool.with_pool ~jobs:2 (fun inner ->
+                    List.fold_left ( + ) 0 (Par.Pool.map inner Fun.id [ x; x; x ]))
+              else 3 * x)
+            xs
+        in
+        Alcotest.(check (list int)) "nested" (List.map (fun x -> 3 * x) xs) got
+      done)
+
+let test_effects_visible_after_run () =
+  Par.Pool.with_pool ~jobs:4 (fun p ->
+      let arr = Array.make 1000 0 in
+      Par.Pool.run p 1000 (fun i -> arr.(i) <- i + 1);
+      let ok = ref true in
+      Array.iteri (fun i v -> if v <> i + 1 then ok := false) arr;
+      Alcotest.(check bool) "all writes visible" true !ok)
+
+let suite =
+  [
+    Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
+    Alcotest.test_case "find_first deterministic" `Quick test_find_first_deterministic;
+    Alcotest.test_case "find_first cancels tail" `Quick test_find_first_cancels;
+    Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
+    Alcotest.test_case "pool reuse and nesting" `Quick test_pool_reuse_and_nesting;
+    Alcotest.test_case "task effects visible" `Quick test_effects_visible_after_run;
+  ]
