@@ -7,6 +7,7 @@
      dune exec bench/main.exe                 # tables + figures + quick micro
      dune exec bench/main.exe -- --table1     # Table 1 only (small suite)
      dune exec bench/main.exe -- --table1 --full   # all 23 circuits
+     dune exec bench/main.exe -- --table1 --smoke  # exit 1 unless all EQ
      dune exec bench/main.exe -- --table2     # Table 2 (exposure counts)
      dune exec bench/main.exe -- --figs       # figure reproductions
      dune exec bench/main.exe -- --ablation-cec | --ablation-rewrite
@@ -14,6 +15,20 @@
      dune exec bench/main.exe -- --micro      # bechamel micro-benchmarks *)
 
 let pf = Format.printf
+
+(* benchmark circuits are all well-formed, so a diagnosis here is a bug *)
+let ok what = function
+  | Ok r -> r
+  | Error d ->
+      failwith (Printf.sprintf "%s: %s" what (Seqprob.diagnosis_to_string d))
+
+let check_outcome ?engine ?jobs ?rewrite_events ?guard_events ?exposed c1 c2 =
+  ok "verify"
+    (Verify.check ?engine ?jobs ?rewrite_events ?guard_events ?exposed c1 c2)
+
+let check_verdict ?engine ?rewrite_events ?guard_events ?exposed c1 c2 =
+  (check_outcome ?engine ?rewrite_events ?guard_events ?exposed c1 c2)
+    .Verify.verdict
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -27,6 +42,7 @@ type t1_record = {
   r_seconds : float;  (* verify wall-clock at the requested --jobs *)
   r_seq_seconds : float option;  (* same check, jobs=1 monolithic *)
   r_seq_verdict : string option;
+  r_unrolled_nodes : int;  (* AND nodes of the shared unrolled AIG *)
   r_cec : Cec.stats;
 }
 
@@ -72,6 +88,7 @@ let write_table1_json ~path ~suite_name ~jobs records =
       | Some s, Some v ->
           p "\"verify_seconds_jobs1\": %.6f, \"verdict_jobs1\": \"%s\", " s (json_escape v)
       | _ -> ());
+      p "\"unrolled_aig_nodes\": %d, " r.r_unrolled_nodes;
       p "\"sat_calls\": %d, \"sim_rounds\": %d, \"partitions\": %d, \"cache_hits\": %d}%s\n"
         r.r_cec.Cec.sat_calls r.r_cec.Cec.sim_rounds r.r_cec.Cec.partitions
         r.r_cec.Cec.cache_hits
@@ -87,7 +104,7 @@ let write_table1_json ~path ~suite_name ~jobs records =
   p "\n}\n";
   close_out oc
 
-let table1 ~full ~jobs () =
+let table1 ~full ~jobs ~smoke () =
   pf "@.== Table 1: optimization and verification results ==@.";
   pf "(A = original; C = expose+synth+min-period retime; D = synth only;@.";
   pf " E = expose+synth+min-area retime at D's period; F/G = like C/E without@.";
@@ -104,7 +121,7 @@ let table1 ~full ~jobs () =
   let records =
     List.map
       (fun (name, c) ->
-        let row = Flow.run ~jobs c in
+        let row = ok "flow" (Flow.run ~jobs c) in
         let darea = float_of_int (max 1 row.Flow.d.Flow.area) in
         let rel a = float_of_int a /. darea in
         pf
@@ -123,9 +140,9 @@ let table1 ~full ~jobs () =
             (* re-run the H-vs-J check monolithically on the same B/C pair *)
             let plan = Feedback.plan_structural c in
             let exposed = List.map (Circuit.signal_name c) plan.Feedback.exposed in
-            let b, copt = Flow.circuits c in
-            let v, s = Verify.check ~jobs:1 ~exposed b copt in
-            Some (s.Verify.seconds, verdict_str v)
+            let b, copt = ok "flow" (Flow.circuits c) in
+            let o = check_outcome ~jobs:1 ~exposed b copt in
+            Some (o.Verify.stats.Verify.seconds, verdict_str o.Verify.verdict)
           end
         in
         {
@@ -134,6 +151,7 @@ let table1 ~full ~jobs () =
           r_seconds = row.Flow.verify_seconds;
           r_seq_seconds = Option.map fst seq;
           r_seq_verdict = Option.map snd seq;
+          r_unrolled_nodes = row.Flow.verify_stats.Verify.unrolled_nodes;
           r_cec = row.Flow.verify_stats.Verify.cec;
         })
       suite
@@ -155,7 +173,23 @@ let table1 ~full ~jobs () =
   else pf "verify wall-clock: jobs=1 %.2fs@." total;
   let suite_name = if full then "full" else "small" in
   write_table1_json ~path:"BENCH_table1.json" ~suite_name ~jobs records;
-  pf "wrote BENCH_table1.json@."
+  pf "wrote BENCH_table1.json@.";
+  if smoke then begin
+    let bad =
+      List.filter
+        (fun r ->
+          r.r_verdict <> "EQ"
+          || match r.r_seq_verdict with Some v -> v <> "EQ" | None -> false)
+        records
+    in
+    if bad <> [] then begin
+      List.iter
+        (fun r -> pf "SMOKE FAILURE: %s verdict %s@." r.r_name r.r_verdict)
+        bad;
+      exit 1
+    end;
+    pf "smoke: all %d verdicts Equivalent@." (List.length records)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
@@ -194,7 +228,7 @@ let fig1 () =
   Circuit.check b;
   let t3 = Sim.run_3v a ~inputs:[ [| true |] ] in
   let naive_differs = not (Sim.tv_equal (List.hd t3).(0) Sim.F) in
-  let exact_equal = fst (Verify.check a b) = Verify.Equivalent in
+  let exact_equal = check_verdict a b = Verify.Equivalent in
   pf "Fig. 1:  naive 3-valued sim differs: %b; exact/CBF equivalent: %b  %s@."
     naive_differs exact_equal
     (if naive_differs && exact_equal then "[reproduced]" else "[MISMATCH]")
@@ -215,11 +249,11 @@ let fig10_pair collapse name =
 
 let fig10 () =
   let fneg =
-    fst (Verify.check ~rewrite_events:false (fig10_pair false "a") (fig10_pair true "b"))
+    check_verdict ~rewrite_events:false (fig10_pair false "a") (fig10_pair true "b")
     <> Verify.Equivalent
   in
   let fixed =
-    fst (Verify.check (fig10_pair false "a2") (fig10_pair true "b2")) = Verify.Equivalent
+    check_verdict (fig10_pair false "a2") (fig10_pair true "b2") = Verify.Equivalent
   in
   pf "Fig. 10: false negative without rule (5): %b; fixed with it: %b  %s@." fneg fixed
     (if fneg && fixed then "[reproduced]" else "[MISMATCH]")
@@ -236,8 +270,8 @@ let fig11 () =
     c
   in
   let conservative =
-    match Verify.check (mk "b") (mk "ab") with
-    | Verify.Inequivalent None, _ -> true
+    match check_verdict (mk "b") (mk "ab") with
+    | Verify.Inequivalent None -> true
     | _ -> false
   in
   pf "Fig. 11: event/data interaction stays a conservative rejection: %b  %s@."
@@ -270,9 +304,17 @@ let fig18 () =
       let plan = Feedback.plan_structural c in
       let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
       let exposed s = List.mem (Circuit.signal_name c s) names in
-      let u, info = Cbf.unroll ~exposed c in
-      pf "         %-9s gates %5d -> unrolled %6d (depth %d, %d variables)@." name
-        (Circuit.area c) (Circuit.area u) info.Cbf.depth info.Cbf.variables)
+      let u, info = Cbf.unroll_netlist ~exposed c in
+      (* and the shared-AIG size the engines actually see *)
+      let b = Seqprob.builder () in
+      let aig_nodes =
+        match Cbf.unroll ~exposed b c with
+        | Ok _ -> Aig.and_count (Seqprob.graph b)
+        | Error _ -> -1
+      in
+      pf "         %-9s gates %5d -> unrolled %6d netlist / %6d AIG nodes (depth %d, %d variables)@."
+        name (Circuit.area c) (Circuit.area u) aig_nodes info.Cbf.depth
+        info.Cbf.variables)
     [ "s953"; "s1269"; "s3384"; "minmax10"; "minmax32" ]
 
 let fig16 () =
@@ -288,7 +330,7 @@ let fig16 () =
   Circuit.check c;
   let legal = Classes.can_forward_move c ~gate:g in
   let moved = Classes.forward_move c ~gate:g in
-  let still_ok = fst (Verify.check c (Synth_script.quick_cleanup moved)) in
+  let still_ok = check_verdict c (Synth_script.quick_cleanup moved) in
   pf "Fig. 16: same-class forward move legal: %b; EDBF-verified after move: %b@." legal
     (still_ok = Verify.Equivalent)
 
@@ -316,14 +358,16 @@ let ablation_cec () =
   List.iter
     (fun name ->
       let c = Workloads.by_name name in
-      let b, copt = Flow.circuits c in
+      let b, copt = ok "flow" (Flow.circuits c) in
       let plan = Feedback.plan_structural c in
       let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
       let ex cc s = List.mem (Circuit.signal_name cc s) names in
-      let u1, _ = Cbf.unroll ~exposed:(ex b) b in
-      let u2, _ = Cbf.unroll ~exposed:(ex copt) copt in
+      let bld = Seqprob.builder () in
+      let o1, _ = ok "unroll" (Cbf.unroll ~exposed:(ex b) bld b) in
+      let o2, _ = ok "unroll" (Cbf.unroll ~exposed:(ex copt) bld copt) in
+      let p = ok "problem" (Seqprob.problem bld ~outs1:o1 ~outs2:o2) in
       let run engine =
-        let v, t = time (fun () -> Cec.check ~engine u1 u2) in
+        let v, t = time (fun () -> Cec.check_problem ~engine p) in
         (match v with Cec.Equivalent -> () | Cec.Inequivalent _ -> pf "NEQ?!");
         t
       in
@@ -340,8 +384,8 @@ let ablation_rewrite () =
   for i = 1 to n do
     let a = fig10_pair false (Printf.sprintf "ra%d" i) in
     let b = fig10_pair true (Printf.sprintf "rb%d" i) in
-    if fst (Verify.check ~rewrite_events:false a b) <> Verify.Equivalent then incr fneg;
-    if fst (Verify.check a b) = Verify.Equivalent then incr fixed
+    if check_verdict ~rewrite_events:false a b <> Verify.Equivalent then incr fneg;
+    if check_verdict a b = Verify.Equivalent then incr fixed
   done;
   pf "without rule (5): %d/%d false negatives@." !fneg n;
   pf "with rule (5):    %d/%d proven equivalent@." !fixed n
@@ -383,8 +427,8 @@ let ablation_guard () =
   let n = 10 in
   let without = ref 0 and with_g = ref 0 in
   for i = 1 to n do
-    if fst (Verify.check (mk "plain" i) (mk "dc" i)) <> Verify.Equivalent then incr without;
-    if fst (Verify.check ~guard_events:true (mk "plain" i) (mk "dc" i)) = Verify.Equivalent
+    if check_verdict (mk "plain" i) (mk "dc" i) <> Verify.Equivalent then incr without;
+    if check_verdict ~guard_events:true (mk "plain" i) (mk "dc" i) = Verify.Equivalent
     then incr with_g
   done;
   pf "published method:            %d/%d false negatives@." !without n;
@@ -411,7 +455,7 @@ let ablation_dchoice () =
         let c1 = Feedback.apply_plan ~dchoice:d1 c plan in
         let c2 = Feedback.apply_plan ~dchoice:d2 c plan in
         let exposed = List.map (Circuit.signal_name c) plan.Feedback.exposed in
-        if fst (Verify.check ~exposed c1 c2) = Verify.Equivalent then incr agree
+        if check_verdict ~exposed c1 c2 = Verify.Equivalent then incr agree
       end
     done;
     (!agree, !total)
@@ -442,7 +486,7 @@ let baseline () =
   List.iter
     (fun (name, width, stages) ->
       let c = Workloads.pipeline ~name ~width ~stages ~imbalance:3 ~seed:(Hashtbl.hash name) in
-      let b, copt = Flow.circuits c in
+      let b, copt = ok "flow" (Flow.circuits c) in
       let (bv, bstats) = Sec_baseline.check ~node_limit:budget b copt in
       let bres =
         match bv with
@@ -450,14 +494,16 @@ let baseline () =
         | Sec_baseline.Inequivalent -> "NEQ"
         | Sec_baseline.Resource_out _ -> "gave up"
       in
-      let (rv, rstats) = Verify.check b copt in
+      let o = check_outcome b copt in
       let rres =
-        match rv with Verify.Equivalent -> "EQ" | Verify.Inequivalent _ -> "NEQ"
+        match o.Verify.verdict with
+        | Verify.Equivalent -> "EQ"
+        | Verify.Inequivalent _ -> "NEQ"
       in
       pf "%-22s %8d | %10.3fs %-16s | %10.3fs %s@." name (Circuit.latch_count c)
         bstats.Sec_baseline.seconds
         (Printf.sprintf "(%s, %d st)" bres (int_of_float bstats.Sec_baseline.product_states))
-        rstats.Verify.seconds rres)
+        o.Verify.stats.Verify.seconds rres)
     [ ("pipe4x3", 4, 3); ("pipe6x3", 6, 3); ("pipe8x4", 8, 4); ("pipe10x4", 10, 4);
       ("pipe12x5", 12, 5); ("pipe16x6", 16, 6) ];
   (* The two notions differ on power-up-sensitive feedback state: the
@@ -469,11 +515,11 @@ let baseline () =
     Workloads.fsm_datapath ~name:"fsm8" ~latches:8 ~self_loops:2 ~gates:48
       ~width:6 ~seed:(Hashtbl.hash "fsm8")
   in
-  let b, copt = Flow.circuits c in
+  let b, copt = ok "flow" (Flow.circuits c) in
   let plan = Feedback.plan_structural c in
   let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
   let bv, _ = Sec_baseline.check ~node_limit:budget b copt in
-  let rv, _ = Verify.check ~exposed:names b copt in
+  let rv = check_verdict ~exposed:names b copt in
   pf "@.semantic gap (feedback + power-up): traversal(reset-eq) = %s, reduction(exact-3v) = %s@."
     (match bv with
     | Sec_baseline.Equivalent -> "EQ"
@@ -493,9 +539,13 @@ let micro () =
   let plan = Feedback.plan_structural c953 in
   let names = List.map (Circuit.signal_name c953) plan.Feedback.exposed in
   let expose cc s = List.mem (Circuit.signal_name cc s) names in
-  let b, copt = Flow.circuits c953 in
-  let u1, _ = Cbf.unroll ~exposed:(expose b) b in
-  let u2, _ = Cbf.unroll ~exposed:(expose copt) copt in
+  let b, copt = ok "flow" (Flow.circuits c953) in
+  let problem =
+    let bld = Seqprob.builder () in
+    let o1, _ = ok "unroll" (Cbf.unroll ~exposed:(expose b) bld b) in
+    let o2, _ = ok "unroll" (Cbf.unroll ~exposed:(expose copt) bld copt) in
+    ok "problem" (Seqprob.problem bld ~outs1:o1 ~outs2:o2)
+  in
   let synth953 = Synth_script.delay_script c953 in
   let tests =
     Test.make_grouped ~name:"seqver"
@@ -508,11 +558,15 @@ let micro () =
           (Staged.stage (fun () ->
                ignore (Retime.min_period ~exposed:(expose synth953) synth953)));
         Test.make ~name:"t1/unroll-cbf-s953"
-          (Staged.stage (fun () -> ignore (Cbf.unroll ~exposed:(expose b) b)));
+          (Staged.stage (fun () ->
+               let bld = Seqprob.builder () in
+               ignore (Cbf.unroll ~exposed:(expose b) bld b)));
         Test.make ~name:"t1/cec-sweep-s953"
-          (Staged.stage (fun () -> ignore (Cec.check ~engine:Cec.Sweep_engine u1 u2)));
+          (Staged.stage (fun () ->
+               ignore (Cec.check_problem ~engine:Cec.Sweep_engine problem)));
         Test.make ~name:"t1/cec-bdd-s953"
-          (Staged.stage (fun () -> ignore (Cec.check ~engine:Cec.Bdd_engine u1 u2)));
+          (Staged.stage (fun () ->
+               ignore (Cec.check_problem ~engine:Cec.Bdd_engine problem)));
         Test.make ~name:"t2/exposure-ex3"
           (Staged.stage (fun () ->
                ignore (Feedback.plan_functional (Workloads.by_name "ex3"))));
@@ -551,8 +605,9 @@ let () =
     || has "--ablation-guard" || has "--ablation-synth" || has "--ablation-dchoice"
   in
   let full = has "--full" in
+  let smoke = has "--smoke" in
   let jobs = max 1 (Option.value ~default:1 (opt_int "--jobs" args)) in
-  if (not any) || has "--table1" then table1 ~full ~jobs ();
+  if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ();
   if (not any) || has "--table2" then table2 ();
   if (not any) || has "--figs" then figs ();
   if (not any) || has "--baseline" then baseline ();

@@ -126,7 +126,15 @@ let retime_cmd =
     let pred cc s = List.mem (Circuit.signal_name cc s) exposed in
     let o, report =
       match (period, min_area) with
-      | Some p, _ -> Retime.constrained_min_area ~exposed:(pred c) ~period:p c
+      | Some p, _ -> (
+          match Retime.constrained_min_area ~exposed:(pred c) ~period:p c with
+          | Ok r -> r
+          | Error Retime.Infeasible_period ->
+              Format.eprintf "error: %s@."
+                (Seqprob.diagnosis_to_string
+                   (Seqprob.Infeasible_period
+                      { circuit = Circuit.name c; period = p }));
+              exit 1)
       | None, true -> Retime.min_area ~exposed:(pred c) c
       | None, false -> Retime.min_period ~exposed:(pred c) c
     in
@@ -158,30 +166,43 @@ let retime_cmd =
 let verify_cmd =
   let run p1 p2 engine exposed no_rewrite guard jobs =
     let c1 = load p1 and c2 = load p2 in
-    let verdict, stats =
-      Verify.check ~engine ~jobs ~rewrite_events:(not no_rewrite) ~guard_events:guard
-        ~exposed c1 c2
+    let outcome =
+      match
+        Verify.check ~engine ~jobs ~rewrite_events:(not no_rewrite)
+          ~guard_events:guard ~exposed c1 c2
+      with
+      | Ok o -> o
+      | Error d ->
+          Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
+          exit 1
     in
+    let stats = outcome.Verify.stats in
     let method_ =
       match stats.Verify.method_ with
       | Verify.Cbf_method -> "CBF"
       | Verify.Edbf_method -> "EDBF"
     in
-    (match verdict with
+    (match outcome.Verify.verdict with
     | Verify.Equivalent -> Format.printf "EQUIVALENT@."
     | Verify.Inequivalent (Some cex) ->
         Format.printf "NOT EQUIVALENT@.counterexample:@.";
-        List.iter (fun (n, b) -> Format.printf "  %s = %b@." n b) cex
+        List.iter
+          (fun (v, b) ->
+            Format.printf "  %s = %b@." (Seqprob.Var.to_string v) b)
+          cex
     | Verify.Inequivalent None ->
         Format.printf "NOT EQUIVALENT (conservative EDBF check; may be a false negative)@.");
     Format.printf
-      "method %s, depth %d, %d variables, %d events, %d+%d unrolled gates, %d SAT calls, %.3fs@."
+      "method %s, depth %d, %d variables, %d events, %d unrolled AIG nodes, %d+%d unrolled gates, %.3fs@."
       method_ stats.Verify.depth stats.Verify.variables stats.Verify.events
+      stats.Verify.unrolled_nodes
       (fst stats.Verify.unrolled_gates)
       (snd stats.Verify.unrolled_gates)
-      stats.Verify.cec_sat_calls stats.Verify.seconds;
+      stats.Verify.seconds;
     Format.printf "cec: %a@." Cec.stats_pp stats.Verify.cec;
-    match verdict with Verify.Equivalent -> () | Verify.Inequivalent _ -> exit 1
+    match outcome.Verify.verdict with
+    | Verify.Equivalent -> ()
+    | Verify.Inequivalent _ -> exit 1
   in
   let no_rewrite =
     Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the rule-(5) event rewrite.")
@@ -256,21 +277,37 @@ let redundancy_cmd =
 (* ---- flow ---- *)
 
 let flow_cmd =
-  let run path jobs =
+  let run path jobs period =
     let c = load path in
-    let row = Flow.run ~jobs c in
-    Format.printf
-      "%s: A(l=%d d=%d) exposed=%d(%.0f%%) C(l=%d a=%d d=%d) D(a=%d d=%d) E(l=%d) F(l=%d d=%d) verify=%s %.2fs@."
-      row.Flow.name row.Flow.a.Flow.latches row.Flow.a.Flow.delay row.Flow.exposed
-      row.Flow.exposed_percent row.Flow.c.Flow.latches row.Flow.c.Flow.area
-      row.Flow.c.Flow.delay row.Flow.d.Flow.area row.Flow.d.Flow.delay
-      row.Flow.e.Flow.latches row.Flow.f.Flow.latches row.Flow.f.Flow.delay
-      (match row.Flow.verify_verdict with
-      | Verify.Equivalent -> "EQ"
-      | Verify.Inequivalent _ -> "NEQ")
-      row.Flow.verify_seconds
+    match Flow.run ~jobs ?period c with
+    | Error d ->
+        Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
+        exit 1
+    | Ok row ->
+        Format.printf
+          "%s: A(l=%d d=%d) exposed=%d(%.0f%%) C(l=%d a=%d d=%d) D(a=%d d=%d) E(l=%d) F(l=%d d=%d) verify=%s %.2fs@."
+          row.Flow.name row.Flow.a.Flow.latches row.Flow.a.Flow.delay row.Flow.exposed
+          row.Flow.exposed_percent row.Flow.c.Flow.latches row.Flow.c.Flow.area
+          row.Flow.c.Flow.delay row.Flow.d.Flow.area row.Flow.d.Flow.delay
+          row.Flow.e.Flow.latches row.Flow.f.Flow.latches row.Flow.f.Flow.delay
+          (match row.Flow.verify_verdict with
+          | Verify.Equivalent -> "EQ"
+          | Verify.Inequivalent _ -> "NEQ")
+          row.Flow.verify_seconds
   in
-  let term = Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg) in
+  let period =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "period" ] ~docv:"N"
+          ~doc:
+            "Clock-period target for the area-constrained retimings E and G \
+             (default: the delay of the combinationally synthesized D).  A \
+             period below the minimum feasible one is an error.")
+  in
+  let term =
+    Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg $ period)
+  in
   Cmd.v (Cmd.info "flow" ~doc:"Run the full Fig. 19 experimental flow.") term
 
 (* ---- generate ---- *)

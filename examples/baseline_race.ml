@@ -12,15 +12,17 @@ let () =
       let c = Workloads.pipeline ~name ~width ~stages ~imbalance:3 ~seed:7 in
       let optimized, _ = Retime.min_period (Synth_script.delay_script c) in
       let bverdict, bstats = Sec_baseline.check ~node_limit:300_000 c optimized in
-      let rverdict, rstats = Verify.check c optimized in
+      let outcome = Result.get_ok (Verify.check c optimized) in
       Format.printf "%-10s %3d latches | traversal %8.3fs %-8s | reduction %8.3fs %s@."
         name (Circuit.latch_count c) bstats.Sec_baseline.seconds
         (match bverdict with
         | Sec_baseline.Equivalent -> "EQ"
         | Sec_baseline.Inequivalent -> "NEQ"
         | Sec_baseline.Resource_out _ -> "gave up")
-        rstats.Verify.seconds
-        (match rverdict with Verify.Equivalent -> "EQ" | Verify.Inequivalent _ -> "NEQ"))
+        outcome.Verify.stats.Verify.seconds
+        (match outcome.Verify.verdict with
+        | Verify.Equivalent -> "EQ"
+        | Verify.Inequivalent _ -> "NEQ"))
     [ (4, 3); (8, 4); (12, 5); (16, 6) ];
 
   (* The two notions of equivalence part ways on feedback state that
@@ -42,7 +44,7 @@ let () =
     ();
   Circuit.mark_output c q';
   Circuit.check c;
-  let rv, _ = Verify.check ~exposed:[ "q" ] b c in
+  let rv = (Result.get_ok (Verify.check ~exposed:[ "q" ] b c)).Verify.verdict in
   let bv, _ = Sec_baseline.check b c in
   Format.printf "  reduction (exact 3-valued): %s@."
     (match rv with Verify.Equivalent -> "EQUIVALENT" | _ -> "NOT EQUIVALENT");

@@ -42,7 +42,11 @@ let () =
       | None -> assert false));
 
   (* the full experimental flow (Fig. 19) *)
-  let row = Flow.run c in
+  let row =
+    match Flow.run c with
+    | Ok row -> row
+    | Error d -> failwith (Seqprob.diagnosis_to_string d)
+  in
   Format.printf "flow:      exposed %d (%.0f%%)@." row.Flow.exposed row.Flow.exposed_percent;
   Format.printf "  C (retime+synth): delay %d, area %d, latches %d@." row.Flow.c.Flow.delay
     row.Flow.c.Flow.area row.Flow.c.Flow.latches;

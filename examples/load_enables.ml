@@ -27,24 +27,27 @@ let fig10 () =
   (ca, cb)
 
 let show_events table c =
-  let _, info = Edbf.unroll ~table c in
-  info
+  match Edbf.unroll ~table (Seqprob.builder ()) c with
+  | Ok (_, info) -> info
+  | Error d -> failwith (Seqprob.diagnosis_to_string d)
 
 let () =
   let ca, cb = fig10 () in
 
   Format.printf "--- Fig. 10: the rewrite rule (5) ---@.";
   (* without the rewrite: conservative false negative *)
-  (match Verify.check ~rewrite_events:false ca cb with
-  | Verify.Inequivalent None, _ ->
+  (match Result.get_ok (Verify.check ~rewrite_events:false ca cb) with
+  | { Verify.verdict = Verify.Inequivalent None; _ } ->
       Format.printf "without rule (5): NOT EQUIVALENT — a false negative@."
-  | Verify.Equivalent, _ -> Format.printf "without rule (5): equivalent (unexpected)@."
-  | Verify.Inequivalent (Some _), _ -> assert false);
+  | { verdict = Verify.Equivalent; _ } ->
+      Format.printf "without rule (5): equivalent (unexpected)@."
+  | { verdict = Verify.Inequivalent (Some _); _ } -> assert false);
   (* with it (the default): proven *)
-  (match Verify.check ca cb with
-  | Verify.Equivalent, stats ->
+  (match Result.get_ok (Verify.check ca cb) with
+  | { Verify.verdict = Verify.Equivalent; stats } ->
       Format.printf "with rule (5):    EQUIVALENT (%d events interned)@." stats.Verify.events
-  | Verify.Inequivalent _, _ -> Format.printf "with rule (5):    still inequivalent (bug)@.");
+  | { verdict = Verify.Inequivalent _; _ } ->
+      Format.printf "with rule (5):    still inequivalent (bug)@.");
 
   (* peek at the event structure *)
   let table = Events.create () in
@@ -69,14 +72,14 @@ let () =
   let ab = Circuit.add_gate c2 Or [ a; b ] in
   Circuit.mark_output c2 (Circuit.add_latch c2 ~enable:ab ~data:ab ());
   Circuit.check c2;
-  (match Verify.check c1 c2 with
-  | Verify.Inequivalent None, _ ->
+  (match Result.get_ok (Verify.check c1 c2) with
+  | { Verify.verdict = Verify.Inequivalent None; _ } ->
       Format.printf
         "EDBF says NOT EQUIVALENT, with no counterexample: possibly a false@.";
       Format.printf
         "negative (here the machines genuinely differ when a=1, b=0 fires).@."
-  | Verify.Equivalent, _ -> Format.printf "equivalent (unexpected)@."
-  | Verify.Inequivalent (Some _), _ -> assert false);
+  | { verdict = Verify.Equivalent; _ } -> Format.printf "equivalent (unexpected)@."
+  | { verdict = Verify.Inequivalent (Some _); _ } -> assert false);
 
   Format.printf "@.--- load-enabled synthesis is still verifiable ---@.";
   let c = Circuit.create "enabled_design" in
@@ -90,12 +93,12 @@ let () =
   Circuit.mark_output c out;
   Circuit.check c;
   let optimized = Synth_script.delay_script c in
-  match Verify.check c optimized with
-  | Verify.Equivalent, stats ->
+  match Result.get_ok (Verify.check c optimized) with
+  | { Verify.verdict = Verify.Equivalent; stats } ->
       Format.printf "synthesized enabled design: EQUIVALENT (%s, %d events)@."
         (match stats.Verify.method_ with
         | Verify.Edbf_method -> "EDBF"
         | Verify.Cbf_method -> "CBF")
         stats.Verify.events
-  | Verify.Inequivalent _, _ ->
+  | { verdict = Verify.Inequivalent _; _ } ->
       Format.printf "synthesized enabled design: NOT EQUIVALENT (bug!)@."

@@ -64,22 +64,24 @@ let () =
     report.Retime.period_after report.Retime.latches_before report.Retime.latches_after;
 
   (* Sequential verification via the combinational reduction *)
-  let verdict, stats = Verify.check c retimed in
+  let { Verify.verdict; stats } = Result.get_ok (Verify.check c retimed) in
   (match verdict with
   | Verify.Equivalent -> Format.printf "verdict:   EQUIVALENT@."
   | Verify.Inequivalent _ -> Format.printf "verdict:   NOT EQUIVALENT (bug!)@.");
   Format.printf
-    "  method: %s, sequential depth %d, %d unrolled variables, %d SAT calls, %.3fs@."
+    "  method: %s, sequential depth %d, %d unrolled variables, %d AIG nodes, %d SAT calls, %.3fs@."
     (match stats.Verify.method_ with
     | Verify.Cbf_method -> "CBF"
     | Verify.Edbf_method -> "EDBF")
-    stats.Verify.depth stats.Verify.variables stats.Verify.cec_sat_calls
-    stats.Verify.seconds;
+    stats.Verify.depth stats.Verify.variables stats.Verify.unrolled_nodes
+    stats.Verify.cec.Cec.sat_calls stats.Verify.seconds;
 
   (* The checker is not a rubber stamp: a seeded bug is caught. *)
-  match Verify.check c (invert_outputs retimed) with
-  | Verify.Inequivalent (Some cex), _ ->
+  match Result.get_ok (Verify.check c (invert_outputs retimed)) with
+  | { Verify.verdict = Verify.Inequivalent (Some cex); _ } ->
       Format.printf "seeded bug: caught; counterexample assigns %d time-indexed inputs@."
         (List.length cex)
-  | Verify.Inequivalent None, _ -> Format.printf "seeded bug: caught (conservative)@."
-  | Verify.Equivalent, _ -> Format.printf "seeded bug: MISSED (checker bug!)@."
+  | { verdict = Verify.Inequivalent None; _ } ->
+      Format.printf "seeded bug: caught (conservative)@."
+  | { verdict = Verify.Equivalent; _ } ->
+      Format.printf "seeded bug: MISSED (checker bug!)@."

@@ -39,8 +39,9 @@ let () =
   | Some _ -> Format.printf "exact 3-valued equivalence: (a) <> (b)  (unexpected!)@.");
 
   (* the CBF reduction agrees: both unroll to the constant 0 function *)
-  match Verify.check a b with
-  | Verify.Equivalent, stats ->
+  match Result.get_ok (Verify.check a b) with
+  | { Verify.verdict = Verify.Equivalent; stats } ->
       Format.printf "CBF verification: EQUIVALENT (%d variables, %.3fs)@."
         stats.Verify.variables stats.Verify.seconds
-  | Verify.Inequivalent _, _ -> Format.printf "CBF verification: NOT EQUIVALENT (bug!)@."
+  | { verdict = Verify.Inequivalent _; _ } ->
+      Format.printf "CBF verification: NOT EQUIVALENT (bug!)@."

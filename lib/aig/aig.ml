@@ -122,6 +122,66 @@ let eval g env l =
   let vals = simulate g words in
   Int64.logand (sim_lit vals l) 1L = 1L
 
+let cone_nodes g roots =
+  let seen = Array.make (node_count g) false in
+  let rec visit n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      if n > 0 && not (is_input_node g n) then begin
+        let f0, f1 = fanins g n in
+        visit (node_of f0);
+        visit (node_of f1)
+      end
+    end
+  in
+  List.iter (fun l -> visit (node_of l)) roots;
+  seen
+
+let cone_inputs g groups =
+  let seen = Array.make (node_count g) false in
+  let acc = ref [] in
+  let rec visit n =
+    if not seen.(n) then begin
+      seen.(n) <- true;
+      if is_input_node g n then acc := n :: !acc
+      else if n > 0 then begin
+        let f0, f1 = fanins g n in
+        visit (node_of f0);
+        visit (node_of f1)
+      end
+    end
+  in
+  List.iter (List.iter (fun l -> visit (node_of l))) groups;
+  List.rev !acc
+
+type extraction = { sub : t; map : lit array; sub_inputs : int array }
+
+let extract g ~roots =
+  let keep = cone_nodes g roots in
+  let sub = create () in
+  let map = Array.make (node_count g) (-1) in
+  map.(0) <- lit_false;
+  let rev_inputs = ref [] in
+  let sub_lit l =
+    let m = map.(node_of l) in
+    assert (m >= 0);
+    if is_complement l then neg m else m
+  in
+  (* parent ids are topologically ordered: fanins precede their ANDs *)
+  let input_pos = Hashtbl.create 64 in
+  Vgraph.Vec.iteri (fun i n -> Hashtbl.replace input_pos n i) g.inputs;
+  for n = 1 to node_count g - 1 do
+    if keep.(n) then
+      if is_input_node g n then begin
+        map.(n) <- input sub;
+        rev_inputs := Hashtbl.find input_pos n :: !rev_inputs
+      end
+      else
+        let f0, f1 = fanins g n in
+        map.(n) <- and_ sub (sub_lit f0) (sub_lit f1)
+  done;
+  { sub; map; sub_inputs = Array.of_list (List.rev !rev_inputs) }
+
 let cone_signature g ~input_label groups =
   let buf = Buffer.create 1024 in
   let canon = Hashtbl.create 256 in
@@ -207,6 +267,19 @@ let to_cnf ?solver g ~roots =
   done;
   m
 
+let apply_fn g fn ins =
+  match (fn : Circuit.gate_fn) with
+  | Const b -> if b then lit_true else lit_false
+  | Buf -> ins.(0)
+  | Not -> neg ins.(0)
+  | And -> Array.fold_left (and_ g) lit_true ins
+  | Nand -> neg (Array.fold_left (and_ g) lit_true ins)
+  | Or -> Array.fold_left (or_ g) lit_false ins
+  | Nor -> neg (Array.fold_left (or_ g) lit_false ins)
+  | Xor -> Array.fold_left (xor_ g) lit_false ins
+  | Xnor -> neg (Array.fold_left (xor_ g) lit_false ins)
+  | Mux -> mux g ins.(0) ins.(1) ins.(2)
+
 type env = { of_signal : lit array }
 
 let of_circuit_comb g c ~source =
@@ -225,22 +298,7 @@ let of_circuit_comb g c ~source =
   List.iter
     (fun s ->
       match Circuit.driver c s with
-      | Gate (fn, fs) ->
-          let ins = Array.map lit_of fs in
-          let l =
-            match fn with
-            | Const b -> if b then lit_true else lit_false
-            | Buf -> ins.(0)
-            | Not -> neg ins.(0)
-            | And -> Array.fold_left (and_ g) lit_true ins
-            | Nand -> neg (Array.fold_left (and_ g) lit_true ins)
-            | Or -> Array.fold_left (or_ g) lit_false ins
-            | Nor -> neg (Array.fold_left (or_ g) lit_false ins)
-            | Xor -> Array.fold_left (xor_ g) lit_false ins
-            | Xnor -> neg (Array.fold_left (xor_ g) lit_false ins)
-            | Mux -> mux g ins.(0) ins.(1) ins.(2)
-          in
-          of_signal.(s) <- l
+      | Gate (fn, fs) -> of_signal.(s) <- apply_fn g fn (Array.map lit_of fs)
       | Undriven | Input | Latch _ -> ())
     (Circuit.comb_topo c);
   { of_signal }

@@ -69,6 +69,30 @@ val sim_lit : int64 array -> lit -> int64
 val eval : t -> bool array -> lit -> bool
 (** Single-pattern reference evaluation. *)
 
+val cone_nodes : t -> lit list -> bool array
+(** [cone_nodes g roots] marks every node (constant, input, AND) in the
+    transitive fanin of [roots], including the root nodes themselves. *)
+
+val cone_inputs : t -> lit list list -> int list
+(** Input {e node ids} of the cones of the root-literal groups, in
+    first-visit DFS order — the same traversal order as
+    {!cone_signature}, so the k-th element corresponds to the k-th input
+    mentioned by the signature.  This is what lets a cached
+    counterexample, stored by canonical input position, be replayed on a
+    different but structurally identical cone. *)
+
+type extraction = {
+  sub : t;  (** the extracted sub-AIG *)
+  map : lit array;  (** parent node id -> sub literal ([-1] outside cone) *)
+  sub_inputs : int array;  (** sub input index -> parent input index *)
+}
+
+val extract : t -> roots:lit list -> extraction
+(** Copies the cones of [roots] into a fresh AIG (nodes in parent id
+    order, so the copy is also structurally hashed and topologically
+    ordered).  Translate a parent literal [l] into the sub-AIG with
+    [map.(node_of l) lxor (l land 1)]. *)
+
 val cone_signature : t -> input_label:(int -> string) -> lit list list -> string
 (** Canonical structural signature of the cones of the given root-literal
     groups.  Nodes are renumbered in first-visit (DFS, fanin-before-node)
@@ -93,6 +117,11 @@ val cnf_lit : cnf_map -> lit -> int
     @raise Invalid_argument if the node was not encoded. *)
 
 (** {1 Circuit conversion} *)
+
+val apply_fn : t -> Circuit.gate_fn -> lit array -> lit
+(** Translates one gate application over already-translated fanin
+    literals.  Arity must match the function (checked upstream by
+    {!Circuit.add_gate}). *)
 
 type env = { of_signal : lit array }
 (** Mapping from circuit signals to AIG literals. *)

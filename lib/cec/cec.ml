@@ -1,4 +1,4 @@
-type counterexample = (string * bool) list
+type counterexample = (Seqprob.Var.t * bool) list
 
 type verdict = Equivalent | Inequivalent of counterexample
 
@@ -73,9 +73,12 @@ let now () = Unix.gettimeofday ()
 (* ---------- result cache ---------- *)
 
 module Cache = struct
-  (* Counterexamples are stored over united-input *indices*, so a hit on a
-     structurally identical cone pair with different input names (e.g. the
-     same cone at another unrolling depth) can be replayed by renaming. *)
+  (* Keys are purely structural cone signatures; counterexamples are stored
+     over *canonical input positions* (first-visit DFS order, the order of
+     Aig.cone_inputs), so a hit on a structurally identical cone pair with
+     different variables — the same cone at another unrolling depth, or
+     under renamed inputs — replays under the hitting problem's own
+     variables. *)
   type entry = E_equivalent | E_inequivalent of (int * bool) list
 
   type t = { tbl : (string, entry) Hashtbl.t; m : Mutex.t }
@@ -110,99 +113,56 @@ let require_comb c =
     invalid_arg
       (Printf.sprintf "Cec: circuit %s is not combinational" (Circuit.name c))
 
-(* United input universe: name -> index, in order of first appearance. *)
-let united_inputs c1 c2 =
-  let names = ref [] in
-  let count = ref 0 in
-  let seen = Hashtbl.create 64 in
-  let collect c =
-    List.iter
-      (fun s ->
-        let n = Circuit.signal_name c s in
-        if not (Hashtbl.mem seen n) then begin
-          Hashtbl.replace seen n !count;
-          incr count;
-          names := n :: !names
-        end)
-      (Circuit.inputs c)
-  in
-  collect c1;
-  collect c2;
-  (List.rev !names, seen)
+let input_index_tbl g =
+  let t = Hashtbl.create 64 in
+  for i = 0 to Aig.num_inputs g - 1 do
+    Hashtbl.replace t (Aig.node_of (Aig.input_lit g i)) i
+  done;
+  t
 
 (* ---------- BDD engine ---------- *)
 
-let bdd_outputs man index c =
-  let source s = Bdd.var man (Hashtbl.find index (Circuit.signal_name c s)) in
-  let n = Circuit.signal_count c in
-  let node = Array.make n (Bdd.zero man) in
-  for s = 0 to n - 1 do
-    match Circuit.driver c s with
-    | Input -> node.(s) <- source s
-    | Undriven | Gate _ | Latch _ -> ()
-  done;
-  List.iter
-    (fun s ->
-      match Circuit.driver c s with
-      | Gate (fn, fs) ->
-          let ins = Array.map (fun f -> node.(f)) fs in
-          let v =
-            match fn with
-            | Const b -> if b then Bdd.one man else Bdd.zero man
-            | Buf -> ins.(0)
-            | Not -> Bdd.not_ man ins.(0)
-            | And -> Array.fold_left (Bdd.and_ man) (Bdd.one man) ins
-            | Nand -> Bdd.not_ man (Array.fold_left (Bdd.and_ man) (Bdd.one man) ins)
-            | Or -> Array.fold_left (Bdd.or_ man) (Bdd.zero man) ins
-            | Nor -> Bdd.not_ man (Array.fold_left (Bdd.or_ man) (Bdd.zero man) ins)
-            | Xor -> Array.fold_left (Bdd.xor_ man) (Bdd.zero man) ins
-            | Xnor -> Bdd.not_ man (Array.fold_left (Bdd.xor_ man) (Bdd.zero man) ins)
-            | Mux -> Bdd.ite man ins.(0) ins.(1) ins.(2)
-          in
-          node.(s) <- v
-      | Undriven | Input | Latch _ -> ())
-    (Circuit.comb_topo c);
-  List.map (fun o -> node.(o)) (Circuit.outputs c)
-
-let check_bdd c1 c2 =
-  let names, index = united_inputs c1 c2 in
+let check_bdd (p : Seqprob.t) =
+  let g = p.graph in
   let man = Bdd.man () in
-  (* allocate variables in order *)
-  List.iteri (fun i _ -> ignore (Bdd.var man i)) names;
-  let o1 = bdd_outputs man index c1 in
-  let o2 = bdd_outputs man index c2 in
+  (* BDD variable = AIG input index; the problem's vars array names it *)
+  let input_index = input_index_tbl g in
+  let node_bdd = Hashtbl.create 256 in
+  let rec go n =
+    if n = 0 then Bdd.zero man
+    else
+      match Hashtbl.find_opt node_bdd n with
+      | Some f -> f
+      | None ->
+          let f =
+            if Aig.is_input_node g n then
+              Bdd.var man (Hashtbl.find input_index n)
+            else
+              let f0, f1 = Aig.fanins g n in
+              Bdd.and_ man (lit_bdd f0) (lit_bdd f1)
+          in
+          Hashtbl.replace node_bdd n f;
+          f
+  and lit_bdd l =
+    let f = go (Aig.node_of l) in
+    if Aig.is_complement l then Bdd.not_ man f else f
+  in
   let rec cmp o1 o2 =
     match (o1, o2) with
     | [], [] -> Equivalent
-    | f :: r1, g :: r2 ->
-        if Bdd.equal f g then cmp r1 r2
+    | f :: r1, h :: r2 ->
+        let bf = lit_bdd f and bh = lit_bdd h in
+        if Bdd.equal bf bh then cmp r1 r2
         else begin
-          let diff = Bdd.xor_ man f g in
-          match Bdd.any_sat man diff with
+          match Bdd.any_sat man (Bdd.xor_ man bf bh) with
           | None -> assert false
           | Some assignment ->
-              let name_arr = Array.of_list names in
               Inequivalent
-                (List.map (fun (v, b) -> (name_arr.(v), b)) assignment)
+                (List.map (fun (v, b) -> (p.vars.(v), b)) assignment)
         end
     | _ -> invalid_arg "Cec: output counts differ"
   in
-  cmp o1 o2
-
-(* ---------- shared AIG construction ---------- *)
-
-let build_shared_aig c1 c2 =
-  let names, index = united_inputs c1 c2 in
-  let g = Aig.create () in
-  let input_lits = List.map (fun _ -> Aig.input g) names in
-  let lit_arr = Array.of_list input_lits in
-  let source c s = lit_arr.(Hashtbl.find index (Circuit.signal_name c s)) in
-  let env1 = Aig.of_circuit_comb g c1 ~source:(source c1) in
-  let env2 = Aig.of_circuit_comb g c2 ~source:(source c2) in
-  let outs c (env : Aig.env) =
-    List.map (fun o -> env.of_signal.(o)) (Circuit.outputs c)
-  in
-  (g, names, outs c1 env1, outs c2 env2)
+  cmp p.outs1 p.outs2
 
 (* Incremental Tseitin encoder over a (possibly growing) AIG. *)
 module Encoder = struct
@@ -247,36 +207,37 @@ let sat_solve_counted ct solver ?assumptions () =
   Sat.solve ?assumptions solver
 
 (* extract input assignment from a SAT model *)
-let model_cex enc g names =
+let model_cex enc g vars =
   let n_in = Aig.num_inputs g in
   let cex = ref [] in
-  let name_arr = Array.of_list names in
   for i = 0 to n_in - 1 do
     let l = Aig.input_lit g i in
     let node = Aig.node_of l in
     let v = Encoder.var_of enc node in
-    if v <> 0 then cex := (name_arr.(i), Sat.value enc.Encoder.solver v) :: !cex
+    if v <> 0 then cex := (vars.(i), Sat.value enc.Encoder.solver v) :: !cex
   done;
   List.rev !cex
 
-let check_sat ct (g, names, o1, o2) =
+let check_sat ct (p : Seqprob.t) =
+  let g = p.graph in
   let enc = Encoder.create g in
   (* miter: OR of XORs *)
-  let diffs = List.map2 (fun a b -> Aig.xor_ g a b) o1 o2 in
+  let diffs = List.map2 (fun a b -> Aig.xor_ g a b) p.outs1 p.outs2 in
   let miter = Aig.or_list g diffs in
   if miter = Aig.lit_false then Equivalent
   else begin
     let ml = Encoder.encode_lit enc miter in
     match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ ml ] () with
     | Sat.Unsat -> Equivalent
-    | Sat.Sat -> Inequivalent (model_cex enc g names)
+    | Sat.Sat -> Inequivalent (model_cex enc g p.vars)
   end
 
 (* ---------- sweep engine ---------- *)
 
 let sim_rounds = 4 (* 4 * 64 = 256 random patterns *)
 
-let check_sweep ct ?(seed = 0xC0FFEE) (g, names, o1, o2) =
+let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
+  let g = p.graph in
   let st = Random.State.make [| seed |] in
   let n_in = Aig.num_inputs g in
   let n_nodes = Aig.node_count g in
@@ -347,7 +308,7 @@ let check_sweep ct ?(seed = 0xC0FFEE) (g, names, o1, o2) =
     end
   done;
   (* final miter on g2 *)
-  let m1 = List.map lit_map o1 and m2 = List.map lit_map o2 in
+  let m1 = List.map lit_map p.outs1 and m2 = List.map lit_map p.outs2 in
   let diffs = List.map2 (fun a b -> Aig.xor_ g2 a b) m1 m2 in
   let miter = Aig.or_list g2 diffs in
   if miter = Aig.lit_false then Equivalent
@@ -359,78 +320,87 @@ let check_sweep ct ?(seed = 0xC0FFEE) (g, names, o1, o2) =
         (* map model back through original input order: input i of g maps to
            input i of g2 (inputs created in the same order) *)
         let cex = ref [] in
-        let name_arr = Array.of_list names in
         for i = 0 to n_in - 1 do
           let l2 = map.(Aig.node_of (Aig.input_lit g i)) in
           let v = Encoder.var_of enc (Aig.node_of l2) in
           if v <> 0 then
-            cex := (name_arr.(i), Sat.value enc.Encoder.solver v) :: !cex
+            cex := (p.vars.(i), Sat.value enc.Encoder.solver v) :: !cex
         done;
         Inequivalent (List.rev !cex)
   end
 
 (* ---------- engine dispatch, cache, partitioning ---------- *)
 
-(* Runs one engine on one (sub)circuit pair, charging wall-clock to the
-   engine's stats bucket.  [prebuilt] avoids rebuilding the shared AIG when
-   the caller already made one for the cache key. *)
-let run_engine ct ~engine ?prebuilt c1 c2 =
-  let built () =
-    match prebuilt with Some t -> t | None -> build_shared_aig c1 c2
-  in
+(* Runs one engine on one (sub)problem, charging wall-clock to the engine's
+   stats bucket.  Every engine consumes the problem's AIG directly — no
+   per-engine netlist or AIG rebuild. *)
+let run_engine ct ~engine p =
   let t0 = now () in
   match engine with
   | Bdd_engine ->
-      let v = check_bdd c1 c2 in
+      let v = check_bdd p in
       ct.k_bdd_s <- ct.k_bdd_s +. (now () -. t0);
       v
   | Sat_engine ->
-      let v = check_sat ct (built ()) in
+      let v = check_sat ct p in
       ct.k_sat_s <- ct.k_sat_s +. (now () -. t0);
       v
   | Sweep_engine ->
-      let v = check_sweep ct (built ()) in
+      let v = check_sweep ct p in
       ct.k_sweep_s <- ct.k_sweep_s +. (now () -. t0);
       v
 
-(* Cache key: canonical signature of the two output-literal groups in the
-   shared AIG, with input nodes labelled by their united-input index.  Key
-   equality implies the pair computes the same two functions over the
-   united index space, so verdicts (and index-encoded counterexamples)
-   transfer even when the input *names* differ. *)
-let pair_signature g o1 o2 =
-  let idx_of_node = Hashtbl.create 64 in
-  for i = 0 to Aig.num_inputs g - 1 do
-    Hashtbl.replace idx_of_node (Aig.node_of (Aig.input_lit g i)) i
-  done;
-  Aig.cone_signature g
-    ~input_label:(fun n -> string_of_int (Hashtbl.find idx_of_node n))
-    [ o1; o2 ]
+(* Cache key: purely structural canonical signature of the two output-lit
+   groups.  Key equality means the two cone pairs are structurally
+   identical under the first-visit input correspondence, so verdicts (and
+   counterexamples stored by canonical input position) transfer even when
+   the variables differ — the same cone at another depth, or over renamed
+   inputs. *)
+let pair_signature (p : Seqprob.t) =
+  Aig.cone_signature p.graph ~input_label:(fun _ -> "") [ p.outs1; p.outs2 ]
 
-let check_pair ct ~engine ~cache c1 c2 =
+(* variable of the k-th canonical cone input, per canonical position *)
+let canonical_vars (p : Seqprob.t) =
+  let input_index = input_index_tbl p.graph in
+  Aig.cone_inputs p.graph [ p.outs1; p.outs2 ]
+  |> List.map (fun n -> p.vars.(Hashtbl.find input_index n))
+  |> Array.of_list
+
+let check_pair ct ~engine ~cache p =
   match cache with
-  | None -> run_engine ct ~engine c1 c2
+  | None -> run_engine ct ~engine p
   | Some cache -> (
-      let ((g, names, o1, o2) as prebuilt) = build_shared_aig c1 c2 in
-      let key = pair_signature g o1 o2 in
+      let key = pair_signature p in
       match Cache.find cache key with
       | Some Cache.E_equivalent ->
           ct.k_cache_hits <- ct.k_cache_hits + 1;
           Equivalent
-      | Some (Cache.E_inequivalent ixs) ->
+      | Some (Cache.E_inequivalent pos) ->
           ct.k_cache_hits <- ct.k_cache_hits + 1;
-          let name_arr = Array.of_list names in
-          Inequivalent (List.map (fun (i, b) -> (name_arr.(i), b)) ixs)
+          let cvars = canonical_vars p in
+          Inequivalent
+            (List.filter_map
+               (fun (k, b) ->
+                 if k < Array.length cvars then Some (cvars.(k), b) else None)
+               pos)
       | None ->
-          let v = run_engine ct ~engine ~prebuilt c1 c2 in
+          let v = run_engine ct ~engine p in
           let entry =
             match v with
             | Equivalent -> Cache.E_equivalent
             | Inequivalent cex ->
-                let index = Hashtbl.create 16 in
-                List.iteri (fun i n -> Hashtbl.replace index n i) names;
+                let cvars = canonical_vars p in
+                let pos_of_var = Hashtbl.create 16 in
+                Array.iteri
+                  (fun k v -> Hashtbl.replace pos_of_var v k)
+                  cvars;
                 Cache.E_inequivalent
-                  (List.map (fun (n, b) -> (Hashtbl.find index n, b)) cex)
+                  (List.filter_map
+                     (fun (v, b) ->
+                       Option.map
+                         (fun k -> (k, b))
+                         (Hashtbl.find_opt pos_of_var v))
+                     cex)
           in
           Cache.add cache key entry;
           v)
@@ -438,25 +408,23 @@ let check_pair ct ~engine ~cache c1 c2 =
 (* Output clustering.  Checking each output pair in isolation is sound but
    can be quadratically wasteful: when cones overlap heavily (a min/max
    chain, a shared datapath) every partition re-extracts, re-sweeps and
-   re-SATs nearly the whole circuit.  So outputs are greedily clustered:
-   an output joins an existing partition when at least half of the smaller
-   cone (its own, or the partition's accumulated one) is already covered
-   by the other.  Chains collapse into one partition — degrading
-   gracefully to the monolithic check — while independent cones split.
-   The clustering depends only on the two circuits, never on [jobs], so
-   partition boundaries (and hence verdicts and cache keys) are identical
-   at every parallelism level. *)
+   re-SATs nearly the whole logic.  So output pairs are greedily clustered
+   over the shared AIG's node space: a pair joins an existing partition
+   when at least half of the smaller cone (its own, or the partition's
+   accumulated one) is already covered by the other.  Chains collapse into
+   one partition — degrading gracefully to the monolithic check — while
+   independent cones split.  The clustering depends only on the problem,
+   never on [jobs], so partition boundaries (and hence verdicts and cache
+   keys) are identical at every parallelism level. *)
 type out_group = {
   mutable members : int list; (* output indices, reversed *)
-  g1 : bool array; (* accumulated cone marks over c1 signals *)
-  g2 : bool array; (* accumulated cone marks over c2 signals *)
-  mutable gsize : int; (* marked signals across both arrays *)
+  marks : bool array; (* accumulated cone marks over AIG nodes *)
+  mutable gsize : int; (* marked node count *)
 }
 
-let cluster_outputs c1 c2 =
-  let outs1 = Array.of_list (Circuit.outputs c1) in
-  let outs2 = Array.of_list (Circuit.outputs c2) in
-  let n = Array.length outs1 in
+let cluster_outputs (p : Seqprob.t) =
+  let o1 = Array.of_list p.outs1 and o2 = Array.of_list p.outs2 in
+  let n = Array.length o1 in
   let groups = ref [] in
   let marked m =
     let acc = ref [] in
@@ -464,18 +432,16 @@ let cluster_outputs c1 c2 =
     !acc
   in
   for i = 0 to n - 1 do
-    let m1 = Circuit.cone c1 [ outs1.(i) ] in
-    let m2 = Circuit.cone c2 [ outs2.(i) ] in
-    (* work on the marked-signal lists so scoring an output against a group
-       costs O(|cone|), not O(|circuit|) *)
-    let sigs1 = marked m1 and sigs2 = marked m2 in
-    let size = List.length sigs1 + List.length sigs2 in
+    let m = Aig.cone_nodes p.graph [ o1.(i); o2.(i) ] in
+    (* work on the marked-node list so scoring an output against a group
+       costs O(|cone|), not O(|graph|) *)
+    let nodes = marked m in
+    let size = List.length nodes in
     let best = ref None in
     List.iter
       (fun g ->
         let overlap = ref 0 in
-        List.iter (fun s -> if g.g1.(s) then incr overlap) sigs1;
-        List.iter (fun s -> if g.g2.(s) then incr overlap) sigs2;
+        List.iter (fun s -> if g.marks.(s) then incr overlap) nodes;
         let score = 2 * !overlap in
         if score >= min size g.gsize then
           match !best with
@@ -485,22 +451,23 @@ let cluster_outputs c1 c2 =
     match !best with
     | Some (_, g) ->
         List.iter
-          (fun s -> if not g.g1.(s) then (g.g1.(s) <- true; g.gsize <- g.gsize + 1))
-          sigs1;
-        List.iter
-          (fun s -> if not g.g2.(s) then (g.g2.(s) <- true; g.gsize <- g.gsize + 1))
-          sigs2;
+          (fun s ->
+            if not g.marks.(s) then begin
+              g.marks.(s) <- true;
+              g.gsize <- g.gsize + 1
+            end)
+          nodes;
         g.members <- i :: g.members
-    | None -> groups := { members = [ i ]; g1 = m1; g2 = m2; gsize = size } :: !groups
+    | None -> groups := { members = [ i ]; marks = m; gsize = size } :: !groups
   done;
   List.rev_map (fun g -> (List.rev g.members, g.gsize)) !groups
 
-(* Each partition pays a fixed cost (extraction, AIG build, simulation
-   warm-up, solver setup), so hundreds of tiny cones are much slower to
-   check separately than together.  Pack the overlap clusters into at most
-   [max_partitions] bins, largest first onto the lightest bin.  The bound
-   is a constant — not a function of [jobs] — so the partition layout is
-   identical at every parallelism level. *)
+(* Each partition pays a fixed cost (extraction, simulation warm-up, solver
+   setup), so hundreds of tiny cones are much slower to check separately
+   than together.  Pack the overlap clusters into at most [max_partitions]
+   bins, largest first onto the lightest bin.  The bound is a constant —
+   not a function of [jobs] — so the partition layout is identical at
+   every parallelism level. *)
 let max_partitions = 16
 
 let pack_clusters clusters =
@@ -527,27 +494,35 @@ let pack_clusters clusters =
            | members -> Some (List.sort compare members))
   end
 
-let check_partitioned ~engine ~jobs ~cache c1 c2 =
-  let outs1 = Array.of_list (Circuit.outputs c1) in
-  let outs2 = Array.of_list (Circuit.outputs c2) in
-  if Array.length outs1 = 0 then (Equivalent, empty_stats)
+(* One sub-AIG per partition, carved out of the shared problem graph with
+   Aig.extract; the sub-problem's variables come through the extraction's
+   input map, so nothing is re-translated from netlists. *)
+let extract_part (p : Seqprob.t) members o1 o2 =
+  let roots1 = List.map (fun i -> o1.(i)) members in
+  let roots2 = List.map (fun i -> o2.(i)) members in
+  let ex = Aig.extract p.graph ~roots:(roots1 @ roots2) in
+  let tr l =
+    let m = ex.Aig.map.(Aig.node_of l) in
+    if Aig.is_complement l then Aig.neg m else m
+  in
+  {
+    Seqprob.graph = ex.Aig.sub;
+    vars = Array.map (fun pi -> p.vars.(pi)) ex.Aig.sub_inputs;
+    outs1 = List.map tr roots1;
+    outs2 = List.map tr roots2;
+  }
+
+let check_partitioned ~engine ~jobs ~cache (p : Seqprob.t) =
+  if p.outs1 = [] then (Equivalent, empty_stats)
   else begin
     let cache = match cache with Some c -> c | None -> Cache.create () in
-    let clusters = pack_clusters (cluster_outputs c1 c2) in
-    (* Cone extraction is cheap and sequential; afterwards every partition
-       task owns its two sub-circuits outright, so nothing mutable crosses
-       domains. *)
+    let o1 = Array.of_list p.outs1 and o2 = Array.of_list p.outs2 in
+    let clusters = pack_clusters (cluster_outputs p) in
+    (* Sub-AIG extraction is cheap and sequential; afterwards every
+       partition task owns its sub-problem outright, so nothing mutable
+       crosses domains. *)
     let parts =
-      List.mapi
-        (fun k members ->
-          let e1, _ =
-            Circuit.extract c1 ~keep_outputs:(List.map (fun i -> outs1.(i)) members)
-          in
-          let e2, _ =
-            Circuit.extract c2 ~keep_outputs:(List.map (fun i -> outs2.(i)) members)
-          in
-          (k, e1, e2))
-        clusters
+      List.mapi (fun k members -> (k, extract_part p members o1 o2)) clusters
     in
     let n = List.length parts in
     let counters = Array.init n (fun _ -> fresh_counters ()) in
@@ -555,8 +530,8 @@ let check_partitioned ~engine ~jobs ~cache c1 c2 =
       (* never spawn more workers than there are partitions *)
       Par.Pool.with_pool ~jobs:(min jobs n) (fun pool ->
           Par.Pool.find_first pool
-            (fun (k, e1, e2) ->
-              match check_pair counters.(k) ~engine ~cache:(Some cache) e1 e2 with
+            (fun (k, sub) ->
+              match check_pair counters.(k) ~engine ~cache:(Some cache) sub with
               | Equivalent -> None
               | Inequivalent cex -> Some cex)
             parts)
@@ -567,26 +542,43 @@ let check_partitioned ~engine ~jobs ~cache c1 c2 =
     | None -> (Equivalent, stats)
   end
 
-let check_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition ?cache c1 c2 =
-  require_comb c1;
-  require_comb c2;
-  if List.length (Circuit.outputs c1) <> List.length (Circuit.outputs c2) then
+let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
+    ?cache (p : Seqprob.t) =
+  if List.length p.outs1 <> List.length p.outs2 then
     invalid_arg "Cec: output counts differ";
   let jobs = max 1 jobs in
   let partitioned = match partition with Some b -> b | None -> jobs > 1 in
-  if partitioned then check_partitioned ~engine ~jobs ~cache c1 c2
+  if partitioned then check_partitioned ~engine ~jobs ~cache p
   else begin
     let ct = fresh_counters () in
-    let v = check_pair ct ~engine ~cache c1 c2 in
+    let v = check_pair ct ~engine ~cache p in
     (v, stats_of_counters ~partitions:1 [| ct |])
   end
+
+let check_problem ?engine ?jobs ?partition ?cache p =
+  fst (check_problem_with_stats ?engine ?jobs ?partition ?cache p)
+
+(* ---------- Circuit.t entry points (thin wrappers) ---------- *)
+
+let problem_of_circuits c1 c2 =
+  require_comb c1;
+  require_comb c2;
+  match Seqprob.of_circuits c1 c2 with
+  | Ok p -> p
+  | Error (Seqprob.Output_arity_mismatch _) ->
+      invalid_arg "Cec: output counts differ"
+  | Error d -> invalid_arg (Seqprob.diagnosis_to_string d)
+
+let check_with_stats ?engine ?jobs ?partition ?cache c1 c2 =
+  check_problem_with_stats ?engine ?jobs ?partition ?cache
+    (problem_of_circuits c1 c2)
 
 let check ?engine ?jobs ?partition ?cache c1 c2 =
   fst (check_with_stats ?engine ?jobs ?partition ?cache c1 c2)
 
 let counterexample_is_valid c1 c2 cex =
   let env = Hashtbl.create 16 in
-  List.iter (fun (n, b) -> Hashtbl.replace env n b) cex;
+  List.iter (fun (v, b) -> Hashtbl.replace env v.Seqprob.Var.base b) cex;
   let outs c =
     let source s =
       match Hashtbl.find_opt env (Circuit.signal_name c s) with

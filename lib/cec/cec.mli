@@ -2,23 +2,26 @@
 
     The paper reduces sequential verification to combinational verification
     and hands the result to "an in-house tool similar to [10, 12]".  This is
-    that tool: three engines over latch-free netlists, optionally run in
-    parallel over cone-clustered output partitions of the miter.
+    that tool: three engines over the {!Seqprob.t} problem IR — one shared
+    structurally-hashed AIG holding both sides' output cones over a typed
+    variable universe — optionally run in parallel over cone-clustered
+    output partitions of the miter.
 
-    Inputs of the two circuits are matched {e by name}; the variable
-    universe is the union of both input sets (a missing input is a free
-    variable the circuit ignores) — exactly the semantics needed for
-    CBF/EDBF comparison, where the time- or event-indexed variables are
-    encoded in the names.  Outputs are matched by position. *)
+    {!check_problem} is the native entry point; the unrollers ({!Cbf},
+    {!Edbf}) build problems directly.  The [Circuit.t] entry points are
+    thin wrappers that wrap two combinational netlists into a problem
+    first (inputs matched {e by name} — each name becomes the variable
+    [Seqprob.Var.time name 0], and the universe is the union of both input
+    sets; outputs are matched by position). *)
 
-type counterexample = (string * bool) list
-(** Assignment to (a subset of) the united primary inputs; unlisted inputs
+type counterexample = (Seqprob.Var.t * bool) list
+(** Assignment to (a subset of) the problem's variables; unlisted variables
     are [false]. *)
 
 type verdict = Equivalent | Inequivalent of counterexample
 
 type engine =
-  | Bdd_engine  (** monolithic BDDs, shared variable per input name *)
+  | Bdd_engine  (** monolithic BDDs over the AIG, one variable per input *)
   | Sat_engine  (** one CNF miter, one SAT call *)
   | Sweep_engine
       (** fraig-style: random simulation classes + incremental SAT merging,
@@ -35,20 +38,22 @@ type stats = {
   sat_seconds : float;
   sweep_seconds : float;
 }
-(** Per-check statistics.  Unlike the old [stats_last_sat_calls] global,
-    a [stats] value is owned by the caller of one check: concurrent checks
-    (and the partitions within one check) never share mutable state. *)
+(** Per-check statistics.  A [stats] value is owned by the caller of one
+    check: concurrent checks (and the partitions within one check) never
+    share mutable state. *)
 
 val empty_stats : stats
 
 val stats_pp : Format.formatter -> stats -> unit
 
-(** Structural-hash result cache.  Keyed by the canonical AIG signature of
-    an output-cone pair (see {!Aig.cone_signature}); structurally identical
-    cone pairs — common across the Table-1 variants of one circuit and
-    across unrolling depths — are proven once.  Counterexamples are stored
-    over united-input indices so a hit replays under the hitting pair's own
-    input names.  Safe to share across domains and across checks. *)
+(** Structural-hash result cache.  Keyed by the purely structural canonical
+    AIG signature of an output-cone pair (see {!Aig.cone_signature});
+    structurally identical cone pairs — common across the Table-1 variants
+    of one circuit, across unrolling depths, and under renamed inputs —
+    are proven once.  Counterexamples are stored over canonical input
+    positions (first-visit DFS order) so a hit replays under the hitting
+    problem's own typed variables.  Safe to share across domains and
+    across checks. *)
 module Cache : sig
   type t
 
@@ -56,6 +61,42 @@ module Cache : sig
   val clear : t -> unit
   val size : t -> int
 end
+
+val check_problem :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?partition:bool ->
+  ?cache:Cache.t ->
+  Seqprob.t ->
+  verdict
+(** Decides equivalence of the problem's two output-cone groups.  Default
+    engine: [Sweep_engine].
+
+    With [jobs > 1] (or [~partition:true]) the miter is split into
+    output-cone partitions — each an independent check by soundness of
+    output splitting.  Output pairs whose fanin cones (in the shared AIG)
+    overlap by at least half of the smaller cone are clustered into one
+    partition (so shared logic is swept once), and clusters are packed
+    largest-first into a bounded number of partitions to cap per-partition
+    fixed costs.  The layout depends only on the problem, never on [jobs].
+    Partitions are carved out of the problem graph with {!Aig.extract} —
+    no netlist round-trip — and run on a {!Par.Pool} of [jobs] domains
+    with early cancellation once a counterexample is found.  The verdict
+    is deterministic: the reported counterexample comes from the
+    lowest-index failing partition, regardless of scheduling.  A fresh
+    {!Cache} is used per check unless [cache] supplies a shared one.
+
+    @raise Invalid_argument if the two output groups differ in length
+    (impossible for problems built by {!Seqprob.problem}). *)
+
+val check_problem_with_stats :
+  ?engine:engine ->
+  ?jobs:int ->
+  ?partition:bool ->
+  ?cache:Cache.t ->
+  Seqprob.t ->
+  verdict * stats
+(** Like {!check_problem}, also returning the per-check statistics. *)
 
 val check :
   ?engine:engine ->
@@ -65,24 +106,10 @@ val check :
   Circuit.t ->
   Circuit.t ->
   verdict
-(** Decides functional equivalence.  Default engine: [Sweep_engine].
-
-    With [jobs > 1] (or [~partition:true]) the miter is split into
-    output-cone partitions — each an independent check by soundness of
-    output splitting.  Output pairs whose fanin cones overlap by at least
-    half of the smaller cone are clustered into one partition (so shared
-    logic is swept once), and clusters are packed largest-first into a
-    bounded number of partitions to cap per-partition fixed costs.  The
-    layout depends only on the circuits, never on [jobs].  Partitions run
-    on a {!Par.Pool} of [jobs] domains with early cancellation once a
-    counterexample is found.  The verdict is deterministic: the reported
-    counterexample comes from the lowest-index failing partition,
-    regardless of scheduling.  Each partition builds its own AIG and SAT
-    solver; a fresh {!Cache} is used per check unless [cache] supplies a
-    shared one.
-
-    @raise Invalid_argument if either circuit contains latches or the output
-    counts differ. *)
+(** [Circuit.t] wrapper over {!check_problem}: wraps the two circuits via
+    {!Seqprob.of_circuits} (inputs united by name at time 0).
+    @raise Invalid_argument if either circuit contains latches or the
+    output counts differ. *)
 
 val check_with_stats :
   ?engine:engine ->
@@ -96,5 +123,6 @@ val check_with_stats :
 
 val counterexample_is_valid :
   Circuit.t -> Circuit.t -> counterexample -> bool
-(** Replays a counterexample on both circuits and confirms some output pair
-    differs. *)
+(** Replays a counterexample on both circuits (signals matched by variable
+    {e base} name) and confirms some output pair differs.  For problem-
+    level replay use {!Seqprob.cex_is_valid}. *)

@@ -5,3 +5,8 @@ let to_gates nc man f ~sig_of =
     ~const:(fun b -> if b then Circuit.const_true nc else Circuit.const_false nc)
     ~node:(fun v lo hi ->
       if lo = hi then lo else Circuit.add_gate nc Mux [ sig_of v; hi; lo ])
+
+let to_aig g man f ~lit_of =
+  Bdd.fold man f
+    ~const:(fun b -> if b then Aig.lit_true else Aig.lit_false)
+    ~node:(fun v lo hi -> if lo = hi then lo else Aig.mux g (lit_of v) hi lo)

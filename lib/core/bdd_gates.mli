@@ -3,3 +3,7 @@
 
 val to_gates :
   Circuit.t -> Bdd.man -> Bdd.t -> sig_of:(int -> Circuit.signal) -> Circuit.signal
+
+val to_aig : Aig.t -> Bdd.man -> Bdd.t -> lit_of:(int -> Aig.lit) -> Aig.lit
+(** Same synthesis into an AIG: one [Aig.mux] per DAG node; [lit_of]
+    supplies the literal for each BDD variable. *)

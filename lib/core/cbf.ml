@@ -1,15 +1,103 @@
 type info = { depth : int; variables : int; replication : int }
 
-let var_name i d = Printf.sprintf "%s@%d" i d
+let var_name i d = Seqprob.Var.to_string (Seqprob.Var.time i d)
 
-let unroll ?(exposed = fun _ -> false) c =
+let unroll_exn ?(exposed = fun _ -> false) b c =
+  Circuit.check c;
+  let g = Seqprob.graph b in
+  let memo : (Circuit.signal * int, Aig.lit) Hashtbl.t = Hashtbl.create 256 in
+  let used : (Seqprob.Var.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let depth = ref 0 in
+  let replication = ref 0 in
+  (* keyed by signal alone: a signal repeated on the current DFS path is a
+     dependency cycle whatever the delays, and an un-exposed cycle would
+     otherwise unroll forever (each lap shifts the delay) *)
+  let visiting : (Circuit.signal, unit) Hashtbl.t = Hashtbl.create 64 in
+  let pin name d =
+    depth := max !depth d;
+    let v = Seqprob.Var.time name d in
+    Hashtbl.replace used v ();
+    Seqprob.var_lit b v
+  in
+  (* Compute_CBF_Recursively (Fig. 7), straight into the shared AIG *)
+  let rec cbf s d =
+    match Hashtbl.find_opt memo (s, d) with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem visiting s then
+          raise
+            (Seqprob.Error
+               (Non_exposed_cycle
+                  {
+                    circuit = Circuit.name c;
+                    signal = Circuit.signal_name c s;
+                  }));
+        Hashtbl.replace visiting s ();
+        let r =
+          match Circuit.driver c s with
+          | Input -> pin (Circuit.signal_name c s) d
+          | Latch _ when exposed s -> pin (Circuit.signal_name c s) d
+          | Latch { data; enable = None } -> cbf data (d + 1)
+          | Latch { enable = Some _; _ } ->
+              raise
+                (Seqprob.Error
+                   (Hidden_enabled_latch
+                      {
+                        circuit = Circuit.name c;
+                        latch = Circuit.signal_name c s;
+                      }))
+          | Gate (fn, fs) ->
+              incr replication;
+              Aig.apply_fn g fn (Array.map (fun f -> cbf f d) fs)
+          | Undriven -> assert false
+        in
+        Hashtbl.remove visiting s;
+        Hashtbl.replace memo (s, d) r;
+        r
+  in
+  let outs = List.map (fun o -> cbf o 0) (Circuit.outputs c) in
+  (* exposed latches: data (and enable) functions become outputs, ordered by
+     latch name so both sides of a comparison line up *)
+  let exposed_latches =
+    List.filter exposed (Circuit.latches c)
+    |> List.sort (fun a b ->
+           compare (Circuit.signal_name c a) (Circuit.signal_name c b))
+  in
+  let data_outs =
+    List.map
+      (fun l ->
+        let data, _ = Circuit.latch_info c l in
+        cbf data 0)
+      exposed_latches
+  in
+  let enable_outs =
+    List.filter_map
+      (fun l ->
+        match Circuit.latch_info c l with
+        | _, Some e -> Some (cbf e 0)
+        | _, None -> None)
+      exposed_latches
+  in
+  ( outs @ data_outs @ enable_outs,
+    {
+      depth = !depth;
+      variables = Hashtbl.length used;
+      replication = !replication;
+    } )
+
+let unroll ?exposed b c =
+  match unroll_exn ?exposed b c with
+  | r -> Ok r
+  | exception Seqprob.Error d -> Error d
+
+let unroll_netlist ?(exposed = fun _ -> false) c =
   Circuit.check c;
   let nc = Circuit.create (Circuit.name c ^ "_cbf") in
   let memo : (Circuit.signal * int, Circuit.signal) Hashtbl.t = Hashtbl.create 256 in
   let pins : (string, Circuit.signal) Hashtbl.t = Hashtbl.create 64 in
   let depth = ref 0 in
   let replication = ref 0 in
-  let visiting : (Circuit.signal * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let visiting : (Circuit.signal, unit) Hashtbl.t = Hashtbl.create 64 in
   let pin name d =
     depth := max !depth d;
     let n = var_name name d in
@@ -20,14 +108,13 @@ let unroll ?(exposed = fun _ -> false) c =
         Hashtbl.replace pins n s;
         s
   in
-  (* Compute_CBF_Recursively (Fig. 7) *)
   let rec cbf s d =
     match Hashtbl.find_opt memo (s, d) with
     | Some r -> r
     | None ->
-        if Hashtbl.mem visiting (s, d) then
-          invalid_arg "Cbf.unroll: sequential cycle with no exposed latch";
-        Hashtbl.replace visiting (s, d) ();
+        if Hashtbl.mem visiting s then
+          invalid_arg "Cbf.unroll_netlist: sequential cycle with no exposed latch";
+        Hashtbl.replace visiting s ();
         let r =
           match Circuit.driver c s with
           | Input -> pin (Circuit.signal_name c s) d
@@ -35,20 +122,19 @@ let unroll ?(exposed = fun _ -> false) c =
           | Latch { data; enable = None } -> cbf data (d + 1)
           | Latch { enable = Some _; _ } ->
               invalid_arg
-                (Printf.sprintf "Cbf.unroll: non-exposed load-enabled latch %s"
+                (Printf.sprintf
+                   "Cbf.unroll_netlist: non-exposed load-enabled latch %s"
                    (Circuit.signal_name c s))
           | Gate (fn, fs) ->
               incr replication;
               Circuit.add_gate nc fn (Array.to_list (Array.map (fun f -> cbf f d) fs))
           | Undriven -> assert false
         in
-        Hashtbl.remove visiting (s, d);
+        Hashtbl.remove visiting s;
         Hashtbl.replace memo (s, d) r;
         r
   in
   List.iter (fun o -> Circuit.mark_output nc (cbf o 0)) (Circuit.outputs c);
-  (* exposed latches: data (and enable) functions become outputs, ordered by
-     latch name so both sides of a comparison line up *)
   let exposed_latches =
     List.filter exposed (Circuit.latches c)
     |> List.sort (fun a b -> compare (Circuit.signal_name c a) (Circuit.signal_name c b))
@@ -98,61 +184,43 @@ let sequential_depth ?(exposed = fun _ -> false) c =
     at_outputs (Circuit.latches c)
 
 let functional_depth ?exposed c =
-  let u, info = unroll ?exposed c in
-  (* BDD support of the unrolled outputs, mapped back to delays *)
-  let man = Bdd.man () in
-  let var_of_input = Hashtbl.create 32 in
-  let delay_of_var = Hashtbl.create 32 in
-  let next = ref 0 in
-  List.iter
-    (fun s ->
-      let n = Circuit.signal_name u s in
-      let d =
-        match String.rindex_opt n '@' with
-        | None -> 0
-        | Some j -> (
-            match int_of_string_opt (String.sub n (j + 1) (String.length n - j - 1)) with
-            | Some d -> d
-            | None -> 0)
+  let b = Seqprob.builder () in
+  match unroll ?exposed b c with
+  | Error _ as e -> e
+  | Ok (outs, _) ->
+      let g = Seqprob.graph b in
+      let vars = Seqprob.builder_vars b in
+      let man = Bdd.man () in
+      (* BDD var = input index; the vars array maps it back to a delay *)
+      let input_index = Hashtbl.create 64 in
+      for i = 0 to Aig.num_inputs g - 1 do
+        Hashtbl.replace input_index (Aig.node_of (Aig.input_lit g i)) i
+      done;
+      let node_bdd = Hashtbl.create 256 in
+      let rec go n =
+        if n = 0 then Bdd.zero man
+        else
+          match Hashtbl.find_opt node_bdd n with
+          | Some f -> f
+          | None ->
+              let f =
+                if Aig.is_input_node g n then
+                  Bdd.var man (Hashtbl.find input_index n)
+                else
+                  let f0, f1 = Aig.fanins g n in
+                  Bdd.and_ man (lit_bdd f0) (lit_bdd f1)
+              in
+              Hashtbl.replace node_bdd n f;
+              f
+      and lit_bdd l =
+        let f = go (Aig.node_of l) in
+        if Aig.is_complement l then Bdd.not_ man f else f
       in
-      let v = !next in
-      incr next;
-      Hashtbl.replace var_of_input s (Bdd.var man v);
-      Hashtbl.replace delay_of_var v d)
-    (Circuit.inputs u);
-  let node = Hashtbl.create 256 in
-  let rec bdd_of s =
-    match Hashtbl.find_opt node s with
-    | Some b -> b
-    | None ->
-        let b =
-          match Circuit.driver u s with
-          | Input -> Hashtbl.find var_of_input s
-          | Undriven | Latch _ -> assert false
-          | Gate (fn, fs) -> (
-              let ins = Array.map bdd_of fs in
-              let ins_l = Array.to_list ins in
-              match fn with
-              | Const b -> if b then Bdd.one man else Bdd.zero man
-              | Buf -> ins.(0)
-              | Not -> Bdd.not_ man ins.(0)
-              | And -> Bdd.and_list man ins_l
-              | Nand -> Bdd.not_ man (Bdd.and_list man ins_l)
-              | Or -> Bdd.or_list man ins_l
-              | Nor -> Bdd.not_ man (Bdd.or_list man ins_l)
-              | Xor -> List.fold_left (Bdd.xor_ man) (Bdd.zero man) ins_l
-              | Xnor -> Bdd.not_ man (List.fold_left (Bdd.xor_ man) (Bdd.zero man) ins_l)
-              | Mux -> Bdd.ite man ins.(0) ins.(1) ins.(2))
-        in
-        Hashtbl.replace node s b;
-        b
-  in
-  let depth = ref 0 in
-  List.iter
-    (fun o ->
+      let depth = ref 0 in
       List.iter
-        (fun v -> depth := max !depth (Hashtbl.find delay_of_var v))
-        (Bdd.support man (bdd_of o)))
-    (Circuit.outputs u);
-  ignore info;
-  !depth
+        (fun o ->
+          List.iter
+            (fun v -> depth := max !depth (Seqprob.Var.delay vars.(v)))
+            (Bdd.support man (lit_bdd o)))
+        outs;
+      Ok !depth

@@ -1,6 +1,156 @@
 type info = { depth : int; variables : int; events : int; replication : int }
 
-let unroll ?(guard = false) ~table ?(exposed = fun _ -> false) c =
+let unroll_exn ?(guard = false) ~table ?(exposed = fun _ -> false) b c =
+  Circuit.check c;
+  let man = Events.man table in
+  let g = Seqprob.graph b in
+  let memo : (Circuit.signal * int * Events.event, Aig.lit) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let used_vars : (Seqprob.Var.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let pred_memo : (Circuit.signal * int, Bdd.t) Hashtbl.t = Hashtbl.create 64 in
+  let used_events : (Events.event, unit) Hashtbl.t = Hashtbl.create 16 in
+  let depth = ref 0 in
+  let replication = ref 0 in
+  let visiting = Hashtbl.create 64 in
+  let pin name d e =
+    depth := max !depth d;
+    Hashtbl.replace used_events e ();
+    let v = Seqprob.Var.at name ~shift:d ~event:e in
+    Hashtbl.replace used_vars v ();
+    Seqprob.var_lit b v
+  in
+  (* Semantic enable predicate at shift [d]: a BDD over (source, shift)
+     variables; latch outputs are opaque sources matched by name. *)
+  let rec pred_bdd s d =
+    match Hashtbl.find_opt pred_memo (s, d) with
+    | Some f -> f
+    | None ->
+        let f =
+          match Circuit.driver c s with
+          | Input | Latch _ ->
+              Events.pred_var table ~source:(Circuit.signal_name c s) ~shift:d
+          | Undriven -> assert false
+          | Gate (fn, fs) ->
+              let ins = Array.map (fun f -> pred_bdd f d) fs in
+              let ins_l = Array.to_list ins in
+              (match fn with
+              | Const b -> if b then Bdd.one man else Bdd.zero man
+              | Buf -> ins.(0)
+              | Not -> Bdd.not_ man ins.(0)
+              | And -> Bdd.and_list man ins_l
+              | Nand -> Bdd.not_ man (Bdd.and_list man ins_l)
+              | Or -> Bdd.or_list man ins_l
+              | Nor -> Bdd.not_ man (Bdd.or_list man ins_l)
+              | Xor -> List.fold_left (Bdd.xor_ man) (Bdd.zero man) ins_l
+              | Xnor -> Bdd.not_ man (List.fold_left (Bdd.xor_ man) (Bdd.zero man) ins_l)
+              | Mux -> Bdd.ite man ins.(0) ins.(1) ins.(2))
+        in
+        Hashtbl.replace pred_memo (s, d) f;
+        f
+  in
+  (* Compute_EDBF_Recursively (Fig. 8), with delays for regular latches *)
+  let rec edbf s d e =
+    match Hashtbl.find_opt memo (s, d, e) with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem visiting s then
+          raise
+            (Seqprob.Error
+               (Non_exposed_cycle
+                  {
+                    circuit = Circuit.name c;
+                    signal = Circuit.signal_name c s;
+                  }));
+        Hashtbl.replace visiting s ();
+        let r =
+          match Circuit.driver c s with
+          | Input -> pin (Circuit.signal_name c s) d e
+          | Latch _ when exposed s -> pin (Circuit.signal_name c s) d e
+          | Latch { data; enable = None } -> edbf data (d + 1) e
+          | Latch { data; enable = Some en } ->
+              let p = pred_bdd en d in
+              let e' = Events.push table ~pred:p e in
+              edbf data 0 e'
+          | Gate (fn, fs) ->
+              incr replication;
+              Aig.apply_fn g fn (Array.map (fun f -> edbf f d e) fs)
+          | Undriven -> assert false
+        in
+        Hashtbl.remove visiting s;
+        Hashtbl.replace memo (s, d, e) r;
+        r
+  in
+  let outs = ref (List.map (fun o -> edbf o 0 Events.empty) (Circuit.outputs c)) in
+  let exposed_latches =
+    List.filter exposed (Circuit.latches c)
+    |> List.sort (fun a b ->
+           compare (Circuit.signal_name c a) (Circuit.signal_name c b))
+  in
+  List.iter
+    (fun l ->
+      let data, _ = Circuit.latch_info c l in
+      outs := !outs @ [ edbf data 0 Events.empty ])
+    exposed_latches;
+  List.iter
+    (fun l ->
+      match Circuit.latch_info c l with
+      | _, Some en -> outs := !outs @ [ edbf en 0 Events.empty ]
+      | _, None -> ())
+    exposed_latches;
+  (* Event-consistency guard (the paper's future-work refinement): the
+     predicate at the head of every event was, by definition of η, true at
+     the instant the event denotes.  Guarding each output with the
+     conjunction of those facts lets data functions that differ only where
+     an enable is false still compare equal: the miter becomes
+     [constraints → outputs equal].  Both sides of a comparison build the
+     same guard over the same typed variables, because events are interned
+     in the shared table. *)
+  if guard then begin
+    (* close the used-event set under tails *)
+    let rec close e =
+      match Events.decompose table e with
+      | None -> ()
+      | Some (_, tail) ->
+          if not (Hashtbl.mem used_events tail) then begin
+            Hashtbl.replace used_events tail ();
+            close tail
+          end
+    in
+    Hashtbl.iter (fun e () -> close e) (Hashtbl.copy used_events);
+    let constraints = ref [] in
+    let events = Hashtbl.fold (fun e () acc -> e :: acc) used_events [] in
+    List.iter
+      (fun e ->
+        match Events.decompose table e with
+        | None -> ()
+        | Some (pred, _) ->
+            let lit_of v =
+              let source, shift = Events.var_source table v in
+              pin source shift e
+            in
+            constraints := Bdd_gates.to_aig g man pred ~lit_of :: !constraints)
+      (List.sort compare events);
+    match !constraints with
+    | [] -> ()
+    | cs ->
+        let all = Aig.and_list g cs in
+        outs := List.map (fun o -> Aig.or_ g o (Aig.neg all)) !outs
+  end;
+  ( !outs,
+    {
+      depth = !depth;
+      variables = Hashtbl.length used_vars;
+      events = Events.count table;
+      replication = !replication;
+    } )
+
+let unroll ?guard ~table ?exposed b c =
+  match unroll_exn ?guard ~table ?exposed b c with
+  | r -> Ok r
+  | exception Seqprob.Error d -> Error d
+
+let unroll_netlist ?(guard = false) ~table ?(exposed = fun _ -> false) c =
   Circuit.check c;
   let man = Events.man table in
   let nc = Circuit.create (Circuit.name c ^ "_edbf") in
@@ -24,8 +174,6 @@ let unroll ?(guard = false) ~table ?(exposed = fun _ -> false) c =
         Hashtbl.replace pins n s;
         s
   in
-  (* Semantic enable predicate at shift [d]: a BDD over (source, shift)
-     variables; latch outputs are opaque sources matched by name. *)
   let rec pred_bdd s d =
     match Hashtbl.find_opt pred_memo (s, d) with
     | Some b -> b
@@ -53,14 +201,13 @@ let unroll ?(guard = false) ~table ?(exposed = fun _ -> false) c =
         Hashtbl.replace pred_memo (s, d) b;
         b
   in
-  (* Compute_EDBF_Recursively (Fig. 8), with delays for regular latches *)
   let rec edbf s d e =
     match Hashtbl.find_opt memo (s, d, e) with
     | Some r -> r
     | None ->
-        if Hashtbl.mem visiting (s, d, e) then
-          invalid_arg "Edbf.unroll: sequential cycle with no exposed latch";
-        Hashtbl.replace visiting (s, d, e) ();
+        if Hashtbl.mem visiting s then
+          invalid_arg "Edbf.unroll_netlist: sequential cycle with no exposed latch";
+        Hashtbl.replace visiting s ();
         let r =
           match Circuit.driver c s with
           | Input -> pin (Circuit.signal_name c s) d e
@@ -75,7 +222,7 @@ let unroll ?(guard = false) ~table ?(exposed = fun _ -> false) c =
               Circuit.add_gate nc fn (Array.to_list (Array.map (fun f -> edbf f d e) fs))
           | Undriven -> assert false
         in
-        Hashtbl.remove visiting (s, d, e);
+        Hashtbl.remove visiting s;
         Hashtbl.replace memo (s, d, e) r;
         r
   in
@@ -97,16 +244,7 @@ let unroll ?(guard = false) ~table ?(exposed = fun _ -> false) c =
       | _, Some en -> out_signals := !out_signals @ [ edbf en 0 Events.empty ]
       | _, None -> ())
     exposed_latches;
-  (* Event-consistency guard (the paper's future-work refinement): the
-     predicate at the head of every event was, by definition of η, true at
-     the instant the event denotes.  Guarding each output with the
-     conjunction of those facts lets data functions that differ only where
-     an enable is false still compare equal: the miter becomes
-     [constraints → outputs equal].  Both sides of a comparison build the
-     same guard over the same-named pins, because events are interned in
-     the shared table. *)
   if guard then begin
-    (* close the used-event set under tails *)
     let rec close e =
       match Events.decompose table e with
       | None -> ()
@@ -114,8 +252,7 @@ let unroll ?(guard = false) ~table ?(exposed = fun _ -> false) c =
           if not (Hashtbl.mem used_events tail) then begin
             Hashtbl.replace used_events tail ();
             close tail
-          end;
-          ()
+          end
     in
     Hashtbl.iter (fun e () -> close e) (Hashtbl.copy used_events);
     let constraints = ref [] in

@@ -16,6 +16,8 @@ type row = {
   verify_stats : Verify.stats;
 }
 
+let ( let* ) = Result.bind
+
 (* Area in unit-gate equivalents, counting a latch cell as 4 units (the
    paper's "active area" from the mapper includes the latch cells, which is
    what makes its area ratios move when retiming changes latch counts). *)
@@ -40,84 +42,108 @@ let make_b a exposed_names =
     exposed_names;
   b
 
-let exposed_pred c names =
-  let set = Hashtbl.create 8 in
-  List.iter
-    (fun n ->
-      match Circuit.find_signal c n with
-      | Some s -> Hashtbl.replace set s ()
-      | None -> ())
-    names;
-  fun s -> Hashtbl.mem set s
-
 let optimize_c ~exposed_names b =
   let sy = Synth_script.delay_script b in
-  let rt, _ = Retime.min_period ~exposed:(exposed_pred sy exposed_names) sy in
-  rt
+  let* exposed = Verify.exposed_pred sy exposed_names in
+  Ok (fst (Retime.min_period ~exposed sy))
 
-let optimize_e ~exposed_names ~period b =
+let optimize_e ~exposed_names ~period ~fallback b =
   let sy = Synth_script.delay_script b in
-  let exposed = exposed_pred sy exposed_names in
-  try
-    let rt, _ = Retime.constrained_min_area ~exposed ~period sy in
-    rt
-  with Invalid_argument _ ->
-    (* the requested period is below B's minimum: fall back to min-period *)
-    let rt, _ = Retime.min_period ~exposed sy in
-    rt
+  let* exposed = Verify.exposed_pred sy exposed_names in
+  match Retime.constrained_min_area ~exposed ~period sy with
+  | Ok (rt, _) -> Ok rt
+  | Error Retime.Infeasible_period ->
+      if fallback then
+        (* the default target (D's delay) can sit below B's minimum: degrade
+           to the best achievable period *)
+        Ok (fst (Retime.min_period ~exposed sy))
+      else
+        Error
+          (Seqprob.Infeasible_period { circuit = Circuit.name b; period })
+
+let regular_latches_only a =
+  match
+    List.find_opt
+      (fun l -> snd (Circuit.latch_info a l) <> None)
+      (Circuit.latches a)
+  with
+  | None -> Ok ()
+  | Some l ->
+      Error
+        (Seqprob.Hidden_enabled_latch
+           { circuit = Circuit.name a; latch = Circuit.signal_name a l })
 
 let circuits ?engine:_ a =
+  let* () = regular_latches_only a in
   let plan = Feedback.plan_structural a in
   let exposed_names = List.map (Circuit.signal_name a) plan.Feedback.exposed in
   let b = make_b a exposed_names in
-  (b, optimize_c ~exposed_names b)
+  let* c = optimize_c ~exposed_names b in
+  Ok (b, c)
 
-let run ?engine ?jobs ?cache ?(skip_verify = false) a =
+let run ?engine ?jobs ?cache ?period ?(skip_verify = false) a =
   Circuit.check a;
+  let* () = regular_latches_only a in
   let plan = Feedback.plan_structural a in
   let exposed_names = List.map (Circuit.signal_name a) plan.Feedback.exposed in
   let b = make_b a exposed_names in
   let d = Synth_script.delay_script a in
   let period_d = Circuit.delay d in
-  let c = optimize_c ~exposed_names b in
-  let e = optimize_e ~exposed_names ~period:period_d b in
-  let f = optimize_c ~exposed_names:[] (Circuit.copy ~name:(Circuit.name a ^ "_F") a) in
-  let g =
-    optimize_e ~exposed_names:[] ~period:period_d
+  (* a user-supplied period is a hard constraint; the default (D's delay)
+     degrades to min-period when infeasible *)
+  let target, fallback =
+    match period with Some p -> (p, false) | None -> (period_d, true)
+  in
+  let* c = optimize_c ~exposed_names b in
+  let* e = optimize_e ~exposed_names ~period:target ~fallback b in
+  let* f =
+    optimize_c ~exposed_names:[] (Circuit.copy ~name:(Circuit.name a ^ "_F") a)
+  in
+  let* g =
+    optimize_e ~exposed_names:[] ~period:target ~fallback
       (Circuit.copy ~name:(Circuit.name a ^ "_G") a)
   in
   let nl = Circuit.latch_count a in
-  let verdict, stats =
+  let* outcome =
     if skip_verify then
-      ( Verify.Equivalent,
+      Ok
         {
-          Verify.method_ = Verify.Cbf_method;
-          depth = 0;
-          variables = 0;
-          events = 0;
-          unrolled_gates = (0, 0);
-          cec_sat_calls = 0;
-          cec = Cec.empty_stats;
-          seconds = 0.;
-        } )
+          Verify.verdict = Verify.Equivalent;
+          stats =
+            {
+              Verify.method_ = Verify.Cbf_method;
+              depth = 0;
+              variables = 0;
+              events = 0;
+              unrolled_nodes = 0;
+              unrolled_gates = (0, 0);
+              cec = Cec.empty_stats;
+              seconds = 0.;
+            };
+        }
     else Verify.check ?engine ?jobs ?cache ~exposed:exposed_names b c
   in
-  {
-    name = Circuit.name a;
-    a = metrics_of a;
-    exposed = List.length exposed_names;
-    exposed_percent =
-      (if nl = 0 then 0. else 100. *. float_of_int (List.length exposed_names) /. float_of_int nl);
-    b = metrics_of b;
-    c = metrics_of c;
-    d = metrics_of d;
-    e = metrics_of e;
-    f = metrics_of f;
-    g = metrics_of g;
-    verify_seconds = stats.Verify.seconds;
-    verify_verdict = verdict;
-    verify_stats = stats;
-  }
+  Ok
+    {
+      name = Circuit.name a;
+      a = metrics_of a;
+      exposed = List.length exposed_names;
+      exposed_percent =
+        (if nl = 0 then 0.
+         else
+           100.
+           *. float_of_int (List.length exposed_names)
+           /. float_of_int nl);
+      b = metrics_of b;
+      c = metrics_of c;
+      d = metrics_of d;
+      e = metrics_of e;
+      f = metrics_of f;
+      g = metrics_of g;
+      verify_seconds = outcome.Verify.stats.Verify.seconds;
+      verify_verdict = outcome.Verify.verdict;
+      verify_stats = outcome.Verify.stats;
+    }
 
 let exposure_report c =
   let total = Circuit.latch_count c in

@@ -38,20 +38,30 @@ val run :
   ?engine:Cec.engine ->
   ?jobs:int ->
   ?cache:Cec.Cache.t ->
+  ?period:int ->
   ?skip_verify:bool ->
   Circuit.t ->
-  row
+  (row, Seqprob.diagnosis) result
 (** Runs the full pipeline on a regular-latch circuit.  [jobs] and [cache]
     are passed to the H-vs-J combinational check (see {!Verify.check}).
-    When [skip_verify] is set the H-vs-J check is skipped (the verdict
-    reads [Equivalent] and the time is 0 — used when only optimization
-    numbers are wanted).
-    @raise Invalid_argument on load-enabled latches: like the paper (which
-    lacked a retiming tool for them), the optimizing flow covers regular
-    latches; load-enabled circuits get {!exposure_report},
-    {!Verify.check}, and {!Classes.min_period_single_class} instead. *)
+    [period], when given, replaces [D]'s delay as the clock-period target
+    for the area-constrained retimings [E]/[G]; a user-supplied period is a
+    hard constraint, so an unachievable one yields
+    [Error (Infeasible_period _)] (the default target silently degrades to
+    the minimum feasible period instead).  When [skip_verify] is set the
+    H-vs-J check is skipped (the verdict reads [Equivalent] and the time is
+    0 — used when only optimization numbers are wanted).
 
-val circuits : ?engine:Cec.engine -> Circuit.t -> Circuit.t * Circuit.t
+    Load-enabled latches yield [Error (Hidden_enabled_latch _)]: like the
+    paper (which lacked a retiming tool for them), the optimizing flow
+    covers regular latches; load-enabled circuits get {!exposure_report},
+    {!Verify.check}, and {!Classes.min_period_single_class} instead.  Any
+    diagnosis from the embedded {!Verify.check} propagates unchanged. *)
+
+val circuits :
+  ?engine:Cec.engine ->
+  Circuit.t ->
+  (Circuit.t * Circuit.t, Seqprob.diagnosis) result
 (** Just [B] and [C] (exposed + optimized), for callers that want to verify
     or inspect them separately. *)
 

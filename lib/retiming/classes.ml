@@ -129,26 +129,31 @@ let map_enables c ~f =
   Circuit.check nc;
   nc
 
-let with_single_class retimer c =
+let reattach_enable e_name (rt, report) =
+  let e' =
+    match Circuit.find_signal rt e_name with
+    | Some s -> s
+    | None ->
+        (* the enable input survived retiming only if used; re-add *)
+        Circuit.add_input rt e_name
+  in
+  (map_enables rt ~f:(fun _ -> Some e'), report)
+
+let strip_single_class c =
   match single_class_enable c with
   | None ->
       invalid_arg
         "Classes: not a single-class circuit (all latches must share one \
          primary-input enable)"
-  | Some e ->
-      let e_name = Circuit.signal_name c e in
-      let stripped = map_enables c ~f:(fun _ -> None) in
-      let rt, report = retimer stripped in
-      let e' =
-        match Circuit.find_signal rt e_name with
-        | Some s -> s
-        | None ->
-            (* the enable input survived retiming only if used; re-add *)
-            Circuit.add_input rt e_name
-      in
-      (map_enables rt ~f:(fun _ -> Some e'), report)
+  | Some e -> (Circuit.signal_name c e, map_enables c ~f:(fun _ -> None))
+
+let with_single_class retimer c =
+  let e_name, stripped = strip_single_class c in
+  reattach_enable e_name (retimer stripped)
 
 let min_period_single_class c = with_single_class (fun c -> Retime.min_period c) c
 
 let constrained_min_area_single_class ~period c =
-  with_single_class (fun c -> Retime.constrained_min_area ~period c) c
+  let e_name, stripped = strip_single_class c in
+  Result.map (reattach_enable e_name)
+    (Retime.constrained_min_area ~period stripped)

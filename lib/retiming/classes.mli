@@ -44,5 +44,7 @@ val min_period_single_class : Circuit.t -> Circuit.t * Retime.report
     @raise Invalid_argument if {!single_class_enable} is [None]. *)
 
 val constrained_min_area_single_class :
-  period:int -> Circuit.t -> Circuit.t * Retime.report
-(** Period-constrained minimum-area retiming of a single-class circuit. *)
+  period:int -> Circuit.t -> (Circuit.t * Retime.report, Retime.error) result
+(** Period-constrained minimum-area retiming of a single-class circuit.
+    [Error Infeasible_period] if the period is infeasible.
+    @raise Invalid_argument if {!single_class_enable} is [None]. *)

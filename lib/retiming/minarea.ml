@@ -74,26 +74,27 @@ let solve ?period ?(max_exact_vertices = 1500) g =
     | Some c -> period_constraints g ~period:c @ base
     | None -> base
   in
-  let r =
-    match lp_solve ~nvertices:n ~constraints ~a with
-    | Some r -> Rgraph.normalize g ~r
-    | None -> invalid_arg "Minarea.solve: infeasible constraint system"
-  in
-  assert (check_constraints r base);
-  if not (check_constraints r constraints) then
-    invalid_arg "Minarea.solve: requested period is infeasible";
-  match period with
-  | None -> r
-  | Some c -> (
-      (* exact mode already satisfies the period; fallback mode repairs.
-         FEAS's round bound only covers the all-zero start, so if the
-         repair from the min-area labels stalls, restart from scratch
-         (area-suboptimal but correct). *)
-      if Feas.period_of g ~r <= c then r
+  match lp_solve ~nvertices:n ~constraints ~a with
+  | None ->
+      (* base constraints alone are always satisfiable (r = 0), so a failure
+         without a period bound is an internal bug, not an input property *)
+      if period = None then
+        invalid_arg "Minarea.solve: infeasible constraint system"
+      else None
+  | Some r -> (
+      let r = Rgraph.normalize g ~r in
+      assert (check_constraints r base);
+      if not (check_constraints r constraints) then None
       else
-        match Feas.feasible ~init:r g ~period:c with
-        | Some r' -> r'
-        | None -> (
-            match Feas.feasible g ~period:c with
-            | Some r' -> r'
-            | None -> invalid_arg "Minarea.solve: requested period is infeasible"))
+        match period with
+        | None -> Some r
+        | Some c ->
+            (* exact mode already satisfies the period; fallback mode
+               repairs.  FEAS's round bound only covers the all-zero start,
+               so if the repair from the min-area labels stalls, restart
+               from scratch (area-suboptimal but correct). *)
+            if Feas.period_of g ~r <= c then Some r
+            else (
+              match Feas.feasible ~init:r g ~period:c with
+              | Some _ as s -> s
+              | None -> Feas.feasible g ~period:c))

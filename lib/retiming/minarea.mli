@@ -6,11 +6,11 @@
     classical [W]/[D]-matrix constraints: [r(u) − r(v) ≤ W(u,v) − 1] for
     every vertex pair with [D(u,v) > c]. *)
 
-val solve : ?period:int -> ?max_exact_vertices:int -> Rgraph.t -> int array
-(** Optimal (normalized, legal) labels.  When a period is requested and the
-    graph has more than [max_exact_vertices] (default 1500) vertices, the
-    quadratic [W]/[D] constraint generation is skipped: the unconstrained
-    optimum is repaired with FEAS iterations instead (area-suboptimal but
-    period-legal).
-
-    @raise Invalid_argument if the requested period is infeasible. *)
+val solve : ?period:int -> ?max_exact_vertices:int -> Rgraph.t -> int array option
+(** Optimal (normalized, legal) labels, or [None] iff the requested period
+    is infeasible (without [period] the base constraint system is always
+    satisfiable, so the result is always [Some]).  When a period is
+    requested and the graph has more than [max_exact_vertices] (default
+    1500) vertices, the quadratic [W]/[D] constraint generation is
+    skipped: the unconstrained optimum is repaired with FEAS iterations
+    instead (area-suboptimal but period-legal). *)

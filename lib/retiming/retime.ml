@@ -5,6 +5,8 @@ type report = {
   latches_after : int;
 }
 
+type error = Infeasible_period
+
 let finish g c r =
   let nc = Rgraph.apply g ~r in
   let report =
@@ -20,16 +22,18 @@ let finish g c r =
 let min_period ?exposed c =
   let g = Rgraph.build ?exposed c in
   let period, _ = Feas.min_period g in
-  (* among the min-period retimings, take a latch-minimal one *)
-  let r = Minarea.solve ~period g in
-  finish g c r
+  (* among the min-period retimings, take a latch-minimal one; the period
+     is feasible by construction, so solve cannot return None *)
+  match Minarea.solve ~period g with
+  | Some r -> finish g c r
+  | None -> assert false
 
 let constrained_min_area ?exposed ~period c =
   let g = Rgraph.build ?exposed c in
-  let r = Minarea.solve ~period g in
-  finish g c r
+  match Minarea.solve ~period g with
+  | Some r -> Ok (finish g c r)
+  | None -> Error Infeasible_period
 
 let min_area ?exposed c =
   let g = Rgraph.build ?exposed c in
-  let r = Minarea.solve g in
-  finish g c r
+  match Minarea.solve g with Some r -> finish g c r | None -> assert false

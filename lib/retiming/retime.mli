@@ -7,6 +7,10 @@ type report = {
   latches_after : int;
 }
 
+type error = Infeasible_period
+(** The one input-dependent failure mode of constrained retiming: the
+    requested clock period is below the graph's minimum feasible period. *)
+
 val min_period :
   ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report
 (** Retimes for the minimum feasible clock period, then minimizes latch
@@ -14,9 +18,12 @@ val min_period :
     The circuit must contain only regular latches. *)
 
 val constrained_min_area :
-  ?exposed:(Circuit.signal -> bool) -> period:int -> Circuit.t -> Circuit.t * report
+  ?exposed:(Circuit.signal -> bool) ->
+  period:int ->
+  Circuit.t ->
+  (Circuit.t * report, error) result
 (** Minimizes latch count subject to a clock-period bound.
-    @raise Invalid_argument if the period is infeasible. *)
+    [Error Infeasible_period] if the period is infeasible. *)
 
 val min_area :
   ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report

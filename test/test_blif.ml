@@ -137,8 +137,11 @@ let test_verify_across_formats () =
   in
   let { Blif.circuit = c2; _ } = Blif.parse (Blif.to_string c) in
   match Verify.check c c2 with
-  | Verify.Equivalent, _ -> ()
-  | Verify.Inequivalent _, _ -> Alcotest.fail "format round trip broke equivalence"
+  | Ok { Verify.verdict = Verify.Equivalent; _ } -> ()
+  | Ok { verdict = Verify.Inequivalent _; _ } ->
+      Alcotest.fail "format round trip broke equivalence"
+  | Error d ->
+      Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
 
 let suite =
   [

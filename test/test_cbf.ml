@@ -14,7 +14,7 @@ let test_fig2 () =
   let w = Circuit.add_latch c ~data:x () in
   Circuit.mark_output c w;
   Circuit.check c;
-  let u, info = Cbf.unroll c in
+  let u, info = Cbf.unroll_netlist c in
   Alcotest.(check int) "depth 1" 1 info.Cbf.depth;
   Alcotest.(check int) "two variables" 2 info.Cbf.variables;
   (* reference: w(t) = y(t-1) /\ z(t-1) *)
@@ -39,7 +39,7 @@ let test_fig3 () =
   let o = Circuit.add_gate c And [ cc; d ] in
   Circuit.mark_output c o;
   Circuit.check c;
-  let u, info = Cbf.unroll c in
+  let u, info = Cbf.unroll_netlist c in
   Alcotest.(check int) "depth 2" 2 info.Cbf.depth;
   Alcotest.(check int) "three variables" 3 info.Cbf.variables;
   let r = Circuit.create "ref3" in
@@ -58,7 +58,7 @@ let test_unroll_is_combinational () =
       Gen.acyclic st ~name:(Printf.sprintf "uc%d" i) ~inputs:3 ~gates:30 ~latches:5
         ~outputs:2 ~enables:false
     in
-    let u, info = Cbf.unroll c in
+    let u, info = Cbf.unroll_netlist c in
     Alcotest.(check int) "no latches" 0 (Circuit.latch_count u);
     Alcotest.(check int) "outputs preserved" (List.length (Circuit.outputs c))
       (List.length (Circuit.outputs u));
@@ -74,7 +74,7 @@ let test_unroll_rejects_feedback () =
   let g, _ = Feedback.latch_graph c in
   if not (Vgraph.Topo.is_acyclic g) then
     try
-      ignore (Cbf.unroll c);
+      ignore (Cbf.unroll_netlist c);
       Alcotest.fail "cycle accepted"
     with Invalid_argument _ -> ()
 
@@ -86,7 +86,7 @@ let test_unroll_rejects_hidden_enables () =
   Circuit.mark_output c q;
   Circuit.check c;
   try
-    ignore (Cbf.unroll c);
+    ignore (Cbf.unroll_netlist c);
     Alcotest.fail "enabled latch accepted"
   with Invalid_argument _ -> ()
 
@@ -98,7 +98,7 @@ let test_unroll_semantics () =
       Gen.acyclic st ~name:(Printf.sprintf "us%d" i) ~inputs:3 ~gates:25 ~latches:4
         ~outputs:2 ~enables:false
     in
-    let u, info = Cbf.unroll c in
+    let u, info = Cbf.unroll_netlist c in
     let d = info.Cbf.depth in
     let cycles = d + 6 in
     let seq = Gen.random_inputs st c ~cycles in
@@ -141,8 +141,8 @@ let test_theorem_5_1 () =
         Gen.acyclic st ~name:(Printf.sprintf "tB%d" i) ~inputs:2 ~gates:15
           ~latches:(1 + Random.State.int st 3) ~outputs:1 ~enables:false
     in
-    let u1, i1 = Cbf.unroll c1 in
-    let u2, i2 = Cbf.unroll c2 in
+    let u1, i1 = Cbf.unroll_netlist c1 in
+    let u2, i2 = Cbf.unroll_netlist c2 in
     let cbf_equal = Cec.check u1 u2 = Cec.Equivalent in
     (* exact 3-valued equivalence past the fill transient, sampled *)
     let depth = max i1.Cbf.depth i2.Cbf.depth in
@@ -180,8 +180,8 @@ let test_retime_synth_preserves_cbf () =
     in
     let o, _ = Retime.min_period (Synth_script.delay_script c) in
     let o2, _ = Retime.min_area (Synth_script.delay_script o) in
-    let u1, _ = Cbf.unroll c in
-    let u2, _ = Cbf.unroll o2 in
+    let u1, _ = Cbf.unroll_netlist c in
+    let u2, _ = Cbf.unroll_netlist o2 in
     match Cec.check u1 u2 with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "retime+synth changed the CBF"
@@ -198,7 +198,7 @@ let test_exposed_latch_cbf () =
   Circuit.mark_output c nq;
   Circuit.check c;
   let exposed s = Circuit.signal_name c s = "q" in
-  let u, info = Cbf.unroll ~exposed c in
+  let u, info = Cbf.unroll_netlist ~exposed c in
   Alcotest.(check int) "no latches" 0 (Circuit.latch_count u);
   (* outputs: original PO + q's next-state function *)
   Alcotest.(check int) "outputs" 2 (List.length (Circuit.outputs u));
@@ -219,8 +219,8 @@ let test_depth_mismatch_detected () =
     c
   in
   let c1 = mk 1 "d1" and c2 = mk 2 "d2" in
-  let u1, _ = Cbf.unroll c1 in
-  let u2, _ = Cbf.unroll c2 in
+  let u1, _ = Cbf.unroll_netlist c1 in
+  let u2, _ = Cbf.unroll_netlist c2 in
   match Cec.check u1 u2 with
   | Cec.Equivalent -> Alcotest.fail "depth mismatch missed"
   | Cec.Inequivalent cex ->
@@ -248,7 +248,7 @@ let test_functional_depth () =
   Circuit.mark_output c (Circuit.add_gate c Xor [ q; q ]);
   Circuit.check c;
   Alcotest.(check int) "topological" 1 (Cbf.sequential_depth c);
-  Alcotest.(check int) "functional" 0 (Cbf.functional_depth c);
+  Alcotest.(check int) "functional" 0 (Result.get_ok (Cbf.functional_depth c));
   (* a real dependency keeps the depth *)
   let c2 = Circuit.create "fd2" in
   let a = Circuit.add_input c2 "a" in
@@ -256,7 +256,7 @@ let test_functional_depth () =
   let q2 = Circuit.add_latch c2 ~data:q1 () in
   Circuit.mark_output c2 (Circuit.add_gate c2 Not [ q2 ]);
   Circuit.check c2;
-  Alcotest.(check int) "true depth" 2 (Cbf.functional_depth c2);
+  Alcotest.(check int) "true depth" 2 (Result.get_ok (Cbf.functional_depth c2));
   (* functional <= topological always *)
   for i = 1 to 10 do
     let c =
@@ -264,7 +264,7 @@ let test_functional_depth () =
         ~outputs:2 ~enables:false
     in
     Alcotest.(check bool) "bounded" true
-      (Cbf.functional_depth c <= Cbf.sequential_depth c)
+      (Result.get_ok (Cbf.functional_depth c) <= Cbf.sequential_depth c)
   done
 
 let suite = suite @ [ Alcotest.test_case "functional depth (Def. 4)" `Quick test_functional_depth ]

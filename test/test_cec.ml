@@ -297,7 +297,8 @@ let test_cache_shares_isomorphic_cones () =
       Alcotest.(check bool) "renamed cex valid" true
         (Cec.counterexample_is_valid (mk "y") (mk_neg "y") cex);
       List.iter
-        (fun (n, _) ->
+        (fun (v, _) ->
+          let n = v.Seqprob.Var.base in
           Alcotest.(check bool) "cex uses the hitting pair's names" true
             (String.length n > 0 && n.[0] = 'y'))
         cex

@@ -3,6 +3,12 @@
 
 let st = Random.State.make [| 0xEDB |]
 
+let vcheck ?guard_events c1 c2 =
+  match Verify.check ?guard_events c1 c2 with
+  | Ok o -> (o.Verify.verdict, o.Verify.stats)
+  | Error d ->
+      Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
+
 (* Fig. 4: y = latch(x, enable e): one enabled latch, one event. *)
 let test_fig4 () =
   let c = Circuit.create "fig4" in
@@ -12,7 +18,7 @@ let test_fig4 () =
   Circuit.mark_output c y;
   Circuit.check c;
   let table = Events.create () in
-  let u, info = Edbf.unroll ~table c in
+  let u, info = Edbf.unroll_netlist ~table c in
   Alcotest.(check int) "one variable" 1 info.Edbf.variables;
   Alcotest.(check int) "two events (empty + [e])" 2 info.Edbf.events;
   Alcotest.(check int) "no latches" 0 (Circuit.latch_count u)
@@ -33,7 +39,7 @@ let test_fig5 () =
   Circuit.mark_output c z;
   Circuit.check c;
   let table = Events.create () in
-  let u, info = Edbf.unroll ~table c in
+  let u, info = Edbf.unroll_netlist ~table c in
   ignore u;
   (* variables: u@[e1,e2], v@[e3]; events: empty, [e2], [e1,e2], [e3] *)
   Alcotest.(check int) "two variables" 2 info.Edbf.variables;
@@ -48,8 +54,8 @@ let test_shared_table_matches () =
     in
     let c2 = Gen.demorganize c in
     let table = Events.create () in
-    let u1, _ = Edbf.unroll ~table c in
-    let u2, _ = Edbf.unroll ~table c2 in
+    let u1, _ = Edbf.unroll_netlist ~table c in
+    let u2, _ = Edbf.unroll_netlist ~table c2 in
     match Cec.check u1 u2 with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "rewritten circuit got different EDBF"
@@ -64,8 +70,8 @@ let test_synthesis_preserves_edbf () =
     in
     let o = Synth_script.delay_script c in
     let table = Events.create () in
-    let u1, _ = Edbf.unroll ~table c in
-    let u2, _ = Edbf.unroll ~table o in
+    let u1, _ = Edbf.unroll_netlist ~table c in
+    let u2, _ = Edbf.unroll_netlist ~table o in
     match Cec.check u1 u2 with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "synthesis changed the EDBF"
@@ -80,8 +86,8 @@ let test_edbf_finds_bugs () =
     in
     let bugged = Gen.negate_one_output c in
     let table = Events.create () in
-    let u1, _ = Edbf.unroll ~table c in
-    let u2, _ = Edbf.unroll ~table bugged in
+    let u1, _ = Edbf.unroll_netlist ~table c in
+    let u2, _ = Edbf.unroll_netlist ~table bugged in
     match Cec.check u1 u2 with
     | Cec.Equivalent -> Alcotest.fail "EDBF missed a seeded bug"
     | Cec.Inequivalent _ -> ()
@@ -115,15 +121,15 @@ let test_fig10_rewrite () =
   let ca, cb = fig10_pair () in
   (* without rule (5): false negative *)
   let t0 = Events.create ~rewrite:false () in
-  let u1, _ = Edbf.unroll ~table:t0 ca in
-  let u2, _ = Edbf.unroll ~table:t0 cb in
+  let u1, _ = Edbf.unroll_netlist ~table:t0 ca in
+  let u2, _ = Edbf.unroll_netlist ~table:t0 cb in
   (match Cec.check u1 u2 with
   | Cec.Equivalent -> Alcotest.fail "expected false negative without rewrite"
   | Cec.Inequivalent _ -> ());
   (* with rule (5): the [a, ab] event collapses to [ab] and they match *)
   let t1 = Events.create ~rewrite:true () in
-  let v1, _ = Edbf.unroll ~table:t1 ca in
-  let v2, _ = Edbf.unroll ~table:t1 cb in
+  let v1, _ = Edbf.unroll_netlist ~table:t1 ca in
+  let v2, _ = Edbf.unroll_netlist ~table:t1 cb in
   match Cec.check v1 v2 with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "rewrite rule failed to merge events"
@@ -158,8 +164,8 @@ let test_fig11_equivalent_forms_merge () =
      paper's syntactic events here) *)
   let c1, c2 = fig11_pair () in
   let table = Events.create () in
-  let u1, _ = Edbf.unroll ~table c1 in
-  let u2, _ = Edbf.unroll ~table c2 in
+  let u1, _ = Edbf.unroll_netlist ~table c1 in
+  let u2, _ = Edbf.unroll_netlist ~table c2 in
   match Cec.check u1 u2 with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "same-function data should match"
@@ -188,8 +194,8 @@ let test_fig11_false_negative () =
   Circuit.mark_output c2 l2;
   Circuit.check c2;
   let table = Events.create () in
-  let u1, _ = Edbf.unroll ~table c1 in
-  let u2, _ = Edbf.unroll ~table c2 in
+  let u1, _ = Edbf.unroll_netlist ~table c1 in
+  let u2, _ = Edbf.unroll_netlist ~table c2 in
   match Cec.check u1 u2 with
   | Cec.Equivalent -> Alcotest.fail "distinct data functions merged"
   | Cec.Inequivalent _ -> ()
@@ -243,7 +249,7 @@ let test_mixed_latches () =
   Circuit.mark_output c r2;
   Circuit.check c;
   let table = Events.create () in
-  let u, info = Edbf.unroll ~table c in
+  let u, info = Edbf.unroll_netlist ~table c in
   ignore u;
   (* x is sampled one cycle before the event, which itself is evaluated one
      cycle in the past: depth covers both regular latches *)
@@ -294,12 +300,12 @@ let test_guard_removes_false_negative () =
   | None -> ()
   | Some _ -> Alcotest.fail "test premise broken: pair not equivalent");
   (* without the guard: conservative false negative *)
-  (match Verify.check c1 c2 with
+  (match vcheck c1 c2 with
   | Verify.Inequivalent None, _ -> ()
   | Verify.Equivalent, _ -> Alcotest.fail "expected the published method to reject"
   | Verify.Inequivalent (Some _), _ -> Alcotest.fail "unexpected witness");
   (* with the guard: proven *)
-  match Verify.check ~guard_events:true c1 c2 with
+  match vcheck ~guard_events:true c1 c2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "guard failed to remove false negative"
 
@@ -311,11 +317,11 @@ let test_guard_still_sound () =
         ~outputs:2 ~enables:true
     in
     let bug = Gen.negate_one_output c in
-    (match Verify.check ~guard_events:true c bug with
+    (match vcheck ~guard_events:true c bug with
     | Verify.Equivalent, _ -> Alcotest.fail "guarded check missed a bug"
     | Verify.Inequivalent _, _ -> ());
     (* and still proves genuine rewrites *)
-    match Verify.check ~guard_events:true c (Gen.demorganize c) with
+    match vcheck ~guard_events:true c (Gen.demorganize c) with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "guarded check rejected a rewrite"
   done
@@ -327,7 +333,7 @@ let test_guard_with_synthesis () =
         ~outputs:2 ~enables:true
     in
     let o = Synth_script.delay_script c in
-    match Verify.check ~guard_events:true c o with
+    match vcheck ~guard_events:true c o with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "guarded check rejected synthesis"
   done

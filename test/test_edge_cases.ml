@@ -15,7 +15,7 @@ let test_cbf_exposed_enabled_latch () =
   Circuit.mark_output c q;
   Circuit.check c;
   let exposed s = Circuit.signal_name c s = "q" in
-  let u, _ = Cbf.unroll ~exposed c in
+  let u, _ = Cbf.unroll_netlist ~exposed c in
   (* outputs: PO q, data fn, enable fn *)
   Alcotest.(check int) "three outputs" 3 (List.length (Circuit.outputs u));
   Alcotest.(check int) "no latches" 0 (Circuit.latch_count u)
@@ -34,12 +34,15 @@ let test_verify_exposed_enabled () =
     Circuit.check c;
     c
   in
-  (match Verify.check ~exposed:[ "q" ] (mk true) (mk true) with
-  | Verify.Equivalent, _ -> ()
-  | Verify.Inequivalent _, _ -> Alcotest.fail "same enabled latch rejected");
-  match Verify.check ~exposed:[ "q" ] (mk true) (mk false) with
-  | Verify.Inequivalent _, _ -> ()
-  | Verify.Equivalent, _ -> Alcotest.fail "enable difference missed"
+  let verdict a b =
+    (Result.get_ok (Verify.check ~exposed:[ "q" ] a b)).Verify.verdict
+  in
+  (match verdict (mk true) (mk true) with
+  | Verify.Equivalent -> ()
+  | Verify.Inequivalent _ -> Alcotest.fail "same enabled latch rejected");
+  match verdict (mk true) (mk false) with
+  | Verify.Inequivalent _ -> ()
+  | Verify.Equivalent -> Alcotest.fail "enable difference missed"
 
 (* ---- sweep mux simplifications ---- *)
 
@@ -164,10 +167,12 @@ let test_retime_illegal_labels () =
 let test_verify_output_mismatch () =
   let c1 = Gen.acyclic st ~name:"om1" ~inputs:2 ~gates:10 ~latches:2 ~outputs:1 ~enables:false in
   let c2 = Gen.acyclic st ~name:"om2" ~inputs:2 ~gates:10 ~latches:2 ~outputs:2 ~enables:false in
-  try
-    ignore (Verify.check c1 c2);
-    Alcotest.fail "output count mismatch accepted"
-  with Invalid_argument _ -> ()
+  match Verify.check c1 c2 with
+  | Error (Seqprob.Output_arity_mismatch { left; right }) ->
+      Alcotest.(check bool) "arity counts differ" true (left <> right)
+  | Error d ->
+      Alcotest.failf "wrong diagnosis: %s" (Seqprob.diagnosis_to_string d)
+  | Ok _ -> Alcotest.fail "output count mismatch accepted"
 
 (* ---- empty / degenerate circuits ---- *)
 
@@ -176,7 +181,7 @@ let test_empty_circuit () =
   Circuit.check c;
   Alcotest.(check int) "area" 0 (Circuit.area c);
   Alcotest.(check int) "delay" 0 (Circuit.delay c);
-  let u, info = Cbf.unroll c in
+  let u, info = Cbf.unroll_netlist c in
   Alcotest.(check int) "no outputs" 0 (List.length (Circuit.outputs u));
   Alcotest.(check int) "depth" 0 info.Cbf.depth
 
@@ -186,9 +191,9 @@ let test_constant_only_circuit () =
   Circuit.mark_output c (Circuit.const_true c);
   Circuit.check c;
   let rt, _ = Retime.min_period c in
-  match Verify.check c rt with
-  | Verify.Equivalent, _ -> ()
-  | Verify.Inequivalent _, _ -> Alcotest.fail "constant circuit broken"
+  match (Result.get_ok (Verify.check c rt)).Verify.verdict with
+  | Verify.Equivalent -> ()
+  | Verify.Inequivalent _ -> Alcotest.fail "constant circuit broken"
 
 let suite =
   [

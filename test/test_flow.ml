@@ -2,6 +2,12 @@
 
 let st = Random.State.make [| 0xF10 |]
 
+let flow_ok ?jobs ?skip_verify c =
+  match Flow.run ?jobs ?skip_verify c with
+  | Ok row -> row
+  | Error d ->
+      Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
+
 let test_flow_verifies () =
   for i = 1 to 6 do
     let c =
@@ -10,7 +16,7 @@ let test_flow_verifies () =
         ~inputs:3 ~gates:(30 + Random.State.int st 40) ~latches:(3 + Random.State.int st 4)
         ~outputs:2
     in
-    let row = Flow.run c in
+    let row = flow_ok c in
     (match row.Flow.verify_verdict with
     | Verify.Equivalent -> ()
     | Verify.Inequivalent _ -> Alcotest.fail "B vs C verification failed");
@@ -22,7 +28,7 @@ let test_flow_shape_on_pipeline () =
   (* pipelines: C at least as fast as D, E no more latches than C at D's
      delay *)
   let c = Workloads.pipeline ~name:"fshape" ~width:8 ~stages:6 ~imbalance:4 ~seed:5 in
-  let row = Flow.run ~skip_verify:true c in
+  let row = flow_ok ~skip_verify:true c in
   Alcotest.(check int) "no exposure on acyclic" 0 row.Flow.exposed;
   Alcotest.(check bool) "C delay <= D delay" true
     (row.Flow.c.Flow.delay <= row.Flow.d.Flow.delay);
@@ -32,7 +38,7 @@ let test_flow_shape_on_pipeline () =
     (row.Flow.e.Flow.latches <= row.Flow.c.Flow.latches)
 
 let test_flow_minmax_shape () =
-  let row = Flow.run (Workloads.minmax ~width:8) in
+  let row = flow_ok (Workloads.minmax ~width:8) in
   (* two thirds of the latches are feedback min/max registers *)
   Alcotest.(check int) "exposed = 2w" 16 row.Flow.exposed;
   Alcotest.(check bool) "~66%" true
@@ -50,7 +56,7 @@ let test_flow_b_keeps_outputs () =
   let c =
     Gen.feedback st ~name:"fb_out" ~inputs:3 ~gates:30 ~latches:4 ~outputs:2
   in
-  let b, copt = Flow.circuits c in
+  let b, copt = Result.get_ok (Flow.circuits c) in
   (* B has the original outputs plus one per exposed latch *)
   Alcotest.(check bool) "B outputs grew" true
     (List.length (Circuit.outputs b) >= List.length (Circuit.outputs c));
@@ -78,7 +84,7 @@ let test_flow_parallel_verify_agrees () =
         ~inputs:3 ~gates:(30 + Random.State.int st 30) ~latches:(3 + Random.State.int st 3)
         ~outputs:2
     in
-    let rows = List.map (fun jobs -> (jobs, Flow.run ~jobs c)) [ 1; 2; 4 ] in
+    let rows = List.map (fun jobs -> (jobs, flow_ok ~jobs c)) [ 1; 2; 4 ] in
     let verdicts =
       List.map (fun (_, r) -> r.Flow.verify_verdict = Verify.Equivalent) rows
     in

@@ -4,11 +4,22 @@
 
 let st = Random.State.make [| 0x1A7 |]
 
+let vcheck c1 c2 =
+  match Verify.check c1 c2 with
+  | Ok o -> (o.Verify.verdict, o.Verify.stats)
+  | Error d ->
+      Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
+
 let test_blif_through_flow () =
   (* export a suite circuit to BLIF, reimport, run the full flow *)
   let c = Workloads.by_name "s400" in
   let { Blif.circuit = c2; _ } = Blif.parse (Blif.to_string c) in
-  let row = Flow.run c2 in
+  let row =
+    match Flow.run c2 with
+    | Ok row -> row
+    | Error d ->
+        Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
+  in
   match row.Flow.verify_verdict with
   | Verify.Equivalent -> ()
   | Verify.Inequivalent _ -> Alcotest.fail "flow failed on BLIF-round-tripped circuit"
@@ -27,7 +38,7 @@ let test_long_optimization_chain () =
     in
     o := rt
   done;
-  match Verify.check c !o with
+  match vcheck c !o with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "five-round chain not verified"
 
@@ -37,22 +48,24 @@ let test_redundancy_then_retime_then_verify () =
   in
   let o1, _ = Redundancy.run ~max_rounds:5 c in
   let o2, _ = Retime.min_period (Synth_script.delay_script o1) in
-  match Verify.check c o2 with
+  match vcheck c o2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "redundancy+retime chain not verified"
 
 let test_engines_on_flow_miters () =
   (* all three CEC engines agree on real flow miters *)
   let c = Workloads.by_name "s641" in
-  let b, copt = Flow.circuits c in
+  let b, copt = Result.get_ok (Flow.circuits c) in
   let plan = Feedback.plan_structural c in
   let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
   let ex cc s = List.mem (Circuit.signal_name cc s) names in
-  let u1, _ = Cbf.unroll ~exposed:(ex b) b in
-  let u2, _ = Cbf.unroll ~exposed:(ex copt) copt in
+  let bld = Seqprob.builder () in
+  let o1, _ = Result.get_ok (Cbf.unroll ~exposed:(ex b) bld b) in
+  let o2, _ = Result.get_ok (Cbf.unroll ~exposed:(ex copt) bld copt) in
+  let p = Result.get_ok (Seqprob.problem bld ~outs1:o1 ~outs2:o2) in
   List.iter
     (fun engine ->
-      match Cec.check ~engine u1 u2 with
+      match Cec.check_problem ~engine p with
       | Cec.Equivalent -> ()
       | Cec.Inequivalent _ -> Alcotest.fail "engine disagrees on flow miter")
     [ Cec.Bdd_engine; Cec.Sat_engine; Cec.Sweep_engine ]
@@ -98,7 +111,7 @@ let test_corrupted_netlist_detected_everywhere () =
     (fun (tag, f) ->
       let o = f c in
       let bug = Gen.negate_one_output o in
-      match Verify.check c bug with
+      match vcheck c bug with
       | Verify.Inequivalent _, _ -> ()
       | Verify.Equivalent, _ -> Alcotest.fail ("bug missed " ^ tag))
     stages
@@ -120,7 +133,7 @@ let test_cli_formats_by_extension () =
   let text_blif = Blif.to_string c in
   let c1 = Netlist_io.parse text_native in
   let { Blif.circuit = c2; _ } = Blif.parse text_blif in
-  match Verify.check c1 c2 with
+  match vcheck c1 c2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "formats disagree"
 

@@ -12,6 +12,7 @@ let () =
       ("cec", Test_cec.suite);
       ("synth", Test_synth.suite);
       ("retiming", Test_retiming.suite);
+      ("seqprob", Test_seqprob.suite);
       ("cbf", Test_cbf.suite);
       ("edbf", Test_edbf.suite);
       ("feedback", Test_feedback.suite);

@@ -196,7 +196,7 @@ let prop_cbf_verifies_retime =
     (circuit_arb ~enables:false)
     (fun c ->
       let o, _ = Retime.min_period (Synth_script.delay_script c) in
-      fst (Verify.check c o) = Verify.Equivalent)
+      (Result.get_ok (Verify.check c o)).Verify.verdict = Verify.Equivalent)
 
 let prop_cbf_catches_negation =
   QCheck.Test.make ~count:25 ~name:"CBF check catches negated output"
@@ -204,11 +204,9 @@ let prop_cbf_catches_negation =
     (fun c ->
       let bug = Gen.negate_one_output c in
       match Verify.check c bug with
-      | Verify.Inequivalent (Some cex), _ ->
-          (* replay on the unrollings *)
-          let u1, _ = Cbf.unroll c in
-          let u2, _ = Cbf.unroll bug in
-          Cec.counterexample_is_valid u1 u2 cex
+      | Ok { Verify.verdict = Verify.Inequivalent (Some cex); _ } ->
+          (* replay on the original circuits *)
+          Verify.confirm_cex c bug cex
       | _ -> false)
 
 let prop_mfvs_sound =
@@ -259,7 +257,11 @@ let prop_retiming_invariants =
     (circuit_arb ~enables:false)
     (fun c ->
       let g = Rgraph.build c in
-      let r = Minarea.solve g in
+      let r =
+        match Minarea.solve g with
+        | Some r -> r
+        | None -> QCheck.Test.fail_report "unconstrained min-area infeasible"
+      in
       (* legality *)
       Rgraph.is_legal g ~r
       &&

@@ -129,7 +129,11 @@ let test_min_area_vs_bruteforce () =
     let g = Rgraph.build c in
     let n = Vgraph.Digraph.node_count g.Rgraph.graph in
     if n <= 9 then begin
-      let r = Minarea.solve g in
+      let r =
+        match Minarea.solve g with
+        | Some r -> r
+        | None -> Alcotest.fail "unconstrained min-area LP infeasible"
+      in
       let cost = Rgraph.total_latches_after g ~r in
       (* brute force *)
       let best = ref max_int in
@@ -159,7 +163,7 @@ let test_constrained_min_area () =
   for i = 1 to 25 do
     let c = random_acyclic (100 + i) in
     let period0 = Circuit.delay c in
-    let rt, rep = Retime.constrained_min_area ~period:period0 c in
+    let rt, rep = Result.get_ok (Retime.constrained_min_area ~period:period0 c) in
     Alcotest.(check bool) "period respected" true (rep.Retime.period_after <= period0);
     flush_compare c rt ~cycles:40 ~skip:20;
     (* unconstrained can only be <= constrained in latches *)
@@ -178,10 +182,9 @@ let test_infeasible_period () =
   done;
   Circuit.mark_output c !g;
   Circuit.check c;
-  try
-    ignore (Retime.constrained_min_area ~period:2 c);
-    Alcotest.fail "infeasible period accepted"
-  with Invalid_argument _ -> ()
+  match Retime.constrained_min_area ~period:2 c with
+  | Error Retime.Infeasible_period -> ()
+  | Ok _ -> Alcotest.fail "infeasible period accepted"
 
 let test_exposed_latches_stay () =
   for i = 1 to 15 do
@@ -347,10 +350,11 @@ let test_single_class_retime_verified () =
        been pruned away entirely) *)
     Alcotest.(check bool) "class preserved" true
       (Circuit.latch_count rt = 0 || Classes.single_class_enable rt <> None);
-    match Verify.check c rt with
-    | Verify.Equivalent, stats ->
+    match Result.get_ok (Verify.check c rt) with
+    | { Verify.verdict = Verify.Equivalent; stats } ->
         Alcotest.(check bool) "edbf used" true (stats.Verify.method_ = Verify.Edbf_method)
-    | Verify.Inequivalent _, _ -> Alcotest.fail "single-class retime not verified"
+    | { verdict = Verify.Inequivalent _; _ } ->
+        Alcotest.fail "single-class retime not verified"
   done
 
 let test_single_class_retime_simulated () =
@@ -378,11 +382,12 @@ let test_single_class_retime_simulated () =
 let test_single_class_min_area () =
   let c = single_class_circuit st ~gates:40 ~latches:5 in
   let period = Circuit.delay c in
-  let rt, rep = Classes.constrained_min_area_single_class ~period c in
+  let rt, rep = Result.get_ok (Classes.constrained_min_area_single_class ~period c) in
   Alcotest.(check bool) "period respected" true (rep.Retime.period_after <= period);
-  match Verify.check c rt with
-  | Verify.Equivalent, _ -> ()
-  | Verify.Inequivalent _, _ -> Alcotest.fail "single-class min-area not verified"
+  match Result.get_ok (Verify.check c rt) with
+  | { Verify.verdict = Verify.Equivalent; _ } -> ()
+  | { verdict = Verify.Inequivalent _; _ } ->
+      Alcotest.fail "single-class min-area not verified"
 
 let suite =
   suite

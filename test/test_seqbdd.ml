@@ -115,14 +115,15 @@ let test_baseline_agrees_with_cbf () =
         ~outputs:2 ~enables:false
     in
     let o, _ = Retime.min_period (Synth_script.delay_script c) in
-    (match (Sec_baseline.check c o, Verify.check c o) with
-    | (Sec_baseline.Equivalent, _), (Verify.Equivalent, _) -> ()
+    let verdict a b = (Result.get_ok (Verify.check a b)).Verify.verdict in
+    (match (Sec_baseline.check c o, verdict c o) with
+    | (Sec_baseline.Equivalent, _), Verify.Equivalent -> ()
     | (Sec_baseline.Resource_out _, _), _ -> () (* baseline may give up *)
     | _ -> Alcotest.fail "methods disagree on an equivalent pair");
     let bug = Gen.negate_one_output o in
-    match (Sec_baseline.check c bug, Verify.check c bug) with
-    | (Sec_baseline.Inequivalent, _), (Verify.Inequivalent _, _) -> ()
-    | (Sec_baseline.Resource_out _, _), (Verify.Inequivalent _, _) -> ()
+    match (Sec_baseline.check c bug, verdict c bug) with
+    | (Sec_baseline.Inequivalent, _), Verify.Inequivalent _ -> ()
+    | (Sec_baseline.Resource_out _, _), Verify.Inequivalent _ -> ()
     | _ -> Alcotest.fail "methods disagree on a seeded bug"
   done
 
@@ -203,9 +204,10 @@ let test_semantic_gap () =
   Circuit.mark_output c q';
   Circuit.check c;
   (* the combinational reduction (exposing q in both) proves equivalence *)
-  (match Verify.check ~exposed:[ "q" ] b c with
-  | Verify.Equivalent, _ -> ()
-  | Verify.Inequivalent _, _ -> Alcotest.fail "reduction should prove the pair");
+  (match Result.get_ok (Verify.check ~exposed:[ "q" ] b c) with
+  | { Verify.verdict = Verify.Equivalent; _ } -> ()
+  | { verdict = Verify.Inequivalent _; _ } ->
+      Alcotest.fail "reduction should prove the pair");
   (* the reset-equivalence traversal correctly rejects it *)
   match Sec_baseline.check b c with
   | Sec_baseline.Inequivalent, _ -> ()

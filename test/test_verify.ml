@@ -3,6 +3,13 @@
 
 let st = Random.State.make [| 0xF1F |]
 
+(* unwrap a check expected to produce a verdict (not a diagnosis) *)
+let vcheck ?engine ?rewrite_events ?guard_events ?exposed c1 c2 =
+  match Verify.check ?engine ?rewrite_events ?guard_events ?exposed c1 c2 with
+  | Ok o -> (o.Verify.verdict, o.Verify.stats)
+  | Error d ->
+      Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
+
 let random_acyclic ?(enables = false) i ~latches =
   Gen.acyclic st
     ~name:(Printf.sprintf "v%d" i)
@@ -13,7 +20,7 @@ let random_acyclic ?(enables = false) i ~latches =
 let test_identity () =
   for i = 1 to 10 do
     let c = random_acyclic i ~latches:4 in
-    match Verify.check c c with
+    match vcheck c c with
     | Verify.Equivalent, stats ->
         Alcotest.(check bool) "cbf method" true (stats.Verify.method_ = Verify.Cbf_method)
     | Verify.Inequivalent _, _ -> Alcotest.fail "self-inequivalent"
@@ -27,7 +34,7 @@ let test_retime_and_synth () =
     let o3 = Synth_script.delay_script o2 in
     let o4, _ = Retime.min_area o3 in
     (* repeated retiming and synthesis: still verifiable *)
-    match Verify.check c o4 with
+    match vcheck c o4 with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "retime+synth chain not verified"
   done
@@ -37,7 +44,7 @@ let test_seeded_bug_caught () =
     let c = random_acyclic (i + 30) ~latches:3 in
     let rt, _ = Retime.min_period (Synth_script.delay_script c) in
     let bug = Gen.negate_one_output rt in
-    match Verify.check c bug with
+    match vcheck c bug with
     | Verify.Equivalent, _ -> Alcotest.fail "seeded bug missed"
     | Verify.Inequivalent (Some cex), _ ->
         Alcotest.(check bool) "cex nonempty or const diff" true (cex <> [] || true)
@@ -51,7 +58,7 @@ let test_latch_count_change_ok () =
   Alcotest.(check bool) "latch count moved" true
     (rep.Retime.latches_after <> rep.Retime.latches_before
     || rep.Retime.period_after < rep.Retime.period_before);
-  match Verify.check c rt with
+  match vcheck c rt with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "pipeline retime not verified"
 
@@ -76,7 +83,7 @@ let test_exposed_flow () =
     let pred cc s = List.mem (Circuit.signal_name cc s) exposed in
     let sy = Synth_script.delay_script b in
     let o, _ = Retime.min_period ~exposed:(pred sy) sy in
-    match Verify.check ~exposed b o with
+    match vcheck ~exposed b o with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "exposed-flow verification failed"
   done
@@ -96,7 +103,7 @@ let test_exposed_next_state_bug_caught () =
   Circuit.set_latch bug q2 ~data:(Circuit.add_gate bug Xnor [ q2; a2 ]) ();
   Circuit.mark_output bug q2;
   Circuit.check bug;
-  match Verify.check ~exposed:[ "q" ] c bug with
+  match vcheck ~exposed:[ "q" ] c bug with
   | Verify.Equivalent, _ -> Alcotest.fail "next-state bug missed"
   | Verify.Inequivalent _, _ -> ()
 
@@ -109,7 +116,7 @@ let test_enabled_circuits_use_edbf () =
         (Circuit.latches c)
     then begin
       let o = Synth_script.delay_script c in
-      match Verify.check c o with
+      match vcheck c o with
       | Verify.Equivalent, stats ->
           Alcotest.(check bool) "edbf method" true
             (stats.Verify.method_ = Verify.Edbf_method)
@@ -125,17 +132,19 @@ let test_edbf_bug_has_no_witness () =
   Circuit.mark_output c q;
   Circuit.check c;
   let bug = Gen.negate_one_output c in
-  match Verify.check c bug with
+  match vcheck c bug with
   | Verify.Equivalent, _ -> Alcotest.fail "bug missed"
   | Verify.Inequivalent w, _ ->
       Alcotest.(check bool) "conservative: no certified witness" true (w = None)
 
 let test_missing_exposed_name () =
   let c = random_acyclic 99 ~latches:2 in
-  try
-    ignore (Verify.check ~exposed:[ "nonexistent" ] c c);
-    Alcotest.fail "bad exposure accepted"
-  with Invalid_argument _ -> ()
+  match Verify.check ~exposed:[ "nonexistent" ] c c with
+  | Error (Seqprob.No_such_latch { name; _ }) ->
+      Alcotest.(check string) "offending name" "nonexistent" name
+  | Error d ->
+      Alcotest.failf "wrong diagnosis: %s" (Seqprob.diagnosis_to_string d)
+  | Ok _ -> Alcotest.fail "bad exposure accepted"
 
 let test_rewrite_toggle () =
   (* rewrite_events only affects the enabled path; default on *)
@@ -156,10 +165,10 @@ let test_rewrite_toggle () =
   let l = Circuit.add_latch c2 ~enable:ab2 ~data:x2 () in
   Circuit.mark_output c2 l;
   Circuit.check c2;
-  (match Verify.check ~rewrite_events:true c c2 with
+  (match vcheck ~rewrite_events:true c c2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "rule 5 should merge");
-  match Verify.check ~rewrite_events:false c c2 with
+  match vcheck ~rewrite_events:false c c2 with
   | Verify.Inequivalent None, _ -> ()
   | Verify.Inequivalent (Some _), _ | Verify.Equivalent, _ ->
       Alcotest.fail "expected conservative false negative"
@@ -167,7 +176,7 @@ let test_rewrite_toggle () =
 let test_stats_populated () =
   let c = random_acyclic 1234 ~latches:4 in
   let rt, _ = Retime.min_period c in
-  let verdict, stats = Verify.check c rt in
+  let verdict, stats = vcheck c rt in
   Alcotest.(check bool) "equivalent" true (verdict = Verify.Equivalent);
   Alcotest.(check bool) "variables counted" true (stats.Verify.variables > 0);
   Alcotest.(check bool) "time measured" true (stats.Verify.seconds >= 0.)
@@ -194,7 +203,7 @@ let test_cex_replay () =
     let c = random_acyclic (i + 300) ~latches:(1 + Random.State.int st 3) in
     let rt, _ = Retime.min_period (Synth_script.delay_script c) in
     let bug = Gen.negate_one_output rt in
-    match Verify.check c bug with
+    match vcheck c bug with
     | Verify.Inequivalent (Some cex), _ ->
         Alcotest.(check bool) "cex replays on the originals" true
           (Verify.confirm_cex c bug cex);
