@@ -22,9 +22,11 @@ let ok what = function
   | Error d ->
       failwith (Printf.sprintf "%s: %s" what (Seqprob.diagnosis_to_string d))
 
-let check_outcome ?engine ?jobs ?rewrite_events ?guard_events ?exposed c1 c2 =
+let check_outcome ?engine ?jobs ?limits ?rewrite_events ?guard_events ?exposed
+    c1 c2 =
   ok "verify"
-    (Verify.check ?engine ?jobs ?rewrite_events ?guard_events ?exposed c1 c2)
+    (Verify.check ?engine ?jobs ?limits ?rewrite_events ?guard_events ?exposed
+       c1 c2)
 
 let check_verdict ?engine ?rewrite_events ?guard_events ?exposed c1 c2 =
   (check_outcome ?engine ?rewrite_events ?guard_events ?exposed c1 c2)
@@ -49,6 +51,7 @@ type t1_record = {
 let verdict_str = function
   | Verify.Equivalent -> "EQ"
   | Verify.Inequivalent _ -> "NEQ"
+  | Verify.Undecided _ -> "UNDEC"
 
 let json_escape s =
   let buf = Buffer.create (String.length s) in
@@ -89,9 +92,12 @@ let write_table1_json ~path ~suite_name ~jobs records =
           p "\"verify_seconds_jobs1\": %.6f, \"verdict_jobs1\": \"%s\", " s (json_escape v)
       | _ -> ());
       p "\"unrolled_aig_nodes\": %d, " r.r_unrolled_nodes;
-      p "\"sat_calls\": %d, \"sim_rounds\": %d, \"partitions\": %d, \"cache_hits\": %d}%s\n"
+      p "\"sat_calls\": %d, \"sim_rounds\": %d, \"partitions\": %d, \"cache_hits\": %d, "
         r.r_cec.Cec.sat_calls r.r_cec.Cec.sim_rounds r.r_cec.Cec.partitions
-        r.r_cec.Cec.cache_hits
+        r.r_cec.Cec.cache_hits;
+      p "\"conflicts\": %d, \"budget_hits\": %d, \"deadline_hits\": %d, \"escalations\": %d, \"undecided\": %d}%s\n"
+        r.r_cec.Cec.conflicts r.r_cec.Cec.budget_hits r.r_cec.Cec.deadline_hits
+        r.r_cec.Cec.escalations r.r_cec.Cec.undecided
         (if i = List.length records - 1 then "" else ","))
     records;
   p "  ],\n";
@@ -103,6 +109,45 @@ let write_table1_json ~path ~suite_name ~jobs records =
   | None -> ());
   p "\n}\n";
   close_out oc
+
+(* Smoke-mode budget demo: a real B-vs-C miter under a 1-conflict SAT budget
+   must come back Undecided (not a hang, not a wrong Equivalent), and the
+   escalation ladder must then prove the very same problem, spending nonzero
+   budget/escalation counters. *)
+let budget_smoke () =
+  let c = Workloads.by_name "s953" in
+  let b, copt = ok "flow" (Flow.circuits c) in
+  let plan = Feedback.plan_structural c in
+  let names = List.map (Circuit.signal_name c) plan.Feedback.exposed in
+  let ex cc s = List.mem (Circuit.signal_name cc s) names in
+  let bld = Seqprob.builder () in
+  let o1, _ = ok "unroll" (Cbf.unroll ~exposed:(ex b) bld b) in
+  let o2, _ = ok "unroll" (Cbf.unroll ~exposed:(ex copt) bld copt) in
+  let p = ok "problem" (Seqprob.problem bld ~outs1:o1 ~outs2:o2) in
+  let tiny = { Cec.no_limits with Cec.sat_conflicts = Some 1; escalate = false } in
+  let v1, s1 =
+    Cec.check_problem_with_stats ~engine:Cec.Sat_engine ~limits:tiny p
+  in
+  let ladder = { Cec.default_limits with Cec.sat_conflicts = Some 1 } in
+  let v2, s2 =
+    Cec.check_problem_with_stats ~engine:Cec.Sweep_engine ~limits:ladder p
+  in
+  let show = function
+    | Cec.Equivalent -> "EQ"
+    | Cec.Inequivalent _ -> "NEQ"
+    | Cec.Undecided r -> Printf.sprintf "UNDEC(%s)" r
+  in
+  pf
+    "budget smoke: 1-conflict SAT budget -> %s (%d budget hits); escalation ladder -> %s (%d escalations, %d budget hits, %d conflicts)@."
+    (show v1) s1.Cec.budget_hits (show v2) s2.Cec.escalations
+    s2.Cec.budget_hits s2.Cec.conflicts;
+  match (v1, v2) with
+  | Cec.Undecided _, Cec.Equivalent
+    when s1.Cec.budget_hits > 0 && s2.Cec.escalations > 0 ->
+      ()
+  | _ ->
+      pf "SMOKE FAILURE: budget/escalation semantics@.";
+      exit 1
 
 let table1 ~full ~jobs ~smoke () =
   pf "@.== Table 1: optimization and verification results ==@.";
@@ -121,7 +166,9 @@ let table1 ~full ~jobs ~smoke () =
   let records =
     List.map
       (fun (name, c) ->
-        let row = ok "flow" (Flow.run ~jobs c) in
+        (* generous default limits: easy instances are unaffected, runaway
+           solves surface as UNDEC instead of hanging the bench *)
+        let row = ok "flow" (Flow.run ~jobs ~limits:Cec.default_limits c) in
         let darea = float_of_int (max 1 row.Flow.d.Flow.area) in
         let rel a = float_of_int a /. darea in
         pf
@@ -132,7 +179,8 @@ let table1 ~full ~jobs ~smoke () =
           row.Flow.g.Flow.latches row.Flow.e.Flow.latches (rel row.Flow.e.Flow.area)
           (match row.Flow.verify_verdict with
           | Verify.Equivalent -> "EQ"
-          | Verify.Inequivalent _ -> "NEQ!")
+          | Verify.Inequivalent _ -> "NEQ!"
+          | Verify.Undecided _ -> "UNDEC?")
           row.Flow.verify_seconds;
         let seq =
           if jobs <= 1 then None
@@ -141,7 +189,9 @@ let table1 ~full ~jobs ~smoke () =
             let plan = Feedback.plan_structural c in
             let exposed = List.map (Circuit.signal_name c) plan.Feedback.exposed in
             let b, copt = ok "flow" (Flow.circuits c) in
-            let o = check_outcome ~jobs:1 ~exposed b copt in
+            let o =
+              check_outcome ~jobs:1 ~limits:Cec.default_limits ~exposed b copt
+            in
             Some (o.Verify.stats.Verify.seconds, verdict_str o.Verify.verdict)
           end
         in
@@ -188,7 +238,8 @@ let table1 ~full ~jobs ~smoke () =
         bad;
       exit 1
     end;
-    pf "smoke: all %d verdicts Equivalent@." (List.length records)
+    pf "smoke: all %d verdicts Equivalent@." (List.length records);
+    budget_smoke ()
   end
 
 (* ------------------------------------------------------------------ *)
@@ -368,7 +419,10 @@ let ablation_cec () =
       let p = ok "problem" (Seqprob.problem bld ~outs1:o1 ~outs2:o2) in
       let run engine =
         let v, t = time (fun () -> Cec.check_problem ~engine p) in
-        (match v with Cec.Equivalent -> () | Cec.Inequivalent _ -> pf "NEQ?!");
+        (match v with
+        | Cec.Equivalent -> ()
+        | Cec.Inequivalent _ -> pf "NEQ?!"
+        | Cec.Undecided _ -> pf "UNDEC?!");
         t
       in
       let tb = run Cec.Bdd_engine in
@@ -402,7 +456,7 @@ let ablation_synth_rewrite () =
       (* sanity: still equivalent *)
       (match Cec.check (Comb_view.of_sequential base) (Comb_view.of_sequential rw) with
       | Cec.Equivalent -> ()
-      | Cec.Inequivalent _ -> pf "REWRITE BUG on %s!@." name);
+      | Cec.Inequivalent _ | Cec.Undecided _ -> pf "REWRITE BUG on %s!@." name);
       let a0 = Circuit.area base and a1 = Circuit.area rw in
       pf "%-10s %14d %14d %9.1f%%@." name a0 a1
         (100. *. float_of_int (a0 - a1) /. float_of_int (max 1 a0)))
@@ -499,6 +553,7 @@ let baseline () =
         match o.Verify.verdict with
         | Verify.Equivalent -> "EQ"
         | Verify.Inequivalent _ -> "NEQ"
+        | Verify.Undecided _ -> "UNDEC"
       in
       pf "%-22s %8d | %10.3fs %-16s | %10.3fs %s@." name (Circuit.latch_count c)
         bstats.Sec_baseline.seconds
@@ -525,7 +580,10 @@ let baseline () =
     | Sec_baseline.Equivalent -> "EQ"
     | Sec_baseline.Inequivalent -> "NEQ"
     | Sec_baseline.Resource_out _ -> "gave up")
-    (match rv with Verify.Equivalent -> "EQ" | Verify.Inequivalent _ -> "NEQ")
+    (match rv with
+    | Verify.Equivalent -> "EQ"
+    | Verify.Inequivalent _ -> "NEQ"
+    | Verify.Undecided _ -> "UNDEC")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -58,6 +58,40 @@ let jobs_arg =
            is partitioned per output cone and checked in parallel; 1 keeps \
            the monolithic single-domain check.")
 
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget per miter partition.  A partition that cannot \
+           be decided in time (after escalating through the engine ladder) \
+           reports UNDECIDED instead of running forever.")
+
+let sat_conflicts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "sat-conflicts" ] ~docv:"N"
+        ~doc:
+          "Base conflict budget per SAT call; a blown budget escalates \
+           (larger-budget SAT, then BDDs) before reporting UNDECIDED.")
+
+(* With neither flag the engines run unbounded (the historical behavior);
+   either flag opts into the default ladder with the given caps. *)
+let limits_of timeout sat_conflicts =
+  match (timeout, sat_conflicts) with
+  | None, None -> Cec.no_limits
+  | _ ->
+      {
+        Cec.default_limits with
+        Cec.seconds = timeout;
+        sat_conflicts =
+          (match sat_conflicts with
+          | None -> Cec.default_limits.Cec.sat_conflicts
+          | some -> some);
+      }
+
 (* ---- stats ---- *)
 
 let stats_cmd =
@@ -164,11 +198,12 @@ let retime_cmd =
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run p1 p2 engine exposed no_rewrite guard jobs =
+  let run p1 p2 engine exposed no_rewrite guard jobs timeout sat_conflicts =
     let c1 = load p1 and c2 = load p2 in
+    let limits = limits_of timeout sat_conflicts in
     let outcome =
       match
-        Verify.check ~engine ~jobs ~rewrite_events:(not no_rewrite)
+        Verify.check ~engine ~jobs ~limits ~rewrite_events:(not no_rewrite)
           ~guard_events:guard ~exposed c1 c2
       with
       | Ok o -> o
@@ -191,7 +226,8 @@ let verify_cmd =
             Format.printf "  %s = %b@." (Seqprob.Var.to_string v) b)
           cex
     | Verify.Inequivalent None ->
-        Format.printf "NOT EQUIVALENT (conservative EDBF check; may be a false negative)@.");
+        Format.printf "NOT EQUIVALENT (conservative EDBF check; may be a false negative)@."
+    | Verify.Undecided reason -> Format.printf "UNDECIDED (%s)@." reason);
     Format.printf
       "method %s, depth %d, %d variables, %d events, %d unrolled AIG nodes, %d+%d unrolled gates, %.3fs@."
       method_ stats.Verify.depth stats.Verify.variables stats.Verify.events
@@ -203,6 +239,7 @@ let verify_cmd =
     match outcome.Verify.verdict with
     | Verify.Equivalent -> ()
     | Verify.Inequivalent _ -> exit 1
+    | Verify.Undecided _ -> exit 2
   in
   let no_rewrite =
     Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the rule-(5) event rewrite.")
@@ -218,7 +255,8 @@ let verify_cmd =
       const run
       $ circuit_arg ~pos:0 ~doc:"First netlist."
       $ circuit_arg ~pos:1 ~doc:"Second netlist."
-      $ engine_arg $ exposed_arg $ no_rewrite $ guard $ jobs_arg)
+      $ engine_arg $ exposed_arg $ no_rewrite $ guard $ jobs_arg $ timeout_arg
+      $ sat_conflicts_arg)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -277,9 +315,10 @@ let redundancy_cmd =
 (* ---- flow ---- *)
 
 let flow_cmd =
-  let run path jobs period =
+  let run path jobs period timeout sat_conflicts =
     let c = load path in
-    match Flow.run ~jobs ?period c with
+    let limits = limits_of timeout sat_conflicts in
+    match Flow.run ~jobs ~limits ?period c with
     | Error d ->
         Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
         exit 1
@@ -292,7 +331,8 @@ let flow_cmd =
           row.Flow.e.Flow.latches row.Flow.f.Flow.latches row.Flow.f.Flow.delay
           (match row.Flow.verify_verdict with
           | Verify.Equivalent -> "EQ"
-          | Verify.Inequivalent _ -> "NEQ")
+          | Verify.Inequivalent _ -> "NEQ"
+          | Verify.Undecided _ -> "UNDEC")
           row.Flow.verify_seconds
   in
   let period =
@@ -306,7 +346,9 @@ let flow_cmd =
              period below the minimum feasible one is an error.")
   in
   let term =
-    Term.(const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg $ period)
+    Term.(
+      const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg $ period
+      $ timeout_arg $ sat_conflicts_arg)
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run the full Fig. 19 experimental flow.") term
 

@@ -22,7 +22,8 @@ let () =
         outcome.Verify.stats.Verify.seconds
         (match outcome.Verify.verdict with
         | Verify.Equivalent -> "EQ"
-        | Verify.Inequivalent _ -> "NEQ"))
+        | Verify.Inequivalent _ -> "NEQ"
+        | Verify.Undecided _ -> "UNDEC"))
     [ (4, 3); (8, 4); (12, 5); (16, 6) ];
 
   (* The two notions of equivalence part ways on feedback state that

@@ -58,5 +58,6 @@ let () =
   Format.printf "  verification:     %s in %.3fs@."
     (match row.Flow.verify_verdict with
     | Verify.Equivalent -> "EQUIVALENT"
-    | Verify.Inequivalent _ -> "NOT EQUIVALENT")
+    | Verify.Inequivalent _ -> "NOT EQUIVALENT"
+    | Verify.Undecided _ -> "UNDECIDED")
     row.Flow.verify_seconds

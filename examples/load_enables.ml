@@ -41,13 +41,16 @@ let () =
       Format.printf "without rule (5): NOT EQUIVALENT — a false negative@."
   | { verdict = Verify.Equivalent; _ } ->
       Format.printf "without rule (5): equivalent (unexpected)@."
-  | { verdict = Verify.Inequivalent (Some _); _ } -> assert false);
+  | { verdict = Verify.Inequivalent (Some _); _ } -> assert false
+  | { verdict = Verify.Undecided _; _ } -> assert false);
   (* with it (the default): proven *)
   (match Result.get_ok (Verify.check ca cb) with
   | { Verify.verdict = Verify.Equivalent; stats } ->
       Format.printf "with rule (5):    EQUIVALENT (%d events interned)@." stats.Verify.events
   | { verdict = Verify.Inequivalent _; _ } ->
-      Format.printf "with rule (5):    still inequivalent (bug)@.");
+      Format.printf "with rule (5):    still inequivalent (bug)@."
+  | { verdict = Verify.Undecided _; _ } ->
+      Format.printf "with rule (5):    undecided (bug)@.");
 
   (* peek at the event structure *)
   let table = Events.create () in
@@ -79,7 +82,8 @@ let () =
       Format.printf
         "negative (here the machines genuinely differ when a=1, b=0 fires).@."
   | { verdict = Verify.Equivalent; _ } -> Format.printf "equivalent (unexpected)@."
-  | { verdict = Verify.Inequivalent (Some _); _ } -> assert false);
+  | { verdict = Verify.Inequivalent (Some _); _ } -> assert false
+  | { verdict = Verify.Undecided _; _ } -> assert false);
 
   Format.printf "@.--- load-enabled synthesis is still verifiable ---@.";
   let c = Circuit.create "enabled_design" in
@@ -102,3 +106,5 @@ let () =
         stats.Verify.events
   | { verdict = Verify.Inequivalent _; _ } ->
       Format.printf "synthesized enabled design: NOT EQUIVALENT (bug!)@."
+  | { verdict = Verify.Undecided _; _ } ->
+      Format.printf "synthesized enabled design: UNDECIDED (bug!)@."

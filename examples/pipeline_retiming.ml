@@ -40,6 +40,7 @@ let () =
       Format.printf "verify %-11s %s (depth %d, %d vars, %.3fs)@." tag
         (match verdict with
         | Verify.Equivalent -> "EQUIVALENT"
-        | Verify.Inequivalent _ -> "NOT EQUIVALENT")
+        | Verify.Inequivalent _ -> "NOT EQUIVALENT"
+        | Verify.Undecided _ -> "UNDECIDED")
         stats.Verify.depth stats.Verify.variables stats.Verify.seconds)
     [ ("min-period:", cfast); ("min-area:", carea) ]

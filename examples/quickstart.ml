@@ -67,7 +67,8 @@ let () =
   let { Verify.verdict; stats } = Result.get_ok (Verify.check c retimed) in
   (match verdict with
   | Verify.Equivalent -> Format.printf "verdict:   EQUIVALENT@."
-  | Verify.Inequivalent _ -> Format.printf "verdict:   NOT EQUIVALENT (bug!)@.");
+  | Verify.Inequivalent _ -> Format.printf "verdict:   NOT EQUIVALENT (bug!)@."
+  | Verify.Undecided _ -> Format.printf "verdict:   UNDECIDED (bug!)@.");
   Format.printf
     "  method: %s, sequential depth %d, %d unrolled variables, %d AIG nodes, %d SAT calls, %.3fs@."
     (match stats.Verify.method_ with
@@ -85,3 +86,5 @@ let () =
       Format.printf "seeded bug: caught (conservative)@."
   | { verdict = Verify.Equivalent; _ } ->
       Format.printf "seeded bug: MISSED (checker bug!)@."
+  | { verdict = Verify.Undecided _; _ } ->
+      Format.printf "seeded bug: UNDECIDED (checker bug!)@."

@@ -45,3 +45,5 @@ let () =
         stats.Verify.variables stats.Verify.seconds
   | { verdict = Verify.Inequivalent _; _ } ->
       Format.printf "CBF verification: NOT EQUIVALENT (bug!)@."
+  | { verdict = Verify.Undecided _; _ } ->
+      Format.printf "CBF verification: UNDECIDED (bug!)@."

@@ -1,14 +1,40 @@
 type counterexample = (Seqprob.Var.t * bool) list
 
-type verdict = Equivalent | Inequivalent of counterexample
+type verdict =
+  | Equivalent
+  | Inequivalent of counterexample
+  | Undecided of string
 
 type engine = Bdd_engine | Sat_engine | Sweep_engine
+
+type limits = {
+  sat_conflicts : int option; (* base conflict budget per SAT call *)
+  bdd_nodes : int option; (* live-node ceiling for the BDD engine *)
+  seconds : float option; (* wall-clock deadline per partition *)
+  escalate : bool; (* retry a blown budget up the engine ladder *)
+}
+
+let no_limits =
+  { sat_conflicts = None; bdd_nodes = None; seconds = None; escalate = true }
+
+let default_limits =
+  {
+    sat_conflicts = Some 50_000;
+    bdd_nodes = Some 2_000_000;
+    seconds = None;
+    escalate = true;
+  }
 
 type stats = {
   sat_calls : int;
   sim_rounds : int;
   partitions : int;
   cache_hits : int;
+  conflicts : int;
+  budget_hits : int;
+  deadline_hits : int;
+  escalations : int;
+  undecided : int;
   bdd_seconds : float;
   sat_seconds : float;
   sweep_seconds : float;
@@ -20,6 +46,11 @@ let empty_stats =
     sim_rounds = 0;
     partitions = 0;
     cache_hits = 0;
+    conflicts = 0;
+    budget_hits = 0;
+    deadline_hits = 0;
+    escalations = 0;
+    undecided = 0;
     bdd_seconds = 0.;
     sat_seconds = 0.;
     sweep_seconds = 0.;
@@ -27,8 +58,9 @@ let empty_stats =
 
 let stats_pp ppf s =
   Format.fprintf ppf
-    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, engines bdd %.3fs sat %.3fs sweep %.3fs"
-    s.partitions s.sat_calls s.sim_rounds s.cache_hits s.bdd_seconds
+    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, %d conflicts, %d budget hits, %d deadline hits, %d escalations, %d undecided, engines bdd %.3fs sat %.3fs sweep %.3fs"
+    s.partitions s.sat_calls s.sim_rounds s.cache_hits s.conflicts
+    s.budget_hits s.deadline_hits s.escalations s.undecided s.bdd_seconds
     s.sat_seconds s.sweep_seconds
 
 (* Per-partition mutable counters.  Each partition task owns exactly one of
@@ -38,6 +70,11 @@ type counters = {
   mutable k_sat_calls : int;
   mutable k_sim_rounds : int;
   mutable k_cache_hits : int;
+  mutable k_conflicts : int;
+  mutable k_budget_hits : int;
+  mutable k_deadline_hits : int;
+  mutable k_escalations : int;
+  mutable k_undecided : int;
   mutable k_bdd_s : float;
   mutable k_sat_s : float;
   mutable k_sweep_s : float;
@@ -48,6 +85,11 @@ let fresh_counters () =
     k_sat_calls = 0;
     k_sim_rounds = 0;
     k_cache_hits = 0;
+    k_conflicts = 0;
+    k_budget_hits = 0;
+    k_deadline_hits = 0;
+    k_escalations = 0;
+    k_undecided = 0;
     k_bdd_s = 0.;
     k_sat_s = 0.;
     k_sweep_s = 0.;
@@ -61,6 +103,11 @@ let stats_of_counters ~partitions cts =
         sat_calls = acc.sat_calls + k.k_sat_calls;
         sim_rounds = acc.sim_rounds + k.k_sim_rounds;
         cache_hits = acc.cache_hits + k.k_cache_hits;
+        conflicts = acc.conflicts + k.k_conflicts;
+        budget_hits = acc.budget_hits + k.k_budget_hits;
+        deadline_hits = acc.deadline_hits + k.k_deadline_hits;
+        escalations = acc.escalations + k.k_escalations;
+        undecided = acc.undecided + k.k_undecided;
         bdd_seconds = acc.bdd_seconds +. k.k_bdd_s;
         sat_seconds = acc.sat_seconds +. k.k_sat_s;
         sweep_seconds = acc.sweep_seconds +. k.k_sweep_s;
@@ -69,6 +116,27 @@ let stats_of_counters ~partitions cts =
     cts
 
 let now () = Unix.gettimeofday ()
+
+(* Budget context for one partition: the limits, an absolute wall-clock
+   deadline (fixed when the partition starts, so escalation rungs share it),
+   and the cross-partition cancel flag. *)
+type bctx = {
+  lim : limits;
+  deadline : float option;
+  cancel : bool Atomic.t option;
+}
+
+let bctx_of_limits lim =
+  {
+    lim;
+    deadline = Option.map (fun s -> now () +. s) lim.seconds;
+    cancel = None;
+  }
+
+let cancelled b = match b.cancel with Some c -> Atomic.get c | None -> false
+
+let expired b =
+  match b.deadline with Some d -> now () > d | None -> false
 
 (* ---------- result cache ---------- *)
 
@@ -122,18 +190,40 @@ let input_index_tbl g =
 
 (* ---------- BDD engine ---------- *)
 
-let check_bdd (p : Seqprob.t) =
+exception Bdd_give_up of string
+
+let check_bdd ct b (p : Seqprob.t) =
   let g = p.graph in
   let man = Bdd.man () in
   (* BDD variable = AIG input index; the problem's vars array names it *)
   let input_index = input_index_tbl g in
   let node_bdd = Hashtbl.create 256 in
+  let steps = ref 0 in
+  (* The ceiling is approximate: it is polled between AIG-node builds, so a
+     single wide conjunction may overshoot before being caught. *)
+  let check_budget () =
+    (match b.lim.bdd_nodes with
+    | Some ceiling when Bdd.node_count man > ceiling ->
+        ct.k_budget_hits <- ct.k_budget_hits + 1;
+        raise (Bdd_give_up "BDD node ceiling")
+    | _ -> ());
+    if cancelled b then begin
+      ct.k_deadline_hits <- ct.k_deadline_hits + 1;
+      raise (Bdd_give_up "cancelled")
+    end;
+    incr steps;
+    if !steps land 255 = 0 && expired b then begin
+      ct.k_deadline_hits <- ct.k_deadline_hits + 1;
+      raise (Bdd_give_up "partition deadline")
+    end
+  in
   let rec go n =
     if n = 0 then Bdd.zero man
     else
       match Hashtbl.find_opt node_bdd n with
       | Some f -> f
       | None ->
+          check_budget ();
           let f =
             if Aig.is_input_node g n then
               Bdd.var man (Hashtbl.find input_index n)
@@ -162,7 +252,7 @@ let check_bdd (p : Seqprob.t) =
         end
     | _ -> invalid_arg "Cec: output counts differ"
   in
-  cmp p.outs1 p.outs2
+  try cmp p.outs1 p.outs2 with Bdd_give_up reason -> Undecided reason
 
 (* Incremental Tseitin encoder over a (possibly growing) AIG. *)
 module Encoder = struct
@@ -202,9 +292,34 @@ module Encoder = struct
     if Aig.is_complement l then -v else v
 end
 
-let sat_solve_counted ct solver ?assumptions () =
+(* One budgeted SAT call.  [factor] scales the base conflict budget (the
+   escalation ladder retries with a larger factor); the wall-clock slice is
+   whatever remains until the partition deadline. *)
+let sat_solve_counted ct b ?(factor = 1) solver ?assumptions () =
   ct.k_sat_calls <- ct.k_sat_calls + 1;
-  Sat.solve ?assumptions solver
+  let c0, _, _ = Sat.stats solver in
+  let budget =
+    let conflicts = Option.map (fun n -> n * factor) b.lim.sat_conflicts in
+    let seconds = Option.map (fun d -> d -. now ()) b.deadline in
+    match (conflicts, seconds) with
+    | None, None -> None
+    | _ -> Some (Sat.budget ?conflicts ?seconds ())
+  in
+  let r = Sat.solve ?assumptions ?budget ?cancel:b.cancel solver in
+  let c1, _, _ = Sat.stats solver in
+  ct.k_conflicts <- ct.k_conflicts + (c1 - c0);
+  (match r with
+  | Sat.Unknown ->
+      if cancelled b || expired b then
+        ct.k_deadline_hits <- ct.k_deadline_hits + 1
+      else ct.k_budget_hits <- ct.k_budget_hits + 1
+  | Sat.Sat | Sat.Unsat -> ());
+  r
+
+let give_up_reason b =
+  if cancelled b then "cancelled"
+  else if expired b then "partition deadline"
+  else "SAT conflict budget"
 
 (* extract input assignment from a SAT model *)
 let model_cex enc g vars =
@@ -218,7 +333,7 @@ let model_cex enc g vars =
   done;
   List.rev !cex
 
-let check_sat ct (p : Seqprob.t) =
+let check_sat ct b ?factor (p : Seqprob.t) =
   let g = p.graph in
   let enc = Encoder.create g in
   (* miter: OR of XORs *)
@@ -227,16 +342,19 @@ let check_sat ct (p : Seqprob.t) =
   if miter = Aig.lit_false then Equivalent
   else begin
     let ml = Encoder.encode_lit enc miter in
-    match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ ml ] () with
+    match
+      sat_solve_counted ct b ?factor enc.Encoder.solver ~assumptions:[ ml ] ()
+    with
     | Sat.Unsat -> Equivalent
     | Sat.Sat -> Inequivalent (model_cex enc g p.vars)
+    | Sat.Unknown -> Undecided (give_up_reason b)
   end
 
 (* ---------- sweep engine ---------- *)
 
 let sim_rounds = 4 (* 4 * 64 = 256 random patterns *)
 
-let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
+let check_sweep ct b ?(seed = 0xC0FFEE) (p : Seqprob.t) =
   let g = p.graph in
   let st = Random.State.make [| seed |] in
   let n_in = Aig.num_inputs g in
@@ -244,7 +362,9 @@ let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
   (* signatures *)
   let sigs = Array.make n_nodes [] in
   for _round = 1 to sim_rounds do
-    let words = Array.init n_in (fun _ -> Random.State.int64 st Int64.max_int) in
+    (* bits64 gives full-width words; int64 below max_int never sets bit 63,
+       which would make pattern lane 63 simulate the all-zeros input *)
+    let words = Array.init n_in (fun _ -> Random.State.bits64 st) in
     let vals = Aig.simulate g words in
     for n = 0 to n_nodes - 1 do
       sigs.(n) <- vals.(n) :: sigs.(n)
@@ -271,13 +391,19 @@ let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
     if Aig.is_complement l then Aig.neg m else m
   in
   let prove_equal la lb =
-    (* equal iff both (la & ~lb) and (~la & lb) unsatisfiable *)
-    let a = Encoder.encode_lit enc la and b = Encoder.encode_lit enc lb in
-    match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ a; -b ] () with
-    | Sat.Sat -> false
+    (* equal iff both (la & ~lb) and (~la & lb) unsatisfiable; an Unknown
+       (blown per-call budget) counts as not-proven, which is sound — the
+       nodes simply stay unmerged and the final miter decides *)
+    let a = Encoder.encode_lit enc la and sb = Encoder.encode_lit enc lb in
+    match
+      sat_solve_counted ct b enc.Encoder.solver ~assumptions:[ a; -sb ] ()
+    with
+    | Sat.Sat | Sat.Unknown -> false
     | Sat.Unsat -> (
-        match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ -a; b ] () with
-        | Sat.Sat -> false
+        match
+          sat_solve_counted ct b enc.Encoder.solver ~assumptions:[ -a; sb ] ()
+        with
+        | Sat.Sat | Sat.Unknown -> false
         | Sat.Unsat -> true)
   in
   for n = 1 to n_nodes - 1 do
@@ -293,7 +419,10 @@ let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
       let f0, f1 = Aig.fanins g n in
       let l = Aig.and_ g2 (lit_map f0) (lit_map f1) in
       map.(n) <- l;
-      if Aig.node_of l <> 0 then begin
+      (* once the deadline passes or a sibling cancels, stop attempting
+         merges — the rebuild itself must finish so the final miter (which
+         will then give up quickly too) stays well-defined *)
+      if Aig.node_of l <> 0 && not (cancelled b || expired b) then begin
         let key, phase = canon n in
         match Hashtbl.find_opt classes key with
         | None -> Hashtbl.replace classes key n
@@ -314,8 +443,9 @@ let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
   if miter = Aig.lit_false then Equivalent
   else begin
     let ml = Encoder.encode_lit enc miter in
-    match sat_solve_counted ct enc.Encoder.solver ~assumptions:[ ml ] () with
+    match sat_solve_counted ct b enc.Encoder.solver ~assumptions:[ ml ] () with
     | Sat.Unsat -> Equivalent
+    | Sat.Unknown -> Undecided (give_up_reason b)
     | Sat.Sat ->
         (* map model back through original input order: input i of g maps to
            input i of g2 (inputs created in the same order) *)
@@ -334,21 +464,54 @@ let check_sweep ct ?(seed = 0xC0FFEE) (p : Seqprob.t) =
 (* Runs one engine on one (sub)problem, charging wall-clock to the engine's
    stats bucket.  Every engine consumes the problem's AIG directly — no
    per-engine netlist or AIG rebuild. *)
-let run_engine ct ~engine p =
+let run_one ct b ~engine ~factor p =
   let t0 = now () in
   match engine with
   | Bdd_engine ->
-      let v = check_bdd p in
+      let v = check_bdd ct b p in
       ct.k_bdd_s <- ct.k_bdd_s +. (now () -. t0);
       v
   | Sat_engine ->
-      let v = check_sat ct p in
+      let v = check_sat ct b ~factor p in
       ct.k_sat_s <- ct.k_sat_s +. (now () -. t0);
       v
   | Sweep_engine ->
-      let v = check_sweep ct p in
+      let v = check_sweep ct b p in
       ct.k_sweep_s <- ct.k_sweep_s +. (now () -. t0);
       v
+
+(* Staged escalation: a blown budget retries harder instead of failing.
+   Rung 0 is the requested engine at its base budget; rung 1 is the SAT
+   engine with a [escalation_factor]-times conflict budget; rung 2 is the
+   BDD engine under its node ceiling.  Cancellation and an expired deadline
+   are final — the partition is being abandoned, not retried. *)
+let escalation_factor = 4
+
+let run_engine ct b ~engine p =
+  if cancelled b then Undecided "cancelled"
+  else
+    match run_one ct b ~engine ~factor:1 p with
+    | (Equivalent | Inequivalent _) as v -> v
+    | Undecided _ as v when not b.lim.escalate -> v
+    | Undecided _ as v ->
+        let rungs =
+          (* skip a rung that would repeat the base run unchanged *)
+          (if engine = Sat_engine && b.lim.sat_conflicts = None then []
+           else [ (Sat_engine, escalation_factor) ])
+          @ (if engine = Bdd_engine then [] else [ (Bdd_engine, 1) ])
+        in
+        let rec climb v = function
+          | [] -> v
+          | (e, factor) :: rest ->
+              if cancelled b || expired b then v
+              else begin
+                ct.k_escalations <- ct.k_escalations + 1;
+                match run_one ct b ~engine:e ~factor p with
+                | (Equivalent | Inequivalent _) as v -> v
+                | Undecided _ as v -> climb v rest
+              end
+        in
+        climb v rungs
 
 (* Cache key: purely structural canonical signature of the two output-lit
    groups.  Key equality means the two cone pairs are structurally
@@ -366,9 +529,9 @@ let canonical_vars (p : Seqprob.t) =
   |> List.map (fun n -> p.vars.(Hashtbl.find input_index n))
   |> Array.of_list
 
-let check_pair ct ~engine ~cache p =
+let check_pair ct b ~engine ~cache p =
   match cache with
-  | None -> run_engine ct ~engine p
+  | None -> run_engine ct b ~engine p
   | Some cache -> (
       let key = pair_signature p in
       match Cache.find cache key with
@@ -383,27 +546,29 @@ let check_pair ct ~engine ~cache p =
                (fun (k, b) ->
                  if k < Array.length cvars then Some (cvars.(k), b) else None)
                pos)
-      | None ->
-          let v = run_engine ct ~engine p in
-          let entry =
-            match v with
-            | Equivalent -> Cache.E_equivalent
-            | Inequivalent cex ->
-                let cvars = canonical_vars p in
-                let pos_of_var = Hashtbl.create 16 in
-                Array.iteri
-                  (fun k v -> Hashtbl.replace pos_of_var v k)
-                  cvars;
-                Cache.E_inequivalent
-                  (List.filter_map
-                     (fun (v, b) ->
-                       Option.map
-                         (fun k -> (k, b))
-                         (Hashtbl.find_opt pos_of_var v))
-                     cex)
-          in
-          Cache.add cache key entry;
-          v)
+      | None -> (
+          let v = run_engine ct b ~engine p in
+          match v with
+          | Undecided _ ->
+              (* never cached: a bigger budget (or no sibling cex) might
+                 decide the same cone pair next time *)
+              v
+          | Equivalent ->
+              Cache.add cache key Cache.E_equivalent;
+              v
+          | Inequivalent cex ->
+              let cvars = canonical_vars p in
+              let pos_of_var = Hashtbl.create 16 in
+              Array.iteri (fun k v -> Hashtbl.replace pos_of_var v k) cvars;
+              Cache.add cache key
+                (Cache.E_inequivalent
+                   (List.filter_map
+                      (fun (v, b) ->
+                        Option.map
+                          (fun k -> (k, b))
+                          (Hashtbl.find_opt pos_of_var v))
+                      cex));
+              v))
 
 (* Output clustering.  Checking each output pair in isolation is sound but
    can be quadratically wasteful: when cones overlap heavily (a min/max
@@ -512,7 +677,7 @@ let extract_part (p : Seqprob.t) members o1 o2 =
     outs2 = List.map tr roots2;
   }
 
-let check_partitioned ~engine ~jobs ~cache (p : Seqprob.t) =
+let check_partitioned ~engine ~jobs ~limits ~cache (p : Seqprob.t) =
   if p.outs1 = [] then (Equivalent, empty_stats)
   else begin
     let cache = match cache with Some c -> c | None -> Cache.create () in
@@ -526,37 +691,73 @@ let check_partitioned ~engine ~jobs ~cache (p : Seqprob.t) =
     in
     let n = List.length parts in
     let counters = Array.init n (fun _ -> fresh_counters ()) in
+    (* Set by find_first the moment any partition reports a counterexample;
+       every in-flight sibling's SAT loop / BDD build polls it and stops
+       mid-solve. *)
+    let cancel = Atomic.make false in
+    let undecided = Array.make n None in
     let found =
       (* never spawn more workers than there are partitions *)
       Par.Pool.with_pool ~jobs:(min jobs n) (fun pool ->
-          Par.Pool.find_first pool
+          Par.Pool.find_first ~found:cancel pool
             (fun (k, sub) ->
-              match check_pair counters.(k) ~engine ~cache:(Some cache) sub with
+              let b =
+                {
+                  lim = limits;
+                  (* per-partition deadline starts when the partition does *)
+                  deadline = Option.map (fun s -> now () +. s) limits.seconds;
+                  cancel = Some cancel;
+                }
+              in
+              match
+                check_pair counters.(k) b ~engine ~cache:(Some cache) sub
+              with
               | Equivalent -> None
+              | Undecided reason ->
+                  counters.(k).k_undecided <- counters.(k).k_undecided + 1;
+                  undecided.(k) <- Some reason;
+                  None
               | Inequivalent cex -> Some cex)
             parts)
     in
     let stats = stats_of_counters ~partitions:n counters in
     match found with
     | Some cex -> (Inequivalent cex, stats)
-    | None -> (Equivalent, stats)
+    | None -> (
+        (* no counterexample anywhere, so the cancel flag was never set and
+           every Undecided is a genuine budget exhaustion *)
+        let rec first k =
+          if k >= n then None
+          else
+            match undecided.(k) with
+            | Some reason -> Some (k, reason)
+            | None -> first (k + 1)
+        in
+        match first 0 with
+        | Some (k, reason) ->
+            (Undecided (Printf.sprintf "partition %d: %s" k reason), stats)
+        | None -> (Equivalent, stats))
   end
 
 let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
-    ?cache (p : Seqprob.t) =
+    ?(limits = no_limits) ?cache (p : Seqprob.t) =
   if List.length p.outs1 <> List.length p.outs2 then
     invalid_arg "Cec: output counts differ";
   let jobs = max 1 jobs in
   let partitioned = match partition with Some b -> b | None -> jobs > 1 in
-  if partitioned then check_partitioned ~engine ~jobs ~cache p
+  if partitioned then check_partitioned ~engine ~jobs ~limits ~cache p
   else begin
     let ct = fresh_counters () in
-    let v = check_pair ct ~engine ~cache p in
+    let b = bctx_of_limits limits in
+    let v = check_pair ct b ~engine ~cache p in
+    (match v with
+    | Undecided _ -> ct.k_undecided <- ct.k_undecided + 1
+    | Equivalent | Inequivalent _ -> ());
     (v, stats_of_counters ~partitions:1 [| ct |])
   end
 
-let check_problem ?engine ?jobs ?partition ?cache p =
-  fst (check_problem_with_stats ?engine ?jobs ?partition ?cache p)
+let check_problem ?engine ?jobs ?partition ?limits ?cache p =
+  fst (check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache p)
 
 (* ---------- Circuit.t entry points (thin wrappers) ---------- *)
 
@@ -569,21 +770,30 @@ let problem_of_circuits c1 c2 =
       invalid_arg "Cec: output counts differ"
   | Error d -> invalid_arg (Seqprob.diagnosis_to_string d)
 
-let check_with_stats ?engine ?jobs ?partition ?cache c1 c2 =
-  check_problem_with_stats ?engine ?jobs ?partition ?cache
+let check_with_stats ?engine ?jobs ?partition ?limits ?cache c1 c2 =
+  check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache
     (problem_of_circuits c1 c2)
 
-let check ?engine ?jobs ?partition ?cache c1 c2 =
-  fst (check_with_stats ?engine ?jobs ?partition ?cache c1 c2)
+let check ?engine ?jobs ?partition ?limits ?cache c1 c2 =
+  fst (check_with_stats ?engine ?jobs ?partition ?limits ?cache c1 c2)
 
 let counterexample_is_valid c1 c2 cex =
+  (* The environment is keyed by the full variable, not just its base —
+     two time frames of the same input ("x@0" and "x@1" after unrolling)
+     are distinct assignment points and must not collide. *)
   let env = Hashtbl.create 16 in
-  List.iter (fun (v, b) -> Hashtbl.replace env v.Seqprob.Var.base b) cex;
+  List.iter (fun (v, b) -> Hashtbl.replace env v b) cex;
   let outs c =
     let source s =
-      match Hashtbl.find_opt env (Circuit.signal_name c s) with
+      let name = Circuit.signal_name c s in
+      (* an input literally named "x@1" interns as {base = "x@1"; Time 0},
+         so try the exact name first and only then parse a frame suffix *)
+      match Hashtbl.find_opt env (Seqprob.Var.time name 0) with
       | Some b -> b
-      | None -> false
+      | None -> (
+          match Hashtbl.find_opt env (Seqprob.Var.of_string name) with
+          | Some b -> b
+          | None -> false)
     in
     let values = Eval.comb_eval c ~source in
     List.map (fun o -> values.(o)) (Circuit.outputs c)

@@ -18,7 +18,13 @@ type counterexample = (Seqprob.Var.t * bool) list
 (** Assignment to (a subset of) the problem's variables; unlisted variables
     are [false]. *)
 
-type verdict = Equivalent | Inequivalent of counterexample
+type verdict =
+  | Equivalent
+  | Inequivalent of counterexample
+  | Undecided of string
+      (** the check gave up within its resource {!limits}; the string is a
+          human-readable reason ("SAT conflict budget", "BDD node ceiling",
+          "partition deadline", "cancelled", prefixed by the partition) *)
 
 type engine =
   | Bdd_engine  (** monolithic BDDs over the AIG, one variable per input *)
@@ -27,11 +33,44 @@ type engine =
       (** fraig-style: random simulation classes + incremental SAT merging,
           then a miter check on the swept AIG *)
 
+type limits = {
+  sat_conflicts : int option;
+      (** base conflict budget per SAT call; the escalation ladder's SAT
+          rung multiplies it *)
+  bdd_nodes : int option;
+      (** approximate live-node ceiling for the BDD engine *)
+  seconds : float option;
+      (** wall-clock deadline per partition, covering every escalation
+          rung spent on it *)
+  escalate : bool;
+      (** when a budget blows, climb the engine ladder (bigger-budget SAT,
+          then BDD) before answering [Undecided] *)
+}
+(** Resource limits for one check.  [None] caps are unlimited. *)
+
+val no_limits : limits
+(** No caps, escalation on — engines run to completion (the pre-budget
+    behavior); only cross-partition cancellation can interrupt them. *)
+
+val default_limits : limits
+(** Generous defaults (50k conflicts per SAT call, 2M BDD nodes, no
+    deadline, escalation on) that stop runaway solves without affecting
+    easy problems. *)
+
 type stats = {
   sat_calls : int;  (** SAT solver invocations *)
   sim_rounds : int;  (** 64-pattern random simulation rounds (sweep) *)
   partitions : int;  (** output-cone partitions checked (1 = monolithic) *)
   cache_hits : int;  (** partitions answered from the result cache *)
+  conflicts : int;  (** SAT conflicts spent, summed over all calls *)
+  budget_hits : int;
+      (** engine runs stopped by a blown conflict budget or node ceiling *)
+  deadline_hits : int;
+      (** engine runs stopped by a partition deadline or cancellation *)
+  escalations : int;  (** ladder rungs climbed after a blown budget *)
+  undecided : int;
+      (** partitions left undecided (includes partitions abandoned because
+          a sibling already found a counterexample) *)
   bdd_seconds : float;
       (** wall-clock spent in each engine; in parallel mode these are
           summed across partitions, so they can exceed the elapsed time *)
@@ -66,11 +105,12 @@ val check_problem :
   ?engine:engine ->
   ?jobs:int ->
   ?partition:bool ->
+  ?limits:limits ->
   ?cache:Cache.t ->
   Seqprob.t ->
   verdict
 (** Decides equivalence of the problem's two output-cone groups.  Default
-    engine: [Sweep_engine].
+    engine: [Sweep_engine]; default limits: {!no_limits}.
 
     With [jobs > 1] (or [~partition:true]) the miter is split into
     output-cone partitions — each an independent check by soundness of
@@ -80,11 +120,25 @@ val check_problem :
     largest-first into a bounded number of partitions to cap per-partition
     fixed costs.  The layout depends only on the problem, never on [jobs].
     Partitions are carved out of the problem graph with {!Aig.extract} —
-    no netlist round-trip — and run on a {!Par.Pool} of [jobs] domains
-    with early cancellation once a counterexample is found.  The verdict
-    is deterministic: the reported counterexample comes from the
-    lowest-index failing partition, regardless of scheduling.  A fresh
-    {!Cache} is used per check unless [cache] supplies a shared one.
+    no netlist round-trip — and run on a {!Par.Pool} of [jobs] domains.
+
+    {b Budgets.}  With [limits] set, each partition checks under its own
+    wall-clock deadline and each SAT call / BDD build under its resource
+    cap; a blown budget climbs the escalation ladder (requested engine at
+    base budget → SAT at a larger conflict budget → BDD under the node
+    ceiling) before giving up.  A partition that still cannot be decided
+    makes the overall verdict [Undecided] — unless some other partition
+    finds a counterexample, which always wins.  Budgets never flip a
+    verdict: anything short of a full proof or a concrete counterexample
+    is reported as [Undecided], never as [Equivalent].
+
+    {b Cancellation.}  The moment any partition finds a counterexample a
+    shared flag is set and every in-flight sibling solver stops mid-solve.
+    The {e verdict} is still deterministic, but under parallel cancellation
+    the reported counterexample may come from any failing partition (at
+    [jobs = 1] partitions run in order, so it is the lowest-index one).
+    A fresh {!Cache} is used per check unless [cache] supplies a shared
+    one; [Undecided] answers are never cached.
 
     @raise Invalid_argument if the two output groups differ in length
     (impossible for problems built by {!Seqprob.problem}). *)
@@ -93,6 +147,7 @@ val check_problem_with_stats :
   ?engine:engine ->
   ?jobs:int ->
   ?partition:bool ->
+  ?limits:limits ->
   ?cache:Cache.t ->
   Seqprob.t ->
   verdict * stats
@@ -102,6 +157,7 @@ val check :
   ?engine:engine ->
   ?jobs:int ->
   ?partition:bool ->
+  ?limits:limits ->
   ?cache:Cache.t ->
   Circuit.t ->
   Circuit.t ->
@@ -115,6 +171,7 @@ val check_with_stats :
   ?engine:engine ->
   ?jobs:int ->
   ?partition:bool ->
+  ?limits:limits ->
   ?cache:Cache.t ->
   Circuit.t ->
   Circuit.t ->
@@ -123,6 +180,9 @@ val check_with_stats :
 
 val counterexample_is_valid :
   Circuit.t -> Circuit.t -> counterexample -> bool
-(** Replays a counterexample on both circuits (signals matched by variable
-    {e base} name) and confirms some output pair differs.  For problem-
-    level replay use {!Seqprob.cex_is_valid}. *)
+(** Replays a counterexample on both circuits and confirms some output pair
+    differs.  Signals are matched by full variable identity: a signal named
+    ["x"] reads the value of variable [x@0], and a signal named ["x@1"] (an
+    unrolled time frame) reads frame 1 of [x] — distinct frames of one
+    input never collide.  For problem-level replay use
+    {!Seqprob.cex_is_valid}. *)

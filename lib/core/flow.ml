@@ -81,7 +81,7 @@ let circuits ?engine:_ a =
   let* c = optimize_c ~exposed_names b in
   Ok (b, c)
 
-let run ?engine ?jobs ?cache ?period ?(skip_verify = false) a =
+let run ?engine ?jobs ?limits ?cache ?period ?(skip_verify = false) a =
   Circuit.check a;
   let* () = regular_latches_only a in
   let plan = Feedback.plan_structural a in
@@ -121,7 +121,7 @@ let run ?engine ?jobs ?cache ?period ?(skip_verify = false) a =
               seconds = 0.;
             };
         }
-    else Verify.check ?engine ?jobs ?cache ~exposed:exposed_names b c
+    else Verify.check ?engine ?jobs ?limits ?cache ~exposed:exposed_names b c
   in
   Ok
     {

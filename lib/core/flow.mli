@@ -37,13 +37,16 @@ val metrics_of : Circuit.t -> metrics
 val run :
   ?engine:Cec.engine ->
   ?jobs:int ->
+  ?limits:Cec.limits ->
   ?cache:Cec.Cache.t ->
   ?period:int ->
   ?skip_verify:bool ->
   Circuit.t ->
   (row, Seqprob.diagnosis) result
-(** Runs the full pipeline on a regular-latch circuit.  [jobs] and [cache]
-    are passed to the H-vs-J combinational check (see {!Verify.check}).
+(** Runs the full pipeline on a regular-latch circuit.  [jobs], [limits]
+    and [cache] are passed to the H-vs-J combinational check (see
+    {!Verify.check}); a blown budget surfaces as a
+    [Verify.Undecided _] verdict in the row, never as an error.
     [period], when given, replaces [D]'s delay as the clock-period target
     for the area-constrained retimings [E]/[G]; a user-supplied period is a
     hard constraint, so an unachievable one yields

@@ -1,6 +1,9 @@
 type method_ = Cbf_method | Edbf_method
 
-type verdict = Equivalent | Inequivalent of Cec.counterexample option
+type verdict =
+  | Equivalent
+  | Inequivalent of Cec.counterexample option
+  | Undecided of string
 
 type stats = {
   method_ : method_;
@@ -71,18 +74,21 @@ let build_problem ~rewrite_events ~guard_events ~ex1 ~ex2 c1 c2 =
         (i1.Cbf.replication, i2.Cbf.replication) )
   end
 
-let check ?engine ?jobs ?cache ?(rewrite_events = true) ?(guard_events = false)
-    ?(exposed = []) c1 c2 =
+let check ?engine ?jobs ?limits ?cache ?(rewrite_events = true)
+    ?(guard_events = false) ?(exposed = []) c1 c2 =
   let t0 = Unix.gettimeofday () in
   let* ex1 = exposed_pred c1 exposed in
   let* ex2 = exposed_pred c2 exposed in
   let* p, method_, depth, events, unrolled_gates =
     build_problem ~rewrite_events ~guard_events ~ex1 ~ex2 c1 c2
   in
-  let cec_verdict, cec = Cec.check_problem_with_stats ?engine ?jobs ?cache p in
+  let cec_verdict, cec =
+    Cec.check_problem_with_stats ?engine ?jobs ?limits ?cache p
+  in
   let verdict =
     match (cec_verdict, method_) with
     | Cec.Equivalent, _ -> Equivalent
+    | Cec.Undecided reason, _ -> Undecided reason
     | Cec.Inequivalent cex, Cbf_method -> Inequivalent (Some cex)
     | Cec.Inequivalent _, Edbf_method ->
         (* conservative method: a differing unrolling is not a certified

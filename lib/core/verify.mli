@@ -21,6 +21,10 @@ type verdict =
   | Inequivalent of Cec.counterexample option
       (** [Some cex]: a replayable typed witness (CBF, exact).  [None]: the
           conservative EDBF check failed — possibly a false negative. *)
+  | Undecided of string
+      (** the combinational check gave up within its resource limits (see
+          {!Cec.limits}); neither equivalence nor inequivalence was
+          established *)
 
 type stats = {
   method_ : method_;
@@ -51,6 +55,7 @@ val exposed_pred :
 val check :
   ?engine:Cec.engine ->
   ?jobs:int ->
+  ?limits:Cec.limits ->
   ?cache:Cec.Cache.t ->
   ?rewrite_events:bool ->
   ?guard_events:bool ->
@@ -63,7 +68,9 @@ val check :
     event-consistency refinement of {!Edbf.unroll} — a sound strengthening
     beyond the published method that removes more EDBF false negatives.
     [jobs] (default 1) runs the combinational check partitioned per output
-    cone on that many domains (see {!Cec.check_problem}); [cache] shares a
+    cone on that many domains (see {!Cec.check_problem}); [limits]
+    (default {!Cec.no_limits}) bounds the combinational engines and turns
+    a blown budget into an [Undecided] verdict; [cache] shares a
     combinational result cache across checks.
 
     Diagnoses instead of exceptions: [No_such_latch] when an exposed name

@@ -121,7 +121,7 @@ module Pool = struct
      will still be able to lower [best].  Indices above the current best
      are skipped.  The final [best] is therefore the smallest matching
      index, independent of scheduling. *)
-  let find_first p f xs =
+  let find_first ?found p f xs =
     match xs with
     | [] -> None
     | _ ->
@@ -135,6 +135,9 @@ module Pool = struct
               | None -> ()
               | Some r ->
                   res.(i) <- Some r;
+                  (match found with
+                  | Some flag -> Atomic.set flag true
+                  | None -> ());
                   let rec lower () =
                     let b = Atomic.get best in
                     if i < b && not (Atomic.compare_and_set best b i) then lower ()

@@ -42,11 +42,16 @@ module Pool : sig
   val map : t -> ('a -> 'b) -> 'a list -> 'b list
   (** Parallel [List.map] with deterministic (input-order) results. *)
 
-  val find_first : t -> ('a -> 'b option) -> 'a list -> 'b option
+  val find_first :
+    ?found:bool Atomic.t -> t -> ('a -> 'b option) -> 'a list -> 'b option
   (** [find_first p f xs] returns [f x] for the {e first} element (in
       list order) on which [f] answers [Some _], or [None].  The result
       is deterministic — identical to [List.find_map f xs] whenever [f]
       is a pure function — but once some match is found, elements beyond
       it are cancelled (their [f] is never started), which is the
-      counterexample short-circuit of the partitioned checker. *)
+      counterexample short-circuit of the partitioned checker.
+
+      [found], when given, is set to [true] the moment {e any} match is
+      recorded — before in-flight siblings finish — so a long-running
+      [f] can poll it and stop early (cooperative cancellation). *)
 end

@@ -34,7 +34,20 @@ type t = {
   mutable max_learnts : int;
 }
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
+
+type budget = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_seconds : float option;
+}
+
+let budget ?conflicts ?propagations ?seconds () =
+  {
+    max_conflicts = conflicts;
+    max_propagations = propagations;
+    max_seconds = seconds;
+  }
 
 let heap_cmp (a1, v1) (a2, v2) =
   (* max-activity first; tie-break on var id for determinism *)
@@ -128,7 +141,14 @@ let var_bump s v =
     for i = 1 to s.num_vars do
       s.var_act.(i) <- s.var_act.(i) *. 1e-100
     done;
-    s.var_inc <- s.var_inc *. 1e-100
+    s.var_inc <- s.var_inc *. 1e-100;
+    (* every heap entry now carries a pre-rescale activity and would fail
+       pick_branch's staleness check, degrading decisions to the O(n)
+       linear fallback; re-enqueue the live keys under their new
+       activities *)
+    for i = 1 to s.num_vars do
+      if s.assign.(i) = -1 then Vgraph.Heap.add s.order (s.var_act.(i), i)
+    done
   end;
   Vgraph.Heap.add s.order (s.var_act.(v), v)
 
@@ -387,7 +407,7 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let solve ?(assumptions = []) s =
+let solve ?(assumptions = []) ?budget ?cancel s =
   if not s.ok then Unsat
   else begin
     let assumptions = List.map of_dimacs assumptions in
@@ -395,11 +415,39 @@ let solve ?(assumptions = []) s =
     let n_assumps = List.length assumptions in
     let assump = Array.of_list assumptions in
     backtrack s 0;
+    (* absolute caps, so re-solving a shared solver gets a fresh budget *)
+    let conflict_cap =
+      match budget with
+      | Some { max_conflicts = Some n; _ } -> s.conflicts + n
+      | _ -> max_int
+    in
+    let prop_cap =
+      match budget with
+      | Some { max_propagations = Some n; _ } -> s.propagations + n
+      | _ -> max_int
+    in
+    let deadline =
+      match budget with
+      | Some { max_seconds = Some sec; _ } -> Unix.gettimeofday () +. sec
+      | _ -> infinity
+    in
+    let ticks = ref 0 in
+    let interrupted () =
+      (match cancel with Some c -> Atomic.get c | None -> false)
+      || s.conflicts >= conflict_cap
+      || s.propagations >= prop_cap
+      || deadline < infinity
+         && (incr ticks;
+             (* poll the clock sparingly: every 64 loop iterations *)
+             !ticks land 63 = 0 && Unix.gettimeofday () > deadline)
+    in
     let result = ref None in
     let restart_count = ref 0 in
     let conflict_budget = ref (100 * luby 1) in
     let conflicts_here = ref 0 in
     while !result = None do
+      if interrupted () then result := Some Unknown
+      else begin
       let confl = propagate s in
       if confl >= 0 then begin
         s.conflicts <- s.conflicts + 1;
@@ -453,11 +501,12 @@ let solve ?(assumptions = []) s =
           enqueue s l (-1)
         end
       end
+      end
     done;
     let r = match !result with Some r -> r | None -> assert false in
     (match r with
     | Sat -> () (* keep assignment for model queries *)
-    | Unsat -> backtrack s 0);
+    | Unsat | Unknown -> backtrack s 0);
     r
   end
 

@@ -10,7 +10,19 @@
 
 type t
 
-type result = Sat | Unsat
+type result = Sat | Unsat | Unknown
+
+type budget = {
+  max_conflicts : int option;
+  max_propagations : int option;
+  max_seconds : float option;
+}
+(** Resource limits for a single {!solve} call.  Each cap is relative to the
+    call (a shared solver gets a fresh budget every time).  [None] means
+    unlimited. *)
+
+val budget :
+  ?conflicts:int -> ?propagations:int -> ?seconds:float -> unit -> budget
 
 val create : unit -> t
 
@@ -23,9 +35,16 @@ val add_clause : t -> int list -> unit
 (** Adds a clause.  The empty clause makes the instance trivially
     unsatisfiable.  @raise Invalid_argument on literal 0. *)
 
-val solve : ?assumptions:int list -> t -> result
+val solve :
+  ?assumptions:int list -> ?budget:budget -> ?cancel:bool Atomic.t -> t -> result
 (** Decides satisfiability under the given assumption literals.  The solver
-    may be re-used: clauses persist across calls, assumptions do not. *)
+    may be re-used: clauses persist across calls, assumptions do not.
+
+    When a [budget] cap is exceeded, or [cancel] reads [true] (it is polled
+    once per search-loop iteration, so an external thread can stop a running
+    solve), the answer is [Unknown].  An interrupted solver remains valid:
+    learnt clauses are kept and a later call may re-solve with a larger
+    budget.  A zero conflict budget gives up before the first propagation. *)
 
 val value : t -> int -> bool
 (** [value s v] is the model value of variable [v] after a [Sat] answer

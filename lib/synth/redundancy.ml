@@ -126,7 +126,8 @@ let run ?(max_rounds = 50) c =
                               incr removed;
                               committed := true;
                               continue := true
-                          | Cec.Inequivalent _ -> ()
+                          (* without a proof the fault is kept un-removed *)
+                          | Cec.Inequivalent _ | Cec.Undecided _ -> ()
                         end)
                       [ false; true ])
                 fs

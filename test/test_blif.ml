@@ -140,6 +140,8 @@ let test_verify_across_formats () =
   | Ok { Verify.verdict = Verify.Equivalent; _ } -> ()
   | Ok { verdict = Verify.Inequivalent _; _ } ->
       Alcotest.fail "format round trip broke equivalence"
+  | Ok { verdict = Verify.Undecided r; _ } ->
+      Alcotest.failf "unbudgeted check undecided: %s" r
   | Error d ->
       Alcotest.failf "unexpected diagnosis: %s" (Seqprob.diagnosis_to_string d)
 

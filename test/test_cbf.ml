@@ -26,6 +26,7 @@ let test_fig2 () =
   match Cec.check u r with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "fig2 CBF wrong"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 (* Fig. 3: latch trapped in a combinational block.
    b(t) = a(t-1); c(t) = b(t)a(t); d(t) = c(t-1); o = c(t)d(t)
@@ -51,6 +52,7 @@ let test_fig3 () =
   match Cec.check u r with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "fig3 CBF wrong"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_unroll_is_combinational () =
   for i = 1 to 20 do
@@ -167,7 +169,7 @@ let test_theorem_5_1 () =
       | Cec.Inequivalent cex ->
           Alcotest.(check bool) "counterexample is real" true
             (Cec.counterexample_is_valid u1 u2 cex)
-      | Cec.Equivalent -> assert false
+      | Cec.Equivalent | Cec.Undecided _ -> assert false
     end
   done
 
@@ -185,6 +187,7 @@ let test_retime_synth_preserves_cbf () =
     match Cec.check u1 u2 with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "retime+synth changed the CBF"
+    | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_exposed_latch_cbf () =
@@ -223,6 +226,7 @@ let test_depth_mismatch_detected () =
   let u2, _ = Cbf.unroll_netlist c2 in
   match Cec.check u1 u2 with
   | Cec.Equivalent -> Alcotest.fail "depth mismatch missed"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   | Cec.Inequivalent cex ->
       Alcotest.(check bool) "valid cex" true (Cec.counterexample_is_valid u1 u2 cex)
 

@@ -17,7 +17,8 @@ let test_equivalent_rewrites () =
       (fun (nm, e) ->
         match Cec.check ~engine:e c1 c2 with
         | Cec.Equivalent -> ()
-        | Cec.Inequivalent _ -> Alcotest.fail (nm ^ ": false inequivalence"))
+        | Cec.Inequivalent _ -> Alcotest.fail (nm ^ ": false inequivalence")
+        | Cec.Undecided r -> Alcotest.failf "%s: undecided: %s" nm r)
       engines
   done
 
@@ -33,6 +34,7 @@ let test_seeded_bugs_found () =
       (fun (nm, e) ->
         match Cec.check ~engine:e c1 c2 with
         | Cec.Equivalent -> Alcotest.fail (nm ^ ": missed seeded bug")
+        | Cec.Undecided r -> Alcotest.failf "%s: undecided: %s" nm r
         | Cec.Inequivalent cex ->
             Alcotest.(check bool) (nm ^ ": cex replays") true
               (Cec.counterexample_is_valid c1 c2 cex))
@@ -48,7 +50,10 @@ let test_engines_agree () =
     let verdicts =
       List.map
         (fun (_, e) ->
-          match Cec.check ~engine:e c1 c2 with Cec.Equivalent -> true | Cec.Inequivalent _ -> false)
+          match Cec.check ~engine:e c1 c2 with
+          | Cec.Equivalent -> true
+          | Cec.Inequivalent _ -> false
+          | Cec.Undecided r -> Alcotest.failf "undecided: %s" r)
         engines
     in
     Alcotest.(check bool) "engines agree" true
@@ -87,7 +92,10 @@ let test_vs_brute_force () =
     List.iter
       (fun (nm, e) ->
         let got =
-          match Cec.check ~engine:e c1 c2 with Cec.Equivalent -> true | Cec.Inequivalent _ -> false
+          match Cec.check ~engine:e c1 c2 with
+          | Cec.Equivalent -> true
+          | Cec.Inequivalent _ -> false
+          | Cec.Undecided r -> Alcotest.failf "undecided: %s" r
         in
         Alcotest.(check bool) (nm ^ " matches brute force") !equal got)
       engines
@@ -106,7 +114,8 @@ let test_constants () =
     (fun (nm, e) ->
       match Cec.check ~engine:e c1 c2 with
       | Cec.Equivalent -> ()
-      | Cec.Inequivalent _ -> Alcotest.fail (nm ^ ": tautology not proven"))
+      | Cec.Inequivalent _ -> Alcotest.fail (nm ^ ": tautology not proven")
+      | Cec.Undecided r -> Alcotest.failf "%s: undecided: %s" nm r)
     engines
 
 let test_rejects_latches () =
@@ -143,6 +152,7 @@ let test_disjoint_inputs_free () =
     (fun (nm, e) ->
       match Cec.check ~engine:e c1 c2 with
       | Cec.Equivalent -> Alcotest.fail (nm ^ ": y dependence missed")
+      | Cec.Undecided r -> Alcotest.failf "%s: undecided: %s" nm r
       | Cec.Inequivalent cex ->
           Alcotest.(check bool) (nm ^ " valid cex") true
             (Cec.counterexample_is_valid c1 c2 cex))
@@ -156,7 +166,7 @@ let test_sweep_on_identical_structures () =
   let v, stats = Cec.check_with_stats ~engine:Cec.Sweep_engine c1 c2 in
   (match v with
   | Cec.Equivalent -> ()
-  | Cec.Inequivalent _ -> Alcotest.fail "sweep failed");
+  | Cec.Inequivalent _ | Cec.Undecided _ -> Alcotest.fail "sweep failed");
   Alcotest.(check bool) "sat calls recorded" true (stats.Cec.sat_calls >= 0);
   Alcotest.(check int) "monolithic = 1 partition" 1 stats.Cec.partitions;
   Alcotest.(check bool) "sim rounds recorded" true (stats.Cec.sim_rounds > 0)
@@ -179,7 +189,7 @@ let test_parallel_agrees_on_equivalent () =
           let v, stats = Cec.check_with_stats ~jobs ~partition:true c1 c2 in
           (match v with
           | Cec.Equivalent -> ()
-          | Cec.Inequivalent _ ->
+          | Cec.Inequivalent _ | Cec.Undecided _ ->
               Alcotest.fail (Printf.sprintf "jobs=%d: false inequivalence" jobs));
           Alcotest.(check bool)
             (Printf.sprintf "jobs=%d: partition count within bounds" jobs)
@@ -207,6 +217,7 @@ let test_parallel_agrees_on_bugs () =
         match Cec.check ~jobs ~partition:true c1 c2 with
         | Cec.Equivalent ->
             Alcotest.fail (Printf.sprintf "jobs=%d: missed seeded bug" jobs)
+        | Cec.Undecided r -> Alcotest.failf "jobs=%d: undecided: %s" jobs r
         | Cec.Inequivalent cex ->
             Alcotest.(check bool)
               (Printf.sprintf "jobs=%d: cex replays" jobs)
@@ -225,13 +236,17 @@ let test_parallel_matches_sequential_verdict () =
     List.iter
       (fun (nm, e) ->
         let mono =
-          match Cec.check ~engine:e c1 c2 with Cec.Equivalent -> true | Cec.Inequivalent _ -> false
+          match Cec.check ~engine:e c1 c2 with
+          | Cec.Equivalent -> true
+          | Cec.Inequivalent _ -> false
+          | Cec.Undecided r -> Alcotest.failf "undecided: %s" r
         in
         List.iter
           (fun jobs ->
             match Cec.check ~engine:e ~jobs ~partition:true c1 c2 with
             | Cec.Equivalent ->
                 Alcotest.(check bool) (Printf.sprintf "%s jobs=%d" nm jobs) mono true
+            | Cec.Undecided r -> Alcotest.failf "%s jobs=%d undecided: %s" nm jobs r
             | Cec.Inequivalent cex ->
                 Alcotest.(check bool) (Printf.sprintf "%s jobs=%d" nm jobs) mono false;
                 Alcotest.(check bool)
@@ -302,7 +317,7 @@ let test_cache_shares_isomorphic_cones () =
           Alcotest.(check bool) "cex uses the hitting pair's names" true
             (String.length n > 0 && n.[0] = 'y'))
         cex
-  | Cec.Equivalent -> Alcotest.fail "AND vs NAND accepted"
+  | Cec.Equivalent | Cec.Undecided _ -> Alcotest.fail "AND vs NAND accepted"
 
 let test_parallel_stress () =
   (* repeated parallel checks: no shared mutable state, stable verdicts *)
@@ -316,14 +331,176 @@ let test_parallel_stress () =
     for _rep = 1 to 3 do
       (match Cec.check ~jobs:4 ~cache c1 c2 with
       | Cec.Equivalent -> ()
-      | Cec.Inequivalent _ -> Alcotest.fail "stress: false inequivalence");
+      | Cec.Inequivalent _ | Cec.Undecided _ ->
+          Alcotest.fail "stress: false inequivalence");
       match Cec.check ~jobs:4 ~cache c1 bug with
-      | Cec.Equivalent -> Alcotest.fail "stress: missed bug"
+      | Cec.Equivalent | Cec.Undecided _ -> Alcotest.fail "stress: missed bug"
       | Cec.Inequivalent cex ->
           Alcotest.(check bool) "stress cex valid" true
             (Cec.counterexample_is_valid c1 bug cex)
     done
   done
+
+(* ---- resource budgets / escalation / cancellation ---- *)
+
+(* n-input parity, once as a right-leaning chain and once as a balanced
+   tree: same function, no shared structure, and the SAT miter needs real
+   search — the workhorse for budget semantics *)
+let xor_inputs c n = List.init n (fun i -> Circuit.add_input c (Printf.sprintf "x%d" i))
+
+let xor_chain ~name n =
+  let c = Circuit.create name in
+  let ins = xor_inputs c n in
+  let out =
+    List.fold_left (fun acc x -> Circuit.add_gate c Xor [ acc; x ]) (List.hd ins)
+      (List.tl ins)
+  in
+  Circuit.mark_output c out;
+  Circuit.check c;
+  c
+
+let xor_tree ~name n =
+  let c = Circuit.create name in
+  let ins = xor_inputs c n in
+  let rec pair = function
+    | a :: b :: tl -> Circuit.add_gate c Xor [ a; b ] :: pair tl
+    | rest -> rest
+  in
+  let rec build = function [ x ] -> x | xs -> build (pair xs) in
+  Circuit.mark_output c (build ins);
+  Circuit.check c;
+  c
+
+let test_budget_gives_undecided () =
+  (* a 1-conflict budget cannot decide the parity miter; without escalation
+     the answer must be Undecided — never a wrong Equivalent, never a hang *)
+  let c1 = xor_chain ~name:"bxa" 14 and c2 = xor_tree ~name:"bxb" 14 in
+  let limits = { Cec.no_limits with Cec.sat_conflicts = Some 1; escalate = false } in
+  let v, s = Cec.check_with_stats ~engine:Cec.Sat_engine ~limits c1 c2 in
+  (match v with
+  | Cec.Undecided _ -> ()
+  | Cec.Equivalent -> Alcotest.fail "1-conflict budget claimed a proof"
+  | Cec.Inequivalent _ -> Alcotest.fail "1-conflict budget invented a bug");
+  Alcotest.(check bool) "budget hit recorded" true (s.Cec.budget_hits > 0);
+  Alcotest.(check bool) "undecided recorded" true (s.Cec.undecided > 0)
+
+let test_escalation_ladder_proves () =
+  (* same miter, same 1-conflict base budget, but with the ladder on: the
+     BDD rung proves it (parity BDDs are linear) and records the climb *)
+  let c1 = xor_chain ~name:"exa" 14 and c2 = xor_tree ~name:"exb" 14 in
+  let limits = { Cec.default_limits with Cec.sat_conflicts = Some 1 } in
+  let v, s = Cec.check_with_stats ~engine:Cec.Sweep_engine ~limits c1 c2 in
+  (match v with
+  | Cec.Equivalent -> ()
+  | Cec.Inequivalent _ -> Alcotest.fail "ladder invented a bug"
+  | Cec.Undecided r -> Alcotest.failf "ladder failed to prove parity: %s" r);
+  Alcotest.(check bool) "escalation recorded" true (s.Cec.escalations > 0);
+  Alcotest.(check bool) "budget hit recorded" true (s.Cec.budget_hits > 0)
+
+let test_deadline_gives_undecided () =
+  (* an already-expired deadline stops the engines before any work; expired
+     checks are final (no escalation) *)
+  let c1 = xor_chain ~name:"dxa" 14 and c2 = xor_tree ~name:"dxb" 14 in
+  let limits = { Cec.no_limits with Cec.seconds = Some 0.0 } in
+  let v, s = Cec.check_with_stats ~engine:Cec.Sat_engine ~limits c1 c2 in
+  (match v with
+  | Cec.Undecided _ -> ()
+  | Cec.Equivalent | Cec.Inequivalent _ ->
+      Alcotest.fail "expired deadline still answered");
+  Alcotest.(check bool) "deadline hit recorded" true (s.Cec.deadline_hits > 0)
+
+let test_budgets_leave_easy_checks_alone () =
+  let c1 = Gen.comb st ~name:"easyb" ~inputs:5 ~gates:40 ~outputs:2 in
+  let c2 = Gen.demorganize c1 in
+  let v, s = Cec.check_with_stats ~limits:Cec.default_limits c1 c2 in
+  (match v with
+  | Cec.Equivalent -> ()
+  | Cec.Inequivalent _ | Cec.Undecided _ ->
+      Alcotest.fail "default limits changed an easy verdict");
+  Alcotest.(check int) "no budget hits" 0 s.Cec.budget_hits;
+  Alcotest.(check int) "no escalations" 0 s.Cec.escalations;
+  Alcotest.(check int) "nothing undecided" 0 s.Cec.undecided
+
+(* two disjoint cones: an instantly-failing AND-vs-NAND pair and the hard
+   parity pair — exercises verdict precedence across partitions *)
+let two_cone_pair () =
+  let mk neg name =
+    let c = xor_chain ~name 14 in
+    let a = Circuit.add_input c "a" and b = Circuit.add_input c "b" in
+    let g = Circuit.add_gate c And [ a; b ] in
+    Circuit.mark_output c (if neg then Circuit.add_gate c Not [ g ] else g);
+    Circuit.check c;
+    c
+  in
+  (mk false "tc1", mk true "tc2")
+
+let test_cex_wins_over_undecided () =
+  (* the parity cone is Undecided under a tiny budget, but the AND-vs-NAND
+     cone has a counterexample — which must win at every job count (and,
+     in parallel, cancel the sibling solver) *)
+  let c1, c2 = two_cone_pair () in
+  let limits = { Cec.no_limits with Cec.sat_conflicts = Some 1; escalate = false } in
+  List.iter
+    (fun jobs ->
+      match Cec.check ~engine:Cec.Sat_engine ~jobs ~partition:true ~limits c1 c2 with
+      | Cec.Inequivalent cex ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d: winning cex replays" jobs)
+            true
+            (Cec.counterexample_is_valid c1 c2 cex)
+      | Cec.Equivalent -> Alcotest.failf "jobs=%d: budget flipped to Equivalent" jobs
+      | Cec.Undecided r ->
+          Alcotest.failf "jobs=%d: cex lost to Undecided (%s)" jobs r)
+    job_counts
+
+let test_jobs_agree_on_undecided () =
+  (* out0 identical on both sides (decided within any budget), out1 the
+     parity pair (Undecided under 1 conflict): the overall verdict —
+     including the lowest-index-partition reason — is jobs-independent *)
+  let add_buf c =
+    let y = Circuit.add_input c "y" in
+    Circuit.mark_output c (Circuit.add_gate c Buf [ y ]);
+    Circuit.check c;
+    c
+  in
+  let c1 = add_buf (xor_chain ~name:"ju1" 14)
+  and c2 = add_buf (xor_tree ~name:"ju2" 14) in
+  let limits = { Cec.no_limits with Cec.sat_conflicts = Some 1; escalate = false } in
+  let v1 = Cec.check ~engine:Cec.Sat_engine ~jobs:1 ~partition:true ~limits c1 c2 in
+  let v4 = Cec.check ~engine:Cec.Sat_engine ~jobs:4 ~partition:true ~limits c1 c2 in
+  (match v1 with
+  | Cec.Undecided _ -> ()
+  | Cec.Equivalent -> Alcotest.fail "budget flipped to Equivalent"
+  | Cec.Inequivalent _ -> Alcotest.fail "budget invented a bug");
+  Alcotest.(check bool) "jobs=1 and jobs=4 verdicts identical" true (v1 = v4)
+
+let test_cex_replays_across_time_frames () =
+  (* x XOR latch(x) vs constant false: the certified counterexample must
+     set x@0 and x@1 differently, and replay on the unrolled netlists must
+     key its environment by the full (base, frame) variable — a base-keyed
+     environment collapses the two frames and rejects the witness *)
+  let c1 = Circuit.create "fr1" in
+  let x = Circuit.add_input c1 "x" in
+  let l = Circuit.add_latch c1 ~data:x () in
+  Circuit.mark_output c1 (Circuit.add_gate c1 Xor [ x; l ]);
+  Circuit.check c1;
+  let c2 = Circuit.create "fr2" in
+  ignore (Circuit.add_input c2 "x");
+  Circuit.mark_output c2 (Circuit.const_false c2);
+  Circuit.check c2;
+  match Result.get_ok (Verify.check c1 c2) with
+  | { Verify.verdict = Verify.Inequivalent (Some cex); _ } ->
+      let v d =
+        match List.assoc_opt (Seqprob.Var.time "x" d) cex with
+        | Some b -> b
+        | None -> false
+      in
+      Alcotest.(check bool) "frames disagree" true (v 0 <> v 1);
+      let u1, _ = Cbf.unroll_netlist c1 in
+      let u2, _ = Cbf.unroll_netlist c2 in
+      Alcotest.(check bool) "replays on netlist unrollings" true
+        (Cec.counterexample_is_valid u1 u2 cex)
+  | { Verify.verdict = _; _ } -> Alcotest.fail "expected a certified counterexample"
 
 let suite =
   [
@@ -345,4 +522,13 @@ let suite =
     Alcotest.test_case "cache: isomorphic cones transfer" `Quick
       test_cache_shares_isomorphic_cones;
     Alcotest.test_case "parallel stress" `Quick test_parallel_stress;
+    Alcotest.test_case "budget gives Undecided" `Quick test_budget_gives_undecided;
+    Alcotest.test_case "escalation ladder proves" `Quick test_escalation_ladder_proves;
+    Alcotest.test_case "deadline gives Undecided" `Quick test_deadline_gives_undecided;
+    Alcotest.test_case "budgets leave easy checks alone" `Quick
+      test_budgets_leave_easy_checks_alone;
+    Alcotest.test_case "cex wins over Undecided" `Quick test_cex_wins_over_undecided;
+    Alcotest.test_case "jobs agree on Undecided" `Quick test_jobs_agree_on_undecided;
+    Alcotest.test_case "cex replays across time frames" `Quick
+      test_cex_replays_across_time_frames;
   ]

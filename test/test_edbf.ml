@@ -59,6 +59,7 @@ let test_shared_table_matches () =
     match Cec.check u1 u2 with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "rewritten circuit got different EDBF"
+    | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 (* combinational synthesis (latches fixed) preserves the EDBF *)
@@ -75,6 +76,7 @@ let test_synthesis_preserves_edbf () =
     match Cec.check u1 u2 with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "synthesis changed the EDBF"
+    | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 (* seeded bug is still caught *)
@@ -91,6 +93,7 @@ let test_edbf_finds_bugs () =
     match Cec.check u1 u2 with
     | Cec.Equivalent -> Alcotest.fail "EDBF missed a seeded bug"
     | Cec.Inequivalent _ -> ()
+    | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 (* Fig. 10 flavour: L1(enable a) feeding L2(enable a·b) against a single
@@ -125,7 +128,8 @@ let test_fig10_rewrite () =
   let u2, _ = Edbf.unroll_netlist ~table:t0 cb in
   (match Cec.check u1 u2 with
   | Cec.Equivalent -> Alcotest.fail "expected false negative without rewrite"
-  | Cec.Inequivalent _ -> ());
+  | Cec.Inequivalent _ -> ()
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r);
   (* with rule (5): the [a, ab] event collapses to [ab] and they match *)
   let t1 = Events.create ~rewrite:true () in
   let v1, _ = Edbf.unroll_netlist ~table:t1 ca in
@@ -133,6 +137,7 @@ let test_fig10_rewrite () =
   match Cec.check v1 v2 with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "rewrite rule failed to merge events"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 (* Fig. 11: O1 = b(η(a+b)) vs O2 = a(η(a+b)) + b(η(a+b)) — equivalent
    sequentially (when a or b fires, if a fires then ... the published
@@ -169,6 +174,7 @@ let test_fig11_equivalent_forms_merge () =
   match Cec.check u1 u2 with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "same-function data should match"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_fig11_false_negative () =
   (* the genuine Fig. 11 gap: data functions b vs a+b differ as functions
@@ -199,6 +205,7 @@ let test_fig11_false_negative () =
   match Cec.check u1 u2 with
   | Cec.Equivalent -> Alcotest.fail "distinct data functions merged"
   | Cec.Inequivalent _ -> ()
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 (* event table unit behaviour *)
 let test_event_table () =
@@ -303,11 +310,13 @@ let test_guard_removes_false_negative () =
   (match vcheck c1 c2 with
   | Verify.Inequivalent None, _ -> ()
   | Verify.Equivalent, _ -> Alcotest.fail "expected the published method to reject"
-  | Verify.Inequivalent (Some _), _ -> Alcotest.fail "unexpected witness");
+  | Verify.Inequivalent (Some _), _ -> Alcotest.fail "unexpected witness"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r);
   (* with the guard: proven *)
   match vcheck ~guard_events:true c1 c2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "guard failed to remove false negative"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_guard_still_sound () =
   (* guarded comparison still catches real bugs in enabled circuits *)
@@ -319,11 +328,13 @@ let test_guard_still_sound () =
     let bug = Gen.negate_one_output c in
     (match vcheck ~guard_events:true c bug with
     | Verify.Equivalent, _ -> Alcotest.fail "guarded check missed a bug"
-    | Verify.Inequivalent _, _ -> ());
+    | Verify.Inequivalent _, _ -> ()
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r);
     (* and still proves genuine rewrites *)
     match vcheck ~guard_events:true c (Gen.demorganize c) with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "guarded check rejected a rewrite"
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_guard_with_synthesis () =
@@ -336,6 +347,7 @@ let test_guard_with_synthesis () =
     match vcheck ~guard_events:true c o with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "guarded check rejected synthesis"
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let suite =

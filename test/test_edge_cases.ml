@@ -39,10 +39,12 @@ let test_verify_exposed_enabled () =
   in
   (match verdict (mk true) (mk true) with
   | Verify.Equivalent -> ()
-  | Verify.Inequivalent _ -> Alcotest.fail "same enabled latch rejected");
+  | Verify.Inequivalent _ -> Alcotest.fail "same enabled latch rejected"
+  | Verify.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r);
   match verdict (mk true) (mk false) with
   | Verify.Inequivalent _ -> ()
   | Verify.Equivalent -> Alcotest.fail "enable difference missed"
+  | Verify.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 (* ---- sweep mux simplifications ---- *)
 
@@ -143,6 +145,7 @@ let test_retime_no_latches () =
   match Cec.check c rt with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "latch-free retime changed function"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_retime_illegal_labels () =
   let c = Circuit.create "il" in
@@ -194,6 +197,7 @@ let test_constant_only_circuit () =
   match (Result.get_ok (Verify.check c rt)).Verify.verdict with
   | Verify.Equivalent -> ()
   | Verify.Inequivalent _ -> Alcotest.fail "constant circuit broken"
+  | Verify.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let suite =
   [

@@ -19,7 +19,8 @@ let test_flow_verifies () =
     let row = flow_ok c in
     (match row.Flow.verify_verdict with
     | Verify.Equivalent -> ()
-    | Verify.Inequivalent _ -> Alcotest.fail "B vs C verification failed");
+    | Verify.Inequivalent _ -> Alcotest.fail "B vs C verification failed"
+    | Verify.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r);
     Alcotest.(check bool) "exposure percentage sane" true
       (row.Flow.exposed_percent >= 0. && row.Flow.exposed_percent <= 100.)
   done
@@ -51,6 +52,7 @@ let test_flow_minmax_shape () =
   match row.Flow.verify_verdict with
   | Verify.Equivalent -> ()
   | Verify.Inequivalent _ -> Alcotest.fail "minmax flow verification failed"
+  | Verify.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_flow_b_keeps_outputs () =
   let c =

@@ -23,6 +23,7 @@ let test_blif_through_flow () =
   match row.Flow.verify_verdict with
   | Verify.Equivalent -> ()
   | Verify.Inequivalent _ -> Alcotest.fail "flow failed on BLIF-round-tripped circuit"
+  | Verify.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_long_optimization_chain () =
   (* five alternations of synthesis and retiming — the paper's "arbitrary
@@ -41,6 +42,7 @@ let test_long_optimization_chain () =
   match vcheck c !o with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "five-round chain not verified"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_redundancy_then_retime_then_verify () =
   let c =
@@ -51,6 +53,7 @@ let test_redundancy_then_retime_then_verify () =
   match vcheck c o2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "redundancy+retime chain not verified"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_engines_on_flow_miters () =
   (* all three CEC engines agree on real flow miters *)
@@ -67,7 +70,8 @@ let test_engines_on_flow_miters () =
     (fun engine ->
       match Cec.check_problem ~engine p with
       | Cec.Equivalent -> ()
-      | Cec.Inequivalent _ -> Alcotest.fail "engine disagrees on flow miter")
+      | Cec.Inequivalent _ -> Alcotest.fail "engine disagrees on flow miter"
+      | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r)
     [ Cec.Bdd_engine; Cec.Sat_engine; Cec.Sweep_engine ]
 
 let test_word_eval_matches_scalar () =
@@ -113,7 +117,8 @@ let test_corrupted_netlist_detected_everywhere () =
       let bug = Gen.negate_one_output o in
       match vcheck c bug with
       | Verify.Inequivalent _, _ -> ()
-      | Verify.Equivalent, _ -> Alcotest.fail ("bug missed " ^ tag))
+      | Verify.Equivalent, _ -> Alcotest.fail ("bug missed " ^ tag)
+      | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r)
     stages
 
 let test_flow_area_metric_counts_latches () =
@@ -136,6 +141,7 @@ let test_cli_formats_by_extension () =
   match vcheck c1 c2 with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "formats disagree"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let suite =
   [

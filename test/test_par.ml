@@ -52,6 +52,25 @@ let test_find_first_cancels () =
         true
         (Atomic.get started < n))
 
+let test_find_first_found_flag () =
+  (* the ?found flag is raised the moment any match is recorded — the hook
+     long-running tasks poll for cooperative cancellation *)
+  Par.Pool.with_pool ~jobs:2 (fun p ->
+      let flag = Atomic.make false in
+      let r =
+        Par.Pool.find_first ~found:flag p
+          (fun x -> if x = 5 then Some x else None)
+          (List.init 32 Fun.id)
+      in
+      Alcotest.(check (option int)) "match found" (Some 5) r;
+      Alcotest.(check bool) "flag set on match" true (Atomic.get flag);
+      let clear = Atomic.make false in
+      let none =
+        Par.Pool.find_first ~found:clear p (fun _ -> None) (List.init 32 Fun.id)
+      in
+      Alcotest.(check (option int)) "no match" None none;
+      Alcotest.(check bool) "flag untouched without a match" false (Atomic.get clear))
+
 let test_exceptions_propagate () =
   List.iter
     (fun jobs ->
@@ -91,6 +110,7 @@ let suite =
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
     Alcotest.test_case "find_first deterministic" `Quick test_find_first_deterministic;
     Alcotest.test_case "find_first cancels tail" `Quick test_find_first_cancels;
+    Alcotest.test_case "find_first found flag" `Quick test_find_first_found_flag;
     Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
     Alcotest.test_case "pool reuse and nesting" `Quick test_pool_reuse_and_nesting;
     Alcotest.test_case "task effects visible" `Quick test_effects_visible_after_run;

@@ -242,6 +242,7 @@ let prop_sat_model_sound =
       List.iter (Sat.add_clause s) clauses;
       match Sat.solve s with
       | Sat.Unsat -> true
+      | Sat.Unknown -> false
       | Sat.Sat ->
           List.for_all
             (fun cl ->

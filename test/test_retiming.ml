@@ -355,6 +355,8 @@ let test_single_class_retime_verified () =
         Alcotest.(check bool) "edbf used" true (stats.Verify.method_ = Verify.Edbf_method)
     | { verdict = Verify.Inequivalent _; _ } ->
         Alcotest.fail "single-class retime not verified"
+    | { verdict = Verify.Undecided r; _ } ->
+        Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_single_class_retime_simulated () =
@@ -388,6 +390,8 @@ let test_single_class_min_area () =
   | { Verify.verdict = Verify.Equivalent; _ } -> ()
   | { verdict = Verify.Inequivalent _; _ } ->
       Alcotest.fail "single-class min-area not verified"
+  | { verdict = Verify.Undecided r; _ } ->
+      Alcotest.failf "unbudgeted check undecided: %s" r
 
 let suite =
   suite

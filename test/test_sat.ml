@@ -43,7 +43,8 @@ let test_random_3sat () =
     | Sat.Sat ->
         Alcotest.(check bool) "expected sat" true expected;
         Alcotest.(check bool) "model valid" true (model_ok s clauses)
-    | Sat.Unsat -> Alcotest.(check bool) "expected unsat" false expected)
+    | Sat.Unsat -> Alcotest.(check bool) "expected unsat" false expected
+    | Sat.Unknown -> Alcotest.fail "unbudgeted solve returned Unknown")
   done
 
 let test_assumptions () =
@@ -128,6 +129,80 @@ let test_pigeonhole_4_3 () =
   done;
   Alcotest.(check bool) "php(4,3) unsat" true (Sat.solve s = Sat.Unsat)
 
+(* php(p,h) clauses: p pigeons into h holes, unsat when p > h *)
+let add_pigeonhole s ~pigeons ~holes =
+  let var p h = (p * holes) + h + 1 in
+  for p = 0 to pigeons - 1 do
+    Sat.add_clause s (List.init holes (fun h -> var p h))
+  done;
+  for h = 0 to holes - 1 do
+    for p1 = 0 to pigeons - 1 do
+      for p2 = p1 + 1 to pigeons - 1 do
+        Sat.add_clause s [ -var p1 h; -var p2 h ]
+      done
+    done
+  done
+
+let test_budget_conflicts () =
+  (* php(4,3) needs real search: a 1-conflict budget must give up — and the
+     interrupted solver must still decide correctly afterwards *)
+  let s = Sat.create () in
+  add_pigeonhole s ~pigeons:4 ~holes:3;
+  Alcotest.(check bool)
+    "1-conflict budget gives up" true
+    (Sat.solve ~budget:(Sat.budget ~conflicts:1 ()) s = Sat.Unknown);
+  Alcotest.(check bool)
+    "solver still usable after Unknown" true
+    (Sat.solve s = Sat.Unsat);
+  (* after the instance is known unsat, budgets no longer matter *)
+  Alcotest.(check bool)
+    "unsat flag survives budgeted re-solve" true
+    (Sat.solve ~budget:(Sat.budget ~conflicts:1 ()) s = Sat.Unsat)
+
+let test_budget_propagations () =
+  let s = Sat.create () in
+  Sat.add_clause s [ 1 ];
+  Sat.add_clause s [ -1; 2 ];
+  Alcotest.(check bool)
+    "0-propagation budget gives up" true
+    (Sat.solve ~budget:(Sat.budget ~propagations:0 ()) s = Sat.Unknown);
+  Alcotest.(check bool) "then solves" true (Sat.solve s = Sat.Sat)
+
+let test_budget_never_lies () =
+  (* a budgeted answer other than Unknown must match brute force *)
+  for _ = 1 to 200 do
+    let nvars, clauses = random_instance () in
+    let s = Sat.create () in
+    List.iter (Sat.add_clause s) clauses;
+    match Sat.solve ~budget:(Sat.budget ~conflicts:2 ()) s with
+    | Sat.Unknown -> ()
+    | Sat.Sat ->
+        Alcotest.(check bool) "budgeted sat correct" true (brute nvars clauses);
+        Alcotest.(check bool) "budgeted model valid" true (model_ok s clauses)
+    | Sat.Unsat ->
+        Alcotest.(check bool) "budgeted unsat correct" false (brute nvars clauses)
+  done
+
+let test_cancel () =
+  let s = Sat.create () in
+  add_pigeonhole s ~pigeons:4 ~holes:3;
+  let c = Atomic.make true in
+  Alcotest.(check bool)
+    "pre-set cancel gives up" true
+    (Sat.solve ~cancel:c s = Sat.Unknown);
+  Atomic.set c false;
+  Alcotest.(check bool)
+    "cleared cancel solves" true
+    (Sat.solve ~cancel:c s = Sat.Unsat)
+
+let test_activity_rescale () =
+  (* php(6,5) drives enough conflicts through VSIDS to cross the 1e100
+     activity rescale; decisions must stay heap-driven and the answer
+     correct *)
+  let s = Sat.create () in
+  add_pigeonhole s ~pigeons:6 ~holes:5;
+  Alcotest.(check bool) "php(6,5) unsat" true (Sat.solve s = Sat.Unsat)
+
 let test_stats_move () =
   let s = Sat.create () in
   Sat.add_clause s [ 1; 2 ];
@@ -145,5 +220,10 @@ let suite =
     Alcotest.test_case "tautology" `Quick test_tautology;
     Alcotest.test_case "unit chain" `Quick test_unit_chain;
     Alcotest.test_case "pigeonhole 4/3" `Quick test_pigeonhole_4_3;
+    Alcotest.test_case "conflict budget" `Quick test_budget_conflicts;
+    Alcotest.test_case "propagation budget" `Quick test_budget_propagations;
+    Alcotest.test_case "budgeted answers never lie" `Quick test_budget_never_lies;
+    Alcotest.test_case "cooperative cancel" `Quick test_cancel;
+    Alcotest.test_case "activity rescale" `Quick test_activity_rescale;
     Alcotest.test_case "stats" `Quick test_stats_move;
   ]

@@ -207,7 +207,9 @@ let test_semantic_gap () =
   (match Result.get_ok (Verify.check ~exposed:[ "q" ] b c) with
   | { Verify.verdict = Verify.Equivalent; _ } -> ()
   | { verdict = Verify.Inequivalent _; _ } ->
-      Alcotest.fail "reduction should prove the pair");
+      Alcotest.fail "reduction should prove the pair"
+  | { verdict = Verify.Undecided r; _ } ->
+      Alcotest.failf "unbudgeted check undecided: %s" r);
   (* the reset-equivalence traversal correctly rejects it *)
   match Sec_baseline.check b c with
   | Sec_baseline.Inequivalent, _ -> ()

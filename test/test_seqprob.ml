@@ -99,6 +99,7 @@ let test_diagnosis_non_exposed_cycle () =
   match Result.get_ok (Verify.check ~exposed:[ "q" ] c c) with
   | { Verify.verdict = Verify.Equivalent; _ } -> ()
   | { verdict = Verify.Inequivalent _; _ } -> Alcotest.fail "self-inequivalent once exposed"
+  | { verdict = Verify.Undecided r; _ } -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_diagnosis_hidden_enabled_latch () =
   let c = Circuit.create "dhe" in
@@ -172,6 +173,7 @@ let test_asymmetric_cex_replay () =
   | { verdict = Verify.Inequivalent None; _ } ->
       Alcotest.fail "CBF path must produce a witness"
   | { verdict = Verify.Equivalent; _ } -> Alcotest.fail "asymmetric bug missed"
+  | { verdict = Verify.Undecided r; _ } -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let suite =
   [

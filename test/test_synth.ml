@@ -172,6 +172,7 @@ let test_script_equivalence_by_cec () =
     match Cec.check c o with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "script broke a combinational circuit"
+    | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let suite =
@@ -285,6 +286,7 @@ let test_rewrite_preserves_function () =
     match Cec.check c o with
     | Cec.Equivalent -> ()
     | Cec.Inequivalent _ -> Alcotest.fail "rewrite broke a circuit"
+    | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_rewrite_sequential_preserves () =
@@ -314,6 +316,7 @@ let test_rewrite_compacts_redundant_logic () =
   match Cec.check c o with
   | Cec.Equivalent -> ()
   | Cec.Inequivalent _ -> Alcotest.fail "collapse broke it"
+  | Cec.Undecided r -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let suite =
   suite

@@ -24,6 +24,7 @@ let test_identity () =
     | Verify.Equivalent, stats ->
         Alcotest.(check bool) "cbf method" true (stats.Verify.method_ = Verify.Cbf_method)
     | Verify.Inequivalent _, _ -> Alcotest.fail "self-inequivalent"
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_retime_and_synth () =
@@ -37,6 +38,7 @@ let test_retime_and_synth () =
     match vcheck c o4 with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "retime+synth chain not verified"
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_seeded_bug_caught () =
@@ -49,6 +51,7 @@ let test_seeded_bug_caught () =
     | Verify.Inequivalent (Some cex), _ ->
         Alcotest.(check bool) "cex nonempty or const diff" true (cex <> [] || true)
     | Verify.Inequivalent None, _ -> Alcotest.fail "CBF path must produce a witness"
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_latch_count_change_ok () =
@@ -61,6 +64,7 @@ let test_latch_count_change_ok () =
   match vcheck c rt with
   | Verify.Equivalent, _ -> ()
   | Verify.Inequivalent _, _ -> Alcotest.fail "pipeline retime not verified"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_exposed_flow () =
   for i = 1 to 10 do
@@ -86,6 +90,7 @@ let test_exposed_flow () =
     match vcheck ~exposed b o with
     | Verify.Equivalent, _ -> ()
     | Verify.Inequivalent _, _ -> Alcotest.fail "exposed-flow verification failed"
+    | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
   done
 
 let test_exposed_next_state_bug_caught () =
@@ -106,6 +111,7 @@ let test_exposed_next_state_bug_caught () =
   match vcheck ~exposed:[ "q" ] c bug with
   | Verify.Equivalent, _ -> Alcotest.fail "next-state bug missed"
   | Verify.Inequivalent _, _ -> ()
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_enabled_circuits_use_edbf () =
   for i = 1 to 8 do
@@ -121,6 +127,7 @@ let test_enabled_circuits_use_edbf () =
           Alcotest.(check bool) "edbf method" true
             (stats.Verify.method_ = Verify.Edbf_method)
       | Verify.Inequivalent _, _ -> Alcotest.fail "enabled synthesis not verified"
+      | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
     end
   done
 
@@ -136,6 +143,7 @@ let test_edbf_bug_has_no_witness () =
   | Verify.Equivalent, _ -> Alcotest.fail "bug missed"
   | Verify.Inequivalent w, _ ->
       Alcotest.(check bool) "conservative: no certified witness" true (w = None)
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_missing_exposed_name () =
   let c = random_acyclic 99 ~latches:2 in
@@ -167,11 +175,13 @@ let test_rewrite_toggle () =
   Circuit.check c2;
   (match vcheck ~rewrite_events:true c c2 with
   | Verify.Equivalent, _ -> ()
-  | Verify.Inequivalent _, _ -> Alcotest.fail "rule 5 should merge");
+  | Verify.Inequivalent _, _ -> Alcotest.fail "rule 5 should merge"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r);
   match vcheck ~rewrite_events:false c c2 with
   | Verify.Inequivalent None, _ -> ()
   | Verify.Inequivalent (Some _), _ | Verify.Equivalent, _ ->
       Alcotest.fail "expected conservative false negative"
+  | Verify.Undecided r, _ -> Alcotest.failf "unbudgeted check undecided: %s" r
 
 let test_stats_populated () =
   let c = random_acyclic 1234 ~latches:4 in
