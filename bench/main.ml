@@ -46,6 +46,8 @@ type t1_record = {
   r_seq_verdict : string option;
   r_unrolled_nodes : int;  (* AND nodes of the shared unrolled AIG *)
   r_cec : Cec.stats;
+  r_unroll_seconds : float;  (* Verify.stats.unroll_seconds *)
+  r_retime_seconds : float;  (* Flow stages C+E+F+G (synthesis+retiming) *)
 }
 
 let verdict_str = function
@@ -95,9 +97,19 @@ let write_table1_json ~path ~suite_name ~jobs records =
       p "\"sat_calls\": %d, \"sim_rounds\": %d, \"partitions\": %d, \"cache_hits\": %d, "
         r.r_cec.Cec.sat_calls r.r_cec.Cec.sim_rounds r.r_cec.Cec.partitions
         r.r_cec.Cec.cache_hits;
-      p "\"conflicts\": %d, \"budget_hits\": %d, \"deadline_hits\": %d, \"escalations\": %d, \"undecided\": %d}%s\n"
+      p "\"conflicts\": %d, \"budget_hits\": %d, \"deadline_hits\": %d, \"escalations\": %d, \"undecided\": %d, "
         r.r_cec.Cec.conflicts r.r_cec.Cec.budget_hits r.r_cec.Cec.deadline_hits
-        r.r_cec.Cec.escalations r.r_cec.Cec.undecided
+        r.r_cec.Cec.escalations r.r_cec.Cec.undecided;
+      (* per-phase seconds, derived from the Obs span instrumentation:
+         engine phases are CPU-seconds (summed across partitions), the
+         elapsed field is the CEC's true wall clock *)
+      p "\"phase_unroll_seconds\": %.6f, \"phase_partition_seconds\": %.6f, "
+        r.r_unroll_seconds r.r_cec.Cec.partition_seconds;
+      p "\"phase_sweep_seconds\": %.6f, \"phase_sat_seconds\": %.6f, \"phase_bdd_seconds\": %.6f, "
+        r.r_cec.Cec.sweep_seconds r.r_cec.Cec.sat_seconds
+        r.r_cec.Cec.bdd_seconds;
+      p "\"phase_retime_seconds\": %.6f, \"elapsed_seconds\": %.6f}%s\n"
+        r.r_retime_seconds r.r_cec.Cec.elapsed_seconds
         (if i = List.length records - 1 then "" else ","))
     records;
   p "  ],\n";
@@ -203,6 +215,12 @@ let table1 ~full ~jobs ~smoke () =
           r_seq_verdict = Option.map snd seq;
           r_unrolled_nodes = row.Flow.verify_stats.Verify.unrolled_nodes;
           r_cec = row.Flow.verify_stats.Verify.cec;
+          r_unroll_seconds = row.Flow.verify_stats.Verify.unroll_seconds;
+          r_retime_seconds =
+            List.fold_left
+              (fun a (st, dt) ->
+                if List.mem st [ "C"; "E"; "F"; "G" ] then a +. dt else a)
+              0. row.Flow.stage_seconds;
         })
       suite
   in
@@ -628,6 +646,12 @@ let micro () =
         Test.make ~name:"t2/exposure-ex3"
           (Staged.stage (fun () ->
                ignore (Feedback.plan_functional (Workloads.by_name "ex3"))));
+        (* the disabled-sink cost of an instrumentation site: one atomic
+           load per emitter (the number quoted in DESIGN.md) *)
+        Test.make ~name:"obs/span-disabled"
+          (Staged.stage (fun () -> Obs.span ~name:"bench" (fun () -> ())));
+        Test.make ~name:"obs/count-disabled"
+          (Staged.stage (fun () -> Obs.count "bench" 1));
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -652,11 +676,12 @@ let micro () =
 let () =
   let args = Array.to_list Sys.argv in
   let has f = List.mem f args in
-  let rec opt_int flag = function
-    | f :: v :: _ when f = flag -> int_of_string_opt v
-    | _ :: tl -> opt_int flag tl
+  let rec opt_str flag = function
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: tl -> opt_str flag tl
     | [] -> None
   in
+  let opt_int flag args = Option.bind (opt_str flag args) int_of_string_opt in
   let any =
     has "--table1" || has "--table2" || has "--figs" || has "--micro"
     || has "--baseline" || has "--ablation-cec" || has "--ablation-rewrite"
@@ -665,6 +690,8 @@ let () =
   let full = has "--full" in
   let smoke = has "--smoke" in
   let jobs = max 1 (Option.value ~default:1 (opt_int "--jobs" args)) in
+  let trace = opt_str "--trace" args in
+  Option.iter (fun _ -> Obs.enable ()) trace;
   if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ();
   if (not any) || has "--table2" then table2 ();
   if (not any) || has "--figs" then figs ();
@@ -674,4 +701,11 @@ let () =
   if (not any) || has "--ablation-guard" then ablation_guard ();
   if (not any) || has "--ablation-synth" then ablation_synth_rewrite ();
   if (not any) || has "--ablation-dchoice" then ablation_dchoice ();
-  if (not any) || has "--micro" then micro ()
+  if (not any) || has "--micro" then micro ();
+  match trace with
+  | Some path ->
+      let oc = open_out path in
+      Obs.Chrome.write oc (Obs.collect ());
+      close_out oc;
+      pf "wrote trace %s@." path
+  | None -> ()

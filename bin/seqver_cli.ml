@@ -92,6 +92,88 @@ let limits_of timeout sat_conflicts =
           | some -> some);
       }
 
+(* ---- observability (shared by verify and flow) ---- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run (spans for every \
+           pipeline stage, miter partition and SAT call).  Load it in \
+           Perfetto (ui.perfetto.dev) or chrome://tracing.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ]
+        ~doc:"Print live per-stage progress on standard error.")
+
+let obs_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the run, print a span-tree summary (per-phase self/total \
+           times and counters).")
+
+(* Live progress printer: begin/end lines for the coarse pipeline spans,
+   written from the emitting domain (the hook is synchronous). *)
+let live_hook () =
+  let interesting name =
+    List.exists
+      (fun p -> String.starts_with ~prefix:p name)
+      [ "flow."; "verify."; "unroll."; "cec.check"; "cec.partition" ]
+  in
+  let m = Mutex.create () in
+  (* per-(domain, name) begin-time stacks, so End events get a duration *)
+  let began : (int * string, float list) Hashtbl.t = Hashtbl.create 16 in
+  let t0 = ref None in
+  fun (e : Obs.event) ->
+    match e with
+    | Obs.Begin { name; t; dom; _ } when interesting name ->
+        Mutex.lock m;
+        let rel = match !t0 with Some r -> t -. r | None -> t0 := Some t; 0. in
+        let st = Option.value ~default:[] (Hashtbl.find_opt began (dom, name)) in
+        Hashtbl.replace began (dom, name) (t :: st);
+        Printf.eprintf "[%7.3fs d%d] > %s\n%!" rel dom name;
+        Mutex.unlock m
+    | Obs.End { name; t; dom; _ } when interesting name ->
+        Mutex.lock m;
+        let rel = match !t0 with Some r -> t -. r | None -> 0. in
+        (match Hashtbl.find_opt began (dom, name) with
+        | Some (b :: rest) ->
+            Hashtbl.replace began (dom, name) rest;
+            Printf.eprintf "[%7.3fs d%d] < %s (%.3fs)\n%!" rel dom name (t -. b)
+        | _ -> Printf.eprintf "[%7.3fs d%d] < %s\n%!" rel dom name);
+        Mutex.unlock m
+    | _ -> ()
+
+(* Enables the sink when any observability flag is given; the returned
+   [finish] writes the requested outputs and must run before [exit] on
+   every path (including error exits, so partial traces still land). *)
+let obs_setup ~trace ~verbose ~stats =
+  let wanted = trace <> None || verbose || stats in
+  if wanted then begin
+    Obs.enable ();
+    if verbose then Obs.set_hook (Some (live_hook ()))
+  end;
+  fun () ->
+    if wanted then begin
+      Obs.set_hook None;
+      let events = Obs.collect () in
+      (match trace with
+      | Some path ->
+          let oc = open_out path in
+          Obs.Chrome.write oc events;
+          close_out oc;
+          Format.eprintf "trace written to %s (open in ui.perfetto.dev)@." path
+      | None -> ());
+      if stats then Format.printf "%a@." Obs.Summary.pp events;
+      Obs.disable ()
+    end
+
 (* ---- stats ---- *)
 
 let stats_cmd =
@@ -198,7 +280,13 @@ let retime_cmd =
 (* ---- verify ---- *)
 
 let verify_cmd =
-  let run p1 p2 engine exposed no_rewrite guard jobs timeout sat_conflicts =
+  let run p1 p2 engine exposed no_rewrite guard jobs timeout sat_conflicts
+      trace verbose obs_stats =
+    let finish = obs_setup ~trace ~verbose ~stats:obs_stats in
+    let quit code =
+      finish ();
+      exit code
+    in
     let c1 = load p1 and c2 = load p2 in
     let limits = limits_of timeout sat_conflicts in
     let outcome =
@@ -209,7 +297,7 @@ let verify_cmd =
       | Ok o -> o
       | Error d ->
           Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
-          exit 1
+          quit 1
     in
     let stats = outcome.Verify.stats in
     let method_ =
@@ -237,9 +325,9 @@ let verify_cmd =
       stats.Verify.seconds;
     Format.printf "cec: %a@." Cec.stats_pp stats.Verify.cec;
     match outcome.Verify.verdict with
-    | Verify.Equivalent -> ()
-    | Verify.Inequivalent _ -> exit 1
-    | Verify.Undecided _ -> exit 2
+    | Verify.Equivalent -> finish ()
+    | Verify.Inequivalent _ -> quit 1
+    | Verify.Undecided _ -> quit 2
   in
   let no_rewrite =
     Arg.(value & flag & info [ "no-rewrite" ] ~doc:"Disable the rule-(5) event rewrite.")
@@ -256,7 +344,7 @@ let verify_cmd =
       $ circuit_arg ~pos:0 ~doc:"First netlist."
       $ circuit_arg ~pos:1 ~doc:"Second netlist."
       $ engine_arg $ exposed_arg $ no_rewrite $ guard $ jobs_arg $ timeout_arg
-      $ sat_conflicts_arg)
+      $ sat_conflicts_arg $ trace_arg $ verbose_arg $ obs_stats_arg)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -315,12 +403,14 @@ let redundancy_cmd =
 (* ---- flow ---- *)
 
 let flow_cmd =
-  let run path jobs period timeout sat_conflicts =
+  let run path jobs period timeout sat_conflicts trace verbose obs_stats =
+    let finish = obs_setup ~trace ~verbose ~stats:obs_stats in
     let c = load path in
     let limits = limits_of timeout sat_conflicts in
     match Flow.run ~jobs ~limits ?period c with
     | Error d ->
         Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
+        finish ();
         exit 1
     | Ok row ->
         Format.printf
@@ -333,7 +423,8 @@ let flow_cmd =
           | Verify.Equivalent -> "EQ"
           | Verify.Inequivalent _ -> "NEQ"
           | Verify.Undecided _ -> "UNDEC")
-          row.Flow.verify_seconds
+          row.Flow.verify_seconds;
+        finish ()
   in
   let period =
     Arg.(
@@ -348,7 +439,8 @@ let flow_cmd =
   let term =
     Term.(
       const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg $ period
-      $ timeout_arg $ sat_conflicts_arg)
+      $ timeout_arg $ sat_conflicts_arg $ trace_arg $ verbose_arg
+      $ obs_stats_arg)
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run the full Fig. 19 experimental flow.") term
 

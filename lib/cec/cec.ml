@@ -35,6 +35,8 @@ type stats = {
   deadline_hits : int;
   escalations : int;
   undecided : int;
+  elapsed_seconds : float;
+  partition_seconds : float;
   bdd_seconds : float;
   sat_seconds : float;
   sweep_seconds : float;
@@ -51,6 +53,8 @@ let empty_stats =
     deadline_hits = 0;
     escalations = 0;
     undecided = 0;
+    elapsed_seconds = 0.;
+    partition_seconds = 0.;
     bdd_seconds = 0.;
     sat_seconds = 0.;
     sweep_seconds = 0.;
@@ -58,10 +62,10 @@ let empty_stats =
 
 let stats_pp ppf s =
   Format.fprintf ppf
-    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, %d conflicts, %d budget hits, %d deadline hits, %d escalations, %d undecided, engines bdd %.3fs sat %.3fs sweep %.3fs"
+    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, %d conflicts, %d budget hits, %d deadline hits, %d escalations, %d undecided, elapsed %.3fs (partitioning %.3fs), engine CPU-seconds bdd %.3f sat %.3f sweep %.3f"
     s.partitions s.sat_calls s.sim_rounds s.cache_hits s.conflicts
-    s.budget_hits s.deadline_hits s.escalations s.undecided s.bdd_seconds
-    s.sat_seconds s.sweep_seconds
+    s.budget_hits s.deadline_hits s.escalations s.undecided s.elapsed_seconds
+    s.partition_seconds s.bdd_seconds s.sat_seconds s.sweep_seconds
 
 (* Per-partition mutable counters.  Each partition task owns exactly one of
    these, so no synchronization is needed; they are merged after the pool
@@ -115,7 +119,19 @@ let stats_of_counters ~partitions cts =
     { empty_stats with partitions }
     cts
 
-let now () = Unix.gettimeofday ()
+(* Monotonic: NTP steps must neither fire per-partition deadlines early
+   nor skew the reported engine seconds. *)
+let now () = Obs.Clock.now ()
+
+(* Budget/deadline exhaustion counters double as trace instants, so a blown
+   budget is attributed to the partition span it happened in. *)
+let note_budget_hit ct reason =
+  ct.k_budget_hits <- ct.k_budget_hits + 1;
+  Obs.instant "cec.budget_hit" ~attrs:[ ("reason", Obs.String reason) ]
+
+let note_deadline_hit ct reason =
+  ct.k_deadline_hits <- ct.k_deadline_hits + 1;
+  Obs.instant "cec.deadline_hit" ~attrs:[ ("reason", Obs.String reason) ]
 
 (* Budget context for one partition: the limits, an absolute wall-clock
    deadline (fixed when the partition starts, so escalation rungs share it),
@@ -204,16 +220,16 @@ let check_bdd ct b (p : Seqprob.t) =
   let check_budget () =
     (match b.lim.bdd_nodes with
     | Some ceiling when Bdd.node_count man > ceiling ->
-        ct.k_budget_hits <- ct.k_budget_hits + 1;
+        note_budget_hit ct "BDD node ceiling";
         raise (Bdd_give_up "BDD node ceiling")
     | _ -> ());
     if cancelled b then begin
-      ct.k_deadline_hits <- ct.k_deadline_hits + 1;
+      note_deadline_hit ct "cancelled";
       raise (Bdd_give_up "cancelled")
     end;
     incr steps;
     if !steps land 255 = 0 && expired b then begin
-      ct.k_deadline_hits <- ct.k_deadline_hits + 1;
+      note_deadline_hit ct "partition deadline";
       raise (Bdd_give_up "partition deadline")
     end
   in
@@ -311,8 +327,9 @@ let sat_solve_counted ct b ?(factor = 1) solver ?assumptions () =
   (match r with
   | Sat.Unknown ->
       if cancelled b || expired b then
-        ct.k_deadline_hits <- ct.k_deadline_hits + 1
-      else ct.k_budget_hits <- ct.k_budget_hits + 1
+        note_deadline_hit ct
+          (if cancelled b then "cancelled" else "partition deadline")
+      else note_budget_hit ct "SAT conflict budget"
   | Sat.Sat | Sat.Unsat -> ());
   r
 
@@ -461,24 +478,40 @@ let check_sweep ct b ?(seed = 0xC0FFEE) (p : Seqprob.t) =
 
 (* ---------- engine dispatch, cache, partitioning ---------- *)
 
+let engine_name = function
+  | Bdd_engine -> "bdd"
+  | Sat_engine -> "sat"
+  | Sweep_engine -> "sweep"
+
+let verdict_attr = function
+  | Equivalent -> Obs.String "equivalent"
+  | Inequivalent _ -> Obs.String "inequivalent"
+  | Undecided r -> Obs.String ("undecided: " ^ r)
+
 (* Runs one engine on one (sub)problem, charging wall-clock to the engine's
-   stats bucket.  Every engine consumes the problem's AIG directly — no
-   per-engine netlist or AIG rebuild. *)
+   stats bucket.  The clock is the span instrumentation itself
+   (Obs.timed_span measures even with tracing disabled), so the stats
+   seconds and the trace always agree.  Every engine consumes the
+   problem's AIG directly — no per-engine netlist or AIG rebuild. *)
 let run_one ct b ~engine ~factor p =
-  let t0 = now () in
-  match engine with
-  | Bdd_engine ->
-      let v = check_bdd ct b p in
-      ct.k_bdd_s <- ct.k_bdd_s +. (now () -. t0);
-      v
-  | Sat_engine ->
-      let v = check_sat ct b ~factor p in
-      ct.k_sat_s <- ct.k_sat_s +. (now () -. t0);
-      v
-  | Sweep_engine ->
-      let v = check_sweep ct b p in
-      ct.k_sweep_s <- ct.k_sweep_s +. (now () -. t0);
-      v
+  let v, dt =
+    Obs.timed_span
+      ~name:("cec.engine." ^ engine_name engine)
+      (fun () ->
+        let v =
+          match engine with
+          | Bdd_engine -> check_bdd ct b p
+          | Sat_engine -> check_sat ct b ~factor p
+          | Sweep_engine -> check_sweep ct b p
+        in
+        Obs.attr (fun () -> [ ("verdict", verdict_attr v) ]);
+        v)
+  in
+  (match engine with
+  | Bdd_engine -> ct.k_bdd_s <- ct.k_bdd_s +. dt
+  | Sat_engine -> ct.k_sat_s <- ct.k_sat_s +. dt
+  | Sweep_engine -> ct.k_sweep_s <- ct.k_sweep_s +. dt);
+  v
 
 (* Staged escalation: a blown budget retries harder instead of failing.
    Rung 0 is the requested engine at its base budget; rung 1 is the SAT
@@ -506,6 +539,12 @@ let run_engine ct b ~engine p =
               if cancelled b || expired b then v
               else begin
                 ct.k_escalations <- ct.k_escalations + 1;
+                Obs.instant "cec.escalate"
+                  ~attrs:
+                    [
+                      ("engine", Obs.String (engine_name e));
+                      ("factor", Obs.Int factor);
+                    ];
                 match run_one ct b ~engine:e ~factor p with
                 | (Equivalent | Inequivalent _) as v -> v
                 | Undecided _ as v -> climb v rest
@@ -534,12 +573,17 @@ let check_pair ct b ~engine ~cache p =
   | None -> run_engine ct b ~engine p
   | Some cache -> (
       let key = pair_signature p in
+      let note_cache_hit () =
+        ct.k_cache_hits <- ct.k_cache_hits + 1;
+        Obs.instant "cec.cache_hit";
+        Obs.count "cec.cache_hits" 1
+      in
       match Cache.find cache key with
       | Some Cache.E_equivalent ->
-          ct.k_cache_hits <- ct.k_cache_hits + 1;
+          note_cache_hit ();
           Equivalent
       | Some (Cache.E_inequivalent pos) ->
-          ct.k_cache_hits <- ct.k_cache_hits + 1;
+          note_cache_hit ();
           let cvars = canonical_vars p in
           Inequivalent
             (List.filter_map
@@ -682,12 +726,16 @@ let check_partitioned ~engine ~jobs ~limits ~cache (p : Seqprob.t) =
   else begin
     let cache = match cache with Some c -> c | None -> Cache.create () in
     let o1 = Array.of_list p.outs1 and o2 = Array.of_list p.outs2 in
-    let clusters = pack_clusters (cluster_outputs p) in
     (* Sub-AIG extraction is cheap and sequential; afterwards every
        partition task owns its sub-problem outright, so nothing mutable
        crosses domains. *)
-    let parts =
-      List.mapi (fun k members -> (k, extract_part p members o1 o2)) clusters
+    let parts, layout_seconds =
+      Obs.timed_span ~name:"cec.layout" (fun () ->
+          let clusters = pack_clusters (cluster_outputs p) in
+          Obs.attr (fun () -> [ ("partitions", Obs.Int (List.length clusters)) ]);
+          List.mapi
+            (fun k members -> (k, extract_part p members o1 o2))
+            clusters)
     in
     let n = List.length parts in
     let counters = Array.init n (fun _ -> fresh_counters ()) in
@@ -701,26 +749,46 @@ let check_partitioned ~engine ~jobs ~limits ~cache (p : Seqprob.t) =
       Par.Pool.with_pool ~jobs:(min jobs n) (fun pool ->
           Par.Pool.find_first ~found:cancel pool
             (fun (k, sub) ->
-              let b =
-                {
-                  lim = limits;
-                  (* per-partition deadline starts when the partition does *)
-                  deadline = Option.map (fun s -> now () +. s) limits.seconds;
-                  cancel = Some cancel;
-                }
-              in
-              match
-                check_pair counters.(k) b ~engine ~cache:(Some cache) sub
-              with
-              | Equivalent -> None
-              | Undecided reason ->
-                  counters.(k).k_undecided <- counters.(k).k_undecided + 1;
-                  undecided.(k) <- Some reason;
-                  None
-              | Inequivalent cex -> Some cex)
+              Obs.span ~name:"cec.partition"
+                ~attrs:
+                  [
+                    ("partition", Obs.Int k);
+                    ("outputs", Obs.Int (List.length sub.Seqprob.outs1));
+                    ("aig_nodes", Obs.Int (Aig.node_count sub.Seqprob.graph));
+                  ]
+                (fun () ->
+                  let b =
+                    {
+                      lim = limits;
+                      (* per-partition deadline starts when the partition
+                         does *)
+                      deadline =
+                        Option.map (fun s -> now () +. s) limits.seconds;
+                      cancel = Some cancel;
+                    }
+                  in
+                  match
+                    check_pair counters.(k) b ~engine ~cache:(Some cache) sub
+                  with
+                  | Equivalent -> None
+                  | Undecided reason ->
+                      counters.(k).k_undecided <- counters.(k).k_undecided + 1;
+                      undecided.(k) <- Some reason;
+                      None
+                  | Inequivalent cex ->
+                      (* siblings observe the shared flag the moment
+                         find_first records this answer *)
+                      Obs.instant "cec.first_cex"
+                        ~attrs:[ ("partition", Obs.Int k) ];
+                      Some cex))
             parts)
     in
-    let stats = stats_of_counters ~partitions:n counters in
+    let stats =
+      {
+        (stats_of_counters ~partitions:n counters) with
+        partition_seconds = layout_seconds;
+      }
+    in
     match found with
     | Some cex -> (Inequivalent cex, stats)
     | None -> (
@@ -745,16 +813,30 @@ let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
     invalid_arg "Cec: output counts differ";
   let jobs = max 1 jobs in
   let partitioned = match partition with Some b -> b | None -> jobs > 1 in
-  if partitioned then check_partitioned ~engine ~jobs ~limits ~cache p
-  else begin
-    let ct = fresh_counters () in
-    let b = bctx_of_limits limits in
-    let v = check_pair ct b ~engine ~cache p in
-    (match v with
-    | Undecided _ -> ct.k_undecided <- ct.k_undecided + 1
-    | Equivalent | Inequivalent _ -> ());
-    (v, stats_of_counters ~partitions:1 [| ct |])
-  end
+  (* elapsed_seconds is the true wall clock of the whole check, derived
+     from the enclosing span — in parallel runs the per-engine CPU-second
+     sums can legitimately exceed it *)
+  let (v, stats), elapsed =
+    Obs.timed_span ~name:"cec.check"
+      ~attrs:
+        [
+          ("engine", Obs.String (engine_name engine));
+          ("jobs", Obs.Int jobs);
+          ("outputs", Obs.Int (List.length p.outs1));
+        ]
+      (fun () ->
+        if partitioned then check_partitioned ~engine ~jobs ~limits ~cache p
+        else begin
+          let ct = fresh_counters () in
+          let b = bctx_of_limits limits in
+          let v = check_pair ct b ~engine ~cache p in
+          (match v with
+          | Undecided _ -> ct.k_undecided <- ct.k_undecided + 1
+          | Equivalent | Inequivalent _ -> ());
+          (v, stats_of_counters ~partitions:1 [| ct |])
+        end)
+  in
+  (v, { stats with elapsed_seconds = elapsed })
 
 let check_problem ?engine ?jobs ?partition ?limits ?cache p =
   fst (check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache p)

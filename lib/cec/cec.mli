@@ -71,19 +71,36 @@ type stats = {
   undecided : int;
       (** partitions left undecided (includes partitions abandoned because
           a sibling already found a counterexample) *)
+  elapsed_seconds : float;
+      (** true wall clock of the whole check (monotonic), including
+          partitioning and cache probing *)
+  partition_seconds : float;
+      (** wall clock spent computing the partition layout (output
+          clustering, bin packing and sub-AIG extraction); [0.] for a
+          monolithic check *)
   bdd_seconds : float;
-      (** wall-clock spent in each engine; in parallel mode these are
-          summed across partitions, so they can exceed the elapsed time *)
+      (** CPU-seconds spent in each engine: per-partition engine times
+          summed across partitions.  In parallel mode partitions overlap
+          in time, so these sums can legitimately {e exceed}
+          [elapsed_seconds] — compare against [elapsed_seconds] for the
+          wall-clock story *)
   sat_seconds : float;
   sweep_seconds : float;
 }
 (** Per-check statistics.  A [stats] value is owned by the caller of one
     check: concurrent checks (and the partitions within one check) never
-    share mutable state. *)
+    share mutable state.  All [*_seconds] fields are derived from the
+    {!Obs} span instrumentation (monotonic clock) and are measured whether
+    or not tracing is enabled; {!stats_pp} prints both the wall clock and
+    the per-engine CPU-second sums. *)
 
 val empty_stats : stats
 
 val stats_pp : Format.formatter -> stats -> unit
+(** One-line rendering printing {e every} field: counters, the elapsed
+    wall clock (with the partitioning share) and the per-engine
+    CPU-seconds (labelled as such, since they can exceed the wall clock
+    in parallel runs). *)
 
 (** Structural-hash result cache.  Keyed by the purely structural canonical
     AIG signature of an output-cone pair (see {!Aig.cone_signature});

@@ -146,9 +146,27 @@ let unroll_exn ?(guard = false) ~table ?(exposed = fun _ -> false) b c =
     } )
 
 let unroll ?guard ~table ?exposed b c =
-  match unroll_exn ?guard ~table ?exposed b c with
-  | r -> Ok r
-  | exception Seqprob.Error d -> Error d
+  Obs.span ~name:"unroll.edbf"
+    ~attrs:[ ("circuit", Obs.String (Circuit.name c)) ]
+    (fun () ->
+      let n0 = Aig.and_count (Seqprob.graph b) in
+      let r =
+        match unroll_exn ?guard ~table ?exposed b c with
+        | r -> Ok r
+        | exception Seqprob.Error d -> Error d
+      in
+      Obs.attr (fun () ->
+          match r with
+          | Ok (_, info) ->
+              [
+                ("depth", Obs.Int info.depth);
+                ("variables", Obs.Int info.variables);
+                ("replication", Obs.Int info.replication);
+                ( "aig_nodes_added",
+                  Obs.Int (Aig.and_count (Seqprob.graph b) - n0) );
+              ]
+          | Error d -> [ ("error", Obs.String (Seqprob.diagnosis_to_string d)) ]);
+      r)
 
 let unroll_netlist ?(guard = false) ~table ?(exposed = fun _ -> false) c =
   Circuit.check c;

@@ -14,6 +14,7 @@ type row = {
   verify_seconds : float;
   verify_verdict : Verify.verdict;
   verify_stats : Verify.stats;
+  stage_seconds : (string * float) list;
 }
 
 let ( let* ) = Result.bind
@@ -82,26 +83,42 @@ let circuits ?engine:_ a =
   Ok (b, c)
 
 let run ?engine ?jobs ?limits ?cache ?period ?(skip_verify = false) a =
+  Obs.span ~name:"flow.run"
+    ~attrs:[ ("circuit", Obs.String (Circuit.name a)) ]
+  @@ fun () ->
   Circuit.check a;
   let* () = regular_latches_only a in
+  let stages = ref [] in
+  (* one span per flow stage; the measured wall clock also lands in the
+     row's [stage_seconds] so callers get per-phase times without a sink *)
+  let stage name f =
+    let r, dt = Obs.timed_span ~name:("flow." ^ name) f in
+    stages := (name, dt) :: !stages;
+    r
+  in
   let plan = Feedback.plan_structural a in
   let exposed_names = List.map (Circuit.signal_name a) plan.Feedback.exposed in
-  let b = make_b a exposed_names in
-  let d = Synth_script.delay_script a in
+  let b = stage "B" (fun () -> make_b a exposed_names) in
+  let d = stage "D" (fun () -> Synth_script.delay_script a) in
   let period_d = Circuit.delay d in
   (* a user-supplied period is a hard constraint; the default (D's delay)
      degrades to min-period when infeasible *)
   let target, fallback =
     match period with Some p -> (p, false) | None -> (period_d, true)
   in
-  let* c = optimize_c ~exposed_names b in
-  let* e = optimize_e ~exposed_names ~period:target ~fallback b in
+  let* c = stage "C" (fun () -> optimize_c ~exposed_names b) in
+  let* e =
+    stage "E" (fun () -> optimize_e ~exposed_names ~period:target ~fallback b)
+  in
   let* f =
-    optimize_c ~exposed_names:[] (Circuit.copy ~name:(Circuit.name a ^ "_F") a)
+    stage "F" (fun () ->
+        optimize_c ~exposed_names:[]
+          (Circuit.copy ~name:(Circuit.name a ^ "_F") a))
   in
   let* g =
-    optimize_e ~exposed_names:[] ~period:target ~fallback
-      (Circuit.copy ~name:(Circuit.name a ^ "_G") a)
+    stage "G" (fun () ->
+        optimize_e ~exposed_names:[] ~period:target ~fallback
+          (Circuit.copy ~name:(Circuit.name a ^ "_G") a))
   in
   let nl = Circuit.latch_count a in
   let* outcome =
@@ -118,10 +135,13 @@ let run ?engine ?jobs ?limits ?cache ?period ?(skip_verify = false) a =
               unrolled_nodes = 0;
               unrolled_gates = (0, 0);
               cec = Cec.empty_stats;
+              unroll_seconds = 0.;
               seconds = 0.;
             };
         }
-    else Verify.check ?engine ?jobs ?limits ?cache ~exposed:exposed_names b c
+    else
+      stage "verify" (fun () ->
+          Verify.check ?engine ?jobs ?limits ?cache ~exposed:exposed_names b c)
   in
   Ok
     {
@@ -143,6 +163,7 @@ let run ?engine ?jobs ?limits ?cache ?period ?(skip_verify = false) a =
       verify_seconds = outcome.Verify.stats.Verify.seconds;
       verify_verdict = outcome.Verify.verdict;
       verify_stats = outcome.Verify.stats;
+      stage_seconds = List.rev !stages;
     }
 
 let exposure_report c =

@@ -30,6 +30,11 @@ type row = {
   verify_seconds : float;
   verify_verdict : Verify.verdict;
   verify_stats : Verify.stats;
+  stage_seconds : (string * float) list;
+      (** wall clock per pipeline stage, in execution order: ["B"]; ["D"];
+          ["C"]; ["E"]; ["F"]; ["G"]; ["verify"] (absent under
+          [skip_verify]).  Derived from the {!Obs} stage spans (monotonic
+          clock), measured whether or not tracing is enabled. *)
 }
 
 val metrics_of : Circuit.t -> metrics

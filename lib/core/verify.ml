@@ -13,6 +13,7 @@ type stats = {
   unrolled_nodes : int;
   unrolled_gates : int * int;
   cec : Cec.stats;
+  unroll_seconds : float;
   seconds : float;
 }
 
@@ -76,40 +77,50 @@ let build_problem ~rewrite_events ~guard_events ~ex1 ~ex2 c1 c2 =
 
 let check ?engine ?jobs ?limits ?cache ?(rewrite_events = true)
     ?(guard_events = false) ?(exposed = []) c1 c2 =
-  let t0 = Unix.gettimeofday () in
-  let* ex1 = exposed_pred c1 exposed in
-  let* ex2 = exposed_pred c2 exposed in
-  let* p, method_, depth, events, unrolled_gates =
-    build_problem ~rewrite_events ~guard_events ~ex1 ~ex2 c1 c2
-  in
-  let cec_verdict, cec =
-    Cec.check_problem_with_stats ?engine ?jobs ?limits ?cache p
-  in
-  let verdict =
-    match (cec_verdict, method_) with
-    | Cec.Equivalent, _ -> Equivalent
-    | Cec.Undecided reason, _ -> Undecided reason
-    | Cec.Inequivalent cex, Cbf_method -> Inequivalent (Some cex)
-    | Cec.Inequivalent _, Edbf_method ->
-        (* conservative method: a differing unrolling is not a certified
-           sequential counterexample *)
-        Inequivalent None
-  in
-  Ok
-    {
-      verdict;
-      stats =
+  Obs.span ~name:"verify.check"
+    ~attrs:
+      [
+        ("circuit1", Obs.String (Circuit.name c1));
+        ("circuit2", Obs.String (Circuit.name c2));
+      ]
+    (fun () ->
+      let t0 = Obs.Clock.now () in
+      let* ex1 = exposed_pred c1 exposed in
+      let* ex2 = exposed_pred c2 exposed in
+      let unrolled, unroll_seconds =
+        Obs.timed_span ~name:"verify.unroll" (fun () ->
+            build_problem ~rewrite_events ~guard_events ~ex1 ~ex2 c1 c2)
+      in
+      let* p, method_, depth, events, unrolled_gates = unrolled in
+      let cec_verdict, cec =
+        Cec.check_problem_with_stats ?engine ?jobs ?limits ?cache p
+      in
+      let verdict =
+        match (cec_verdict, method_) with
+        | Cec.Equivalent, _ -> Equivalent
+        | Cec.Undecided reason, _ -> Undecided reason
+        | Cec.Inequivalent cex, Cbf_method -> Inequivalent (Some cex)
+        | Cec.Inequivalent _, Edbf_method ->
+            (* conservative method: a differing unrolling is not a certified
+               sequential counterexample *)
+            Inequivalent None
+      in
+      Ok
         {
-          method_;
-          depth;
-          variables = Array.length p.Seqprob.vars;
-          events;
-          unrolled_nodes = Seqprob.and_nodes p;
-          unrolled_gates;
-          cec;
-          seconds = Unix.gettimeofday () -. t0;
-        };
-    }
+          verdict;
+          stats =
+            {
+              method_;
+              depth;
+              variables = Array.length p.Seqprob.vars;
+              events;
+              unrolled_nodes = Seqprob.and_nodes p;
+              unrolled_gates;
+              cec;
+              unroll_seconds;
+              seconds = Obs.Clock.now () -. t0;
+            };
+        })
 
 (* ---- counterexample replay ---- *)
 

@@ -38,7 +38,10 @@ type stats = {
       (** per-side gate replication before structural hashing — what each
           side would cost as a flat netlist unroll *)
   cec : Cec.stats;  (** full per-check combinational statistics *)
-  seconds : float;  (** wall-clock of the whole check *)
+  unroll_seconds : float;
+      (** wall clock spent unrolling both sides into the shared AIG
+          (monotonic, measured whether or not tracing is enabled) *)
+  seconds : float;  (** wall-clock of the whole check (monotonic) *)
 }
 
 type outcome = { verdict : verdict; stats : stats }

@@ -1,0 +1,390 @@
+module Clock = struct
+  external now : unit -> float = "obs_clock_monotonic_s"
+end
+
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type attrs = (string * value) list
+
+type event =
+  | Begin of { name : string; t : float; dom : int; attrs : attrs }
+  | End of { name : string; t : float; dom : int; attrs : attrs }
+  | Instant of { name : string; t : float; dom : int; attrs : attrs }
+  | Count of { name : string; t : float; dom : int; n : int }
+
+let time_of = function
+  | Begin { t; _ } | End { t; _ } | Instant { t; _ } | Count { t; _ } -> t
+
+let dom_of = function
+  | Begin { dom; _ } | End { dom; _ } | Instant { dom; _ } | Count { dom; _ }
+    ->
+      dom
+
+let dummy = Count { name = ""; t = 0.; dom = 0; n = 0 }
+
+(* Per-domain event buffer.  Only the owning domain appends; [len] is
+   published with a release store so a collector on another domain sees
+   every slot below the length it reads.  Growth replaces [arr] (the old
+   array stays valid for concurrent readers holding it). *)
+type buf = {
+  dom : int;
+  mutable arr : event array;
+  len : int Atomic.t;
+  (* open spans of this domain, innermost first; each cell accumulates the
+     attrs to be carried on the span's End event.  Owner-domain only. *)
+  mutable open_spans : (string * attrs ref) list;
+}
+
+let registry : buf list ref = ref []
+let registry_m = Mutex.create ()
+
+let buf_key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          dom = (Domain.self () :> int);
+          arr = Array.make 256 dummy;
+          len = Atomic.make 0;
+          open_spans = [];
+        }
+      in
+      Mutex.lock registry_m;
+      registry := b :: !registry;
+      Mutex.unlock registry_m;
+      b)
+
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let hook : (event -> unit) option ref = ref None
+let set_hook h = hook := h
+
+let reset () =
+  Mutex.lock registry_m;
+  List.iter (fun b -> Atomic.set b.len 0) !registry;
+  Mutex.unlock registry_m;
+  (Domain.DLS.get buf_key).open_spans <- []
+
+let push b e =
+  let n = Atomic.get b.len in
+  if n = Array.length b.arr then begin
+    let bigger = Array.make (2 * n) dummy in
+    Array.blit b.arr 0 bigger 0 n;
+    b.arr <- bigger
+  end;
+  b.arr.(n) <- e;
+  Atomic.set b.len (n + 1);
+  match !hook with None -> () | Some f -> f e
+
+let collect () =
+  Mutex.lock registry_m;
+  let bufs = !registry in
+  Mutex.unlock registry_m;
+  let evs =
+    List.concat_map
+      (fun b ->
+        let n = Atomic.get b.len in
+        let a = b.arr in
+        (* if a stale (pre-growth) array is read, expose its prefix only *)
+        let n = min n (Array.length a) in
+        List.init n (fun i -> a.(i)))
+      bufs
+  in
+  (* stable: within one domain timestamps are non-decreasing, so each
+     domain's own event order survives the merge *)
+  List.stable_sort (fun e1 e2 -> Float.compare (time_of e1) (time_of e2)) evs
+
+(* ---------- emitting ---------- *)
+
+let span ~name ?(attrs = []) f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let b = Domain.DLS.get buf_key in
+    let cell = ref [] in
+    b.open_spans <- (name, cell) :: b.open_spans;
+    push b (Begin { name; t = Clock.now (); dom = b.dom; attrs });
+    Fun.protect
+      ~finally:(fun () ->
+        (match b.open_spans with
+        | (_, c) :: rest when c == cell -> b.open_spans <- rest
+        | _ -> () (* imbalanced by an enable-toggle mid-span; tolerate *));
+        push b (End { name; t = Clock.now (); dom = b.dom; attrs = !cell }))
+      f
+  end
+
+let timed_span ~name ?attrs f =
+  let t0 = Clock.now () in
+  let r = span ~name ?attrs f in
+  (r, Clock.now () -. t0)
+
+let attr fattrs =
+  if Atomic.get on then begin
+    let b = Domain.DLS.get buf_key in
+    match b.open_spans with
+    | (_, cell) :: _ -> cell := !cell @ fattrs ()
+    | [] -> ()
+  end
+
+let instant ?(attrs = []) name =
+  if Atomic.get on then begin
+    let b = Domain.DLS.get buf_key in
+    push b (Instant { name; t = Clock.now (); dom = b.dom; attrs })
+  end
+
+let count name n =
+  if Atomic.get on then begin
+    let b = Domain.DLS.get buf_key in
+    push b (Count { name; t = Clock.now (); dom = b.dom; n })
+  end
+
+(* ---------- sinks ---------- *)
+
+module Counters = struct
+  let totals evs =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Count { name; n; _ } ->
+            Hashtbl.replace tbl name
+              (n + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+        | _ -> ())
+      evs;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+end
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' | '\\' ->
+          Buffer.add_char buf '\\';
+          Buffer.add_char buf c
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_finite f then Printf.sprintf "%.17g" f
+      else Printf.sprintf "\"%h\"" f
+  | Bool b -> string_of_bool b
+  | String s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let attrs_to_json attrs =
+  String.concat ","
+    (List.map
+       (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v))
+       attrs)
+
+module Chrome = struct
+  let to_buffer buf evs =
+    let base = List.fold_left (fun m e -> min m (time_of e)) infinity evs in
+    let base = if Float.is_finite base then base else 0. in
+    let us t = (t -. base) *. 1e6 in
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    p "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    p "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":\"seqver\"}}";
+    (* one named track per domain *)
+    let doms = List.sort_uniq compare (List.map dom_of evs) in
+    List.iter
+      (fun d ->
+        p
+          ",\n{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"domain %d\"}}"
+          d d)
+      doms;
+    (* counter tracks plot running totals *)
+    let totals = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        match e with
+        | Begin { name; t; dom; attrs } ->
+            p
+              ",\n{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{%s}}"
+              (json_escape name) dom (us t) (attrs_to_json attrs)
+        | End { name; t; dom; attrs } ->
+            p
+              ",\n{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{%s}}"
+              (json_escape name) dom (us t) (attrs_to_json attrs)
+        | Instant { name; t; dom; attrs } ->
+            p
+              ",\n{\"name\":\"%s\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{%s}}"
+              (json_escape name) dom (us t) (attrs_to_json attrs)
+        | Count { name; t; dom; n } ->
+            let total =
+              n + Option.value ~default:0 (Hashtbl.find_opt totals name)
+            in
+            Hashtbl.replace totals name total;
+            p
+              ",\n{\"name\":\"%s\",\"cat\":\"counter\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"args\":{\"value\":%d}}"
+              (json_escape name) dom (us t) total)
+      evs;
+    p "]}\n"
+
+  let to_string evs =
+    let buf = Buffer.create 4096 in
+    to_buffer buf evs;
+    Buffer.contents buf
+
+  let write oc evs = output_string oc (to_string evs)
+end
+
+module Jsonl = struct
+  let to_buffer buf evs =
+    let p fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    let line kind name t dom attrs tail =
+      p "{\"type\":\"%s\",\"name\":\"%s\",\"t\":%.9f,\"dom\":%d%s" kind
+        (json_escape name) t dom tail;
+      (match attrs with
+      | [] -> ()
+      | attrs -> p ",\"attrs\":{%s}" (attrs_to_json attrs));
+      p "}\n"
+    in
+    List.iter
+      (fun e ->
+        match e with
+        | Begin { name; t; dom; attrs } -> line "begin" name t dom attrs ""
+        | End { name; t; dom; attrs } -> line "end" name t dom attrs ""
+        | Instant { name; t; dom; attrs } -> line "instant" name t dom attrs ""
+        | Count { name; t; dom; n } ->
+            line "count" name t dom [] (Printf.sprintf ",\"n\":%d" n))
+      evs
+
+  let to_string evs =
+    let buf = Buffer.create 4096 in
+    to_buffer buf evs;
+    Buffer.contents buf
+
+  let write oc evs = output_string oc (to_string evs)
+end
+
+module Summary = struct
+  type node = {
+    name : string;
+    count : int;
+    total : float;
+    self : float;
+    children : node list;
+  }
+
+  (* aggregation cell: one per (parent path, name) *)
+  type acc = {
+    mutable a_count : int;
+    mutable a_total : float;
+    mutable a_child : float;
+    a_children : (string, acc) Hashtbl.t;
+  }
+
+  let fresh_acc () =
+    { a_count = 0; a_total = 0.; a_child = 0.; a_children = Hashtbl.create 4 }
+
+  let tree evs =
+    let root = fresh_acc () in
+    (* split back into per-domain streams (collect preserved their order) *)
+    let by_dom = Hashtbl.create 8 in
+    List.iter
+      (fun e ->
+        let d = dom_of e in
+        let l =
+          match Hashtbl.find_opt by_dom d with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.add by_dom d l;
+              l
+        in
+        l := e :: !l)
+      evs;
+    let close stack t =
+      (* close every span still open at [t], charging parents *)
+      List.fold_left
+        (fun inner_dur (a, t0) ->
+          let d = t -. t0 in
+          a.a_count <- a.a_count + 1;
+          a.a_total <- a.a_total +. d;
+          a.a_child <- a.a_child +. inner_dur;
+          d)
+        0. stack
+      |> ignore
+    in
+    Hashtbl.iter
+      (fun _dom levs ->
+        let levs = List.rev !levs in
+        let last_t = List.fold_left (fun m e -> max m (time_of e)) 0. levs in
+        let stack = ref [] in
+        List.iter
+          (fun e ->
+            match e with
+            | Begin { name; t; _ } ->
+                let tbl =
+                  match !stack with
+                  | (a, _) :: _ -> a.a_children
+                  | [] -> root.a_children
+                in
+                let a =
+                  match Hashtbl.find_opt tbl name with
+                  | Some a -> a
+                  | None ->
+                      let a = fresh_acc () in
+                      Hashtbl.add tbl name a;
+                      a
+                in
+                stack := (a, t) :: !stack
+            | End { t; _ } -> (
+                match !stack with
+                | [] -> () (* unmatched end *)
+                | (a, t0) :: rest ->
+                    let d = t -. t0 in
+                    a.a_count <- a.a_count + 1;
+                    a.a_total <- a.a_total +. d;
+                    (match rest with
+                    | (parent, _) :: _ -> parent.a_child <- parent.a_child +. d
+                    | [] -> ());
+                    stack := rest)
+            | Instant _ | Count _ -> ())
+          levs;
+        close !stack last_t)
+      by_dom;
+    let rec nodes_of acc =
+      Hashtbl.fold
+        (fun name a l ->
+          {
+            name;
+            count = a.a_count;
+            total = a.a_total;
+            self = Float.max 0. (a.a_total -. a.a_child);
+            children = nodes_of a;
+          }
+          :: l)
+        acc.a_children []
+      |> List.sort (fun n1 n2 -> Float.compare n2.total n1.total)
+    in
+    nodes_of root
+
+  let pp ppf evs =
+    let t = tree evs in
+    Format.fprintf ppf "%-46s %7s %10s %10s@." "span" "count" "total" "self";
+    let rec go depth n =
+      Format.fprintf ppf "%-46s %7d %9.3fs %9.3fs@."
+        (String.make (2 * depth) ' ' ^ n.name)
+        n.count n.total n.self;
+      List.iter (go (depth + 1)) n.children
+    in
+    List.iter (go 0) t;
+    match Counters.totals evs with
+    | [] -> ()
+    | cts ->
+        Format.fprintf ppf "counters:@.";
+        List.iter
+          (fun (name, n) -> Format.fprintf ppf "  %-44s %7d@." name n)
+          cts
+end

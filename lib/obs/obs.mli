@@ -1,0 +1,136 @@
+(** Structured tracing and metrics.
+
+    A dependency-free (stdlib + one local C stub) observability layer:
+    hierarchical
+    {e spans}, named {e counters} and point {e instants}, buffered in
+    per-domain lock-free event buffers and merged at collection time, so
+    instrumenting code that runs inside a {!Par.Pool} never contends on
+    the hot path.
+
+    The global sink is disabled by default; every emitting call then costs
+    a single branch (one atomic load) plus whatever the caller spent
+    building its arguments — instrumentation sites that would allocate
+    should pass attributes through the lazy {!attr} form.  Timing helpers
+    ({!timed_span}) measure even while disabled, so derived statistics
+    (e.g. {!Cec.stats}) stay correct with tracing off.
+
+    Three sinks render a collected event list: {!Chrome} (trace-event
+    JSON, loadable in Perfetto, one track per domain), {!Summary} (a
+    span-tree with self/total times) and {!Jsonl} (structured events, one
+    JSON object per line).  A synchronous {!set_hook} feeds live progress
+    displays. *)
+
+module Clock : sig
+  external now : unit -> float = "obs_clock_monotonic_s"
+  (** Monotonic seconds ([clock_gettime(CLOCK_MONOTONIC)] via a local C
+      stub); immune to NTP steps, so deadlines and span durations never
+      jump.  The epoch is arbitrary — only differences are meaningful. *)
+end
+
+(** Attribute values attached to spans and instants. *)
+type value = Int of int | Float of float | Bool of bool | String of string
+
+type attrs = (string * value) list
+
+type event =
+  | Begin of { name : string; t : float; dom : int; attrs : attrs }
+  | End of { name : string; t : float; dom : int; attrs : attrs }
+  | Instant of { name : string; t : float; dom : int; attrs : attrs }
+  | Count of { name : string; t : float; dom : int; n : int }
+      (** [dom] is the integer id of the domain that emitted the event;
+          [t] is a {!Clock} timestamp. *)
+
+(** {1 Recording} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turns the global sink on.  Events emitted before [enable] are not
+    retroactively recorded. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drops all buffered events.  Call only while no other domain is
+    emitting (e.g. between benchmark runs). *)
+
+val collect : unit -> event list
+(** Merges every domain's buffer into one list sorted by timestamp
+    (stable, so each domain's own order is preserved).  Safe to call
+    after the emitting domains have been joined; collecting while they
+    still run yields a consistent prefix of each buffer. *)
+
+val set_hook : (event -> unit) option -> unit
+(** Synchronous observer called on every emitted event {e in addition to}
+    buffering, from the emitting domain — it must be thread-safe and
+    fast.  Only invoked while {!enabled}. *)
+
+(** {1 Emitting} *)
+
+val span : name:string -> ?attrs:attrs -> (unit -> 'a) -> 'a
+(** [span ~name f] runs [f] inside a span: a [Begin] event, then [f ()],
+    then an [End] event (also on exceptions).  Spans nest per domain.
+    Disabled: exactly [f ()]. *)
+
+val timed_span : name:string -> ?attrs:attrs -> (unit -> 'a) -> 'a * float
+(** Like {!span} but also returns [f]'s wall-clock seconds.  The duration
+    is measured even when tracing is disabled (two clock reads), so stats
+    fields can be derived from the span instrumentation alone. *)
+
+val attr : (unit -> attrs) -> unit
+(** Attaches attributes to the innermost open span of the calling domain;
+    they are carried on its [End] event.  The thunk is only evaluated
+    when tracing is enabled — use this for attributes whose construction
+    allocates (end-of-call counter deltas and the like). *)
+
+val instant : ?attrs:attrs -> string -> unit
+(** A point event (cache hit, escalation, cancellation...). *)
+
+val count : string -> int -> unit
+(** [count name n] increments counter [name] by [n].  Per-domain buffers
+    make this contention-free; totals are merged at collection time. *)
+
+(** {1 Sinks} *)
+
+module Counters : sig
+  val totals : event list -> (string * int) list
+  (** Counter sums across all domains, sorted by name. *)
+end
+
+module Chrome : sig
+  (** Chrome trace-event JSON ({{:https://ui.perfetto.dev}Perfetto}, or
+      [chrome://tracing]): one [pid], one [tid] (track) per domain,
+      [B]/[E] duration events with [args], [i] instants, [C] counters
+      (running totals).  Timestamps are microseconds from the earliest
+      collected event. *)
+
+  val write : out_channel -> event list -> unit
+  val to_string : event list -> string
+end
+
+module Jsonl : sig
+  (** One JSON object per line:
+      [{"type":"begin"|"end"|"instant"|"count","name":...,"t":...,
+        "dom":...,...}]. *)
+
+  val write : out_channel -> event list -> unit
+  val to_string : event list -> string
+end
+
+module Summary : sig
+  type node = {
+    name : string;
+    count : int;  (** completed spans aggregated into this node *)
+    total : float;  (** summed durations (CPU-like: across domains) *)
+    self : float;  (** [total] minus time inside child spans *)
+    children : node list;  (** sorted by [total], largest first *)
+  }
+
+  val tree : event list -> node list
+  (** Aggregates spans by name path: the same name under the same parent
+      path is one node, merged across domains.  Spans left open are
+      closed at their domain's last event. *)
+
+  val pp : Format.formatter -> event list -> unit
+  (** Renders the tree plus counter totals, durations in seconds. *)
+end

@@ -1,0 +1,13 @@
+/* Monotonic clock for Obs.Clock: immune to NTP steps, unlike
+   Unix.gettimeofday.  POSIX clock_gettime(CLOCK_MONOTONIC). */
+
+#include <caml/alloc.h>
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

@@ -37,7 +37,13 @@ module Pool = struct
         stop = false;
       }
     in
-    p.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker p));
+    p.domains <-
+      List.init (jobs - 1) (fun _ ->
+          Domain.spawn (fun () ->
+              (* one span per worker lifetime: in a trace, the gap between
+                 this span and the pool.task spans inside it is idle time,
+                 which is exactly the domain-utilization picture *)
+              Obs.span ~name:"pool.worker" (fun () -> worker p)));
     p
 
   let shutdown p =
@@ -72,13 +78,35 @@ module Pool = struct
           if !pending = 0 then Condition.signal jcv;
           Mutex.unlock jm
         in
+        (* Tracing wrapper: a span per task, recording how long the task
+           sat in the queue before a domain picked it up (run time is the
+           span itself).  Tasks run by the submitting domain never queue,
+           so their wait is 0 by construction. *)
+        let wrap ~enqueued i =
+          if not (Obs.enabled ()) then task i
+          else fun () ->
+            let wait =
+              match enqueued with
+              | None -> 0.
+              | Some t -> Obs.Clock.now () -. t
+            in
+            Obs.count "pool.queue_wait_ns" (int_of_float (wait *. 1e9));
+            Obs.span ~name:"pool.task"
+              ~attrs:
+                [
+                  ("task", Obs.Int i);
+                  ("queue_wait_us", Obs.Float (wait *. 1e6));
+                ]
+              (task i)
+        in
         Mutex.lock p.qm;
+        let tq = if Obs.enabled () then Some (Obs.Clock.now ()) else None in
         for i = 1 to n - 1 do
-          Queue.push (task i) p.q
+          Queue.push (wrap ~enqueued:tq i) p.q
         done;
         Condition.broadcast p.qcv;
         Mutex.unlock p.qm;
-        task 0 ();
+        wrap ~enqueued:None 0 ();
         (* the submitter helps drain the queue instead of blocking *)
         let rec help () =
           Mutex.lock p.qm;

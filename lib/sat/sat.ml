@@ -31,6 +31,7 @@ type t = {
   mutable conflicts : int;
   mutable decisions : int;
   mutable propagations : int;
+  mutable restarts : int;
   mutable max_learnts : int;
 }
 
@@ -76,6 +77,7 @@ let create () =
     conflicts = 0;
     decisions = 0;
     propagations = 0;
+    restarts = 0;
     max_learnts = 8192;
   }
 
@@ -407,7 +409,7 @@ let rec luby i =
   if (1 lsl !k) - 1 = i then 1 lsl (!k - 1)
   else luby (i - (1 lsl (!k - 1)) + 1)
 
-let solve ?(assumptions = []) ?budget ?cancel s =
+let solve_body ~assumptions ?budget ?cancel s =
   if not s.ok then Unsat
   else begin
     let assumptions = List.map of_dimacs assumptions in
@@ -426,9 +428,10 @@ let solve ?(assumptions = []) ?budget ?cancel s =
       | Some { max_propagations = Some n; _ } -> s.propagations + n
       | _ -> max_int
     in
+    (* monotonic: an NTP step must not blow (or extend) the time slice *)
     let deadline =
       match budget with
-      | Some { max_seconds = Some sec; _ } -> Unix.gettimeofday () +. sec
+      | Some { max_seconds = Some sec; _ } -> Obs.Clock.now () +. sec
       | _ -> infinity
     in
     let ticks = ref 0 in
@@ -439,7 +442,7 @@ let solve ?(assumptions = []) ?budget ?cancel s =
       || deadline < infinity
          && (incr ticks;
              (* poll the clock sparingly: every 64 loop iterations *)
-             !ticks land 63 = 0 && Unix.gettimeofday () > deadline)
+             !ticks land 63 = 0 && Obs.Clock.now () > deadline)
     in
     let result = ref None in
     let restart_count = ref 0 in
@@ -477,6 +480,7 @@ let solve ?(assumptions = []) ?budget ?cancel s =
       then begin
         (* restart *)
         incr restart_count;
+        s.restarts <- s.restarts + 1;
         conflicts_here := 0;
         conflict_budget := 100 * luby (!restart_count + 1);
         backtrack s 0
@@ -510,6 +514,28 @@ let solve ?(assumptions = []) ?budget ?cancel s =
     r
   end
 
+(* One span per call, carrying this call's conflict/propagation/restart
+   deltas (the solver counters are cumulative across calls on a shared
+   solver).  Disabled tracing costs one branch plus the closure. *)
+let solve ?(assumptions = []) ?budget ?cancel s =
+  let c0 = s.conflicts and p0 = s.propagations and r0 = s.restarts in
+  Obs.span ~name:"sat.solve" (fun () ->
+      let r = solve_body ~assumptions ?budget ?cancel s in
+      Obs.attr (fun () ->
+          [
+            ( "result",
+              Obs.String
+                (match r with
+                | Sat -> "sat"
+                | Unsat -> "unsat"
+                | Unknown -> "unknown") );
+            ("vars", Obs.Int s.num_vars);
+            ("conflicts", Obs.Int (s.conflicts - c0));
+            ("propagations", Obs.Int (s.propagations - p0));
+            ("restarts", Obs.Int (s.restarts - r0));
+          ]);
+      r)
+
 let value s v =
   if v < 1 || v > s.num_vars then invalid_arg "Sat.value";
   s.assign.(v) = 1
@@ -517,3 +543,4 @@ let value s v =
 let model s = Array.init (s.num_vars + 1) (fun v -> v >= 1 && s.assign.(v) = 1)
 
 let stats s = (s.conflicts, s.decisions, s.propagations)
+let restarts s = s.restarts

@@ -55,3 +55,6 @@ val model : t -> bool array
 
 val stats : t -> int * int * int
 (** [(conflicts, decisions, propagations)] since creation. *)
+
+val restarts : t -> int
+(** Search restarts since creation. *)

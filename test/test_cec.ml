@@ -502,6 +502,73 @@ let test_cex_replays_across_time_frames () =
         (Cec.counterexample_is_valid u1 u2 cex)
   | { Verify.verdict = _; _ } -> Alcotest.fail "expected a certified counterexample"
 
+(* Guard: stats_pp must print every field.  The record below is a FULL
+   literal (no [with]), so adding a stats field breaks this test at compile
+   time until the sentinel for it is added — and the assertions catch a
+   field dropped from the format string. *)
+let test_stats_pp_prints_every_field () =
+  let s =
+    {
+      Cec.sat_calls = 101;
+      sim_rounds = 102;
+      partitions = 103;
+      cache_hits = 104;
+      conflicts = 105;
+      budget_hits = 106;
+      deadline_hits = 107;
+      escalations = 108;
+      undecided = 109;
+      elapsed_seconds = 110.5;
+      partition_seconds = 111.5;
+      bdd_seconds = 112.5;
+      sat_seconds = 113.5;
+      sweep_seconds = 114.5;
+    }
+  in
+  let text = Format.asprintf "%a" Cec.stats_pp s in
+  let contains needle =
+    let nh = String.length text and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub text i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sentinel ->
+      Alcotest.(check bool) (sentinel ^ " printed") true (contains sentinel))
+    [
+      "101"; "102"; "103"; "104"; "105"; "106"; "107"; "108"; "109";
+      "110.5"; "111.5"; "112.5"; "113.5"; "114.5";
+    ]
+
+(* elapsed_seconds is the true wall clock: sequentially the per-engine
+   CPU-second sums are bounded by it (they are disjoint slices of the same
+   wall time); in parallel they may exceed it, but the wall clock itself is
+   always recorded. *)
+let test_elapsed_seconds () =
+  let c1 =
+    Gen.comb st ~name:"elapsed_a" ~inputs:6 ~gates:120 ~outputs:6
+  in
+  let c2 = Gen.demorganize c1 in
+  let v, s = Cec.check_with_stats ~engine:Cec.Sweep_engine c1 c2 in
+  (match v with
+  | Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "expected equivalent");
+  Alcotest.(check bool) "elapsed recorded" true (s.Cec.elapsed_seconds > 0.);
+  let engine_sum =
+    s.Cec.bdd_seconds +. s.Cec.sat_seconds +. s.Cec.sweep_seconds
+  in
+  Alcotest.(check bool) "some engine time charged" true (engine_sum > 0.);
+  Alcotest.(check bool) "sequential: engine CPU-seconds <= elapsed" true
+    (engine_sum <= s.Cec.elapsed_seconds +. 0.05);
+  (* parallel: partitions overlap, so only the wall clock is bounded *)
+  let v2, s2 = Cec.check_with_stats ~jobs:2 ~engine:Cec.Sweep_engine c1 c2 in
+  (match v2 with
+  | Cec.Equivalent -> ()
+  | _ -> Alcotest.fail "parallel: expected equivalent");
+  Alcotest.(check bool) "parallel: elapsed recorded" true
+    (s2.Cec.elapsed_seconds > 0.);
+  Alcotest.(check bool) "parallel: layout time within elapsed" true
+    (s2.Cec.partition_seconds <= s2.Cec.elapsed_seconds)
+
 let suite =
   [
     Alcotest.test_case "equivalent rewrites proven" `Quick test_equivalent_rewrites;
@@ -531,4 +598,7 @@ let suite =
     Alcotest.test_case "jobs agree on Undecided" `Quick test_jobs_agree_on_undecided;
     Alcotest.test_case "cex replays across time frames" `Quick
       test_cex_replays_across_time_frames;
+    Alcotest.test_case "stats_pp prints every field" `Quick
+      test_stats_pp_prints_every_field;
+    Alcotest.test_case "elapsed_seconds wall clock" `Quick test_elapsed_seconds;
   ]

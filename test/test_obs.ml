@@ -1,0 +1,330 @@
+(* Tests for the Obs tracing/metrics layer: span nesting through the
+   summary tree, attribute round-trips through the Chrome writer (parsed
+   back by a small JSON reader below), counter merging across domains, and
+   the disabled sink recording nothing. *)
+
+(* Each test owns the global sink: enable+reset on entry, disable+reset on
+   exit (also on failure), so no events leak into other suites. *)
+let with_obs f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* ---- a minimal JSON reader (just enough to validate Chrome output) ---- *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+  | J_bool of bool
+  | J_null
+
+exception Bad_json of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else fail "eof" in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    if !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    then begin
+      advance ();
+      skip_ws ()
+    end
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then fail (Printf.sprintf "expected %c" c);
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+          advance ();
+          (match peek () with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'u' ->
+              (* keep the escape verbatim; the tests only use ASCII *)
+              Buffer.add_string buf "\\u"
+          | c -> fail (Printf.sprintf "bad escape %c" c));
+          advance ();
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin
+          advance ();
+          J_obj []
+        end
+        else begin
+          let rec members acc =
+            let k = parse_string () in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                skip_ws ();
+                members ((k, v) :: acc)
+            | '}' ->
+                advance ();
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          J_obj (members [])
+        end
+    | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin
+          advance ();
+          J_arr []
+        end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | ',' ->
+                advance ();
+                elems (v :: acc)
+            | ']' ->
+                advance ();
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          J_arr (elems [])
+        end
+    | '"' -> J_str (parse_string ())
+    | 't' ->
+        pos := !pos + 4;
+        J_bool true
+    | 'f' ->
+        pos := !pos + 5;
+        J_bool false
+    | 'n' ->
+        pos := !pos + 4;
+        J_null
+    | _ ->
+        let start = !pos in
+        while
+          !pos < n
+          && match s.[!pos] with
+             | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+             | _ -> false
+        do
+          advance ()
+        done;
+        if !pos = start then fail "bad value";
+        J_num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | J_obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+(* ---- tests ---- *)
+
+let find_node name nodes =
+  List.find_opt (fun n -> n.Obs.Summary.name = name) nodes
+
+let test_span_nesting () =
+  with_obs (fun () ->
+      Obs.span ~name:"outer" (fun () ->
+          Obs.span ~name:"inner" (fun () -> ());
+          Obs.span ~name:"inner" (fun () -> ()));
+      Obs.span ~name:"outer" (fun () -> ());
+      let tree = Obs.Summary.tree (Obs.collect ()) in
+      match find_node "outer" tree with
+      | None -> Alcotest.fail "no outer node"
+      | Some outer ->
+          Alcotest.(check int) "outer aggregated" 2 outer.Obs.Summary.count;
+          Alcotest.(check bool)
+            "outer total covers children" true
+            (outer.Obs.Summary.total >= outer.Obs.Summary.self);
+          (match find_node "inner" outer.Obs.Summary.children with
+          | None -> Alcotest.fail "inner not nested under outer"
+          | Some inner ->
+              Alcotest.(check int) "inner aggregated" 2 inner.Obs.Summary.count);
+          Alcotest.(check bool)
+            "inner not at top level" true
+            (find_node "inner" tree = None))
+
+let test_exception_closes_span () =
+  with_obs (fun () ->
+      (try
+         Obs.span ~name:"raises" (fun () -> failwith "boom")
+       with Failure _ -> ());
+      let begins, ends =
+        List.fold_left
+          (fun (b, e) ev ->
+            match ev with
+            | Obs.Begin { name = "raises"; _ } -> (b + 1, e)
+            | Obs.End { name = "raises"; _ } -> (b, e + 1)
+            | _ -> (b, e))
+          (0, 0) (Obs.collect ())
+      in
+      Alcotest.(check (pair int int)) "begin/end balanced" (1, 1) (begins, ends))
+
+let test_chrome_attrs_roundtrip () =
+  with_obs (fun () ->
+      Obs.span ~name:"attributed"
+        ~attrs:
+          [
+            ("answer", Obs.Int 42);
+            ("ratio", Obs.Float 0.5);
+            ("ok", Obs.Bool true);
+            ("who", Obs.String "a \"quoted\"\nname");
+          ]
+        (fun () -> ());
+      Obs.instant ~attrs:[ ("k", Obs.Int 7) ] "blip";
+      let text = Obs.Chrome.to_string (Obs.collect ()) in
+      let j = parse_json text in
+      let events =
+        match member "traceEvents" j with
+        | Some (J_arr evs) -> evs
+        | _ -> Alcotest.fail "no traceEvents array"
+      in
+      let find ph name =
+        List.find_opt
+          (fun e ->
+            member "ph" e = Some (J_str ph) && member "name" e = Some (J_str name))
+          events
+      in
+      (match find "B" "attributed" with
+      | None -> Alcotest.fail "no B event"
+      | Some b -> (
+          Alcotest.(check bool) "ts present" true (member "ts" b <> None);
+          match member "args" b with
+          | Some args ->
+              Alcotest.(check bool) "int attr" true
+                (member "answer" args = Some (J_num 42.));
+              Alcotest.(check bool) "float attr" true
+                (member "ratio" args = Some (J_num 0.5));
+              Alcotest.(check bool) "bool attr" true
+                (member "ok" args = Some (J_bool true));
+              Alcotest.(check bool) "string attr round-trips" true
+                (member "who" args = Some (J_str "a \"quoted\"\nname"))
+          | None -> Alcotest.fail "no args on B event"));
+      Alcotest.(check bool) "E event present" true (find "E" "attributed" <> None);
+      match find "i" "blip" with
+      | None -> Alcotest.fail "no instant event"
+      | Some i ->
+          Alcotest.(check bool) "instant attr" true
+            (match member "args" i with
+            | Some args -> member "k" args = Some (J_num 7.)
+            | None -> false))
+
+let test_counter_merge_across_domains () =
+  with_obs (fun () ->
+      Obs.count "t.shared" 1;
+      let ds =
+        List.init 2 (fun i ->
+            Domain.spawn (fun () ->
+                Obs.span ~name:"t.domain" (fun () ->
+                    Obs.count "t.shared" (10 * (i + 1));
+                    Obs.count "t.own" 1)))
+      in
+      List.iter Domain.join ds;
+      let evs = Obs.collect () in
+      let doms =
+        List.sort_uniq compare
+          (List.filter_map
+             (function Obs.Count { name = "t.shared"; dom; _ } -> Some dom | _ -> None)
+             evs)
+      in
+      Alcotest.(check bool) "counted from >= 2 domains" true
+        (List.length doms >= 2);
+      let totals = Obs.Counters.totals evs in
+      Alcotest.(check (option int)) "merged total" (Some 31)
+        (List.assoc_opt "t.shared" totals);
+      Alcotest.(check (option int)) "per-domain counter" (Some 2)
+        (List.assoc_opt "t.own" totals);
+      (* the two spans, one per domain, aggregate into one summary node *)
+      match find_node "t.domain" (Obs.Summary.tree evs) with
+      | None -> Alcotest.fail "no per-domain span node"
+      | Some n -> Alcotest.(check int) "spans merged" 2 n.Obs.Summary.count)
+
+let test_disabled_records_nothing () =
+  Obs.reset ();
+  Alcotest.(check bool) "disabled by default" false (Obs.enabled ());
+  Obs.span ~name:"ghost" (fun () -> ());
+  Obs.instant "ghost.i";
+  Obs.count "ghost.c" 3;
+  Obs.attr (fun () -> Alcotest.fail "attr thunk evaluated while disabled");
+  let r, dt = Obs.timed_span ~name:"ghost.t" (fun () -> 17) in
+  Alcotest.(check int) "timed_span still runs" 17 r;
+  Alcotest.(check bool) "timed_span still measures" true (dt >= 0.);
+  Alcotest.(check int) "no events recorded" 0 (List.length (Obs.collect ()));
+  (* a trace of zero collected events is still valid JSON, carrying only
+     the process-name metadata record *)
+  match member "traceEvents" (parse_json (Obs.Chrome.to_string [])) with
+  | Some (J_arr evs) ->
+      Alcotest.(check bool) "only metadata in empty trace" true
+        (List.for_all (fun e -> member "ph" e = Some (J_str "M")) evs)
+  | _ -> Alcotest.fail "empty chrome trace is not an object with traceEvents"
+
+let test_jsonl_lines_parse () =
+  with_obs (fun () ->
+      Obs.span ~name:"a" ~attrs:[ ("x", Obs.Int 1) ] (fun () ->
+          Obs.count "c" 2);
+      let text = Obs.Jsonl.to_string (Obs.collect ()) in
+      let lines =
+        List.filter (fun l -> l <> "") (String.split_on_char '\n' text)
+      in
+      Alcotest.(check bool) "some lines" true (List.length lines >= 3);
+      List.iter
+        (fun l ->
+          match parse_json l with
+          | J_obj kvs ->
+              Alcotest.(check bool) "type field" true
+                (List.mem_assoc "type" kvs)
+          | _ -> Alcotest.fail "jsonl line is not an object")
+        lines)
+
+let suite =
+  [
+    Alcotest.test_case "span nesting in summary tree" `Quick test_span_nesting;
+    Alcotest.test_case "exception closes span" `Quick test_exception_closes_span;
+    Alcotest.test_case "chrome attrs round-trip as JSON" `Quick
+      test_chrome_attrs_roundtrip;
+    Alcotest.test_case "counters merge across domains" `Quick
+      test_counter_merge_across_domains;
+    Alcotest.test_case "disabled sink records nothing" `Quick
+      test_disabled_records_nothing;
+    Alcotest.test_case "jsonl lines parse" `Quick test_jsonl_lines_parse;
+  ]
