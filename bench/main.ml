@@ -22,11 +22,11 @@ let ok what = function
   | Error d ->
       failwith (Printf.sprintf "%s: %s" what (Seqprob.diagnosis_to_string d))
 
-let check_outcome ?engine ?jobs ?limits ?rewrite_events ?guard_events ?exposed
-    c1 c2 =
+let check_outcome ?engine ?jobs ?limits ?store ?rewrite_events ?guard_events
+    ?exposed c1 c2 =
   ok "verify"
-    (Verify.check ?engine ?jobs ?limits ?rewrite_events ?guard_events ?exposed
-       c1 c2)
+    (Verify.check ?engine ?jobs ?limits ?store ?rewrite_events ?guard_events
+       ?exposed c1 c2)
 
 let check_verdict ?engine ?rewrite_events ?guard_events ?exposed c1 c2 =
   (check_outcome ?engine ?rewrite_events ?guard_events ?exposed c1 c2)
@@ -48,6 +48,9 @@ type t1_record = {
   r_cec : Cec.stats;
   r_unroll_seconds : float;  (* Verify.stats.unroll_seconds *)
   r_retime_seconds : float;  (* Flow stages C+E+F+G (synthesis+retiming) *)
+  (* same H-vs-J check re-run against the shared verdict store with a fresh
+     in-memory cache (--cache-dir only): verdict, seconds, cec stats *)
+  r_warm : (string * float * Cec.stats) option;
 }
 
 let verdict_str = function
@@ -97,6 +100,9 @@ let write_table1_json ~path ~suite_name ~jobs records =
       p "\"sat_calls\": %d, \"sim_rounds\": %d, \"partitions\": %d, \"cache_hits\": %d, "
         r.r_cec.Cec.sat_calls r.r_cec.Cec.sim_rounds r.r_cec.Cec.partitions
         r.r_cec.Cec.cache_hits;
+      p "\"store_hits\": %d, \"store_writes\": %d, \"cache_evictions\": %d, "
+        r.r_cec.Cec.store_hits r.r_cec.Cec.store_writes
+        r.r_cec.Cec.cache_evictions;
       p "\"conflicts\": %d, \"budget_hits\": %d, \"deadline_hits\": %d, \"escalations\": %d, \"undecided\": %d, "
         r.r_cec.Cec.conflicts r.r_cec.Cec.budget_hits r.r_cec.Cec.deadline_hits
         r.r_cec.Cec.escalations r.r_cec.Cec.undecided;
@@ -113,6 +119,33 @@ let write_table1_json ~path ~suite_name ~jobs records =
         (if i = List.length records - 1 then "" else ","))
     records;
   p "  ],\n";
+  (* warm rows live in their own section so the cold totals/speedup above
+     keep their meaning *)
+  if List.exists (fun r -> r.r_warm <> None) records then begin
+    p "  \"rows_warm\": [\n";
+    let warm = List.filter (fun r -> r.r_warm <> None) records in
+    List.iteri
+      (fun i r ->
+        match r.r_warm with
+        | None -> ()
+        | Some (v, secs, cec) ->
+            p
+              "    {\"circuit\": \"%s\", \"verdict\": \"%s\", \
+               \"verify_seconds\": %.6f, \"partitions\": %d, \
+               \"cache_hits\": %d, \"store_hits\": %d, \"store_writes\": \
+               %d, \"sat_calls\": %d}%s\n"
+              (json_escape r.r_name) (json_escape v) secs cec.Cec.partitions
+              cec.Cec.cache_hits cec.Cec.store_hits cec.Cec.store_writes
+              cec.Cec.sat_calls
+              (if i = List.length warm - 1 then "" else ","))
+      warm;
+    p "  ],\n";
+    p "  \"total_verify_seconds_warm\": %.6f,\n"
+      (List.fold_left
+         (fun a r ->
+           match r.r_warm with Some (_, s, _) -> a +. s | None -> a)
+         0. records)
+  end;
   p "  \"total_verify_seconds\": %.6f" total;
   (match seq_total with
   | Some s ->
@@ -161,7 +194,7 @@ let budget_smoke () =
       pf "SMOKE FAILURE: budget/escalation semantics@.";
       exit 1
 
-let table1 ~full ~jobs ~smoke () =
+let table1 ~full ~jobs ~smoke ~cache_dir () =
   pf "@.== Table 1: optimization and verification results ==@.";
   pf "(A = original; C = expose+synth+min-period retime; D = synth only;@.";
   pf " E = expose+synth+min-area retime at D's period; F/G = like C/E without@.";
@@ -174,13 +207,22 @@ let table1 ~full ~jobs ~smoke () =
     "circuit" "A#L" "F#L" "Farea" "FS" "%" "C#L" "Carea" "CS" "DS" "G#L" "E#L"
     "Earea" "ok" "HvJ";
   pf "%s@." (String.make 100 '-');
+  let store = Option.map (fun d -> Store.open_ d) cache_dir in
+  (match (store, cache_dir) with
+  | Some st, Some d ->
+      let i = Store.info st in
+      pf "(verdict store %s: %d entries%s)@." d i.Store.entries
+        (match i.Store.quarantined_to with
+        | Some q -> Printf.sprintf ", corrupt log quarantined to %s" q
+        | None -> "")
+  | _ -> ());
   let suite = if full then Workloads.table1_suite () else Workloads.table1_suite_small () in
   let records =
     List.map
       (fun (name, c) ->
         (* generous default limits: easy instances are unaffected, runaway
            solves surface as UNDEC instead of hanging the bench *)
-        let row = ok "flow" (Flow.run ~jobs ~limits:Cec.default_limits c) in
+        let row = ok "flow" (Flow.run ~jobs ~limits:Cec.default_limits ?store c) in
         let darea = float_of_int (max 1 row.Flow.d.Flow.area) in
         let rel a = float_of_int a /. darea in
         pf
@@ -207,12 +249,40 @@ let table1 ~full ~jobs ~smoke () =
             Some (o.Verify.stats.Verify.seconds, verdict_str o.Verify.verdict)
           end
         in
+        let warm =
+          match store with
+          | None -> None
+          | Some st ->
+              (* the same H-vs-J check again, fresh in-memory cache backed
+                 by the now-populated store: every partition the cold run
+                 proved should come back without engine work *)
+              let plan = Feedback.plan_structural c in
+              let exposed =
+                List.map (Circuit.signal_name c) plan.Feedback.exposed
+              in
+              let b, copt = ok "flow" (Flow.circuits c) in
+              let o =
+                check_outcome ~jobs ~limits:Cec.default_limits ~store:st
+                  ~exposed b copt
+              in
+              let cec = o.Verify.stats.Verify.cec in
+              pf
+                "          warm re-check: %s %.3fs, %d/%d partitions from \
+                 store (+%d cached)@."
+                (verdict_str o.Verify.verdict) o.Verify.stats.Verify.seconds
+                cec.Cec.store_hits cec.Cec.partitions cec.Cec.cache_hits;
+              Some
+                ( verdict_str o.Verify.verdict,
+                  o.Verify.stats.Verify.seconds,
+                  cec )
+        in
         {
           r_name = name;
           r_verdict = verdict_str row.Flow.verify_verdict;
           r_seconds = row.Flow.verify_seconds;
           r_seq_seconds = Option.map fst seq;
           r_seq_verdict = Option.map snd seq;
+          r_warm = warm;
           r_unrolled_nodes = row.Flow.verify_stats.Verify.unrolled_nodes;
           r_cec = row.Flow.verify_stats.Verify.cec;
           r_unroll_seconds = row.Flow.verify_stats.Verify.unroll_seconds;
@@ -239,6 +309,17 @@ let table1 ~full ~jobs ~smoke () =
       (if agree then "agree" else "DISAGREE!")
   end
   else pf "verify wall-clock: jobs=1 %.2fs@." total;
+  (match store with
+  | Some st ->
+      let warm_total =
+        List.fold_left
+          (fun a r -> match r.r_warm with Some (_, s, _) -> a +. s | None -> a)
+          0. records
+      in
+      pf "verify wall-clock warm (store-backed re-check): %.2fs@." warm_total;
+      pf "verdict store after run: %a@." Store.pp_info (Store.info st);
+      Store.close st
+  | None -> ());
   let suite_name = if full then "full" else "small" in
   write_table1_json ~path:"BENCH_table1.json" ~suite_name ~jobs records;
   pf "wrote BENCH_table1.json@.";
@@ -247,7 +328,8 @@ let table1 ~full ~jobs ~smoke () =
       List.filter
         (fun r ->
           r.r_verdict <> "EQ"
-          || match r.r_seq_verdict with Some v -> v <> "EQ" | None -> false)
+          || (match r.r_seq_verdict with Some v -> v <> "EQ" | None -> false)
+          || match r.r_warm with Some (v, _, _) -> v <> "EQ" | None -> false)
         records
     in
     if bad <> [] then begin
@@ -257,6 +339,32 @@ let table1 ~full ~jobs ~smoke () =
       exit 1
     end;
     pf "smoke: all %d verdicts Equivalent@." (List.length records);
+    (* with a verdict store, the warm re-check must answer at least half
+       of all partitions without engine work — store hits plus memory hits
+       on verdicts the store promoted — and hit the store at all *)
+    (match store with
+    | Some _ ->
+        let parts, served, st_hits =
+          List.fold_left
+            (fun (p, s, h) r ->
+              match r.r_warm with
+              | Some (_, _, cec) ->
+                  ( p + cec.Cec.partitions,
+                    s + cec.Cec.store_hits + cec.Cec.cache_hits,
+                    h + cec.Cec.store_hits )
+              | None -> (p, s, h))
+            (0, 0, 0) records
+        in
+        if st_hits = 0 || 2 * served < parts then begin
+          pf
+            "SMOKE FAILURE: warm re-check served %d of %d partitions (%d \
+             from store)@."
+            served parts st_hits;
+          exit 1
+        end;
+        pf "smoke: warm re-check served %d/%d partitions (%d store hits)@."
+          served parts st_hits
+    | None -> ());
     budget_smoke ()
   end
 
@@ -690,9 +798,10 @@ let () =
   let full = has "--full" in
   let smoke = has "--smoke" in
   let jobs = max 1 (Option.value ~default:1 (opt_int "--jobs" args)) in
+  let cache_dir = opt_str "--cache-dir" args in
   let trace = opt_str "--trace" args in
   Option.iter (fun _ -> Obs.enable ()) trace;
-  if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ();
+  if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ~cache_dir ();
   if (not any) || has "--table2" then table2 ();
   if (not any) || has "--figs" then figs ();
   if (not any) || has "--baseline" then baseline ();

@@ -92,6 +92,32 @@ let limits_of timeout sat_conflicts =
           | some -> some);
       }
 
+(* ---- persistent verdict store (shared by verify and flow) ---- *)
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persistent verdict-store directory, shared across runs and \
+           across concurrent seqver processes.  Structurally identical \
+           miter partitions proven in any earlier run are answered from \
+           the store (counted as store hits in the cec stats line); new \
+           verdicts are appended write-through.  Manage the directory with \
+           $(b,seqver cache).")
+
+(* A corrupt store must never fail the run: Store.open_ quarantines and
+   cold-starts, we just tell the user where the damaged file went. *)
+let open_store dir =
+  let st = Store.open_ dir in
+  (match (Store.info st).Store.quarantined_to with
+  | Some q ->
+      Format.eprintf
+        "warning: corrupt verdict store quarantined to %s; starting cold@." q
+  | None -> ());
+  st
+
 (* ---- observability (shared by verify and flow) ---- *)
 
 let trace_arg =
@@ -281,9 +307,11 @@ let retime_cmd =
 
 let verify_cmd =
   let run p1 p2 engine exposed no_rewrite guard jobs timeout sat_conflicts
-      trace verbose obs_stats =
+      cache_dir trace verbose obs_stats =
     let finish = obs_setup ~trace ~verbose ~stats:obs_stats in
+    let store = Option.map open_store cache_dir in
     let quit code =
+      Option.iter Store.close store;
       finish ();
       exit code
     in
@@ -291,8 +319,8 @@ let verify_cmd =
     let limits = limits_of timeout sat_conflicts in
     let outcome =
       match
-        Verify.check ~engine ~jobs ~limits ~rewrite_events:(not no_rewrite)
-          ~guard_events:guard ~exposed c1 c2
+        Verify.check ~engine ~jobs ~limits ?store
+          ~rewrite_events:(not no_rewrite) ~guard_events:guard ~exposed c1 c2
       with
       | Ok o -> o
       | Error d ->
@@ -325,7 +353,9 @@ let verify_cmd =
       stats.Verify.seconds;
     Format.printf "cec: %a@." Cec.stats_pp stats.Verify.cec;
     match outcome.Verify.verdict with
-    | Verify.Equivalent -> finish ()
+    | Verify.Equivalent ->
+        Option.iter Store.close store;
+        finish ()
     | Verify.Inequivalent _ -> quit 1
     | Verify.Undecided _ -> quit 2
   in
@@ -344,7 +374,8 @@ let verify_cmd =
       $ circuit_arg ~pos:0 ~doc:"First netlist."
       $ circuit_arg ~pos:1 ~doc:"Second netlist."
       $ engine_arg $ exposed_arg $ no_rewrite $ guard $ jobs_arg $ timeout_arg
-      $ sat_conflicts_arg $ trace_arg $ verbose_arg $ obs_stats_arg)
+      $ sat_conflicts_arg $ cache_dir_arg $ trace_arg $ verbose_arg
+      $ obs_stats_arg)
   in
   Cmd.v
     (Cmd.info "verify"
@@ -403,13 +434,16 @@ let redundancy_cmd =
 (* ---- flow ---- *)
 
 let flow_cmd =
-  let run path jobs period timeout sat_conflicts trace verbose obs_stats =
+  let run path jobs period timeout sat_conflicts cache_dir trace verbose
+      obs_stats =
     let finish = obs_setup ~trace ~verbose ~stats:obs_stats in
+    let store = Option.map open_store cache_dir in
     let c = load path in
     let limits = limits_of timeout sat_conflicts in
-    match Flow.run ~jobs ~limits ?period c with
+    match Flow.run ~jobs ~limits ?store ?period c with
     | Error d ->
         Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
+        Option.iter Store.close store;
         finish ();
         exit 1
     | Ok row ->
@@ -424,6 +458,7 @@ let flow_cmd =
           | Verify.Inequivalent _ -> "NEQ"
           | Verify.Undecided _ -> "UNDEC")
           row.Flow.verify_seconds;
+        Option.iter Store.close store;
         finish ()
   in
   let period =
@@ -439,10 +474,66 @@ let flow_cmd =
   let term =
     Term.(
       const run $ circuit_arg ~pos:0 ~doc:"Input netlist." $ jobs_arg $ period
-      $ timeout_arg $ sat_conflicts_arg $ trace_arg $ verbose_arg
-      $ obs_stats_arg)
+      $ timeout_arg $ sat_conflicts_arg $ cache_dir_arg $ trace_arg
+      $ verbose_arg $ obs_stats_arg)
   in
   Cmd.v (Cmd.info "flow" ~doc:"Run the full Fig. 19 experimental flow.") term
+
+(* ---- cache ---- *)
+
+let cache_cmd =
+  let dir_arg =
+    Arg.(
+      value
+      & pos 0 string Store.default_dir
+      & info [] ~docv:"DIR"
+          ~doc:"Verdict-store directory (as passed to the verify and flow \
+                commands' $(b,--cache-dir)).")
+  in
+  let with_store f dir =
+    let st = open_store dir in
+    Fun.protect ~finally:(fun () -> Store.close st) (fun () -> f st)
+  in
+  let print dir st = Format.printf "%s: %a@." dir Store.pp_info (Store.info st) in
+  let stats_c =
+    let run dir = with_store (print dir) dir in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Print verdict-store statistics (entries, size, quarantine).")
+      Term.(const run $ dir_arg)
+  in
+  let compact_c =
+    let run dir =
+      with_store
+        (fun st ->
+          Store.compact st;
+          print dir st)
+        dir
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:
+           "Merge records appended by other processes, evict \
+            least-recently-hit entries over capacity and atomically rewrite \
+            the log.")
+      Term.(const run $ dir_arg)
+  in
+  let clear_c =
+    let run dir =
+      with_store
+        (fun st ->
+          Store.clear st;
+          print dir st)
+        dir
+    in
+    Cmd.v
+      (Cmd.info "clear" ~doc:"Drop every stored verdict.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:"Manage a persistent verdict store (see verify --cache-dir).")
+    [ stats_c; compact_c; clear_c ]
 
 (* ---- generate ---- *)
 
@@ -469,4 +560,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; generate_cmd ]))
+          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; cache_cmd; generate_cmd ]))

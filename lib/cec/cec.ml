@@ -30,6 +30,9 @@ type stats = {
   sim_rounds : int;
   partitions : int;
   cache_hits : int;
+  store_hits : int;
+  store_writes : int;
+  cache_evictions : int;
   conflicts : int;
   budget_hits : int;
   deadline_hits : int;
@@ -48,6 +51,9 @@ let empty_stats =
     sim_rounds = 0;
     partitions = 0;
     cache_hits = 0;
+    store_hits = 0;
+    store_writes = 0;
+    cache_evictions = 0;
     conflicts = 0;
     budget_hits = 0;
     deadline_hits = 0;
@@ -62,10 +68,11 @@ let empty_stats =
 
 let stats_pp ppf s =
   Format.fprintf ppf
-    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, %d conflicts, %d budget hits, %d deadline hits, %d escalations, %d undecided, elapsed %.3fs (partitioning %.3fs), engine CPU-seconds bdd %.3f sat %.3f sweep %.3f"
-    s.partitions s.sat_calls s.sim_rounds s.cache_hits s.conflicts
-    s.budget_hits s.deadline_hits s.escalations s.undecided s.elapsed_seconds
-    s.partition_seconds s.bdd_seconds s.sat_seconds s.sweep_seconds
+    "%d partitions, %d SAT calls, %d sim rounds, %d cache hits, %d store hits, %d store writes, %d cache evictions, %d conflicts, %d budget hits, %d deadline hits, %d escalations, %d undecided, elapsed %.3fs (partitioning %.3fs), engine CPU-seconds bdd %.3f sat %.3f sweep %.3f"
+    s.partitions s.sat_calls s.sim_rounds s.cache_hits s.store_hits
+    s.store_writes s.cache_evictions s.conflicts s.budget_hits s.deadline_hits
+    s.escalations s.undecided s.elapsed_seconds s.partition_seconds
+    s.bdd_seconds s.sat_seconds s.sweep_seconds
 
 (* Per-partition mutable counters.  Each partition task owns exactly one of
    these, so no synchronization is needed; they are merged after the pool
@@ -74,6 +81,9 @@ type counters = {
   mutable k_sat_calls : int;
   mutable k_sim_rounds : int;
   mutable k_cache_hits : int;
+  mutable k_store_hits : int;
+  mutable k_store_writes : int;
+  mutable k_cache_evictions : int;
   mutable k_conflicts : int;
   mutable k_budget_hits : int;
   mutable k_deadline_hits : int;
@@ -89,6 +99,9 @@ let fresh_counters () =
     k_sat_calls = 0;
     k_sim_rounds = 0;
     k_cache_hits = 0;
+    k_store_hits = 0;
+    k_store_writes = 0;
+    k_cache_evictions = 0;
     k_conflicts = 0;
     k_budget_hits = 0;
     k_deadline_hits = 0;
@@ -107,6 +120,9 @@ let stats_of_counters ~partitions cts =
         sat_calls = acc.sat_calls + k.k_sat_calls;
         sim_rounds = acc.sim_rounds + k.k_sim_rounds;
         cache_hits = acc.cache_hits + k.k_cache_hits;
+        store_hits = acc.store_hits + k.k_store_hits;
+        store_writes = acc.store_writes + k.k_store_writes;
+        cache_evictions = acc.cache_evictions + k.k_cache_evictions;
         conflicts = acc.conflicts + k.k_conflicts;
         budget_hits = acc.budget_hits + k.k_budget_hits;
         deadline_hits = acc.deadline_hits + k.k_deadline_hits;
@@ -165,9 +181,34 @@ module Cache = struct
      variables. *)
   type entry = E_equivalent | E_inequivalent of (int * bool) list
 
-  type t = { tbl : (string, entry) Hashtbl.t; m : Mutex.t }
+  type slot = { entry : entry; mutable stamp : int }
 
-  let create () = { tbl = Hashtbl.create 256; m = Mutex.create () }
+  (* Bounded in-memory index, optionally backed by a persistent Store.
+     When over capacity a batch eviction drops the least-recently-hit
+     quarter-plus of entries (down to 3/4 capacity), so long Flow runs pay
+     an amortized O(1) per insertion instead of growing without limit.
+     Evicted verdicts that were store-backed are not lost: the store keeps
+     them (under its own, larger bound) and a later miss re-promotes. *)
+  type t = {
+    tbl : (string, slot) Hashtbl.t;
+    m : Mutex.t;
+    capacity : int;
+    store : Store.t option;
+    mutable gen : int; (* LRU logical clock *)
+  }
+
+  let default_capacity = 65_536
+
+  let create ?(capacity = default_capacity) ?store () =
+    {
+      tbl = Hashtbl.create 256;
+      m = Mutex.create ();
+      capacity = max 1 capacity;
+      store;
+      gen = 0;
+    }
+
+  let store t = t.store
 
   let clear t =
     Mutex.lock t.m;
@@ -180,16 +221,94 @@ module Cache = struct
     Mutex.unlock t.m;
     n
 
-  let find t key =
-    Mutex.lock t.m;
-    let r = Hashtbl.find_opt t.tbl key in
-    Mutex.unlock t.m;
-    r
+  let entry_of_store = function
+    | Store.Equivalent -> E_equivalent
+    | Store.Inequivalent cex -> E_inequivalent cex
 
-  let add t key entry =
+  let store_of_entry = function
+    | E_equivalent -> Store.Equivalent
+    | E_inequivalent cex -> Store.Inequivalent cex
+
+  (* m held.  Batch-evict oldest-stamp entries down to 3/4 capacity;
+     returns the number dropped. *)
+  let evict_locked t =
+    let n = Hashtbl.length t.tbl in
+    if n <= t.capacity then 0
+    else begin
+      let arr = Array.make n ("", 0) in
+      let i = ref 0 in
+      Hashtbl.iter
+        (fun k s ->
+          arr.(!i) <- (k, s.stamp);
+          incr i)
+        t.tbl;
+      Array.sort (fun (_, a) (_, b) -> compare (a : int) b) arr;
+      let drop = n - max 1 (t.capacity * 3 / 4) in
+      for j = 0 to drop - 1 do
+        Hashtbl.remove t.tbl (fst arr.(j))
+      done;
+      drop
+    end
+
+  (* where a hit was served from — callers account the two differently *)
+  type hit = Memory of entry | Disk of entry
+
+  (* Lookup, memory first, then the backing store; a disk hit is promoted
+     into memory so repeats stay off the store's mutex.  Also returns how
+     many entries the promotion evicted. *)
+  let find_hit t key =
     Mutex.lock t.m;
-    if not (Hashtbl.mem t.tbl key) then Hashtbl.add t.tbl key entry;
-    Mutex.unlock t.m
+    match Hashtbl.find_opt t.tbl key with
+    | Some s ->
+        s.stamp <- t.gen;
+        t.gen <- t.gen + 1;
+        let e = s.entry in
+        Mutex.unlock t.m;
+        (Some (Memory e), 0)
+    | None -> (
+        Mutex.unlock t.m;
+        match t.store with
+        | None -> (None, 0)
+        | Some st -> (
+            match Store.find st key with
+            | None -> (None, 0)
+            | Some v ->
+                let e = entry_of_store v in
+                Mutex.lock t.m;
+                let evicted =
+                  if Hashtbl.mem t.tbl key then 0
+                  else begin
+                    Hashtbl.add t.tbl key { entry = e; stamp = t.gen };
+                    t.gen <- t.gen + 1;
+                    evict_locked t
+                  end
+                in
+                Mutex.unlock t.m;
+                (Some (Disk e), evicted)))
+
+  (* Insert if absent, write-through to the store (outside the cache
+     mutex: Store.add dedupes on its own).  Returns (records appended to
+     the store, entries evicted). *)
+  let add_entry t key entry =
+    Mutex.lock t.m;
+    let fresh = not (Hashtbl.mem t.tbl key) in
+    let evicted =
+      if fresh then begin
+        Hashtbl.add t.tbl key { entry; stamp = t.gen };
+        t.gen <- t.gen + 1;
+        evict_locked t
+      end
+      else 0
+    in
+    Mutex.unlock t.m;
+    let wrote =
+      fresh
+      &&
+      match t.store with
+      | Some st -> Store.add st key (store_of_entry entry)
+      | None -> false
+    in
+    ((if wrote then 1 else 0), evicted)
 end
 
 let require_comb c =
@@ -578,33 +697,51 @@ let check_pair ct b ~engine ~cache p =
         Obs.instant "cec.cache_hit";
         Obs.count "cec.cache_hits" 1
       in
-      match Cache.find cache key with
-      | Some Cache.E_equivalent ->
-          note_cache_hit ();
-          Equivalent
-      | Some (Cache.E_inequivalent pos) ->
-          note_cache_hit ();
-          let cvars = canonical_vars p in
-          Inequivalent
-            (List.filter_map
-               (fun (k, b) ->
-                 if k < Array.length cvars then Some (cvars.(k), b) else None)
-               pos)
+      let note_store_hit () =
+        (* disjoint from cache_hits: served by the persistent store, not
+           the in-memory index (Store.find already emits store.hit) *)
+        ct.k_store_hits <- ct.k_store_hits + 1;
+        Obs.instant "cec.store_hit"
+      in
+      let replay pos =
+        (* cex stored by canonical position → this problem's variables *)
+        let cvars = canonical_vars p in
+        Inequivalent
+          (List.filter_map
+             (fun (k, b) ->
+               if k < Array.length cvars then Some (cvars.(k), b) else None)
+             pos)
+      in
+      let hit, evicted = Cache.find_hit cache key in
+      ct.k_cache_evictions <- ct.k_cache_evictions + evicted;
+      match hit with
+      | Some (Cache.Memory e | Cache.Disk e as h) -> (
+          (match h with
+          | Cache.Memory _ -> note_cache_hit ()
+          | Cache.Disk _ -> note_store_hit ());
+          match e with
+          | Cache.E_equivalent -> Equivalent
+          | Cache.E_inequivalent pos -> replay pos)
       | None -> (
           let v = run_engine ct b ~engine p in
+          let remember entry =
+            let wrote, evicted = Cache.add_entry cache key entry in
+            ct.k_store_writes <- ct.k_store_writes + wrote;
+            ct.k_cache_evictions <- ct.k_cache_evictions + evicted
+          in
           match v with
           | Undecided _ ->
-              (* never cached: a bigger budget (or no sibling cex) might
-                 decide the same cone pair next time *)
+              (* never cached (and never persisted): a bigger budget or no
+                 sibling cex might decide the same cone pair next time *)
               v
           | Equivalent ->
-              Cache.add cache key Cache.E_equivalent;
+              remember Cache.E_equivalent;
               v
           | Inequivalent cex ->
               let cvars = canonical_vars p in
               let pos_of_var = Hashtbl.create 16 in
               Array.iteri (fun k v -> Hashtbl.replace pos_of_var v k) cvars;
-              Cache.add cache key
+              remember
                 (Cache.E_inequivalent
                    (List.filter_map
                       (fun (v, b) ->
@@ -808,9 +945,17 @@ let check_partitioned ~engine ~jobs ~limits ~cache (p : Seqprob.t) =
   end
 
 let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
-    ?(limits = no_limits) ?cache (p : Seqprob.t) =
+    ?(limits = no_limits) ?cache ?store (p : Seqprob.t) =
   if List.length p.outs1 <> List.length p.outs2 then
     invalid_arg "Cec: output counts differ";
+  (* [store] is only consulted when the caller supplies no cache: a
+     caller-provided cache decides its own backing *)
+  let cache =
+    match (cache, store) with
+    | (Some _ as c), _ -> c
+    | None, Some st -> Some (Cache.create ~store:st ())
+    | None, None -> cache
+  in
   let jobs = max 1 jobs in
   let partitioned = match partition with Some b -> b | None -> jobs > 1 in
   (* elapsed_seconds is the true wall clock of the whole check, derived
@@ -838,8 +983,9 @@ let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
   in
   (v, { stats with elapsed_seconds = elapsed })
 
-let check_problem ?engine ?jobs ?partition ?limits ?cache p =
-  fst (check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache p)
+let check_problem ?engine ?jobs ?partition ?limits ?cache ?store p =
+  fst
+    (check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache ?store p)
 
 (* ---------- Circuit.t entry points (thin wrappers) ---------- *)
 
@@ -852,12 +998,12 @@ let problem_of_circuits c1 c2 =
       invalid_arg "Cec: output counts differ"
   | Error d -> invalid_arg (Seqprob.diagnosis_to_string d)
 
-let check_with_stats ?engine ?jobs ?partition ?limits ?cache c1 c2 =
-  check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache
+let check_with_stats ?engine ?jobs ?partition ?limits ?cache ?store c1 c2 =
+  check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache ?store
     (problem_of_circuits c1 c2)
 
-let check ?engine ?jobs ?partition ?limits ?cache c1 c2 =
-  fst (check_with_stats ?engine ?jobs ?partition ?limits ?cache c1 c2)
+let check ?engine ?jobs ?partition ?limits ?cache ?store c1 c2 =
+  fst (check_with_stats ?engine ?jobs ?partition ?limits ?cache ?store c1 c2)
 
 let counterexample_is_valid c1 c2 cex =
   (* The environment is keyed by the full variable, not just its base —

@@ -61,7 +61,16 @@ type stats = {
   sat_calls : int;  (** SAT solver invocations *)
   sim_rounds : int;  (** 64-pattern random simulation rounds (sweep) *)
   partitions : int;  (** output-cone partitions checked (1 = monolithic) *)
-  cache_hits : int;  (** partitions answered from the result cache *)
+  cache_hits : int;
+      (** partitions answered from the in-memory result cache *)
+  store_hits : int;
+      (** partitions answered from the persistent verdict store (disjoint
+          from [cache_hits]: a verdict promoted into memory counts here
+          once, then as a cache hit on repeats) *)
+  store_writes : int;
+      (** verdicts appended write-through to the persistent store *)
+  cache_evictions : int;
+      (** entries dropped from the in-memory cache by its capacity bound *)
   conflicts : int;  (** SAT conflicts spent, summed over all calls *)
   budget_hits : int;
       (** engine runs stopped by a blown conflict budget or node ceiling *)
@@ -109,13 +118,32 @@ val stats_pp : Format.formatter -> stats -> unit
     are proven once.  Counterexamples are stored over canonical input
     positions (first-visit DFS order) so a hit replays under the hitting
     problem's own typed variables.  Safe to share across domains and
-    across checks. *)
+    across checks.
+
+    The in-memory index is {e bounded}: growing past [capacity] triggers a
+    batch eviction of the least-recently-hit entries down to 3/4 of
+    capacity (counted in {!type-stats}[.cache_evictions]), so arbitrarily
+    long runs hold at most [capacity] verdicts in memory.  With a [store]
+    backing, misses fall through to the persistent store (a disk hit is
+    promoted back into memory) and new verdicts are written through —
+    evicted entries are therefore recoverable, and verdicts survive the
+    process.  [Undecided] answers are never cached or persisted. *)
 module Cache : sig
   type t
 
-  val create : unit -> t
+  val default_capacity : int
+  (** 65536 entries. *)
+
+  val create : ?capacity:int -> ?store:Store.t -> unit -> t
+  (** [create ()] is unbacked at the default capacity; [~store] makes the
+      cache write-through to (and fall back on) a persistent store. *)
+
   val clear : t -> unit
+  (** Drops the in-memory index only; a backing store is untouched. *)
+
   val size : t -> int
+
+  val store : t -> Store.t option
 end
 
 val check_problem :
@@ -124,6 +152,7 @@ val check_problem :
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
+  ?store:Store.t ->
   Seqprob.t ->
   verdict
 (** Decides equivalence of the problem's two output-cone groups.  Default
@@ -155,7 +184,10 @@ val check_problem :
     the reported counterexample may come from any failing partition (at
     [jobs = 1] partitions run in order, so it is the lowest-index one).
     A fresh {!Cache} is used per check unless [cache] supplies a shared
-    one; [Undecided] answers are never cached.
+    one; [Undecided] answers are never cached.  [store] is shorthand for
+    [~cache:(Cache.create ~store ())] — a persistent verdict store backing
+    a fresh per-check cache — and is ignored when [cache] is given (a
+    caller-provided cache decides its own backing).
 
     @raise Invalid_argument if the two output groups differ in length
     (impossible for problems built by {!Seqprob.problem}). *)
@@ -166,6 +198,7 @@ val check_problem_with_stats :
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
+  ?store:Store.t ->
   Seqprob.t ->
   verdict * stats
 (** Like {!check_problem}, also returning the per-check statistics. *)
@@ -176,6 +209,7 @@ val check :
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
+  ?store:Store.t ->
   Circuit.t ->
   Circuit.t ->
   verdict
@@ -190,6 +224,7 @@ val check_with_stats :
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
+  ?store:Store.t ->
   Circuit.t ->
   Circuit.t ->
   verdict * stats

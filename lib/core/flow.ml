@@ -82,7 +82,7 @@ let circuits ?engine:_ a =
   let* c = optimize_c ~exposed_names b in
   Ok (b, c)
 
-let run ?engine ?jobs ?limits ?cache ?period ?(skip_verify = false) a =
+let run ?engine ?jobs ?limits ?cache ?store ?period ?(skip_verify = false) a =
   Obs.span ~name:"flow.run"
     ~attrs:[ ("circuit", Obs.String (Circuit.name a)) ]
   @@ fun () ->
@@ -141,7 +141,8 @@ let run ?engine ?jobs ?limits ?cache ?period ?(skip_verify = false) a =
         }
     else
       stage "verify" (fun () ->
-          Verify.check ?engine ?jobs ?limits ?cache ~exposed:exposed_names b c)
+          Verify.check ?engine ?jobs ?limits ?cache ?store
+            ~exposed:exposed_names b c)
   in
   Ok
     {

@@ -44,12 +44,13 @@ val run :
   ?jobs:int ->
   ?limits:Cec.limits ->
   ?cache:Cec.Cache.t ->
+  ?store:Store.t ->
   ?period:int ->
   ?skip_verify:bool ->
   Circuit.t ->
   (row, Seqprob.diagnosis) result
-(** Runs the full pipeline on a regular-latch circuit.  [jobs], [limits]
-    and [cache] are passed to the H-vs-J combinational check (see
+(** Runs the full pipeline on a regular-latch circuit.  [jobs], [limits],
+    [cache] and [store] are passed to the H-vs-J combinational check (see
     {!Verify.check}); a blown budget surfaces as a
     [Verify.Undecided _] verdict in the row, never as an error.
     [period], when given, replaces [D]'s delay as the clock-period target

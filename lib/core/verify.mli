@@ -60,6 +60,7 @@ val check :
   ?jobs:int ->
   ?limits:Cec.limits ->
   ?cache:Cec.Cache.t ->
+  ?store:Store.t ->
   ?rewrite_events:bool ->
   ?guard_events:bool ->
   ?exposed:string list ->
@@ -74,7 +75,9 @@ val check :
     cone on that many domains (see {!Cec.check_problem}); [limits]
     (default {!Cec.no_limits}) bounds the combinational engines and turns
     a blown budget into an [Undecided] verdict; [cache] shares a
-    combinational result cache across checks.
+    combinational result cache across checks, and [store] backs a fresh
+    per-check cache with a persistent verdict store instead (ignored when
+    [cache] is given — see {!Cec.check_problem}).
 
     Diagnoses instead of exceptions: [No_such_latch] when an exposed name
     is missing or not a latch, [Non_exposed_cycle] when a sequential cycle

@@ -49,7 +49,10 @@ let product_circuit c1 c2 =
   nc
 
 let check ?(node_limit = 2_000_000) ?(max_steps = 4096) c1 c2 =
-  let t0 = Sys.time () in
+  (* monotonic wall clock, like every other [seconds] in the tree — CPU
+     time would under-report a baseline that blocks or over-report one
+     racing other domains *)
+  let t0 = Obs.Clock.now () in
   let n_out = List.length (Circuit.outputs c1) in
   let finish verdict steps product_states man =
     ( verdict,
@@ -57,7 +60,7 @@ let check ?(node_limit = 2_000_000) ?(max_steps = 4096) c1 c2 =
         steps;
         peak_nodes = (match man with Some m -> Bdd.node_count m | None -> 0);
         product_states;
-        seconds = Sys.time () -. t0;
+        seconds = Obs.Clock.now () -. t0;
       } )
   in
   match Transition.build ~node_limit (product_circuit c1 c2) with

@@ -24,7 +24,7 @@ type stats = {
   steps : int;  (** image computations performed *)
   peak_nodes : int;  (** BDD manager size at the end *)
   product_states : float;  (** recurrent product states (if finished) *)
-  seconds : float;
+  seconds : float;  (** wall clock ({!Obs.Clock}, monotonic) *)
 }
 
 val check :

@@ -1,0 +1,444 @@
+(* Persistent content-addressed verdict store: an append-only binary log of
+   (cone signature -> verdict) records with CRC-guarded framing, advisory
+   file locking for cross-process sharing, and tmp-file+rename compaction
+   with LRU-by-last-hit eviction.  See store.mli for the contract. *)
+
+type verdict = Equivalent | Inequivalent of (int * bool) list
+
+type info = {
+  entries : int;
+  capacity : int;
+  file_bytes : int;
+  hits : int;
+  misses : int;
+  writes : int;
+  evictions : int;
+  compactions : int;
+  quarantined_to : string option;
+}
+
+let default_capacity = 262_144
+let default_dir = ".seqver-cache"
+let file_name = "verdicts.bin"
+
+(* Version is baked into the magic: a format change bumps the suffix and
+   old files read as "bad magic" (quarantined, cold start) rather than
+   being misparsed. *)
+let magic = "SEQVST01"
+
+(* Records larger than this are treated as corruption, not as a request
+   to allocate whatever a torn length prefix happens to say. *)
+let max_payload = 1 lsl 28
+
+(* ---------- CRC-32 (IEEE, reflected 0xEDB88320) ---------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+(* ---------- record encoding ---------- *)
+
+let add_u32 buf n = Buffer.add_int32_le buf (Int32.of_int (n land 0xFFFFFFFF))
+let get_u32 s off = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF
+
+(* payload := tag u8 | last_hit u32 | keylen u32 | key
+            | (tag 1 only) n u32 | n * (pos u32, value u8) *)
+let encode_payload ~last_hit key v =
+  let buf = Buffer.create (String.length key + 32) in
+  Buffer.add_char buf (match v with Equivalent -> '\000' | Inequivalent _ -> '\001');
+  add_u32 buf last_hit;
+  add_u32 buf (String.length key);
+  Buffer.add_string buf key;
+  (match v with
+  | Equivalent -> ()
+  | Inequivalent cex ->
+      add_u32 buf (List.length cex);
+      List.iter
+        (fun (pos, b) ->
+          add_u32 buf pos;
+          Buffer.add_char buf (if b then '\001' else '\000'))
+        cex);
+  Buffer.contents buf
+
+let decode_payload s =
+  let len = String.length s in
+  if len < 9 then None
+  else begin
+    let tag = Char.code s.[0] in
+    let last_hit = get_u32 s 1 in
+    let klen = get_u32 s 5 in
+    if 9 + klen > len then None
+    else begin
+      let key = String.sub s 9 klen in
+      let off = 9 + klen in
+      match tag with
+      | 0 -> if off = len then Some (key, Equivalent, last_hit) else None
+      | 1 ->
+          if len - off < 4 then None
+          else begin
+            let n = get_u32 s off in
+            if off + 4 + (n * 5) <> len then None
+            else
+              let cex =
+                List.init n (fun i ->
+                    let o = off + 4 + (i * 5) in
+                    (get_u32 s o, s.[o + 4] = '\001'))
+              in
+              Some (key, Inequivalent cex, last_hit)
+          end
+      | _ -> None
+    end
+  end
+
+let output_record oc ~last_hit key v =
+  let payload = encode_payload ~last_hit key v in
+  let buf = Buffer.create (String.length payload + 8) in
+  add_u32 buf (String.length payload);
+  add_u32 buf (crc32 payload);
+  Buffer.add_string buf payload;
+  Buffer.output_buffer oc buf
+
+(* ---------- log parsing ---------- *)
+
+exception Bad of string
+
+(* Returns the records of the valid prefix (file order) and, when the file
+   is damaged, the reason parsing stopped.  Never raises on content. *)
+let load_records path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let len = in_channel_length ic in
+  if len < String.length magic then ([], Some "truncated header")
+  else if really_input_string ic (String.length magic) <> magic then
+    ([], Some "bad magic")
+  else begin
+    let acc = ref [] in
+    let err = ref None in
+    (try
+       while pos_in ic < len do
+         if len - pos_in ic < 8 then raise (Bad "torn record header");
+         let hdr = really_input_string ic 8 in
+         let plen = get_u32 hdr 0 in
+         let crc = get_u32 hdr 4 in
+         if plen > max_payload then raise (Bad "implausible record length");
+         if len - pos_in ic < plen then raise (Bad "torn record payload");
+         let payload = really_input_string ic plen in
+         if crc32 payload <> crc then raise (Bad "CRC mismatch");
+         match decode_payload payload with
+         | None -> raise (Bad "malformed payload")
+         | Some r -> acc := r :: !acc
+       done
+     with Bad reason -> err := Some reason);
+    (List.rev !acc, !err)
+  end
+
+(* ---------- the store ---------- *)
+
+type slot = { verdict : verdict; mutable last_hit : int }
+
+type t = {
+  dir : string;
+  path : string;
+  capacity : int;
+  m : Mutex.t;  (* in-process exclusion (fcntl locks are per-process) *)
+  lock_fd : Unix.file_descr;  (* advisory cross-process lock ([dir]/lock) *)
+  tbl : (string, slot) Hashtbl.t;
+  mutable gen : int;  (* LRU logical clock, > every loaded last_hit *)
+  mutable oc : out_channel option;  (* append channel; None once closed *)
+  mutable closed : bool;
+  mutable hits : int;
+  mutable misses : int;
+  mutable writes : int;
+  mutable evictions : int;
+  mutable compactions : int;
+  mutable quarantined_to : string option;
+}
+
+let check_open t = if t.closed then invalid_arg "Store: store is closed"
+
+(* Advisory lock over the side lock file, held across every file access.
+   fcntl-style locks are per-process, so two handles on one directory in
+   the same process do not exclude each other here — the [m] mutex of each
+   handle plus O_APPEND record atomicity keeps that case safe. *)
+let file_locked t f =
+  Unix.lockf t.lock_fd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+    f
+
+let rec mkdirs dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdirs parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_append path =
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path in
+  (* a fresh (or externally deleted) file needs its header before any
+     record lands *)
+  if out_channel_length oc = 0 then begin
+    output_string oc magic;
+    flush oc
+  end;
+  oc
+
+(* Atomically replaces the log with the current in-memory state (tmp file
+   + rename), then reopens the append channel.  Caller holds [m] and the
+   file lock. *)
+let rewrite_locked t =
+  (match t.oc with
+  | Some oc -> close_out_noerr oc; t.oc <- None
+  | None -> ());
+  let tmp = t.path ^ ".tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  (try
+     output_string oc magic;
+     Hashtbl.iter (fun k s -> output_record oc ~last_hit:s.last_hit k s.verdict) t.tbl;
+     close_out oc
+   with e -> close_out_noerr oc; raise e);
+  Sys.rename tmp t.path;
+  t.oc <- Some (open_append t.path)
+
+(* Folds the log's records into the in-memory index: unknown keys are
+   adopted (another process's appends), known keys only refresh recency —
+   the first verdict for a signature wins, and any two verdicts for one
+   signature agree by construction anyway. *)
+let merge_file_locked t =
+  if Sys.file_exists t.path then begin
+    let records, _damaged = load_records t.path in
+    List.iter
+      (fun (k, v, lh) ->
+        t.gen <- max t.gen (lh + 1);
+        match Hashtbl.find_opt t.tbl k with
+        | Some s -> s.last_hit <- max s.last_hit lh
+        | None -> Hashtbl.add t.tbl k { verdict = v; last_hit = lh })
+      records
+  end
+
+(* Eviction target after a capacity compaction: low enough that the next
+   compaction is ~capacity/4 insertions away (amortized cost), high
+   enough to keep most of the working set. *)
+let evict_target capacity = max 1 (capacity * 3 / 4)
+
+let compact_locked t =
+  merge_file_locked t;
+  let n = Hashtbl.length t.tbl in
+  if n > t.capacity then begin
+    let arr = Array.make n ("", 0) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun k s ->
+        arr.(!i) <- (k, s.last_hit);
+        incr i)
+      t.tbl;
+    Array.sort (fun (_, a) (_, b) -> compare (a : int) b) arr;
+    let drop = n - evict_target t.capacity in
+    for j = 0 to drop - 1 do
+      Hashtbl.remove t.tbl (fst arr.(j))
+    done;
+    t.evictions <- t.evictions + drop;
+    Obs.count "store.evictions" drop
+  end;
+  rewrite_locked t;
+  t.compactions <- t.compactions + 1
+
+let quarantine_path dir =
+  let rec go k =
+    let p = Filename.concat dir (Printf.sprintf "%s.quarantine.%d" file_name k) in
+    if Sys.file_exists p then go (k + 1) else p
+  in
+  go 0
+
+let open_ ?(capacity = default_capacity) dir =
+  Obs.span ~name:"store.open" ~attrs:[ ("dir", Obs.String dir) ] @@ fun () ->
+  mkdirs dir;
+  let lock_fd =
+    Unix.openfile (Filename.concat dir "lock") [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  let t =
+    {
+      dir;
+      path = Filename.concat dir file_name;
+      capacity = max 1 capacity;
+      m = Mutex.create ();
+      lock_fd;
+      tbl = Hashtbl.create 1024;
+      gen = 0;
+      oc = None;
+      closed = false;
+      hits = 0;
+      misses = 0;
+      writes = 0;
+      evictions = 0;
+      compactions = 0;
+      quarantined_to = None;
+    }
+  in
+  file_locked t (fun () ->
+      let size = try (Unix.stat t.path).Unix.st_size with Unix.Unix_error _ -> 0 in
+      if size > 0 then begin
+        let records, damaged = load_records t.path in
+        List.iter
+          (fun (k, v, lh) ->
+            t.gen <- max t.gen (lh + 1);
+            match Hashtbl.find_opt t.tbl k with
+            | Some s -> s.last_hit <- max s.last_hit lh
+            | None -> Hashtbl.add t.tbl k { verdict = v; last_hit = lh })
+          records;
+        match damaged with
+        | None -> t.oc <- Some (open_append t.path)
+        | Some reason ->
+            (* quarantine the damaged file and cold-start from the salvaged
+               valid prefix: a crash or bit flip must never be fatal *)
+            let q = quarantine_path dir in
+            Sys.rename t.path q;
+            t.quarantined_to <- Some q;
+            Obs.instant "store.quarantine"
+              ~attrs:
+                [ ("reason", Obs.String reason); ("quarantined_to", Obs.String q) ];
+            rewrite_locked t
+      end
+      else t.oc <- Some (open_append t.path));
+  Obs.attr (fun () ->
+      [
+        ("entries", Obs.Int (Hashtbl.length t.tbl));
+        ("quarantined", Obs.Bool (t.quarantined_to <> None));
+      ]);
+  t
+
+let close t =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  if not t.closed then begin
+    (match t.oc with
+    | Some oc -> close_out_noerr oc; t.oc <- None
+    | None -> ());
+    (try Unix.close t.lock_fd with Unix.Unix_error _ -> ());
+    t.closed <- true
+  end
+
+let find t key =
+  check_open t;
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  match Hashtbl.find_opt t.tbl key with
+  | Some s ->
+      s.last_hit <- t.gen;
+      t.gen <- t.gen + 1;
+      t.hits <- t.hits + 1;
+      Obs.count "store.hit" 1;
+      Some s.verdict
+  | None ->
+      t.misses <- t.misses + 1;
+      Obs.count "store.miss" 1;
+      None
+
+let mem t key =
+  check_open t;
+  Mutex.lock t.m;
+  let r = Hashtbl.mem t.tbl key in
+  Mutex.unlock t.m;
+  r
+
+(* The append channel can be left pointing at a replaced inode when some
+   other process compacts (rename over the path): re-sync before writing. *)
+let resync_append_locked t =
+  let oc =
+    match t.oc with Some oc -> oc | None -> let oc = open_append t.path in t.oc <- Some oc; oc
+  in
+  let stale =
+    try
+      let here = Unix.fstat (Unix.descr_of_out_channel oc) in
+      let disk = Unix.stat t.path in
+      here.Unix.st_ino <> disk.Unix.st_ino || here.Unix.st_dev <> disk.Unix.st_dev
+    with Unix.Unix_error _ -> true (* path gone: reopen recreates it *)
+  in
+  if stale then begin
+    close_out_noerr oc;
+    let oc = open_append t.path in
+    t.oc <- Some oc;
+    oc
+  end
+  else oc
+
+let add t key v =
+  check_open t;
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  if Hashtbl.mem t.tbl key then false
+  else begin
+    let lh = t.gen in
+    t.gen <- t.gen + 1;
+    Hashtbl.add t.tbl key { verdict = v; last_hit = lh };
+    file_locked t (fun () ->
+        let oc = resync_append_locked t in
+        output_record oc ~last_hit:lh key v;
+        flush oc);
+    t.writes <- t.writes + 1;
+    Obs.count "store.write" 1;
+    if Hashtbl.length t.tbl > t.capacity then
+      Obs.span ~name:"store.compact"
+        ~attrs:[ ("trigger", Obs.String "capacity") ]
+        (fun () -> file_locked t (fun () -> compact_locked t));
+    true
+  end
+
+let compact t =
+  check_open t;
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  Obs.span ~name:"store.compact"
+    ~attrs:[ ("trigger", Obs.String "manual") ]
+    (fun () -> file_locked t (fun () -> compact_locked t))
+
+let clear t =
+  check_open t;
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  Hashtbl.reset t.tbl;
+  file_locked t (fun () -> rewrite_locked t)
+
+let info t =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  {
+    entries = Hashtbl.length t.tbl;
+    capacity = t.capacity;
+    file_bytes =
+      (try (Unix.stat t.path).Unix.st_size with Unix.Unix_error _ -> 0);
+    hits = t.hits;
+    misses = t.misses;
+    writes = t.writes;
+    evictions = t.evictions;
+    compactions = t.compactions;
+    quarantined_to = t.quarantined_to;
+  }
+
+let pp_info ppf i =
+  Format.fprintf ppf
+    "%d entries (capacity %d), %d bytes on disk, %d hits, %d misses, %d writes, %d evictions, %d compactions%s"
+    i.entries i.capacity i.file_bytes i.hits i.misses i.writes i.evictions
+    i.compactions
+    (match i.quarantined_to with
+    | None -> ""
+    | Some q -> ", corrupt log quarantined to " ^ q)
+
+(* keep the unused-field warning quiet: [dir] documents the handle and is
+   useful in the debugger *)
+let _ = fun t -> t.dir

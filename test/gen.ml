@@ -139,6 +139,35 @@ let demorganize c =
   Circuit.check nc;
   nc
 
+(* Structure-preserving copy with every input renamed; cone signatures
+   computed with a blank [input_label] must not see the difference. *)
+let rename_inputs ?(prefix = "r_") c =
+  let nc = Circuit.create (Circuit.name c ^ "_ren") in
+  let map = Hashtbl.create 64 in
+  let get s = Hashtbl.find map s in
+  List.iter
+    (fun s ->
+      Hashtbl.replace map s (Circuit.add_input nc (prefix ^ Circuit.signal_name c s)))
+    (Circuit.inputs c);
+  List.iter
+    (fun l -> Hashtbl.replace map l (Circuit.declare nc ~name:(Circuit.signal_name c l) ()))
+    (Circuit.latches c);
+  List.iter
+    (fun s ->
+      match Circuit.driver c s with
+      | Gate (fn, fs) ->
+          Hashtbl.replace map s (Circuit.add_gate nc fn (Array.to_list (Array.map get fs)))
+      | Undriven | Input | Latch _ -> ())
+    (Circuit.comb_topo c);
+  List.iter
+    (fun l ->
+      let data, enable = Circuit.latch_info c l in
+      Circuit.set_latch nc (get l) ?enable:(Option.map get enable) ~data:(get data) ())
+    (Circuit.latches c);
+  List.iter (fun o -> Circuit.mark_output nc (get o)) (Circuit.outputs c);
+  Circuit.check nc;
+  nc
+
 (* Copy with a single output negated (a seeded bug). *)
 let negate_one_output c =
   let nc = Circuit.create (Circuit.name c ^ "_bug") in

@@ -319,6 +319,37 @@ let test_cache_shares_isomorphic_cones () =
         cex
   | Cec.Equivalent | Cec.Undecided _ -> Alcotest.fail "AND vs NAND accepted"
 
+let test_cache_eviction_bound () =
+  (* a capacity-bounded cache drops least-recently-used entries instead of
+     growing without bound, and eviction never affects verdicts *)
+  let chain n =
+    let c = Circuit.create (Printf.sprintf "ch%d" n) in
+    let ins = List.init n (fun i -> Circuit.add_input c (Printf.sprintf "a%d" i)) in
+    let out =
+      List.fold_left (fun acc i -> Circuit.add_gate c And [ acc; i ]) (List.hd ins)
+        (List.tl ins)
+    in
+    Circuit.mark_output c out;
+    Circuit.check c;
+    c
+  in
+  let cache = Cec.Cache.create ~capacity:4 () in
+  let evictions = ref 0 in
+  for n = 2 to 7 do
+    let c = chain n in
+    let v, s = Cec.check_with_stats ~cache c (Gen.demorganize c) in
+    Alcotest.(check bool) (Printf.sprintf "chain %d equivalent" n) true (v = Cec.Equivalent);
+    evictions := !evictions + s.Cec.cache_evictions
+  done;
+  (* the 5th insert overflows capacity 4 and compacts down to 3 entries *)
+  Alcotest.(check int) "evictions counted in stats" 2 !evictions;
+  Alcotest.(check bool) "cache stays within capacity" true (Cec.Cache.size cache <= 4);
+  (* an evicted entry just recomputes *)
+  let c = chain 2 in
+  let v, s = Cec.check_with_stats ~cache c (Gen.demorganize c) in
+  Alcotest.(check bool) "evicted pair recomputes" true
+    (v = Cec.Equivalent && s.Cec.cache_hits = 0)
+
 let test_parallel_stress () =
   (* repeated parallel checks: no shared mutable state, stable verdicts *)
   let cache = Cec.Cache.create () in
@@ -513,6 +544,9 @@ let test_stats_pp_prints_every_field () =
       sim_rounds = 102;
       partitions = 103;
       cache_hits = 104;
+      store_hits = 115;
+      store_writes = 116;
+      cache_evictions = 117;
       conflicts = 105;
       budget_hits = 106;
       deadline_hits = 107;
@@ -536,7 +570,7 @@ let test_stats_pp_prints_every_field () =
       Alcotest.(check bool) (sentinel ^ " printed") true (contains sentinel))
     [
       "101"; "102"; "103"; "104"; "105"; "106"; "107"; "108"; "109";
-      "110.5"; "111.5"; "112.5"; "113.5"; "114.5";
+      "110.5"; "111.5"; "112.5"; "113.5"; "114.5"; "115"; "116"; "117";
     ]
 
 (* elapsed_seconds is the true wall clock: sequentially the per-engine
@@ -588,6 +622,8 @@ let suite =
       test_cache_hits_identical_verdicts;
     Alcotest.test_case "cache: isomorphic cones transfer" `Quick
       test_cache_shares_isomorphic_cones;
+    Alcotest.test_case "cache: capacity bound evicts LRU" `Quick
+      test_cache_eviction_bound;
     Alcotest.test_case "parallel stress" `Quick test_parallel_stress;
     Alcotest.test_case "budget gives Undecided" `Quick test_budget_gives_undecided;
     Alcotest.test_case "escalation ladder proves" `Quick test_escalation_ladder_proves;

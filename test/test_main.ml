@@ -22,6 +22,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("seqbdd", Test_seqbdd.suite);
       ("properties", Test_properties.suite);
+      ("store", Test_store.suite);
       ("integration", Test_integration.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

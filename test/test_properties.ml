@@ -122,6 +122,83 @@ let prop_aig_matches_bdd =
       done;
       !ok)
 
+(* ---- cone-signature properties (the verdict-store cache key) ---- *)
+
+(* The persistent verdict store keys on [Aig.cone_signature] with blank
+   input labels, so these invariants are exactly what makes cross-run
+   verdict transfer sound: renaming inputs or reordering graph
+   construction must not change the key, and a key collision must only
+   ever happen between equivalent cone pairs. *)
+
+let pair_sig p =
+  Aig.cone_signature p.Seqprob.graph
+    ~input_label:(fun _ -> "")
+    [ p.Seqprob.outs1; p.Seqprob.outs2 ]
+
+let side_sig p side =
+  Aig.cone_signature p.Seqprob.graph
+    ~input_label:(fun _ -> "")
+    [ (if side = 1 then p.Seqprob.outs1 else p.Seqprob.outs2) ]
+
+let comb_of_seed ?(name = "sig") seed =
+  let st = Random.State.make [| seed; 0x516 |] in
+  Gen.comb st ~name ~inputs:4 ~gates:25 ~outputs:2
+
+let pair_problem a b = Result.get_ok (Seqprob.of_circuits a b)
+
+let prop_signature_ignores_input_names =
+  QCheck.Test.make ~count ~name:"cone signature invariant under input renaming"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let c = comb_of_seed seed in
+      let r = Gen.rename_inputs ~prefix:"zz_" c in
+      pair_sig (pair_problem c (Gen.negate_one_output c))
+      = pair_sig (pair_problem r (Gen.negate_one_output r)))
+
+let prop_signature_ignores_build_order =
+  QCheck.Test.make ~count ~name:"cone signature invariant under outside insertions"
+    (QCheck.pair expr_arb QCheck.(int_range 1 20))
+    (fun ((nvars, e), junk) ->
+      (* nodes created before and outside the cone shift every id in the
+         cone uniformly; the signature may not notice *)
+      let build_sig ~junk =
+        let g = Aig.create () in
+        for _ = 1 to junk do
+          let a = Aig.input g and b = Aig.input g in
+          ignore (Aig.and_ g a b)
+        done;
+        let vars = Array.init nvars (fun _ -> Aig.input g) in
+        let rec build = function
+          | Test_bdd.V i -> vars.(i)
+          | Test_bdd.Const b -> if b then Aig.lit_true else Aig.lit_false
+          | Test_bdd.Not x -> Aig.neg (build x)
+          | Test_bdd.And (x, y) -> Aig.and_ g (build x) (build y)
+          | Test_bdd.Or (x, y) -> Aig.or_ g (build x) (build y)
+          | Test_bdd.Xor (x, y) -> Aig.xor_ g (build x) (build y)
+          | Test_bdd.Ite (s, t, e') -> Aig.mux g (build s) (build t) (build e')
+        in
+        let root = build e in
+        Aig.cone_signature g ~input_label:(fun _ -> "") [ [ root ] ]
+      in
+      build_sig ~junk:0 = build_sig ~junk)
+
+let prop_signature_distinguishes =
+  QCheck.Test.make ~count ~name:"distinct cone pairs get distinct signatures"
+    QCheck.(pair (int_bound 100000) (int_bound 100000))
+    (fun (s1, s2) ->
+      let a = comb_of_seed ~name:"sa" s1 and b = comb_of_seed ~name:"sb" s2 in
+      let bug = Gen.negate_one_output a in
+      (* a negated output is never equivalent, so its pair may not collide *)
+      pair_sig (pair_problem a a) <> pair_sig (pair_problem a bug)
+      && side_sig (pair_problem a a) 1 <> side_sig (pair_problem bug bug) 1
+      (* store soundness: an always-equivalent pair's key must differ from
+         an always-inequivalent pair's key — a collision would transfer
+         the wrong verdict.  (Keys CAN legitimately collide between two
+         equivalent pairs over different circuits: the signature names a
+         pair shape, not a function, and that transfer is sound.) *)
+      && pair_sig (pair_problem a a)
+         <> pair_sig (pair_problem b (Gen.negate_one_output b)))
+
 (* ---- netlist properties ---- *)
 
 let prop_roundtrip_behaviour =
@@ -327,6 +404,9 @@ let suite =
       prop_bdd_quantifier_duality;
       prop_bdd_unate_cofactor_order;
       prop_aig_matches_bdd;
+      prop_signature_ignores_input_names;
+      prop_signature_ignores_build_order;
+      prop_signature_distinguishes;
       prop_roundtrip_behaviour;
       prop_sweep_preserves;
       prop_retime_flush_equivalent;

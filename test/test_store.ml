@@ -1,0 +1,303 @@
+(* Persistent verdict store: binary round-trip, LRU eviction, crash and
+   corruption recovery, multi-handle sharing, and end-to-end verdict
+   transfer through Cec at a different unrolling depth. *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "seqver_store_%d_%d" (Unix.getpid ()) !n)
+    in
+    if Sys.file_exists d then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat d f)) (Sys.readdir d);
+      Unix.rmdir d
+    end;
+    d
+
+let log_path dir = Filename.concat dir Store.file_name
+
+let verdict_eq (a : Store.verdict) b = a = b
+
+let check_verdict msg expected got =
+  Alcotest.(check bool) msg true (Option.fold ~none:false ~some:(verdict_eq expected) got)
+
+(* ---- CRC32 ---- *)
+
+let test_crc32 () =
+  (* the standard IEEE check value *)
+  Alcotest.(check int) "crc32 check vector" 0xCBF43926 (Store.crc32 "123456789");
+  Alcotest.(check int) "crc32 empty" 0 (Store.crc32 "");
+  Alcotest.(check bool) "crc32 detects a flip" true
+    (Store.crc32 "123456789" <> Store.crc32 "123456788")
+
+(* ---- round trip ---- *)
+
+let test_roundtrip () =
+  let dir = fresh_dir () in
+  let cex = [ (0, true); (3, false); (17, true) ] in
+  let st = Store.open_ dir in
+  Alcotest.(check bool) "fresh add" true (Store.add st "sig-eq" Store.Equivalent);
+  Alcotest.(check bool) "fresh add cex" true (Store.add st "sig-ineq" (Store.Inequivalent cex));
+  Alcotest.(check bool) "duplicate add is a no-op" false (Store.add st "sig-eq" Store.Equivalent);
+  check_verdict "find before close" (Store.Inequivalent cex) (Store.find st "sig-ineq");
+  Store.close st;
+  let st = Store.open_ dir in
+  let i = Store.info st in
+  Alcotest.(check int) "entries survive reopen" 2 i.Store.entries;
+  Alcotest.(check (option string)) "no quarantine" None i.Store.quarantined_to;
+  check_verdict "equivalent round-trips" Store.Equivalent (Store.find st "sig-eq");
+  check_verdict "cex round-trips" (Store.Inequivalent cex) (Store.find st "sig-ineq");
+  Alcotest.(check (option string)) "miss" None
+    (Option.map (fun _ -> "hit") (Store.find st "sig-absent"));
+  let i = Store.info st in
+  Alcotest.(check int) "hits counted" 2 i.Store.hits;
+  Alcotest.(check int) "misses counted" 1 i.Store.misses;
+  Store.close st;
+  Alcotest.check_raises "use after close" (Invalid_argument "Store: store is closed")
+    (fun () -> ignore (Store.find st "sig-eq"))
+
+(* ---- LRU eviction at capacity ---- *)
+
+let test_eviction () =
+  let dir = fresh_dir () in
+  let st = Store.open_ ~capacity:8 dir in
+  for k = 0 to 7 do
+    ignore (Store.add st (Printf.sprintf "k%d" k) Store.Equivalent)
+  done;
+  (* refresh k0 and k1 so the eviction pass must drop k2..k4 instead *)
+  ignore (Store.find st "k0");
+  ignore (Store.find st "k1");
+  ignore (Store.add st "k8" Store.Equivalent);
+  let i = Store.info st in
+  Alcotest.(check int) "evicted down to 3/4 capacity" 6 i.Store.entries;
+  Alcotest.(check int) "evictions counted" 3 i.Store.evictions;
+  Alcotest.(check int) "one automatic compaction" 1 i.Store.compactions;
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " survives") true (Store.mem st k))
+    [ "k0"; "k1"; "k5"; "k6"; "k7"; "k8" ];
+  List.iter
+    (fun k -> Alcotest.(check bool) (k ^ " evicted") false (Store.mem st k))
+    [ "k2"; "k3"; "k4" ];
+  Store.close st;
+  (* recency was persisted by the compaction: the survivors reload *)
+  let st = Store.open_ ~capacity:8 dir in
+  Alcotest.(check int) "survivors reload" 6 (Store.info st).Store.entries;
+  Store.close st
+
+(* ---- two handles on one directory (the cross-process protocol) ---- *)
+
+let test_two_handles () =
+  let dir = fresh_dir () in
+  let t1 = Store.open_ dir in
+  let t2 = Store.open_ dir in
+  ignore (Store.add t1 "from-1" Store.Equivalent);
+  ignore (Store.add t2 "from-2" (Store.Inequivalent [ (1, true) ]));
+  (* appends interleave in one log; each handle only indexes its own until
+     a compaction merges the file *)
+  Alcotest.(check bool) "t1 blind to t2 before merge" false (Store.mem t1 "from-2");
+  Store.compact t1;
+  Alcotest.(check bool) "t1 sees t2 after merge" true (Store.mem t1 "from-2");
+  ignore (Store.add t2 "from-2-late" Store.Equivalent);
+  Store.close t1;
+  Store.close t2;
+  (* t2 appended through t1's compaction rewrite; nothing may be lost *)
+  let st = Store.open_ dir in
+  Alcotest.(check int) "all writers merged" 3 (Store.info st).Store.entries;
+  Alcotest.(check (option string)) "log stayed healthy" None
+    (Store.info st).Store.quarantined_to;
+  Store.close st
+
+let test_concurrent_domains () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  let per = 40 in
+  let writer w () =
+    for k = 0 to per - 1 do
+      ignore (Store.add st (Printf.sprintf "d%d-%d" w k) Store.Equivalent)
+    done
+  in
+  let ds = List.init 4 (fun w -> Domain.spawn (writer w)) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all writes indexed" (4 * per) (Store.info st).Store.entries;
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "all writes durable" (4 * per) (Store.info st).Store.entries;
+  Alcotest.(check (option string)) "no torn records" None
+    (Store.info st).Store.quarantined_to;
+  Store.close st
+
+(* ---- corruption recovery ---- *)
+
+let seed_store dir n =
+  let st = Store.open_ dir in
+  for k = 0 to n - 1 do
+    ignore
+      (Store.add st (Printf.sprintf "c%d" k) (Store.Inequivalent [ (k, true) ]))
+  done;
+  Store.close st
+
+let quarantine_count dir =
+  Array.fold_left
+    (fun acc f ->
+      if String.length f >= 10 && String.sub f 0 10 = "verdicts.b"
+         && String.length f > String.length Store.file_name
+      then acc + 1
+      else acc)
+    0 (Sys.readdir dir)
+
+let test_truncated_log () =
+  let dir = fresh_dir () in
+  seed_store dir 3;
+  let path = log_path dir in
+  let size = (Unix.stat path).Unix.st_size in
+  Unix.truncate path (size - 3) (* tear the final record mid-payload *);
+  let st = Store.open_ dir in
+  let i = Store.info st in
+  Alcotest.(check int) "valid prefix salvaged" 2 i.Store.entries;
+  Alcotest.(check bool) "quarantine reported" true (i.Store.quarantined_to <> None);
+  let q = Option.get i.Store.quarantined_to in
+  Alcotest.(check bool) "quarantine file exists" true (Sys.file_exists q);
+  check_verdict "salvaged record intact" (Store.Inequivalent [ (0, true) ])
+    (Store.find st "c0");
+  (* the store is live again: writes go to a fresh healthy log *)
+  Alcotest.(check bool) "store writable after recovery" true
+    (Store.add st "after" Store.Equivalent);
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "recovered log reloads" 3 (Store.info st).Store.entries;
+  Alcotest.(check (option string)) "second open is clean" None
+    (Store.info st).Store.quarantined_to;
+  Store.close st
+
+let test_bit_flip () =
+  let dir = fresh_dir () in
+  seed_store dir 3;
+  let path = log_path dir in
+  let size = (Unix.stat path).Unix.st_size in
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  ignore (Unix.lseek fd (size - 2) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.make 1 '\xff') 0 1) (* flip payload bytes *);
+  Unix.close fd;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "crc rejects the damaged tail" 2 (Store.info st).Store.entries;
+  Alcotest.(check bool) "damaged log quarantined" true
+    ((Store.info st).Store.quarantined_to <> None);
+  Store.close st
+
+let test_bad_magic () =
+  let dir = fresh_dir () in
+  seed_store dir 2;
+  let oc = open_out (log_path dir) in
+  output_string oc "definitely not a verdict store";
+  close_out oc;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "cold start from bad magic" 0 (Store.info st).Store.entries;
+  Alcotest.(check bool) "bad file quarantined" true
+    ((Store.info st).Store.quarantined_to <> None);
+  Alcotest.(check bool) "two quarantines never collide" true (quarantine_count dir >= 1);
+  ignore (Store.add st "fresh" Store.Equivalent);
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "fresh log after quarantine" 1 (Store.info st).Store.entries;
+  Store.close st
+
+(* ---- verdict transfer through Cec ---- *)
+
+(* [x] vs [x AND y] at unrolling depth [d]: inequivalent, cex x=1, y=0. *)
+let xy_problem d =
+  let b = Seqprob.builder () in
+  let x = Seqprob.var_lit b (Seqprob.Var.time "x" d) in
+  let y = Seqprob.var_lit b (Seqprob.Var.time "y" d) in
+  let xy = Aig.and_ (Seqprob.graph b) x y in
+  Result.get_ok (Seqprob.problem b ~outs1:[ x ] ~outs2:[ xy ])
+
+let test_cex_replay_across_depths () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  let v0, s0 = Cec.check_problem_with_stats ~store:st (xy_problem 0) in
+  (match v0 with
+  | Cec.Inequivalent _ -> ()
+  | _ -> Alcotest.fail "cold check must find the counterexample");
+  Alcotest.(check int) "cold check had no store hit" 0 s0.Cec.store_hits;
+  Alcotest.(check int) "cold run wrote the verdict" 1 s0.Cec.store_writes;
+  Store.close st;
+  (* same cones, one unrolling step later: structurally identical, so the
+     stored verdict transfers and the cex is rebased onto the new vars *)
+  let st = Store.open_ dir in
+  let p1 = xy_problem 1 in
+  let v1, s1 = Cec.check_problem_with_stats ~store:st p1 in
+  Alcotest.(check int) "warm check answered from store" 1 s1.Cec.store_hits;
+  Alcotest.(check int) "no solver work on the warm check" 0 s1.Cec.sat_calls;
+  (match v1 with
+  | Cec.Inequivalent cex ->
+      Alcotest.(check bool) "replayed cex is valid at depth 1" true
+        (Seqprob.cex_is_valid p1 cex);
+      List.iter
+        (fun ((v : Seqprob.Var.t), _) ->
+          Alcotest.(check bool)
+            ("cex variable rebased: " ^ Seqprob.Var.to_string v)
+            true
+            (v.Seqprob.Var.index = Seqprob.Var.Time 1))
+        cex
+  | _ -> Alcotest.fail "warm check must replay the counterexample");
+  Store.close st
+
+(* a parity miter (chain vs tree) under an already-expired deadline: the
+   check gives up before any engine runs *)
+let parity_pair n =
+  let mk name tree =
+    let c = Circuit.create name in
+    let ins = List.init n (fun i -> Circuit.add_input c (Printf.sprintf "p%d" i)) in
+    let out =
+      if tree then begin
+        let rec pair = function
+          | a :: b :: tl -> Circuit.add_gate c Xor [ a; b ] :: pair tl
+          | rest -> rest
+        in
+        let rec build = function [ x ] -> x | xs -> build (pair xs) in
+        build ins
+      end
+      else
+        List.fold_left
+          (fun acc i -> Circuit.add_gate c Xor [ acc; i ])
+          (List.hd ins) (List.tl ins)
+    in
+    Circuit.mark_output c out;
+    Circuit.check c;
+    c
+  in
+  (mk "uchain" false, mk "utree" true)
+
+let test_undecided_never_persisted () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  let limits = { Cec.no_limits with seconds = Some 0.0 } in
+  let c1, c2 = parity_pair 14 in
+  let v, _ =
+    Cec.check_with_stats ~engine:Cec.Sat_engine ~limits ~store:st c1 c2
+  in
+  (match v with
+  | Cec.Undecided _ -> ()
+  | _ -> Alcotest.fail "expired deadline must yield Undecided");
+  Alcotest.(check int) "nothing written" 0 (Store.info st).Store.writes;
+  Store.close st;
+  let st = Store.open_ dir in
+  Alcotest.(check int) "store still empty" 0 (Store.info st).Store.entries;
+  Store.close st
+
+let suite =
+  [
+    Alcotest.test_case "crc32" `Quick test_crc32;
+    Alcotest.test_case "round trip" `Quick test_roundtrip;
+    Alcotest.test_case "lru eviction" `Quick test_eviction;
+    Alcotest.test_case "two handles, one directory" `Quick test_two_handles;
+    Alcotest.test_case "concurrent domain writers" `Quick test_concurrent_domains;
+    Alcotest.test_case "truncated log recovery" `Quick test_truncated_log;
+    Alcotest.test_case "bit flip recovery" `Quick test_bit_flip;
+    Alcotest.test_case "bad magic cold start" `Quick test_bad_magic;
+    Alcotest.test_case "cex replay across depths" `Quick test_cex_replay_across_depths;
+    Alcotest.test_case "undecided never persisted" `Quick test_undecided_never_persisted;
+  ]
