@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --table1 --full   # all 23 circuits
      dune exec bench/main.exe -- --table1 --smoke  # exit 1 unless all EQ
      dune exec bench/main.exe -- --table2     # Table 2 (exposure counts)
+     dune exec bench/main.exe -- --suite retime [--smoke] [--jobs N]
+                                              # retiming-core tier (deep datapaths)
      dune exec bench/main.exe -- --figs       # figure reproductions
      dune exec bench/main.exe -- --ablation-cec | --ablation-rewrite
                                  | --ablation-dchoice
@@ -48,6 +50,7 @@ type t1_record = {
   r_cec : Cec.stats;
   r_unroll_seconds : float;  (* Verify.stats.unroll_seconds *)
   r_retime_seconds : float;  (* Flow stages C+E+F+G (synthesis+retiming) *)
+  r_retime_ref_seconds : float;  (* same stages, reference retiming pipeline *)
   (* same H-vs-J check re-run against the shared verdict store with a fresh
      in-memory cache (--cache-dir only): verdict, seconds, cec stats *)
   r_warm : (string * float * Cec.stats) option;
@@ -114,11 +117,26 @@ let write_table1_json ~path ~suite_name ~jobs records =
       p "\"phase_sweep_seconds\": %.6f, \"phase_sat_seconds\": %.6f, \"phase_bdd_seconds\": %.6f, "
         r.r_cec.Cec.sweep_seconds r.r_cec.Cec.sat_seconds
         r.r_cec.Cec.bdd_seconds;
-      p "\"phase_retime_seconds\": %.6f, \"elapsed_seconds\": %.6f}%s\n"
-        r.r_retime_seconds r.r_cec.Cec.elapsed_seconds
+      p
+        "\"phase_retime_seconds\": %.6f, \"phase_retime_reference_seconds\": \
+         %.6f, \"elapsed_seconds\": %.6f}%s\n"
+        r.r_retime_seconds r.r_retime_ref_seconds r.r_cec.Cec.elapsed_seconds
         (if i = List.length records - 1 then "" else ","))
     records;
   p "  ],\n";
+  (* paired before/after summary for the retiming stages: geometric mean of
+     per-circuit reference/fast ratios *)
+  (if records <> [] then
+     let logsum =
+       List.fold_left
+         (fun acc r ->
+           acc
+           +. Float.log
+                (r.r_retime_ref_seconds /. Float.max r.r_retime_seconds 1e-9))
+         0. records
+     in
+     p "  \"retime_speedup\": %.3f,\n"
+       (Float.exp (logsum /. float_of_int (List.length records))));
   (* warm rows live in their own section so the cold totals/speedup above
      keep their meaning *)
   if List.exists (fun r -> r.r_warm <> None) records then begin
@@ -276,6 +294,11 @@ let table1 ~full ~jobs ~smoke ~cache_dir () =
                   o.Verify.stats.Verify.seconds,
                   cec )
         in
+        let retime_ref =
+          match Flow.reference_retime_seconds c with
+          | Ok s -> s
+          | Error d -> failwith (Seqprob.diagnosis_to_string d)
+        in
         {
           r_name = name;
           r_verdict = verdict_str row.Flow.verify_verdict;
@@ -291,6 +314,7 @@ let table1 ~full ~jobs ~smoke ~cache_dir () =
               (fun a (st, dt) ->
                 if List.mem st [ "C"; "E"; "F"; "G" ] then a +. dt else a)
               0. row.Flow.stage_seconds;
+          r_retime_ref_seconds = retime_ref;
         })
       suite
   in
@@ -309,6 +333,24 @@ let table1 ~full ~jobs ~smoke ~cache_dir () =
       (if agree then "agree" else "DISAGREE!")
   end
   else pf "verify wall-clock: jobs=1 %.2fs@." total;
+  (if records <> [] then
+     let fast = List.fold_left (fun a r -> a +. r.r_retime_seconds) 0. records in
+     let refr =
+       List.fold_left (fun a r -> a +. r.r_retime_ref_seconds) 0. records
+     in
+     let logsum =
+       List.fold_left
+         (fun acc r ->
+           acc
+           +. Float.log
+                (r.r_retime_ref_seconds /. Float.max r.r_retime_seconds 1e-9))
+         0. records
+     in
+     pf
+       "retime stages (C+E+F+G): fast %.2fs vs reference %.2fs (geomean \
+        speedup %.2fx)@."
+       fast refr
+       (Float.exp (logsum /. float_of_int (List.length records))));
   (match store with
   | Some st ->
       let warm_total =
@@ -367,6 +409,82 @@ let table1 ~full ~jobs ~smoke ~cache_dir () =
     | None -> ());
     budget_smoke ()
   end
+
+(* ------------------------------------------------------------------ *)
+(* Retime suite                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Retiming-core tier on the deep-datapath workloads: times min-period
+   search plus min-area retiming on the raw retiming graph (no synthesis,
+   no verification — this tier isolates the retiming engines).  Small
+   instances are checked differentially against the reference pipeline; in
+   [--smoke] mode any disagreement (or an illegal/over-period labeling)
+   exits nonzero, and the largest instances are skipped to keep CI fast. *)
+let suite_retime ~jobs ~smoke () =
+  pf "@.== Retime suite: deep pipelined datapaths ==@.";
+  pf "(fast = incremental FEAS + warm-started search + scaling flow;@.";
+  pf " ref = naive FEAS bisection + unpruned constraints + old flow core.)@.@.";
+  pf "%-12s %6s %6s | %4s %6s | %9s %9s %8s | %s@." "circuit" "n" "L_in"
+    "P" "L_out" "fast" "ref" "speedup" "check";
+  pf "%s@." (String.make 84 '-');
+  let pool = if jobs > 1 then Some (Par.Pool.create ~jobs) else None in
+  Fun.protect ~finally:(fun () ->
+      match pool with Some p -> Par.Pool.shutdown p | None -> ())
+  @@ fun () ->
+  let failures = ref 0 in
+  let suite =
+    List.filter
+      (fun (_, c) -> (not smoke) || Circuit.latch_count c <= 800)
+      (Workloads.retime_suite ())
+  in
+  List.iter
+    (fun (name, c) ->
+      let g = Rgraph.build c in
+      let n = Rgraph.vertex_count g in
+      let fast () =
+        let period, _ = Feas.min_period ?pool g in
+        match Minarea.solve ~period ?pool g with
+        | Some r -> (period, r)
+        | None -> failwith "retime suite: min period infeasible?"
+      in
+      let (period, r), t_fast = Obs.timed_span ~name:"bench.retime_fast" fast in
+      let latches_after = Rgraph.total_latches_after g ~r in
+      let legal = Rgraph.is_legal g ~r && Feas.period_of g ~r <= period in
+      let check, t_ref =
+        if n > 1000 then ((if legal then "legal" else "ILLEGAL!"), None)
+        else begin
+          let reference () =
+            let p, _ = Feas.Naive.min_period g in
+            match Minarea.solve ~period:p ~reference:true g with
+            | Some rr -> (p, rr)
+            | None -> failwith "retime suite: reference infeasible?"
+          in
+          let (p_ref, r_ref), t_ref =
+            Obs.timed_span ~name:"bench.retime_reference" reference
+          in
+          let agree =
+            legal && p_ref = period
+            && Rgraph.total_latches_after g ~r:r_ref = latches_after
+          in
+          ((if agree then "agree" else "DISAGREE!"), Some t_ref)
+        end
+      in
+      if check = "DISAGREE!" || check = "ILLEGAL!" then incr failures;
+      pf "%-12s %6d %6d | %4d %6d | %8.3fs %9s %8s | %s@." name n
+        (Circuit.latch_count c) period latches_after t_fast
+        (match t_ref with Some t -> Printf.sprintf "%8.3fs" t | None -> "-")
+        (match t_ref with
+        | Some t -> Printf.sprintf "%.1fx" (t /. Float.max t_fast 1e-9)
+        | None -> "-")
+        check)
+    suite;
+  pf "%s@." (String.make 84 '-');
+  if smoke then
+    if !failures > 0 then begin
+      pf "SMOKE FAILURE: %d retime-suite disagreement(s)@." !failures;
+      exit 1
+    end
+    else pf "smoke: fast retiming agrees with reference on all instances@."
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
@@ -790,10 +908,12 @@ let () =
     | [] -> None
   in
   let opt_int flag args = Option.bind (opt_str flag args) int_of_string_opt in
+  let suite_arg = opt_str "--suite" args in
   let any =
     has "--table1" || has "--table2" || has "--figs" || has "--micro"
     || has "--baseline" || has "--ablation-cec" || has "--ablation-rewrite"
     || has "--ablation-guard" || has "--ablation-synth" || has "--ablation-dchoice"
+    || suite_arg <> None
   in
   let full = has "--full" in
   let smoke = has "--smoke" in
@@ -801,6 +921,10 @@ let () =
   let cache_dir = opt_str "--cache-dir" args in
   let trace = opt_str "--trace" args in
   Option.iter (fun _ -> Obs.enable ()) trace;
+  (match suite_arg with
+  | Some "retime" -> suite_retime ~jobs ~smoke ()
+  | Some s -> failwith (Printf.sprintf "unknown --suite %s (expected: retime)" s)
+  | None -> ());
   if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ~cache_dir ();
   if (not any) || has "--table2" then table2 ();
   if (not any) || has "--figs" then figs ();

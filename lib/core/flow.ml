@@ -43,24 +43,31 @@ let make_b a exposed_names =
     exposed_names;
   b
 
-let optimize_c ~exposed_names b =
+(* The min-period and min-area stages of each pair (C/E, F/G) run on the
+   same synthesized netlist, so the synthesis (and its exposure predicate)
+   is computed once per pair and shared. *)
+let synth_for_retime ~exposed_names b =
   let sy = Synth_script.delay_script b in
   let* exposed = Verify.exposed_pred sy exposed_names in
-  Ok (fst (Retime.min_period ~exposed sy))
+  Ok (sy, exposed)
 
-let optimize_e ~exposed_names ~period ~fallback b =
-  let sy = Synth_script.delay_script b in
-  let* exposed = Verify.exposed_pred sy exposed_names in
-  match Retime.constrained_min_area ~exposed ~period sy with
+let min_period_on ?pool (sy, exposed) = fst (Retime.min_period ~exposed ?pool sy)
+
+let min_area_on ?pool ~period ~fallback (sy, exposed) =
+  match Retime.constrained_min_area ~exposed ?pool ~period sy with
   | Ok (rt, _) -> Ok rt
   | Error Retime.Infeasible_period ->
       if fallback then
         (* the default target (D's delay) can sit below B's minimum: degrade
            to the best achievable period *)
-        Ok (fst (Retime.min_period ~exposed sy))
+        Ok (fst (Retime.min_period ~exposed ?pool sy))
       else
         Error
-          (Seqprob.Infeasible_period { circuit = Circuit.name b; period })
+          (Seqprob.Infeasible_period { circuit = Circuit.name sy; period })
+
+let optimize_c ?pool ~exposed_names b =
+  let* sy = synth_for_retime ~exposed_names b in
+  Ok (min_period_on ?pool sy)
 
 let regular_latches_only a =
   match
@@ -88,6 +95,16 @@ let run ?engine ?jobs ?limits ?cache ?store ?period ?(skip_verify = false) a =
   @@ fun () ->
   Circuit.check a;
   let* () = regular_latches_only a in
+  (* the retime stages share one domain pool with the verification sweep's
+     [?jobs] budget; [None] (or jobs <= 1) keeps them sequential *)
+  let pool =
+    match jobs with
+    | Some j when j > 1 -> Some (Par.Pool.create ~jobs:j)
+    | Some _ | None -> None
+  in
+  Fun.protect ~finally:(fun () ->
+      match pool with Some p -> Par.Pool.shutdown p | None -> ())
+  @@ fun () ->
   let stages = ref [] in
   (* one span per flow stage; the measured wall clock also lands in the
      row's [stage_seconds] so callers get per-phase times without a sink *)
@@ -106,20 +123,23 @@ let run ?engine ?jobs ?limits ?cache ?store ?period ?(skip_verify = false) a =
   let target, fallback =
     match period with Some p -> (p, false) | None -> (period_d, true)
   in
-  let* c = stage "C" (fun () -> optimize_c ~exposed_names b) in
-  let* e =
-    stage "E" (fun () -> optimize_e ~exposed_names ~period:target ~fallback b)
+  (* C synthesizes [b] and E reuses that netlist (same for F/G on the bare
+     copy of [a]); each stage's clock still covers the work it performs *)
+  let* c, syb =
+    stage "C" (fun () ->
+        let* sy = synth_for_retime ~exposed_names b in
+        Ok (min_period_on ?pool sy, sy))
   in
-  let* f =
+  let* e = stage "E" (fun () -> min_area_on ?pool ~period:target ~fallback syb) in
+  let* f, sya =
     stage "F" (fun () ->
-        optimize_c ~exposed_names:[]
-          (Circuit.copy ~name:(Circuit.name a ^ "_F") a))
+        let* sy =
+          synth_for_retime ~exposed_names:[]
+            (Circuit.copy ~name:(Circuit.name a ^ "_F") a)
+        in
+        Ok (min_period_on ?pool sy, sy))
   in
-  let* g =
-    stage "G" (fun () ->
-        optimize_e ~exposed_names:[] ~period:target ~fallback
-          (Circuit.copy ~name:(Circuit.name a ^ "_G") a))
-  in
+  let* g = stage "G" (fun () -> min_area_on ?pool ~period:target ~fallback sya) in
   let nl = Circuit.latch_count a in
   let* outcome =
     if skip_verify then
@@ -166,6 +186,58 @@ let run ?engine ?jobs ?limits ?cache ?store ?period ?(skip_verify = false) a =
       verify_stats = outcome.Verify.stats;
       stage_seconds = List.rev !stages;
     }
+
+(* Paired baseline for the bench's retime-speedup column: the same C/E/F/G
+   retiming work routed through the retained reference pipeline (per-stage
+   re-synthesis, naive cold-start FEAS bisection, unpruned W/D constraints,
+   pre-scaling flow core).  Returns the summed wall clock of the four
+   stages. *)
+let reference_retime_seconds ?period a =
+  let* () = regular_latches_only a in
+  let plan = Feedback.plan_structural a in
+  let exposed_names = List.map (Circuit.signal_name a) plan.Feedback.exposed in
+  let b = make_b a exposed_names in
+  let target, fallback =
+    match period with
+    | Some p -> (p, false)
+    | None -> (Circuit.delay (Synth_script.delay_script a), true)
+  in
+  let total = ref 0. in
+  let stage f =
+    let r, dt = Obs.timed_span ~name:"flow.retime_reference" f in
+    total := !total +. dt;
+    r
+  in
+  let min_period_ref ~exposed_names b =
+    let sy = Synth_script.delay_script b in
+    let* exposed = Verify.exposed_pred sy exposed_names in
+    Ok (fst (Retime.min_period_reference ~exposed sy))
+  in
+  let min_area_ref ~exposed_names b =
+    let sy = Synth_script.delay_script b in
+    let* exposed = Verify.exposed_pred sy exposed_names in
+    match Retime.constrained_min_area_reference ~exposed ~period:target sy with
+    | Ok (rt, _) -> Ok rt
+    | Error Retime.Infeasible_period ->
+        if fallback then Ok (fst (Retime.min_period_reference ~exposed sy))
+        else
+          Error
+            (Seqprob.Infeasible_period
+               { circuit = Circuit.name b; period = target })
+  in
+  let* (_ : Circuit.t) = stage (fun () -> min_period_ref ~exposed_names b) in
+  let* (_ : Circuit.t) = stage (fun () -> min_area_ref ~exposed_names b) in
+  let* (_ : Circuit.t) =
+    stage (fun () ->
+        min_period_ref ~exposed_names:[]
+          (Circuit.copy ~name:(Circuit.name a ^ "_Fref") a))
+  in
+  let* (_ : Circuit.t) =
+    stage (fun () ->
+        min_area_ref ~exposed_names:[]
+          (Circuit.copy ~name:(Circuit.name a ^ "_Gref") a))
+  in
+  Ok !total
 
 let exposure_report c =
   let total = Circuit.latch_count c in

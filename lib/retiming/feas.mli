@@ -1,5 +1,15 @@
 (** Minimum-period retiming: the FEAS algorithm of Leiserson–Saxe with a
-    binary search over clock periods (unit-delay model). *)
+    binary search over clock periods (unit-delay model).
+
+    The engine is incremental: one CSR image of the retiming graph is
+    shared by every FEAS run, and each round recomputes arrival times only
+    over the zero-weight-successor closure of the vertices whose label
+    changed.  The binary search is warm-started — FEAS from the all-zero
+    labeling yields the pointwise-{e minimal} feasible retiming, and
+    minimal labelings are monotone in the period, so each probe seeds from
+    the labeling of the best period found so far.  {!Naive} retains the
+    original cold-start implementation as a differential-testing
+    reference. *)
 
 val arrival : Rgraph.t -> r:int array -> int array
 (** Combinational arrival time Δ(v) of every vertex under retiming labels
@@ -14,5 +24,24 @@ val feasible : ?init:int array -> Rgraph.t -> period:int -> int array option
     achieving the period exists, starting the FEAS iteration from [init]
     (default all-zero, which must be legal). *)
 
-val min_period : Rgraph.t -> int * int array
-(** The minimum feasible clock period and labels achieving it. *)
+val min_period : ?pool:Par.Pool.t -> Rgraph.t -> int * int array
+(** The minimum feasible clock period and labels achieving it.  The search
+    interval comes from the delay profile (max gate delay up to the period
+    of the unretimed graph), and the delay-profile lower bound is probed
+    first so balanced pipelines collapse to a single FEAS run.  With
+    [pool], each bisection step probes [Par.Pool.jobs pool] candidate
+    periods in parallel (each probe runs on its own state against the
+    shared CSR). *)
+
+(** The original implementation: per-round zero-weight subgraph + topo
+    sort, cold-started bisection.  Reference for property tests and the
+    paired before/after benchmark rows. *)
+module Naive : sig
+  val arrival : Rgraph.t -> r:int array -> int array
+
+  val period_of : Rgraph.t -> r:int array -> int
+
+  val feasible : ?init:int array -> Rgraph.t -> period:int -> int array option
+
+  val min_period : Rgraph.t -> int * int array
+end

@@ -12,13 +12,18 @@ type error = Infeasible_period
     requested clock period is below the graph's minimum feasible period. *)
 
 val min_period :
-  ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report
+  ?exposed:(Circuit.signal -> bool) ->
+  ?pool:Par.Pool.t ->
+  Circuit.t ->
+  Circuit.t * report
 (** Retimes for the minimum feasible clock period, then minimizes latch
     count under that period.  [exposed] latches stay in place (pseudo-I/O).
-    The circuit must contain only regular latches. *)
+    The circuit must contain only regular latches.  [pool] parallelizes
+    the period search probes and the W/D constraint generation. *)
 
 val constrained_min_area :
   ?exposed:(Circuit.signal -> bool) ->
+  ?pool:Par.Pool.t ->
   period:int ->
   Circuit.t ->
   (Circuit.t * report, error) result
@@ -28,3 +33,19 @@ val constrained_min_area :
 val min_area :
   ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report
 (** Minimizes latch count with no period constraint. *)
+
+(** {1 Reference pipeline}
+
+    The retained pre-optimization implementations (naive cold-start FEAS,
+    unpruned W/D constraints, pre-scaling flow core), for differential
+    testing and the paired before/after bench rows.  Same reports up to
+    tie-breaking between equal-latch-count optimal labelings. *)
+
+val min_period_reference :
+  ?exposed:(Circuit.signal -> bool) -> Circuit.t -> Circuit.t * report
+
+val constrained_min_area_reference :
+  ?exposed:(Circuit.signal -> bool) ->
+  period:int ->
+  Circuit.t ->
+  (Circuit.t * report, error) result

@@ -16,7 +16,48 @@ let host_sink = 1
 
 let vertex_count g = Digraph.node_count g.graph
 
+type csr = {
+  nv : int;
+  pred_off : int array;
+  pred_src : int array;
+  pred_weight : int array;
+  succ_off : int array;
+  succ_dst : int array;
+  succ_weight : int array;
+}
+
+let csr g =
+  let n = Digraph.node_count g.graph in
+  let m = Digraph.edge_count g.graph in
+  let pred_off = Array.make (n + 1) 0 in
+  let succ_off = Array.make (n + 1) 0 in
+  Digraph.iter_edges
+    (fun _ e ->
+      pred_off.(e.dst + 1) <- pred_off.(e.dst + 1) + 1;
+      succ_off.(e.src + 1) <- succ_off.(e.src + 1) + 1)
+    g.graph;
+  for v = 1 to n do
+    pred_off.(v) <- pred_off.(v) + pred_off.(v - 1);
+    succ_off.(v) <- succ_off.(v) + succ_off.(v - 1)
+  done;
+  let pred_src = Array.make m 0 and pred_weight = Array.make m 0 in
+  let succ_dst = Array.make m 0 and succ_weight = Array.make m 0 in
+  let pcur = Array.copy pred_off and scur = Array.copy succ_off in
+  Digraph.iter_edges
+    (fun _ e ->
+      let kp = pcur.(e.dst) in
+      pred_src.(kp) <- e.src;
+      pred_weight.(kp) <- e.weight;
+      pcur.(e.dst) <- kp + 1;
+      let ks = scur.(e.src) in
+      succ_dst.(ks) <- e.dst;
+      succ_weight.(ks) <- e.weight;
+      scur.(e.src) <- ks + 1)
+    g.graph;
+  { nv = n; pred_off; pred_src; pred_weight; succ_off; succ_dst; succ_weight }
+
 let build ?(exposed = fun _ -> false) c =
+  Obs.span ~name:"retime.rgraph_build" @@ fun () ->
   Circuit.check c;
   List.iter
     (fun l ->

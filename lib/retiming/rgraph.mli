@@ -50,6 +50,21 @@ val build : ?exposed:(Circuit.signal -> bool) -> Circuit.t -> t
 
 val vertex_count : t -> int
 
+(** Read-only CSR image of the graph: both adjacency directions as flat
+    offset-indexed arrays, shared by the incremental FEAS states and the
+    W/D-matrix Dijkstras (which run on many domains against one image). *)
+type csr = {
+  nv : int;
+  pred_off : int array;  (** length [nv + 1] *)
+  pred_src : int array;
+  pred_weight : int array;
+  succ_off : int array;  (** length [nv + 1] *)
+  succ_dst : int array;
+  succ_weight : int array;
+}
+
+val csr : t -> csr
+
 val is_legal : t -> r:int array -> bool
 (** [r.(host) = r.(host_sink) = 0] and all retimed edge weights
     [w + r(dst) - r(src)] non-negative. *)

@@ -1,4 +1,4 @@
-(** Minimum-cost flow by successive shortest paths with potentials.
+(** Minimum-cost flow by scaling successive shortest paths with potentials.
 
     Used as the LP engine for minimum-area retiming: the dual of
     [min Σ a(v)·r(v)  s.t.  r(u) − r(v) ≤ b(u,v)] is a min-cost flow whose
@@ -14,8 +14,30 @@ type result = {
   total_cost : int;
 }
 
-val solve : nodes:int -> arcs:arc list -> supply:int array -> result option
-(** [solve ~nodes ~arcs ~supply] computes a feasible min-cost flow where node
+val solve :
+  ?init_potentials:int array ->
+  nodes:int ->
+  arcs:arc list ->
+  int array ->
+  result option
+(** [solve ~nodes ~arcs supply] computes a feasible min-cost flow where node
     [v] has net outflow [supply.(v)] (positive = source, negative = sink).
     Supplies must sum to zero.  Returns [None] when no feasible flow
-    exists. *)
+    exists.
+
+    [init_potentials] seeds the node potentials, skipping the Bellman–Ford
+    initialization pass — the caller (e.g. {!Minarea}) typically already ran
+    one over the same constraint system.  They must be reduced-cost feasible
+    ([cost + π(src) − π(dst) ≥ 0] on every arc with positive capacity).
+
+    @raise Invalid_argument on malformed input: sizes, negative capacities,
+    supplies not summing to zero, potentials that are not reduced-cost
+    feasible, or a negative-cost cycle of positive-capacity arcs (whose
+    min-cost circulation would be unbounded below; the former implementation
+    silently proceeded with stale potentials). *)
+
+val solve_reference : nodes:int -> arcs:arc list -> int array -> result option
+(** The original (pre-scaling, list-adjacency) successive-shortest-paths
+    solver, retained as a differential-testing and benchmarking reference.
+    Same contract as {!solve} except negative-cost cycles are not
+    detected. *)

@@ -171,6 +171,48 @@ let toggle_register st c pool =
   Circuit.set_latch c q ~data:next ();
   q
 
+(* ---- deep pipelined datapath (retiming stress) ---- *)
+
+let deep_datapath ~name ~width ~stages ~seed =
+  let st = Random.State.make [| seed; 0xDEE9 |] in
+  let c = Circuit.create name in
+  let ins = Array.init width (fun i -> Circuit.add_input c (Printf.sprintf "in%d" i)) in
+  let bus = ref ins in
+  for stage = 1 to stages do
+    let b = !bus in
+    (* Depth sawtooth: most stages are one gate per lane, every eighth is a
+       deep per-lane chain.  The slack sits in long stretches between deep
+       stages, so min-period retiming has to drag registers across many
+       stage boundaries (long FEAS relabel chains), and min-area sees a
+       W/D-constraint system whose shortest paths span hundreds of
+       vertices. *)
+    let deep = stage mod 8 = 0 in
+    let next =
+      Array.mapi
+        (fun i x ->
+          (* cross-lane mixing keeps every lane on the critical cycle *)
+          let peer = b.((i + 1 + (stage mod max 1 (width - 1))) mod width) in
+          if deep then begin
+            let acc = ref (Circuit.add_gate c Xor [ x; peer ]) in
+            for k = 1 to 5 do
+              let other = b.((i + k) mod width) in
+              acc :=
+                Circuit.add_gate c (if k land 1 = 0 then And else Or) [ !acc; other ]
+            done;
+            !acc
+          end
+          else
+            Circuit.add_gate c
+              (match Random.State.int st 3 with 0 -> Xor | 1 -> Nand | _ -> Or)
+              [ x; peer ])
+        b
+    in
+    bus := Array.map (fun d -> Circuit.add_latch c ~data:d ()) next
+  done;
+  Array.iter (fun s -> Circuit.mark_output c s) !bus;
+  Circuit.check c;
+  c
+
 (* ---- fsm_datapath (Table 1 shape) ---- *)
 
 let fsm_datapath ~name ~latches ~self_loops ~gates ~width ~seed =
@@ -360,10 +402,24 @@ let table2_suite () =
           ~seed:(Hashtbl.hash name) ))
     table2_params
 
+let retime_suite () =
+  List.map
+    (fun c -> (Circuit.name c, c))
+    [
+      (* small enough for the fast-vs-reference differential *)
+      deep_datapath ~name:"deep_w4x64" ~width:4 ~stages:64 ~seed:11;
+      deep_datapath ~name:"deep_w6x120" ~width:6 ~stages:120 ~seed:12;
+      deep_datapath ~name:"deep_w8x160" ~width:8 ~stages:160 ~seed:13;
+      deep_datapath ~name:"deep_w8x300" ~width:8 ~stages:300 ~seed:14;
+    ]
+
 let by_name n =
   match List.assoc_opt n (table1_suite ()) with
   | Some c -> c
   | None -> (
       match List.assoc_opt n (table2_suite ()) with
       | Some c -> c
-      | None -> raise Not_found)
+      | None -> (
+          match List.assoc_opt n (retime_suite ()) with
+          | Some c -> c
+          | None -> raise Not_found))

@@ -21,6 +21,16 @@ val pipeline :
     separated by random logic whose depth alternates between shallow and
     [imbalance]-times deeper — the slack min-period retiming recovers. *)
 
+val deep_datapath :
+  name:string -> width:int -> stages:int -> seed:int -> Circuit.t
+(** Deep pipelined datapath sized to stress retiming: [stages] register
+    banks of [width] lanes with cross-lane mixing, one gate per lane per
+    stage except every eighth stage, which carries a six-gate chain.  The
+    slack sits in long stretches between the deep stages, so min-period
+    retiming must drag registers across many stage boundaries and min-area
+    retiming sees W/D shortest paths spanning hundreds of vertices.
+    [width * stages] latches. *)
+
 val fsm_datapath :
   name:string ->
   latches:int ->
@@ -57,6 +67,11 @@ val table1_suite_small : unit -> (string * Circuit.t) list
 
 val table2_suite : unit -> (string * Circuit.t) list
 (** ex1..ex12 of Table 2 (published latch and exposure counts). *)
+
+val retime_suite : unit -> (string * Circuit.t) list
+(** Deep-datapath instances for the retiming bench tier ([bench --suite
+    retime]): from a small differential-checkable instance (256 latches) up
+    to thousands of latches, all within the exact min-area vertex bound. *)
 
 val by_name : string -> Circuit.t
 (** Look up any suite circuit by name.  @raise Not_found. *)

@@ -214,6 +214,103 @@ let test_pipeline_balances () =
     (rep.Retime.period_after < rep.Retime.period_before);
   flush_compare c rt ~cycles:40 ~skip:20
 
+(* ---- fast engines vs retained references ---- *)
+
+let random_rgraph i =
+  let c = if i mod 2 = 0 then random_acyclic i else random_feedback i in
+  Rgraph.build c
+
+let labels = Alcotest.(list int)
+
+let test_feas_fast_vs_naive () =
+  (* the incremental warm-started search must return the very same minimal
+     labeling as the cold-start reference, not just the same period *)
+  for i = 1 to 30 do
+    let g = random_rgraph (300 + i) in
+    let p_fast, r_fast = Feas.min_period g in
+    let p_naive, r_naive = Feas.Naive.min_period g in
+    Alcotest.(check int) "periods agree" p_naive p_fast;
+    Alcotest.check labels "labels agree" (Array.to_list r_naive)
+      (Array.to_list r_fast);
+    Alcotest.(check bool) "legal" true (Rgraph.is_legal g ~r:r_fast);
+    Alcotest.(check bool) "meets period" true (Feas.period_of g ~r:r_fast <= p_fast)
+  done
+
+let test_feas_fast_vs_naive_pooled () =
+  Par.Pool.with_pool ~jobs:3 @@ fun pool ->
+  for i = 1 to 12 do
+    let g = random_rgraph (400 + i) in
+    let p_fast, r_fast = Feas.min_period ~pool g in
+    let p_naive, r_naive = Feas.Naive.min_period g in
+    Alcotest.(check int) "periods agree (pool)" p_naive p_fast;
+    Alcotest.check labels "labels agree (pool)" (Array.to_list r_naive)
+      (Array.to_list r_fast)
+  done
+
+let test_feas_feasible_differential () =
+  (* same verdict and same labeling at every period, warm and cold *)
+  for i = 1 to 20 do
+    let g = random_rgraph (500 + i) in
+    let p_min, r_min = Feas.Naive.min_period g in
+    List.iter
+      (fun period ->
+        let fast = Feas.feasible g ~period in
+        let naive = Feas.Naive.feasible g ~period in
+        (match (fast, naive) with
+        | Some rf, Some rn ->
+            Alcotest.check labels "feasible labels agree" (Array.to_list rn)
+              (Array.to_list rf)
+        | None, None -> ()
+        | _ -> Alcotest.fail "feasibility verdicts differ");
+        (* warm start from the min-period labeling (legal by construction) *)
+        match
+          (Feas.feasible ~init:r_min g ~period, Feas.Naive.feasible ~init:r_min g ~period)
+        with
+        | Some rf, Some rn ->
+            Alcotest.check labels "warm labels agree" (Array.to_list rn)
+              (Array.to_list rf)
+        | None, None -> ()
+        | _ -> Alcotest.fail "warm feasibility verdicts differ")
+      [ p_min - 1; p_min; p_min + 1 ]
+  done
+
+let test_feas_arrival_differential () =
+  for i = 1 to 20 do
+    let g = random_rgraph (600 + i) in
+    let _, r = Feas.Naive.min_period g in
+    Alcotest.check labels "arrival agrees"
+      (Array.to_list (Feas.Naive.arrival g ~r))
+      (Array.to_list (Feas.arrival g ~r));
+    Alcotest.(check int) "period_of agrees" (Feas.Naive.period_of g ~r)
+      (Feas.period_of g ~r)
+  done
+
+let test_minarea_fast_vs_reference () =
+  (* both engines must reach the same optimal latch total (labelings may
+     differ between equal-cost optima) and agree on infeasibility *)
+  for i = 1 to 15 do
+    let g = random_rgraph (700 + i) in
+    let p_min, _ = Feas.Naive.min_period g in
+    List.iter
+      (fun period ->
+        match
+          (Minarea.solve ~period g, Minarea.solve ~period ~reference:true g)
+        with
+        | Some rf, Some rr ->
+            Alcotest.(check bool) "fast legal" true (Rgraph.is_legal g ~r:rf);
+            Alcotest.(check bool) "fast meets period" true
+              (Feas.period_of g ~r:rf <= period);
+            Alcotest.(check bool) "reference meets period" true
+              (Feas.period_of g ~r:rr <= period);
+            Alcotest.(check int) "same latch total"
+              (Rgraph.total_latches_after g ~r:rr)
+              (Rgraph.total_latches_after g ~r:rf)
+        | None, None ->
+            Alcotest.(check bool) "below minimum period" true (period < p_min)
+        | _ -> Alcotest.fail "min-area feasibility verdicts differ")
+      [ p_min - 1; p_min; p_min + 2 ]
+  done
+
 (* ---- latch classes (Fig. 16) ---- *)
 
 let test_classes_grouping () =
@@ -286,6 +383,11 @@ let suite =
     Alcotest.test_case "infeasible period rejected" `Quick test_infeasible_period;
     Alcotest.test_case "exposed latches pinned" `Quick test_exposed_latches_stay;
     Alcotest.test_case "pipeline balancing" `Quick test_pipeline_balances;
+    Alcotest.test_case "FEAS fast = naive (min period)" `Quick test_feas_fast_vs_naive;
+    Alcotest.test_case "FEAS fast = naive (pooled)" `Quick test_feas_fast_vs_naive_pooled;
+    Alcotest.test_case "FEAS feasible differential" `Quick test_feas_feasible_differential;
+    Alcotest.test_case "FEAS arrival differential" `Quick test_feas_arrival_differential;
+    Alcotest.test_case "min-area fast = reference" `Quick test_minarea_fast_vs_reference;
     Alcotest.test_case "latch class grouping" `Quick test_classes_grouping;
     Alcotest.test_case "forward move legality" `Quick test_forward_move_legality;
     Alcotest.test_case "forward move preserves" `Quick test_forward_move_preserves;

@@ -237,7 +237,7 @@ let test_flow_simple_transport () =
       { Vgraph.Mincost_flow.src = 0; dst = 2; capacity = 10; cost = 5 };
     ]
   in
-  match Vgraph.Mincost_flow.solve ~nodes:3 ~arcs ~supply:[| 4; 0; -4 |] with
+  match Vgraph.Mincost_flow.solve ~nodes:3 ~arcs [| 4; 0; -4 |] with
   | None -> Alcotest.fail "feasible flow declared infeasible"
   | Some r ->
       (* 3 units via cheap route (cost 2 each), 1 via expensive (5) *)
@@ -246,7 +246,7 @@ let test_flow_simple_transport () =
 let test_flow_infeasible () =
   let arcs = [ { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 1; cost = 0 } ] in
   Alcotest.(check bool) "infeasible" true
-    (Vgraph.Mincost_flow.solve ~nodes:2 ~arcs ~supply:[| 3; -3 |] = None)
+    (Vgraph.Mincost_flow.solve ~nodes:2 ~arcs [| 3; -3 |] = None)
 
 let test_flow_potentials_optimality () =
   (* after solving, reduced costs on arcs with residual capacity >= 0 *)
@@ -269,7 +269,7 @@ let test_flow_potentials_optimality () =
     let supply = Array.make n 0 in
     supply.(s) <- 2;
     supply.(t) <- -2;
-    match Vgraph.Mincost_flow.solve ~nodes:n ~arcs ~supply with
+    match Vgraph.Mincost_flow.solve ~nodes:n ~arcs supply with
     | None -> Alcotest.fail "unexpected infeasible"
     | Some r ->
         List.iteri
@@ -282,6 +282,105 @@ let test_flow_potentials_optimality () =
               Alcotest.(check bool) "reverse reduced cost >= 0" true
                 (-a.cost + pi.(a.dst) - pi.(a.src) >= 0))
           arcs
+  done
+
+let test_flow_zero_capacity_arcs () =
+  (* a zero-capacity arc carries nothing: the expensive route must win ... *)
+  let arcs =
+    [
+      { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 0; cost = 0 };
+      { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 2; cost = 7 };
+    ]
+  in
+  (match Vgraph.Mincost_flow.solve ~nodes:2 ~arcs [| 2; -2 |] with
+  | None -> Alcotest.fail "zero-capacity arc made a feasible problem infeasible"
+  | Some r ->
+      Alcotest.(check int) "cost via priced route" 14 r.Vgraph.Mincost_flow.total_cost;
+      Alcotest.(check int) "zero-cap arc unused" 0 r.Vgraph.Mincost_flow.flow.(0));
+  (* ... and with only the zero-capacity route the problem is infeasible *)
+  let only = [ { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 0; cost = 0 } ] in
+  Alcotest.(check bool) "zero-capacity-only route infeasible" true
+    (Vgraph.Mincost_flow.solve ~nodes:2 ~arcs:only [| 1; -1 |] = None)
+
+let test_flow_negative_cost_arc () =
+  (* acyclic negative-cost arcs are legal and preferred *)
+  let arcs =
+    [
+      { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 5; cost = -2 };
+      { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 5; cost = 3 };
+    ]
+  in
+  match Vgraph.Mincost_flow.solve ~nodes:2 ~arcs [| 4; -4 |] with
+  | None -> Alcotest.fail "negative-cost arc made a feasible problem infeasible"
+  | Some r -> Alcotest.(check int) "all flow on the cheap arc" (-8) r.Vgraph.Mincost_flow.total_cost
+
+let test_flow_negative_cycle_rejected () =
+  (* a residual negative-cost cycle is a caller bug, not an infeasibility *)
+  let arcs =
+    [
+      { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 5; cost = -3 };
+      { Vgraph.Mincost_flow.src = 1; dst = 0; capacity = 5; cost = 1 };
+    ]
+  in
+  Alcotest.check_raises "negative cycle rejected"
+    (Invalid_argument "Mincost_flow.solve: negative-cost cycle") (fun () ->
+      ignore (Vgraph.Mincost_flow.solve ~nodes:2 ~arcs [| 0; 0 |]))
+
+let test_flow_init_potentials () =
+  let arcs =
+    [
+      { Vgraph.Mincost_flow.src = 0; dst = 1; capacity = 3; cost = 1 };
+      { Vgraph.Mincost_flow.src = 1; dst = 2; capacity = 3; cost = 1 };
+      { Vgraph.Mincost_flow.src = 0; dst = 2; capacity = 10; cost = 5 };
+    ]
+  in
+  (* all-zero potentials are reduced-cost feasible on non-negative costs *)
+  (match
+     Vgraph.Mincost_flow.solve ~init_potentials:(Array.make 3 0) ~nodes:3 ~arcs
+       [| 4; 0; -4 |]
+   with
+  | None -> Alcotest.fail "warm-started solve infeasible"
+  | Some r -> Alcotest.(check int) "warm-started cost" 11 r.Vgraph.Mincost_flow.total_cost);
+  (* infeasible potentials must be rejected, not silently accepted *)
+  let bad = [| 0; 5; 0 |] in
+  Alcotest.check_raises "bad potentials rejected"
+    (Invalid_argument "Mincost_flow.solve: init_potentials not reduced-cost feasible")
+    (fun () -> ignore (Vgraph.Mincost_flow.solve ~init_potentials:bad ~nodes:3 ~arcs [| 4; 0; -4 |]))
+
+let test_flow_fast_vs_reference_random () =
+  (* the scaling core and the retained reference must agree on feasibility
+     and on the optimal cost over random instances *)
+  for _ = 1 to 60 do
+    let n = 2 + Random.State.int st 6 in
+    let arcs =
+      List.init
+        (4 + Random.State.int st 14)
+        (fun _ ->
+          {
+            Vgraph.Mincost_flow.src = Random.State.int st n;
+            dst = Random.State.int st n;
+            capacity = Random.State.int st 6;
+            cost = Random.State.int st 9;
+          })
+    in
+    let supply = Array.make n 0 in
+    let units = 1 + Random.State.int st 4 in
+    for _ = 1 to units do
+      let s = Random.State.int st n in
+      let t = Random.State.int st n in
+      supply.(s) <- supply.(s) + 1;
+      supply.(t) <- supply.(t) - 1
+    done;
+    match
+      ( Vgraph.Mincost_flow.solve ~nodes:n ~arcs supply,
+        Vgraph.Mincost_flow.solve_reference ~nodes:n ~arcs supply )
+    with
+    | Some f, Some r ->
+        Alcotest.(check int) "optimal costs agree" r.Vgraph.Mincost_flow.total_cost
+          f.Vgraph.Mincost_flow.total_cost
+    | None, None -> ()
+    | Some _, None -> Alcotest.fail "fast feasible, reference infeasible"
+    | None, Some _ -> Alcotest.fail "fast infeasible, reference feasible"
   done
 
 (* ---- MFVS ---- *)
@@ -346,6 +445,11 @@ let suite =
     Alcotest.test_case "min-cost flow transport" `Quick test_flow_simple_transport;
     Alcotest.test_case "min-cost flow infeasible" `Quick test_flow_infeasible;
     Alcotest.test_case "flow potentials optimal" `Quick test_flow_potentials_optimality;
+    Alcotest.test_case "flow zero-capacity arcs" `Quick test_flow_zero_capacity_arcs;
+    Alcotest.test_case "flow negative-cost arc" `Quick test_flow_negative_cost_arc;
+    Alcotest.test_case "flow negative cycle rejected" `Quick test_flow_negative_cycle_rejected;
+    Alcotest.test_case "flow warm-start potentials" `Quick test_flow_init_potentials;
+    Alcotest.test_case "flow fast = reference" `Quick test_flow_fast_vs_reference_random;
     Alcotest.test_case "mfvs breaks all cycles" `Quick test_mfvs_breaks_all_cycles;
     Alcotest.test_case "mfvs inclusion-minimal" `Quick test_mfvs_minimal_under_inclusion;
     Alcotest.test_case "mfvs self-loops forced" `Quick test_mfvs_self_loops_forced;

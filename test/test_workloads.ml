@@ -121,6 +121,18 @@ let test_fsm_datapath_selfloops () =
   let plan = Feedback.plan_structural c in
   Alcotest.(check int) "exposure = self loops" 12 (List.length plan.Feedback.exposed)
 
+let test_deep_datapath_shape () =
+  let c = Workloads.deep_datapath ~name:"td" ~width:5 ~stages:40 ~seed:7 in
+  Alcotest.(check int) "latches = width*stages" 200 (Circuit.latch_count c);
+  let g, _ = Feedback.latch_graph c in
+  Alcotest.(check bool) "acyclic" true (Vgraph.Topo.is_acyclic g);
+  (* the retime suite stays within the exact min-area vertex bound *)
+  List.iter
+    (fun (name, c) ->
+      let n = Rgraph.vertex_count (Rgraph.build c) in
+      Alcotest.(check bool) (name ^ " within exact bound") true (n <= 4000))
+    (Workloads.retime_suite ())
+
 let test_by_name_missing () =
   try
     ignore (Workloads.by_name "nonexistent");
@@ -137,5 +149,6 @@ let suite =
     Alcotest.test_case "minmax tracks min/max" `Quick test_minmax_functionality;
     Alcotest.test_case "pipeline acyclic" `Quick test_pipeline_acyclic;
     Alcotest.test_case "fsm_datapath self-loops" `Quick test_fsm_datapath_selfloops;
+    Alcotest.test_case "deep datapath shape" `Quick test_deep_datapath_shape;
     Alcotest.test_case "by_name missing" `Quick test_by_name_missing;
   ]
