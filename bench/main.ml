@@ -11,6 +11,11 @@
      dune exec bench/main.exe -- --table2     # Table 2 (exposure counts)
      dune exec bench/main.exe -- --suite retime [--smoke] [--jobs N]
                                               # retiming-core tier (deep datapaths)
+     dune exec bench/main.exe -- --suite large [--smoke] [--jobs N|auto]
+                                              # large tier (FIFOs, lane ALUs):
+                                              # adaptive partitioning vs monolithic
+   --jobs accepts an integer or "auto" (Domain.recommended_domain_count,
+   further capped per check by the layout's bin count; default 1).
      dune exec bench/main.exe -- --figs       # figure reproductions
      dune exec bench/main.exe -- --ablation-cec | --ablation-rewrite
                                  | --ablation-dchoice
@@ -170,6 +175,19 @@ let write_table1_json ~path ~suite_name ~jobs records =
       p ",\n  \"total_verify_seconds_jobs1\": %.6f" s;
       p ",\n  \"speedup\": %.3f" (if total > 0. then s /. total else 1.)
   | None -> ());
+  (* per-suite parallel speedup: geomean over rows of jobs1/jobsN (1.0 at
+     jobs=1 by construction; with the adaptive layout small circuits take
+     the monolithic fast path at every jobs value, so this sits at ~1) *)
+  (let pairs =
+     List.filter_map
+       (fun r -> Option.map (fun s1 -> s1 /. Float.max r.r_seconds 1e-9) r.r_seq_seconds)
+       records
+   in
+   if pairs <> [] then
+     p ",\n  \"parallel_speedup\": %.3f"
+       (Float.exp
+          (List.fold_left (fun a x -> a +. Float.log x) 0. pairs
+          /. float_of_int (List.length pairs))));
   p "\n}\n";
   close_out oc
 
@@ -257,14 +275,25 @@ let table1 ~full ~jobs ~smoke ~cache_dir () =
         let seq =
           if jobs <= 1 then None
           else begin
-            (* re-run the H-vs-J check monolithically on the same B/C pair *)
+            (* re-time the H-vs-J check at both job counts.  [Flow.run]
+               above already executed it once at [jobs], so both
+               measurements here run warm under the same allocator/GC
+               state — pairing the cold first execution with a warm
+               jobs=1 re-run systematically understates the jobs=N side
+               on millisecond-scale rows *)
             let plan = Feedback.plan_structural c in
             let exposed = List.map (Circuit.signal_name c) plan.Feedback.exposed in
             let b, copt = ok "flow" (Flow.circuits c) in
-            let o =
+            let on =
+              check_outcome ~jobs ~limits:Cec.default_limits ~exposed b copt
+            in
+            let o1 =
               check_outcome ~jobs:1 ~limits:Cec.default_limits ~exposed b copt
             in
-            Some (o.Verify.stats.Verify.seconds, verdict_str o.Verify.verdict)
+            Some
+              ( on.Verify.stats.Verify.seconds,
+                (o1.Verify.stats.Verify.seconds, verdict_str o1.Verify.verdict)
+              )
           end
         in
         let warm =
@@ -302,9 +331,13 @@ let table1 ~full ~jobs ~smoke ~cache_dir () =
         {
           r_name = name;
           r_verdict = verdict_str row.Flow.verify_verdict;
-          r_seconds = row.Flow.verify_seconds;
-          r_seq_seconds = Option.map fst seq;
-          r_seq_verdict = Option.map snd seq;
+          r_seconds =
+            (* warm jobs=N re-timing when paired with a jobs=1 number *)
+            (match seq with
+            | Some (wn, _) -> wn
+            | None -> row.Flow.verify_seconds);
+          r_seq_seconds = Option.map (fun (_, (s, _)) -> s) seq;
+          r_seq_verdict = Option.map (fun (_, (_, v)) -> v) seq;
           r_warm = warm;
           r_unrolled_nodes = row.Flow.verify_stats.Verify.unrolled_nodes;
           r_cec = row.Flow.verify_stats.Verify.cec;
@@ -485,6 +518,138 @@ let suite_retime ~jobs ~smoke () =
       exit 1
     end
     else pf "smoke: fast retiming agrees with reference on all instances@."
+
+(* ------------------------------------------------------------------ *)
+(* Large suite                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Large tier: equivalent style pairs of FIFOs and lane-ALU pipelines,
+   sized past the adaptive layout's monolithic threshold.  Every row is
+   checked at the requested --jobs (cost-packed cluster bins) and again at
+   jobs=1 (monolithic fast path); the per-suite [parallel_speedup] is the
+   geomean of the per-row jobs1/jobsN ratios.  On these workloads the
+   partitioned path wins even on one core: the sweep engine's per-merge
+   SAT queries run over per-cluster sub-AIGs instead of the whole graph,
+   and a counterexample in any cluster cancels the siblings. *)
+type lg_record = {
+  g_name : string;
+  g_verdict : string;
+  g_seconds : float;
+  g_seq_verdict : string;
+  g_seq_seconds : float;
+  g_cec : Cec.stats;
+  g_nodes : int;
+}
+
+let geomean = function
+  | [] -> 1.
+  | xs ->
+      Float.exp
+        (List.fold_left (fun a x -> a +. Float.log (Float.max x 1e-9)) 0. xs
+        /. float_of_int (List.length xs))
+
+let write_large_json ~path ~jobs records speedup =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"suite\": \"large\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\"circuit\": \"%s\", \"verdict\": \"%s\", \"verify_seconds\": %.6f, "
+        (json_escape r.g_name) (json_escape r.g_verdict) r.g_seconds;
+      p "\"verdict_jobs1\": \"%s\", \"verify_seconds_jobs1\": %.6f, "
+        (json_escape r.g_seq_verdict) r.g_seq_seconds;
+      p "\"unrolled_aig_nodes\": %d, \"partitions\": %d, \"sat_calls\": %d, \"cache_hits\": %d, "
+        r.g_nodes r.g_cec.Cec.partitions r.g_cec.Cec.sat_calls
+        r.g_cec.Cec.cache_hits;
+      p "\"phase_partition_seconds\": %.6f, \"phase_sweep_seconds\": %.6f, "
+        r.g_cec.Cec.partition_seconds r.g_cec.Cec.sweep_seconds;
+      p "\"phase_sat_seconds\": %.6f, \"phase_bdd_seconds\": %.6f, "
+        r.g_cec.Cec.sat_seconds r.g_cec.Cec.bdd_seconds;
+      p "\"elapsed_seconds\": %.6f, \"parallel_speedup\": %.3f}%s\n"
+        r.g_cec.Cec.elapsed_seconds
+        (r.g_seq_seconds /. Float.max r.g_seconds 1e-9)
+        (if i = List.length records - 1 then "" else ","))
+    records;
+  p "  ],\n";
+  p "  \"total_verify_seconds\": %.6f,\n"
+    (List.fold_left (fun a r -> a +. r.g_seconds) 0. records);
+  p "  \"total_verify_seconds_jobs1\": %.6f,\n"
+    (List.fold_left (fun a r -> a +. r.g_seq_seconds) 0. records);
+  p "  \"parallel_speedup\": %.3f\n" speedup;
+  p "}\n";
+  close_out oc
+
+let suite_large ~jobs ~smoke () =
+  pf "@.== Large suite: FIFOs and lane-ALU pipelines (adaptive layout) ==@.";
+  pf "(each pair: two gate-level styles of the same design; jobs=1 is the@.";
+  pf " monolithic fast path, jobs>=2 packs cost-balanced cluster bins.)@.@.";
+  pf "%-14s %8s | %-6s %9s | %-6s %9s | %8s | %6s %5s@." "pair" "nodes"
+    "jobsN" "secs" "jobs1" "secs" "speedup" "parts" "sat";
+  pf "%s@." (String.make 84 '-');
+  let exposed_of c =
+    List.map (Circuit.signal_name c) (Feedback.plan_structural c).Feedback.exposed
+  in
+  let check_pair ~jobs c1 c2 =
+    check_outcome ~jobs ~limits:Cec.default_limits ~exposed:(exposed_of c1) c1 c2
+  in
+  let row (name, c1, c2) =
+    let o = check_pair ~jobs c1 c2 in
+    let o1 = if jobs = 1 then o else check_pair ~jobs:1 c1 c2 in
+    let cec = o.Verify.stats.Verify.cec in
+    let r =
+      {
+        g_name = name;
+        g_verdict = verdict_str o.Verify.verdict;
+        g_seconds = o.Verify.stats.Verify.seconds;
+        g_seq_verdict = verdict_str o1.Verify.verdict;
+        g_seq_seconds = o1.Verify.stats.Verify.seconds;
+        g_cec = cec;
+        g_nodes = o.Verify.stats.Verify.unrolled_nodes;
+      }
+    in
+    pf "%-14s %8d | %-6s %8.3fs | %-6s %8.3fs | %7.2fx | %6d %5d@." name
+      r.g_nodes r.g_verdict r.g_seconds r.g_seq_verdict r.g_seq_seconds
+      (r.g_seq_seconds /. Float.max r.g_seconds 1e-9)
+      cec.Cec.partitions cec.Cec.sat_calls;
+    r
+  in
+  let records = List.map row (Workloads.large_suite ~smoke ()) in
+  (* the intentionally-inequivalent mutant exercises first-counterexample
+     cancellation; it reports alongside but stays out of the speedup *)
+  let mutant = row (let n, a, b = Workloads.large_mutant () in (n, a, b)) in
+  pf "%s@." (String.make 84 '-');
+  let speedup =
+    geomean
+      (List.map (fun r -> r.g_seq_seconds /. Float.max r.g_seconds 1e-9) records)
+  in
+  pf "parallel_speedup (geomean jobs1/jobs%d over %d equivalent pairs): %.2fx@."
+    jobs (List.length records) speedup;
+  write_large_json ~path:"BENCH_large.json" ~jobs records speedup;
+  pf "wrote BENCH_large.json@.";
+  if smoke then begin
+    let fails = ref [] in
+    List.iter
+      (fun r ->
+        if r.g_verdict <> "EQ" || r.g_seq_verdict <> "EQ" then
+          fails := Printf.sprintf "%s: verdict %s/%s" r.g_name r.g_verdict r.g_seq_verdict :: !fails;
+        if r.g_cec.Cec.sat_calls > 0 && r.g_cec.Cec.sat_seconds <= 0. then
+          fails := Printf.sprintf "%s: %d sat calls but zero sat seconds" r.g_name r.g_cec.Cec.sat_calls :: !fails)
+      records;
+    if mutant.g_verdict <> "NEQ" || mutant.g_seq_verdict <> "NEQ" then
+      fails := Printf.sprintf "%s: mutant verdict %s/%s (want NEQ)" mutant.g_name mutant.g_verdict mutant.g_seq_verdict :: !fails;
+    if jobs > 1 && speedup <= 1. then
+      fails := Printf.sprintf "parallel_speedup %.2f <= 1" speedup :: !fails;
+    (match !fails with
+    | [] ->
+        pf "smoke: all pairs EQ at jobs=1 and jobs=%d, mutant NEQ, speedup %.2fx@."
+          jobs speedup
+    | fs ->
+        List.iter (fun f -> pf "SMOKE FAILURE: %s@." f) fs;
+        exit 1)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
@@ -907,7 +1072,6 @@ let () =
     | _ :: tl -> opt_str flag tl
     | [] -> None
   in
-  let opt_int flag args = Option.bind (opt_str flag args) int_of_string_opt in
   let suite_arg = opt_str "--suite" args in
   let any =
     has "--table1" || has "--table2" || has "--figs" || has "--micro"
@@ -917,13 +1081,25 @@ let () =
   in
   let full = has "--full" in
   let smoke = has "--smoke" in
-  let jobs = max 1 (Option.value ~default:1 (opt_int "--jobs" args)) in
+  let jobs =
+    (* "auto" asks the runtime for the machine's domain count; the layout
+       caps each check's pool at its bin count anyway *)
+    match opt_str "--jobs" args with
+    | Some "auto" -> Par.cpu_count ()
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> max 1 n
+        | None -> failwith (Printf.sprintf "bad --jobs %s (expected N or auto)" s))
+    | None -> 1
+  in
   let cache_dir = opt_str "--cache-dir" args in
   let trace = opt_str "--trace" args in
   Option.iter (fun _ -> Obs.enable ()) trace;
   (match suite_arg with
   | Some "retime" -> suite_retime ~jobs ~smoke ()
-  | Some s -> failwith (Printf.sprintf "unknown --suite %s (expected: retime)" s)
+  | Some "large" -> suite_large ~jobs ~smoke ()
+  | Some s ->
+      failwith (Printf.sprintf "unknown --suite %s (expected: retime, large)" s)
   | None -> ());
   if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ~cache_dir ();
   if (not any) || has "--table2" then table2 ();

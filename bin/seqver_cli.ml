@@ -49,14 +49,31 @@ let exposed_arg =
         ~doc:"Comma-separated latch names to expose (pseudo primary I/O).")
 
 let jobs_arg =
+  (* plain N, or "auto" = Domain.recommended_domain_count () — the layout
+     caps the pool at its bin count per check, so "auto" never oversubscribes
+     a small problem *)
+  let jobs_conv =
+    let parse = function
+      | "auto" -> Ok (Par.cpu_count ())
+      | s -> (
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok n
+          | Some _ | None ->
+              Error (`Msg (Printf.sprintf "bad jobs value %S (expected N >= 1 or auto)" s)))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
   Arg.(
     value
-    & opt int 1
+    & opt jobs_conv 1
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for the combinational check.  With N > 1 the miter \
-           is partitioned per output cone and checked in parallel; 1 keeps \
-           the monolithic single-domain check.")
+          "Worker-domain cap for the combinational check, or $(b,auto) for \
+           the machine's recommended domain count.  With N > 1 a problem \
+           whose estimated cost clears the layout threshold is partitioned \
+           into cost-balanced bins and checked in parallel (never more \
+           domains than bins); small problems and $(b,--jobs 1) keep the \
+           monolithic single-domain check.")
 
 let timeout_arg =
   Arg.(

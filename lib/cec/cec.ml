@@ -191,6 +191,9 @@ module Cache = struct
      them (under its own, larger bound) and a later miss re-promotes. *)
   type t = {
     tbl : (string, slot) Hashtbl.t;
+    costs : (string, float) Hashtbl.t;
+        (* observed engine seconds per signature, feeding the layout's
+           cost prior; best-effort (reset wholesale when over capacity) *)
     m : Mutex.t;
     capacity : int;
     store : Store.t option;
@@ -202,6 +205,7 @@ module Cache = struct
   let create ?(capacity = default_capacity) ?store () =
     {
       tbl = Hashtbl.create 256;
+      costs = Hashtbl.create 256;
       m = Mutex.create ();
       capacity = max 1 capacity;
       store;
@@ -220,6 +224,28 @@ module Cache = struct
     let n = Hashtbl.length t.tbl in
     Mutex.unlock t.m;
     n
+
+  (* A verdict we could serve without engine work — in memory or in the
+     backing store.  Store.mem is an in-memory index probe, no I/O. *)
+  let mem t key =
+    Mutex.lock t.m;
+    let hit = Hashtbl.mem t.tbl key in
+    Mutex.unlock t.m;
+    hit || (match t.store with Some st -> Store.mem st key | None -> false)
+
+  let note_cost t key seconds =
+    Mutex.lock t.m;
+    if Hashtbl.length t.costs >= t.capacity then Hashtbl.reset t.costs;
+    (match Hashtbl.find_opt t.costs key with
+    | Some s when s >= seconds -> () (* keep the worst observation *)
+    | _ -> Hashtbl.replace t.costs key seconds);
+    Mutex.unlock t.m
+
+  let observed_cost t key =
+    Mutex.lock t.m;
+    let c = Hashtbl.find_opt t.costs key in
+    Mutex.unlock t.m;
+    c
 
   let entry_of_store = function
     | Store.Equivalent -> E_equivalent
@@ -440,7 +466,13 @@ let sat_solve_counted ct b ?(factor = 1) solver ?assumptions () =
     | None, None -> None
     | _ -> Some (Sat.budget ?conflicts ?seconds ())
   in
+  (* Time the solve here, into the SAT bucket, whichever engine is
+     calling: the sweep engine's merge queries are SAT work and must show
+     up as such (historically they were folded into sweep_seconds,
+     leaving sat_seconds at 0.0 despite hundreds of calls). *)
+  let t0 = now () in
   let r = Sat.solve ?assumptions ?budget ?cancel:b.cancel solver in
+  ct.k_sat_s <- ct.k_sat_s +. (now () -. t0);
   let c1, _, _ = Sat.stats solver in
   ct.k_conflicts <- ct.k_conflicts + (c1 - c0);
   (match r with
@@ -611,8 +643,15 @@ let verdict_attr = function
    stats bucket.  The clock is the span instrumentation itself
    (Obs.timed_span measures even with tracing disabled), so the stats
    seconds and the trace always agree.  Every engine consumes the
-   problem's AIG directly — no per-engine netlist or AIG rebuild. *)
+   problem's AIG directly — no per-engine netlist or AIG rebuild.
+
+   SAT solve time is charged to the SAT bucket at the call site
+   ([sat_solve_counted]), so here each engine is charged the engine span
+   {e minus} what its inner SAT calls already took: the three buckets are
+   disjoint and sum to the engine wall-clock.  For the SAT engine the
+   remainder is its encoding time, so its bucket still totals the span. *)
 let run_one ct b ~engine ~factor p =
+  let sat0 = ct.k_sat_s in
   let v, dt =
     Obs.timed_span
       ~name:("cec.engine." ^ engine_name engine)
@@ -626,10 +665,11 @@ let run_one ct b ~engine ~factor p =
         Obs.attr (fun () -> [ ("verdict", verdict_attr v) ]);
         v)
   in
+  let sat_dt = ct.k_sat_s -. sat0 in
   (match engine with
   | Bdd_engine -> ct.k_bdd_s <- ct.k_bdd_s +. dt
-  | Sat_engine -> ct.k_sat_s <- ct.k_sat_s +. dt
-  | Sweep_engine -> ct.k_sweep_s <- ct.k_sweep_s +. dt);
+  | Sat_engine -> ct.k_sat_s <- ct.k_sat_s +. Float.max 0. (dt -. sat_dt)
+  | Sweep_engine -> ct.k_sweep_s <- ct.k_sweep_s +. Float.max 0. (dt -. sat_dt));
   v
 
 (* Staged escalation: a blown budget retries harder instead of failing.
@@ -723,7 +763,12 @@ let check_pair ct b ~engine ~cache p =
           | Cache.E_equivalent -> Equivalent
           | Cache.E_inequivalent pos -> replay pos)
       | None -> (
+          let spent0 = ct.k_bdd_s +. ct.k_sat_s +. ct.k_sweep_s in
           let v = run_engine ct b ~engine p in
+          (* observed engine seconds for this cone pair: the layout's cost
+             prior on later checks of a structurally identical cone *)
+          Cache.note_cost cache key
+            (ct.k_bdd_s +. ct.k_sat_s +. ct.k_sweep_s -. spent0);
           let remember entry =
             let wrote, evicted = Cache.add_entry cache key entry in
             ct.k_store_writes <- ct.k_store_writes + wrote;
@@ -751,96 +796,13 @@ let check_pair ct b ~engine ~cache p =
                       cex));
               v))
 
-(* Output clustering.  Checking each output pair in isolation is sound but
-   can be quadratically wasteful: when cones overlap heavily (a min/max
-   chain, a shared datapath) every partition re-extracts, re-sweeps and
-   re-SATs nearly the whole logic.  So output pairs are greedily clustered
-   over the shared AIG's node space: a pair joins an existing partition
-   when at least half of the smaller cone (its own, or the partition's
-   accumulated one) is already covered by the other.  Chains collapse into
-   one partition — degrading gracefully to the monolithic check — while
-   independent cones split.  The clustering depends only on the problem,
-   never on [jobs], so partition boundaries (and hence verdicts and cache
-   keys) are identical at every parallelism level. *)
-type out_group = {
-  mutable members : int list; (* output indices, reversed *)
-  marks : bool array; (* accumulated cone marks over AIG nodes *)
-  mutable gsize : int; (* marked node count *)
-}
+(* Partition layout — overlap clustering, the cone cost model and cost-
+   driven bin packing — lives in {!Layout} (re-exported from this module's
+   interface).  Clusters are the verdict and cache-key units; bins only
+   group clusters into pool tasks. *)
+module Layout = Layout
 
-let cluster_outputs (p : Seqprob.t) =
-  let o1 = Array.of_list p.outs1 and o2 = Array.of_list p.outs2 in
-  let n = Array.length o1 in
-  let groups = ref [] in
-  let marked m =
-    let acc = ref [] in
-    Array.iteri (fun s b -> if b then acc := s :: !acc) m;
-    !acc
-  in
-  for i = 0 to n - 1 do
-    let m = Aig.cone_nodes p.graph [ o1.(i); o2.(i) ] in
-    (* work on the marked-node list so scoring an output against a group
-       costs O(|cone|), not O(|graph|) *)
-    let nodes = marked m in
-    let size = List.length nodes in
-    let best = ref None in
-    List.iter
-      (fun g ->
-        let overlap = ref 0 in
-        List.iter (fun s -> if g.marks.(s) then incr overlap) nodes;
-        let score = 2 * !overlap in
-        if score >= min size g.gsize then
-          match !best with
-          | Some (bscore, _) when bscore >= score -> ()
-          | _ -> best := Some (score, g))
-      !groups;
-    match !best with
-    | Some (_, g) ->
-        List.iter
-          (fun s ->
-            if not g.marks.(s) then begin
-              g.marks.(s) <- true;
-              g.gsize <- g.gsize + 1
-            end)
-          nodes;
-        g.members <- i :: g.members
-    | None -> groups := { members = [ i ]; marks = m; gsize = size } :: !groups
-  done;
-  List.rev_map (fun g -> (List.rev g.members, g.gsize)) !groups
-
-(* Each partition pays a fixed cost (extraction, simulation warm-up, solver
-   setup), so hundreds of tiny cones are much slower to check separately
-   than together.  Pack the overlap clusters into at most [max_partitions]
-   bins, largest first onto the lightest bin.  The bound is a constant —
-   not a function of [jobs] — so the partition layout is identical at
-   every parallelism level. *)
-let max_partitions = 16
-
-let pack_clusters clusters =
-  let n = List.length clusters in
-  if n <= max_partitions then List.map fst clusters
-  else begin
-    let sorted =
-      List.stable_sort (fun (_, a) (_, b) -> compare (b : int) a) clusters
-    in
-    let bins = Array.make max_partitions ([], 0) in
-    List.iter
-      (fun (members, size) ->
-        let lightest = ref 0 in
-        Array.iteri
-          (fun i (_, w) -> if w < snd bins.(!lightest) then lightest := i)
-          bins;
-        let ms, w = bins.(!lightest) in
-        bins.(!lightest) <- (members :: ms, w + size))
-      sorted;
-    Array.to_list bins
-    |> List.filter_map (fun (ms, _) ->
-           match List.concat (List.rev ms) with
-           | [] -> None
-           | members -> Some (List.sort compare members))
-  end
-
-(* One sub-AIG per partition, carved out of the shared problem graph with
+(* One sub-AIG per cluster, carved out of the shared problem graph with
    Aig.extract; the sub-problem's variables come through the extraction's
    input map, so nothing is re-translated from netlists. *)
 let extract_part (p : Seqprob.t) members o1 o2 =
@@ -858,90 +820,140 @@ let extract_part (p : Seqprob.t) members o1 o2 =
     outs2 = List.map tr roots2;
   }
 
-let check_partitioned ~engine ~jobs ~limits ~cache (p : Seqprob.t) =
+(* Nominal engine seconds to replay an already-known verdict: a cache probe
+   plus a counterexample translation, no solving. *)
+let replay_seconds = 1e-4
+
+(* Cost prior for the layout: observed engine seconds when this cone pair
+   (or a structurally identical one) was checked before; a near-zero cost
+   when its verdict is already in the cache or the persistent store. *)
+let prior_of_cache cache ~signature =
+  match Cache.observed_cost cache signature with
+  | Some s -> Some s
+  | None -> if Cache.mem cache signature then Some replay_seconds else None
+
+let check_monolithic ~engine ~limits ~cache p =
+  let ct = fresh_counters () in
+  let b = bctx_of_limits limits in
+  let v = check_pair ct b ~engine ~cache p in
+  (match v with
+  | Undecided _ -> ct.k_undecided <- ct.k_undecided + 1
+  | Equivalent | Inequivalent _ -> ());
+  (v, stats_of_counters ~partitions:1 [| ct |])
+
+let check_partitioned ~engine ~jobs ~limits ~cache ~forced (p : Seqprob.t) =
   if p.outs1 = [] then (Equivalent, empty_stats)
   else begin
-    let cache = match cache with Some c -> c | None -> Cache.create () in
     let o1 = Array.of_list p.outs1 and o2 = Array.of_list p.outs2 in
-    (* Sub-AIG extraction is cheap and sequential; afterwards every
-       partition task owns its sub-problem outright, so nothing mutable
+    let prior = Option.map (fun c -> prior_of_cache c) cache in
+    (* Layout and sub-AIG extraction are cheap and sequential; afterwards
+       every pool task owns its sub-problems outright, so nothing mutable
        crosses domains. *)
-    let parts, layout_seconds =
+    let (layout, subs), layout_seconds =
       Obs.timed_span ~name:"cec.layout" (fun () ->
-          let clusters = pack_clusters (cluster_outputs p) in
-          Obs.attr (fun () -> [ ("partitions", Obs.Int (List.length clusters)) ]);
-          List.mapi
-            (fun k members -> (k, extract_part p members o1 o2))
-            clusters)
+          let l = Layout.compute ~forced ?prior p in
+          Obs.attr (fun () ->
+              [
+                ("clusters", Obs.Int (List.length l.Layout.clusters));
+                ("bins", Obs.Int (List.length l.Layout.bins));
+                ("monolithic", Obs.Bool l.Layout.monolithic);
+                ("cost", Obs.Float l.Layout.total_cost);
+              ]);
+          let subs =
+            if l.Layout.monolithic then [||]
+            else
+              Array.of_list l.Layout.clusters
+              |> Array.map (fun cl -> extract_part p cl.Layout.members o1 o2)
+          in
+          (l, subs))
     in
-    let n = List.length parts in
-    let counters = Array.init n (fun _ -> fresh_counters ()) in
-    (* Set by find_first the moment any partition reports a counterexample;
-       every in-flight sibling's SAT loop / BDD build polls it and stops
-       mid-solve. *)
-    let cancel = Atomic.make false in
-    let undecided = Array.make n None in
-    let found =
-      (* never spawn more workers than there are partitions *)
-      Par.Pool.with_pool ~jobs:(min jobs n) (fun pool ->
-          Par.Pool.find_first ~found:cancel pool
-            (fun (k, sub) ->
-              Obs.span ~name:"cec.partition"
-                ~attrs:
-                  [
-                    ("partition", Obs.Int k);
-                    ("outputs", Obs.Int (List.length sub.Seqprob.outs1));
-                    ("aig_nodes", Obs.Int (Aig.node_count sub.Seqprob.graph));
-                  ]
-                (fun () ->
-                  let b =
-                    {
-                      lim = limits;
-                      (* per-partition deadline starts when the partition
-                         does *)
-                      deadline =
-                        Option.map (fun s -> now () +. s) limits.seconds;
-                      cancel = Some cancel;
-                    }
-                  in
-                  match
-                    check_pair counters.(k) b ~engine ~cache:(Some cache) sub
-                  with
-                  | Equivalent -> None
-                  | Undecided reason ->
-                      counters.(k).k_undecided <- counters.(k).k_undecided + 1;
-                      undecided.(k) <- Some reason;
-                      None
-                  | Inequivalent cex ->
-                      (* siblings observe the shared flag the moment
-                         find_first records this answer *)
-                      Obs.instant "cec.first_cex"
-                        ~attrs:[ ("partition", Obs.Int k) ];
-                      Some cex))
-            parts)
-    in
-    let stats =
-      {
-        (stats_of_counters ~partitions:n counters) with
-        partition_seconds = layout_seconds;
-      }
-    in
-    match found with
-    | Some cex -> (Inequivalent cex, stats)
-    | None -> (
-        (* no counterexample anywhere, so the cancel flag was never set and
-           every Undecided is a genuine budget exhaustion *)
-        let rec first k =
-          if k >= n then None
-          else
-            match undecided.(k) with
-            | Some reason -> Some (k, reason)
-            | None -> first (k + 1)
-        in
-        match first 0 with
-        | Some (k, reason) ->
-            (Undecided (Printf.sprintf "partition %d: %s" k reason), stats)
-        | None -> (Equivalent, stats))
+    if layout.Layout.monolithic then begin
+      (* Below the cost threshold the whole check is cheaper than the
+         partitioning machinery: run it in one piece, spin up no pool. *)
+      let v, st = check_monolithic ~engine ~limits ~cache p in
+      (v, { st with partition_seconds = layout_seconds })
+    end
+    else begin
+      let cache = match cache with Some c -> c | None -> Cache.create () in
+      let n = Array.length subs in
+      let counters = Array.init n (fun _ -> fresh_counters ()) in
+      (* Set by find_first the moment any cluster reports a counterexample;
+         every in-flight sibling's SAT loop / BDD build polls it and stops
+         mid-solve, and bins abandon their not-yet-started clusters. *)
+      let cancel = Atomic.make false in
+      let undecided = Array.make n None in
+      let check_cluster k =
+        let sub = subs.(k) in
+        Obs.span ~name:"cec.partition"
+          ~attrs:
+            [
+              ("cluster", Obs.Int k);
+              ("outputs", Obs.Int (List.length sub.Seqprob.outs1));
+              ("aig_nodes", Obs.Int (Aig.node_count sub.Seqprob.graph));
+            ]
+          (fun () ->
+            let b =
+              {
+                lim = limits;
+                (* per-cluster deadline starts when the cluster does *)
+                deadline = Option.map (fun s -> now () +. s) limits.seconds;
+                cancel = Some cancel;
+              }
+            in
+            match check_pair counters.(k) b ~engine ~cache:(Some cache) sub with
+            | Equivalent -> None
+            | Undecided reason ->
+                counters.(k).k_undecided <- counters.(k).k_undecided + 1;
+                undecided.(k) <- Some reason;
+                None
+            | Inequivalent cex ->
+                (* siblings observe the shared flag the moment find_first
+                   records this answer *)
+                Obs.instant "cec.first_cex" ~attrs:[ ("cluster", Obs.Int k) ];
+                Some cex)
+      in
+      let found =
+        (* one pool task per scheduling bin; a task checks its clusters in
+           ascending index order.  Never spawn more workers than bins. *)
+        let bins = layout.Layout.bins in
+        Par.Pool.with_pool ~jobs:(min jobs (List.length bins)) (fun pool ->
+            Par.Pool.find_first ~found:cancel pool
+              (fun bin ->
+                let rec go = function
+                  | [] -> None
+                  | k :: rest ->
+                      if Atomic.get cancel then None
+                      else (
+                        match check_cluster k with
+                        | None -> go rest
+                        | Some cex -> Some cex)
+                in
+                go bin)
+              bins)
+      in
+      let stats =
+        {
+          (stats_of_counters ~partitions:n counters) with
+          partition_seconds = layout_seconds;
+        }
+      in
+      match found with
+      | Some cex -> (Inequivalent cex, stats)
+      | None -> (
+          (* no counterexample anywhere, so the cancel flag was never set
+             and every Undecided is a genuine budget exhaustion *)
+          let rec first k =
+            if k >= n then None
+            else
+              match undecided.(k) with
+              | Some reason -> Some (k, reason)
+              | None -> first (k + 1)
+          in
+          match first 0 with
+          | Some (k, reason) ->
+              (Undecided (Printf.sprintf "partition %d: %s" k reason), stats)
+          | None -> (Equivalent, stats))
+    end
   end
 
 let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
@@ -957,7 +969,6 @@ let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
     | None, None -> cache
   in
   let jobs = max 1 jobs in
-  let partitioned = match partition with Some b -> b | None -> jobs > 1 in
   (* elapsed_seconds is the true wall clock of the whole check, derived
      from the enclosing span — in parallel runs the per-engine CPU-second
      sums can legitimately exceed it *)
@@ -970,16 +981,17 @@ let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
           ("outputs", Obs.Int (List.length p.outs1));
         ]
       (fun () ->
-        if partitioned then check_partitioned ~engine ~jobs ~limits ~cache p
-        else begin
-          let ct = fresh_counters () in
-          let b = bctx_of_limits limits in
-          let v = check_pair ct b ~engine ~cache p in
-          (match v with
-          | Undecided _ -> ct.k_undecided <- ct.k_undecided + 1
-          | Equivalent | Inequivalent _ -> ());
-          (v, stats_of_counters ~partitions:1 [| ct |])
-        end)
+        match partition with
+        | Some true ->
+            (* forced: always lay out and run per-cluster, the historical
+               [~partition:true] contract tests rely on *)
+            check_partitioned ~engine ~jobs ~limits ~cache ~forced:true p
+        | Some false -> check_monolithic ~engine ~limits ~cache p
+        | None when jobs > 1 ->
+            (* adaptive: the layout's cost model decides — monolithic
+               below the threshold, cost-packed bins above *)
+            check_partitioned ~engine ~jobs ~limits ~cache ~forced:false p
+        | None -> check_monolithic ~engine ~limits ~cache p)
   in
   (v, { stats with elapsed_seconds = elapsed })
 

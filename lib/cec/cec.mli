@@ -60,7 +60,9 @@ val default_limits : limits
 type stats = {
   sat_calls : int;  (** SAT solver invocations *)
   sim_rounds : int;  (** 64-pattern random simulation rounds (sweep) *)
-  partitions : int;  (** output-cone partitions checked (1 = monolithic) *)
+  partitions : int;
+      (** output-cone clusters checked — the {!Layout}'s verdict units
+          (1 = monolithic) *)
   cache_hits : int;
       (** partitions answered from the in-memory result cache *)
   store_hits : int;
@@ -85,14 +87,17 @@ type stats = {
           partitioning and cache probing *)
   partition_seconds : float;
       (** wall clock spent computing the partition layout (output
-          clustering, bin packing and sub-AIG extraction); [0.] for a
-          monolithic check *)
+          clustering, cost estimation, bin packing and sub-AIG
+          extraction); [0.] for an explicitly monolithic check *)
   bdd_seconds : float;
-      (** CPU-seconds spent in each engine: per-partition engine times
-          summed across partitions.  In parallel mode partitions overlap
-          in time, so these sums can legitimately {e exceed}
-          [elapsed_seconds] — compare against [elapsed_seconds] for the
-          wall-clock story *)
+      (** CPU-seconds spent in each engine, summed across clusters.  The
+          three buckets are {e disjoint}: time inside [Sat.solve] is
+          always SAT time ([sat_seconds]), wherever the call came from —
+          the sweep engine's merge queries included — and each engine's
+          bucket gets the remainder of its runs' wall time.  In parallel
+          mode clusters overlap in time, so the sums can legitimately
+          {e exceed} [elapsed_seconds] — compare against
+          [elapsed_seconds] for the wall-clock story *)
   sat_seconds : float;
   sweep_seconds : float;
 }
@@ -144,7 +149,20 @@ module Cache : sig
   val size : t -> int
 
   val store : t -> Store.t option
+
+  val observed_cost : t -> string -> float option
+  (** Engine seconds observed when the cone pair with this signature was
+      last checked (the maximum over observations), if any — the
+      {!Layout}'s cost prior.  Observations are kept even for verdicts
+      the cache cannot store ([Undecided]). *)
 end
+
+module Layout = Layout
+(** Cost-model-driven partition layout: overlap clustering into
+    verdict-unit {e clusters}, a [nodes × depth] cone cost estimate
+    refinable by observed engine seconds, a monolithic fast path below a
+    total-cost threshold, and cost-balanced packing of clusters into
+    scheduling {e bins}.  See {!Layout.compute}. *)
 
 val check_problem :
   ?engine:engine ->
@@ -158,17 +176,27 @@ val check_problem :
 (** Decides equivalence of the problem's two output-cone groups.  Default
     engine: [Sweep_engine]; default limits: {!no_limits}.
 
-    With [jobs > 1] (or [~partition:true]) the miter is split into
-    output-cone partitions — each an independent check by soundness of
+    With [jobs > 1] the split is {e adaptive}, driven by the {!Layout}
+    cost model: below a total-cost threshold the whole miter is checked
+    in one piece (no layout, no {!Par.Pool} spin-up — parallelism costs
+    nothing on small problems), and above it the miter is split into
+    output-cone {e clusters} — each an independent check by soundness of
     output splitting.  Output pairs whose fanin cones (in the shared AIG)
-    overlap by at least half of the smaller cone are clustered into one
-    partition (so shared logic is swept once), and clusters are packed
-    largest-first into a bounded number of partitions to cap per-partition
-    fixed costs.  The layout depends only on the problem, never on [jobs].
-    Partitions are carved out of the problem graph with {!Aig.extract} —
-    no netlist round-trip — and run on a {!Par.Pool} of [jobs] domains.
+    overlap by at least half of the smaller cone are clustered together
+    (so shared logic is swept once); each cluster is checked — and cached
+    — on its own, and clusters are packed by estimated cost (refined by
+    observed engine seconds when the cache or store has seen a cluster's
+    cone before) into cost-proportional scheduling {e bins}, the unit of
+    pool work.  Cluster boundaries depend only on the problem — never on
+    [jobs], never on cache state — so verdicts and cache keys are
+    identical at every parallelism level; bin shapes may vary with cost
+    priors but never influence a verdict.  [~partition:true] forces the
+    clustered path regardless of cost; [~partition:false] forces the
+    monolithic check.  Clusters are carved out of the problem graph with
+    {!Aig.extract} — no netlist round-trip — and bins run on a lazily
+    spawned {!Par.Pool} of at most [min jobs bins] domains.
 
-    {b Budgets.}  With [limits] set, each partition checks under its own
+    {b Budgets.}  With [limits] set, each cluster checks under its own
     wall-clock deadline and each SAT call / BDD build under its resource
     cap; a blown budget climbs the escalation ladder (requested engine at
     base budget → SAT at a larger conflict budget → BDD under the node

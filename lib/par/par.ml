@@ -4,6 +4,7 @@ module Pool = struct
   type t = {
     jobs : int;
     mutable domains : unit Domain.t list;
+    mutable nspawned : int;
     q : (unit -> unit) Queue.t;
     qm : Mutex.t;
     qcv : Condition.t;
@@ -11,6 +12,12 @@ module Pool = struct
   }
 
   let jobs p = p.jobs
+
+  let spawned p =
+    Mutex.lock p.qm;
+    let n = p.nspawned in
+    Mutex.unlock p.qm;
+    n
 
   let rec worker p =
     Mutex.lock p.qm;
@@ -27,24 +34,33 @@ module Pool = struct
 
   let create ~jobs =
     let jobs = max 1 jobs in
-    let p =
-      {
-        jobs;
-        domains = [];
-        q = Queue.create ();
-        qm = Mutex.create ();
-        qcv = Condition.create ();
-        stop = false;
-      }
-    in
-    p.domains <-
-      List.init (jobs - 1) (fun _ ->
-          Domain.spawn (fun () ->
-              (* one span per worker lifetime: in a trace, the gap between
-                 this span and the pool.task spans inside it is idle time,
-                 which is exactly the domain-utilization picture *)
-              Obs.span ~name:"pool.worker" (fun () -> worker p)));
-    p
+    {
+      jobs;
+      domains = [];
+      nspawned = 0;
+      q = Queue.create ();
+      qm = Mutex.create ();
+      qcv = Condition.create ();
+      stop = false;
+    }
+
+  (* Workers spawn lazily, on the first batch that can use them, and never
+     more than that batch has parallel tasks: a pool created for [jobs]
+     but only ever handed [n]-task batches spawns [min (jobs-1) (n-1)]
+     domains, and a pool whose batches all run inline (jobs = 1 or n = 1)
+     spawns none.  Called with [p.qm] held. *)
+  let ensure_workers p ~tasks =
+    let want = min (p.jobs - 1) (tasks - 1) in
+    while p.nspawned < want do
+      p.nspawned <- p.nspawned + 1;
+      p.domains <-
+        Domain.spawn (fun () ->
+            (* one span per worker lifetime: in a trace, the gap between
+               this span and the pool.task spans inside it is idle time,
+               which is exactly the domain-utilization picture *)
+            Obs.span ~name:"pool.worker" (fun () -> worker p))
+        :: p.domains
+    done
 
   let shutdown p =
     Mutex.lock p.qm;
@@ -52,7 +68,8 @@ module Pool = struct
     Condition.broadcast p.qcv;
     Mutex.unlock p.qm;
     List.iter Domain.join p.domains;
-    p.domains <- []
+    p.domains <- [];
+    p.nspawned <- 0
 
   let with_pool ~jobs f =
     let p = create ~jobs in
@@ -100,6 +117,7 @@ module Pool = struct
               (task i)
         in
         Mutex.lock p.qm;
+        ensure_workers p ~tasks:n;
         let tq = if Obs.enabled () then Some (Obs.Clock.now ()) else None in
         for i = 1 to n - 1 do
           Queue.push (wrap ~enqueued:tq i) p.q

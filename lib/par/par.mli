@@ -5,8 +5,12 @@
     an order-preserving parallel [map] and an early-cancelling
     [find_first].  Workers are plain domains blocked on a condition
     variable; the submitting domain participates in the work instead of
-    idling, so a pool of [jobs = 1] spawns no domains at all and runs the
-    tasks inline (bit-for-bit the sequential behavior).
+    idling.  Worker domains spawn {e lazily}: creating a pool is free, and
+    domains appear only when a batch can actually use them — never more
+    than [jobs - 1], never more than the largest batch's task count minus
+    one.  A pool of [jobs = 1], or one only ever handed single-task
+    batches, spawns no domains at all and runs the tasks inline
+    (bit-for-bit the sequential behavior).
 
     Tasks must be self-contained: they may share read-only data with the
     submitter (publication happens-before is provided by the internal
@@ -21,10 +25,16 @@ module Pool : sig
   type t
 
   val create : jobs:int -> t
-  (** A pool that runs up to [max 1 jobs] tasks in parallel
-      ([jobs - 1] worker domains plus the submitting domain). *)
+  (** A pool that runs up to [max 1 jobs] tasks in parallel (at most
+      [jobs - 1] worker domains plus the submitting domain).  No domain
+      is spawned here — workers appear on the first {!run} that can use
+      them. *)
 
   val jobs : t -> int
+
+  val spawned : t -> int
+  (** Worker domains actually spawned so far (grows with demand, [0]
+      until a parallel batch arrives, reset by {!shutdown}). *)
 
   val shutdown : t -> unit
   (** Drains queued tasks, stops the workers and joins their domains.

@@ -336,6 +336,234 @@ let industrial ~name ~latches ~exposed ~unate_fraction ~enable_fraction ~seed =
   Circuit.check c;
   c
 
+(* ---- large tier: designs where partitioned checking has to pay ---- *)
+
+(* Balanced reduction tree over a 2-input gate function. *)
+let rec gate_tree c fn = function
+  | [] -> invalid_arg "gate_tree: empty"
+  | [ x ] -> x
+  | xs ->
+      let rec pair = function
+        | a :: b :: rest -> Circuit.add_gate c fn [ a; b ] :: pair rest
+        | rest -> rest
+      in
+      gate_tree c fn (pair xs)
+
+(* Linear left fold over the same gate — functionally identical to
+   [gate_tree] but a different association order, so the two styles keep
+   distinct AIG structure all the way to the shared root. *)
+let gate_chain c fn = function
+  | [] -> invalid_arg "gate_chain: empty"
+  | x :: rest -> List.fold_left (fun acc y -> Circuit.add_gate c fn [ acc; y ]) x rest
+
+let log2_exact what n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg (Printf.sprintf "%s: expected a power of two >= 2, got %d" what n);
+  let rec go b = if 1 lsl b = n then b else go (b + 1) in
+  go 1
+
+(* Parameterized FIFO: [entries] x [width] data latches, each a hold-mux
+   self-loop (q' = we ? din : q), plus write/read pointer counters.  The
+   two gate-level [style]s compute the same function with genuinely
+   different structure:
+
+   - [`Sop]: one-hot decode as balanced AND trees, read port as a
+     sum-of-products (OR tree of decode AND data);
+   - [`Mux]: decode as linear AND chains, read port as a binary 2:1-mux
+     tree over the pointer bits (no explicit read decode at all).
+
+   Every latch is on a structural self-loop and shares its name across
+   styles, so [Feedback.plan_structural] exposes the same cut in both and
+   CBF verifies at depth 1 over many small, independent next-state cones
+   plus one wide read-port cone — the partitioned checker's favourite
+   shape.  [~bug] swaps two data bits in entry 0's write mux (style-
+   independent), an inequivalence a single write+readback exposes. *)
+let fifo ?(bug = false) ~entries ~width ~style () =
+  let pb = log2_exact "fifo entries" entries in
+  if width < 2 then invalid_arg "fifo: width must be >= 2";
+  let sname = match style with `Sop -> "s" | `Mux -> "m" in
+  let c =
+    Circuit.create
+      (Printf.sprintf "fifo%dx%d%s%s" entries width sname
+         (if bug then "_bug" else ""))
+  in
+  let din = Array.init width (fun i -> Circuit.add_input c (Printf.sprintf "din%d" i)) in
+  let write = Circuit.add_input c "write" in
+  let read = Circuit.add_input c "read" in
+  let wp = Array.init pb (fun i -> Circuit.declare c ~name:(Printf.sprintf "wp%d" i) ()) in
+  let rp = Array.init pb (fun i -> Circuit.declare c ~name:(Printf.sprintf "rp%d" i) ()) in
+  let combine = match style with `Sop -> gate_tree | `Mux -> gate_chain in
+  (* eq(ptr, e) over the style's association order *)
+  let eq_const ptr e =
+    combine c And
+      (List.init pb (fun i ->
+           if (e lsr i) land 1 = 1 then ptr.(i)
+           else Circuit.add_gate c Not [ ptr.(i) ]))
+  in
+  (* ptr + 1 (wraps): shared ripple increment; the interesting structural
+     divergence lives in the decode and the read port *)
+  let increment ptr =
+    let carry = ref (Circuit.const_true c) in
+    Array.init pb (fun i ->
+        let s = Circuit.add_gate c Xor [ ptr.(i); !carry ] in
+        carry := Circuit.add_gate c And [ ptr.(i); !carry ];
+        s)
+  in
+  let advance ptr en =
+    let inc = increment ptr in
+    Array.iteri
+      (fun i p -> Circuit.set_latch c p ~data:(Circuit.add_gate c Mux [ en; inc.(i); p ]) ())
+      ptr
+  in
+  advance wp write;
+  advance rp read;
+  (* data array: hold-mux registers, write-decoded from wptr *)
+  let we = Array.init entries (fun e -> Circuit.add_gate c And [ write; eq_const wp e ]) in
+  let regs =
+    Array.init entries (fun e ->
+        Array.init width (fun w ->
+            let q = Circuit.declare c ~name:(Printf.sprintf "r%d_%d" e w) () in
+            let d =
+              if bug && e = 0 && w = 0 then din.(1)
+              else if bug && e = 0 && w = 1 then din.(0)
+              else din.(w)
+            in
+            Circuit.set_latch c q ~data:(Circuit.add_gate c Mux [ we.(e); d; q ]) ();
+            q))
+  in
+  (* read port *)
+  (match style with
+  | `Sop ->
+      let re = Array.init entries (fun e -> eq_const rp e) in
+      for w = 0 to width - 1 do
+        Circuit.mark_output c
+          (gate_tree c Or
+             (List.init entries (fun e ->
+                  Circuit.add_gate c And [ re.(e); regs.(e).(w) ])))
+      done
+  | `Mux ->
+      for w = 0 to width - 1 do
+        (* binary mux tree: bit k of rptr selects between halves of 2^(k+1)
+           consecutive entries *)
+        let rec sel base len =
+          if len = 1 then regs.(base).(w)
+          else
+            let half = len / 2 in
+            let bit = log2_exact "fifo mux level" len - 1 in
+            Circuit.add_gate c Mux
+              [ rp.(bit); sel (base + half) half; sel base half ]
+        in
+        Circuit.mark_output c (sel 0 entries)
+      done);
+  (* empty flag: pointer equality, folded in the style's order *)
+  Circuit.mark_output c
+    (combine c And
+       (List.init pb (fun i -> Circuit.add_gate c Xnor [ wp.(i); rp.(i) ])));
+  Circuit.check c;
+  c
+
+(* Wide lane-parallel ALU pipeline: [lanes] independent [width]-bit
+   datapaths, [stages] register stages deep — [lanes*width*stages]
+   flip-flops with {e block-local} mixing only, so the unrolled output
+   cones split exactly per lane and the partitioned checker gets [lanes]
+   disjoint clusters.  Each stage adds the lane value to its own
+   rotation and XOR-mixes another rotation in; the adder is the style
+   point:
+
+   - [`Ripple]: plain ripple-carry chain;
+   - [`Select]: carry-select — low half ripple, high half computed for
+     both carry-ins and 2:1-muxed on the low carry.
+
+   The pipeline is acyclic (no exposure needed); CBF unrolls it to depth
+   [stages].  [~bug] inverts one sum bit in lane 0's last stage. *)
+let lane_alu ?(bug = false) ~lanes ~width ~stages ~style () =
+  if width < 4 || width land 1 <> 0 then
+    invalid_arg "lane_alu: width must be even and >= 4";
+  if lanes < 1 || stages < 1 then invalid_arg "lane_alu: lanes/stages >= 1";
+  let sname = match style with `Ripple -> "r" | `Select -> "s" in
+  let c =
+    Circuit.create
+      (Printf.sprintf "alu%dx%dx%d%s%s" lanes width stages sname
+         (if bug then "_bug" else ""))
+  in
+  let din = Array.init width (fun i -> Circuit.add_input c (Printf.sprintf "din%d" i)) in
+  let full_adder a b cin =
+    let axb = Circuit.add_gate c Xor [ a; b ] in
+    let s = Circuit.add_gate c Xor [ axb; cin ] in
+    let cout =
+      Circuit.add_gate c Or
+        [ Circuit.add_gate c And [ a; b ]; Circuit.add_gate c And [ axb; cin ] ]
+    in
+    (s, cout)
+  in
+  let ripple a b cin =
+    let carry = ref cin in
+    Array.init width (fun i ->
+        let s, cout = full_adder a.(i) b.(i) !carry in
+        carry := cout;
+        s)
+  in
+  let adder a b =
+    match style with
+    | `Ripple -> ripple a b (Circuit.const_false c)
+    | `Select ->
+        (* low half ripple; high half twice (cin 0 and 1), selected *)
+        let half = width / 2 in
+        let carry = ref (Circuit.const_false c) in
+        let low =
+          Array.init half (fun i ->
+              let s, cout = full_adder a.(i) b.(i) !carry in
+              carry := cout;
+              s)
+        in
+        let hi cin =
+          let carry = ref cin in
+          Array.init half (fun i ->
+              let s, cout = full_adder a.(half + i) b.(half + i) !carry in
+              carry := cout;
+              s)
+        in
+        let h0 = hi (Circuit.const_false c) and h1 = hi (Circuit.const_true c) in
+        Array.init width (fun i ->
+            if i < half then low.(i)
+            else
+              Circuit.add_gate c Mux
+                [ !carry; h1.(i - half); h0.(i - half) ])
+  in
+  let lane_bits =
+    let rec go b = if 1 lsl b >= lanes then b else go (b + 1) in
+    go 1
+  in
+  for lane = 0 to lanes - 1 do
+    (* Lane-distinct seeding of the shared inputs: each lane inverts the
+       bit positions of its own index (repeated across the width), so no
+       two lanes compute the same function — structural hashing would
+       otherwise collapse identical lanes into one shared cone. *)
+    let bus =
+      ref
+        (Array.init width (fun i ->
+             if (lane lsr (i mod lane_bits)) land 1 = 1 then
+               Circuit.add_gate c Not [ din.(i) ]
+             else din.(i)))
+    in
+    for stage = 0 to stages - 1 do
+      let b = !bus in
+      let rot k i = b.((i + k) mod width) in
+      let sum = adder b (Array.init width (rot 1)) in
+      let mixed =
+        Array.init width (fun i ->
+            let u = Circuit.add_gate c Xor [ sum.(i); rot 2 i ] in
+            if bug && lane = 0 && stage = stages - 1 && i = 0 then
+              Circuit.add_gate c Not [ u ]
+            else u)
+      in
+      bus := Array.map (fun d -> Circuit.add_latch c ~data:d ()) mixed
+    done;
+    Array.iter (fun q -> Circuit.mark_output c q) !bus
+  done;
+  Circuit.check c;
+  c
+
 (* ---- suites ---- *)
 
 (* (name, latches, percent exposed, gate scale) from Table 1; the minmax
@@ -413,6 +641,47 @@ let retime_suite () =
       deep_datapath ~name:"deep_w8x300" ~width:8 ~stages:300 ~seed:14;
     ]
 
+(* Equivalent style pairs for the large tier: (name, style A, style B).
+   Sized so the adaptive layout's cost model is well above its monolithic
+   threshold — these are the workloads where partitioned checking has to
+   beat the monolithic path. *)
+let large_suite ?(smoke = false) () =
+  let fifo_pair ~entries ~width =
+    ( Printf.sprintf "fifo%dx%d" entries width,
+      fifo ~entries ~width ~style:`Sop (),
+      fifo ~entries ~width ~style:`Mux () )
+  in
+  let alu_pair ~lanes ~width ~stages =
+    ( Printf.sprintf "alu%dx%dx%d" lanes width stages,
+      lane_alu ~lanes ~width ~stages ~style:`Ripple (),
+      lane_alu ~lanes ~width ~stages ~style:`Select () )
+  in
+  (* Sizing: every pair must clear the adaptive layout's cost threshold
+     (or the bench would measure the monolithic fast path against itself)
+     while keeping the jobs=1 monolithic *baseline* tractable — which
+     means many medium cones, not a few huge ones.  The wide-lane ALUs
+     hit 2048+ flip-flops by lane count (64 cheap cones), not by lane
+     size: a 16-bit x 8-stage lane cone alone takes minutes to sweep. *)
+  if smoke then
+    [ fifo_pair ~entries:64 ~width:16; alu_pair ~lanes:8 ~width:8 ~stages:4 ]
+  else
+    [
+      fifo_pair ~entries:64 ~width:16;
+      fifo_pair ~entries:128 ~width:8;
+      alu_pair ~lanes:8 ~width:8 ~stages:4;
+      alu_pair ~lanes:64 ~width:8 ~stages:4;
+    ]
+
+(* Intentionally inequivalent pair (style A pristine, style B with the
+   write-mux bit swap): exercises first-counterexample cancellation across
+   partitions.  Same verdict must come back at every jobs value. *)
+let large_mutant () =
+  (* sized past the cost threshold so the adaptive layout partitions it —
+     the point is first-counterexample cancellation across clusters *)
+  ( "fifo64x16_bug",
+    fifo ~entries:64 ~width:16 ~style:`Sop (),
+    fifo ~entries:64 ~width:16 ~style:`Mux ~bug:true () )
+
 let by_name n =
   match List.assoc_opt n (table1_suite ()) with
   | Some c -> c
@@ -422,4 +691,14 @@ let by_name n =
       | None -> (
           match List.assoc_opt n (retime_suite ()) with
           | Some c -> c
-          | None -> raise Not_found))
+          | None -> (
+              (* large-tier circuits go by their own Circuit.name (the pair
+                 name plus a style suffix, e.g. "fifo64x16s") *)
+              let large =
+                List.concat_map
+                  (fun (_, a, b) -> [ a; b ])
+                  (large_suite () @ large_suite ~smoke:true ())
+              in
+              match List.find_opt (fun c -> Circuit.name c = n) large with
+              | Some c -> c
+              | None -> raise Not_found)))

@@ -73,5 +73,51 @@ val retime_suite : unit -> (string * Circuit.t) list
     retime]): from a small differential-checkable instance (256 latches) up
     to thousands of latches, all within the exact min-area vertex bound. *)
 
+val fifo :
+  ?bug:bool ->
+  entries:int ->
+  width:int ->
+  style:[ `Sop | `Mux ] ->
+  unit ->
+  Circuit.t
+(** Parameterized FIFO: [entries * width] hold-mux data latches
+    (self-loops, so the structural analysis exposes them all) plus
+    write/read pointer counters.  The two [style]s compute the same
+    function with genuinely different gate structure ([`Sop]: balanced
+    one-hot decode + sum-of-products read port; [`Mux]: linear decode
+    chains + a binary mux tree over the pointer bits); latch names are
+    shared across styles so one exposure cut fits both.  [~bug] swaps two
+    data bits in entry 0's write mux — an intentional inequivalence for
+    cancellation tests.  [entries] must be a power of two. *)
+
+val lane_alu :
+  ?bug:bool ->
+  lanes:int ->
+  width:int ->
+  stages:int ->
+  style:[ `Ripple | `Select ] ->
+  unit ->
+  Circuit.t
+(** Wide ALU pipeline: [lanes] independent [width]-bit datapaths, [stages]
+    register stages deep ([lanes*width*stages] flip-flops), mixing kept
+    strictly lane-local so the unrolled output cones split exactly per
+    lane.  Per-stage rotate-add-xor; the adder is the style point
+    ([`Ripple] carry chain vs [`Select] carry-select).  Acyclic — no
+    exposure needed; CBF unrolls to depth [stages].  [~bug] inverts one
+    sum bit in lane 0's last stage.  [width] must be even and >= 4. *)
+
+val large_suite : ?smoke:bool -> unit -> (string * Circuit.t * Circuit.t) list
+(** The large tier ([bench --suite large]): equivalent style pairs
+    [(name, style A, style B)] of {!fifo}s (64-128 entries) and
+    {!lane_alu}s (2048-4096 flip-flops), sized so the adaptive layout
+    partitions them.  [~smoke:true] selects two smaller instances for
+    CI. *)
+
+val large_mutant : unit -> string * Circuit.t * Circuit.t
+(** Intentionally inequivalent pair (a pristine style-A {!fifo} against a
+    [~bug] style-B one) exercising first-counterexample cancellation; the
+    verdict must be the same at every jobs value. *)
+
 val by_name : string -> Circuit.t
-(** Look up any suite circuit by name.  @raise Not_found. *)
+(** Look up any suite circuit by name (large-tier circuits by their
+    [Circuit.name], e.g. ["fifo64x16s"]).  @raise Not_found. *)

@@ -603,6 +603,196 @@ let test_elapsed_seconds () =
   Alcotest.(check bool) "parallel: layout time within elapsed" true
     (s2.Cec.partition_seconds <= s2.Cec.elapsed_seconds)
 
+(* ---- adaptive layout / cost model ---- *)
+
+(* Unroll a sequential pair into the shared Seqprob the layout operates
+   on, exposing the structural feedback plan's latches (same recipe as
+   Verify.check). *)
+let problem_of c1 c2 =
+  let names =
+    List.map (Circuit.signal_name c1) (Feedback.plan_structural c1).Feedback.exposed
+  in
+  let ex c s = List.mem (Circuit.signal_name c s) names in
+  let bld = Seqprob.builder () in
+  let o1, _ = Result.get_ok (Cbf.unroll ~exposed:(ex c1) bld c1) in
+  let o2, _ = Result.get_ok (Cbf.unroll ~exposed:(ex c2) bld c2) in
+  Result.get_ok (Seqprob.problem bld ~outs1:o1 ~outs2:o2)
+
+let test_estimate_monotone () =
+  let pts = [ 0; 1; 2; 5; 17; 100; 4096 ] in
+  List.iter
+    (fun nodes ->
+      List.iter
+        (fun depth ->
+          let e = Cec.Layout.estimate ~nodes ~depth in
+          Alcotest.(check bool) "estimate grows with nodes" true
+            (Cec.Layout.estimate ~nodes:(nodes + 1) ~depth >= e);
+          Alcotest.(check bool) "estimate grows with depth" true
+            (Cec.Layout.estimate ~nodes ~depth:(depth + 1) >= e))
+        pts)
+    pts;
+  (* depth is clamped to >= 1 so a purely combinational cone still costs
+     its node count *)
+  Alcotest.(check (float 0.)) "depth 0 = depth 1"
+    (Cec.Layout.estimate ~nodes:42 ~depth:1)
+    (Cec.Layout.estimate ~nodes:42 ~depth:0)
+
+let test_small_problem_goes_monolithic () =
+  (* every problem under the threshold collapses to a monolithic layout —
+     unless the caller forces partitioning *)
+  let c1 = Gen.comb st ~name:"lay_small" ~inputs:5 ~gates:40 ~outputs:4 in
+  let p = problem_of c1 (Gen.demorganize c1) in
+  let l = Cec.Layout.compute p in
+  Alcotest.(check bool) "monolithic" true l.Cec.Layout.monolithic;
+  Alcotest.(check bool) "under threshold" true
+    (l.Cec.Layout.total_cost < Cec.Layout.default_threshold);
+  Alcotest.(check (list (list int))) "no bins" [] l.Cec.Layout.bins;
+  let f = Cec.Layout.compute ~forced:true p in
+  Alcotest.(check bool) "forced layout partitions" false f.Cec.Layout.monolithic;
+  Alcotest.(check bool) "forced layout has bins" true (f.Cec.Layout.bins <> [])
+
+let test_below_threshold_no_pool () =
+  (* an adaptive jobs=4 check of a small problem must spin up no worker
+     domain at all: the monolithic fast path never creates a pool (spans
+     are the observable — every spawned worker opens a pool.worker span) *)
+  let c1 = Gen.comb st ~name:"lay_nopool" ~inputs:5 ~gates:60 ~outputs:5 in
+  let c2 = Gen.demorganize c1 in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    (fun () ->
+      let v, s = Cec.check_with_stats ~jobs:4 c1 c2 in
+      (match v with
+      | Cec.Equivalent -> ()
+      | _ -> Alcotest.fail "expected equivalent");
+      Alcotest.(check int) "one partition" 1 s.Cec.partitions;
+      let workers =
+        List.filter
+          (function Obs.Begin { name = "pool.worker"; _ } -> true | _ -> false)
+          (Obs.collect ())
+      in
+      Alcotest.(check int) "no worker domain spawned" 0 (List.length workers))
+
+let test_layout_deterministic_and_partitioning () =
+  (* the layout is a pure function of the problem: recomputing gives
+     identical clusters and bins, clusters partition the output pairs,
+     and a cost prior may reshape bins but never clusters *)
+  let c1 = Workloads.fifo ~entries:16 ~width:4 ~style:`Sop () in
+  let c2 = Workloads.fifo ~entries:16 ~width:4 ~style:`Mux () in
+  let p = problem_of c1 c2 in
+  let la = Cec.Layout.compute ~forced:true p in
+  let lb = Cec.Layout.compute ~forced:true p in
+  Alcotest.(check bool) "clusters identical" true
+    (la.Cec.Layout.clusters = lb.Cec.Layout.clusters);
+  Alcotest.(check bool) "bins identical" true (la.Cec.Layout.bins = lb.Cec.Layout.bins);
+  let n = List.length p.Seqprob.outs1 in
+  let members =
+    List.concat_map (fun c -> c.Cec.Layout.members) la.Cec.Layout.clusters
+  in
+  Alcotest.(check (list int)) "clusters partition the output pairs"
+    (List.init n Fun.id)
+    (List.sort compare members);
+  let binned = List.concat la.Cec.Layout.bins in
+  Alcotest.(check (list int)) "bins partition the clusters"
+    (List.init (List.length la.Cec.Layout.clusters) Fun.id)
+    (List.sort compare binned);
+  let lp =
+    Cec.Layout.compute ~forced:true ~prior:(fun ~signature:_ -> Some 1.0) p
+  in
+  Alcotest.(check bool) "prior never reshapes clusters" true
+    (List.map (fun c -> c.Cec.Layout.members) lp.Cec.Layout.clusters
+    = List.map (fun c -> c.Cec.Layout.members) la.Cec.Layout.clusters)
+
+let test_cluster_signature_matches_extraction () =
+  (* the signature computed on the shared graph equals the signature of
+     the extracted sub-problem — the invariant that lets layout priors and
+     the checker's cache index the same entries *)
+  let c1 = Workloads.fifo ~entries:8 ~width:4 ~style:`Sop () in
+  let c2 = Workloads.fifo ~entries:8 ~width:4 ~style:`Mux () in
+  let p = problem_of c1 c2 in
+  let l = Cec.Layout.compute ~forced:true p in
+  let o1 = Array.of_list p.Seqprob.outs1 and o2 = Array.of_list p.Seqprob.outs2 in
+  Alcotest.(check bool) "fifo splits into >1 cluster" true
+    (List.length l.Cec.Layout.clusters > 1);
+  List.iter
+    (fun cl ->
+      let roots1 = List.map (fun i -> o1.(i)) cl.Cec.Layout.members in
+      let roots2 = List.map (fun i -> o2.(i)) cl.Cec.Layout.members in
+      let ex = Aig.extract p.Seqprob.graph ~roots:(roots1 @ roots2) in
+      let tr l =
+        let m = ex.Aig.map.(Aig.node_of l) in
+        if Aig.is_complement l then Aig.neg m else m
+      in
+      let sub_sig =
+        Aig.cone_signature ex.Aig.sub
+          ~input_label:(fun _ -> "")
+          [ List.map tr roots1; List.map tr roots2 ]
+      in
+      Alcotest.(check string) "signature survives extraction"
+        (Cec.Layout.cluster_signature p cl)
+        sub_sig)
+    l.Cec.Layout.clusters
+
+let test_large_generators_jobs_agree () =
+  (* style pairs of the large-tier generators, partitioned: jobs=1 and
+     jobs=4 produce the same verdict, and the intentionally inequivalent
+     mutant is caught at both (first-cex cancellation must not lose it) *)
+  let check ~jobs p = Cec.check_problem_with_stats ~jobs ~partition:true p in
+  let eq_pairs =
+    [
+      ( "fifo16x4",
+        Workloads.fifo ~entries:16 ~width:4 ~style:`Sop (),
+        Workloads.fifo ~entries:16 ~width:4 ~style:`Mux () );
+      ( "alu2x4x2",
+        Workloads.lane_alu ~lanes:2 ~width:4 ~stages:2 ~style:`Ripple (),
+        Workloads.lane_alu ~lanes:2 ~width:4 ~stages:2 ~style:`Select () );
+    ]
+  in
+  List.iter
+    (fun (name, a, b) ->
+      let p = problem_of a b in
+      let v1, s1 = check ~jobs:1 p in
+      let v4, s4 = check ~jobs:4 p in
+      (match (v1, v4) with
+      | Cec.Equivalent, Cec.Equivalent -> ()
+      | _ -> Alcotest.fail (name ^ ": style pair not proven at both job counts"));
+      Alcotest.(check int) (name ^ ": layout independent of jobs")
+        s1.Cec.partitions s4.Cec.partitions)
+    eq_pairs;
+  let p =
+    problem_of
+      (Workloads.fifo ~entries:16 ~width:4 ~style:`Sop ())
+      (Workloads.fifo ~entries:16 ~width:4 ~style:`Mux ~bug:true ())
+  in
+  List.iter
+    (fun jobs ->
+      match check ~jobs p with
+      | Cec.Inequivalent _, _ -> ()
+      | Cec.Equivalent, _ ->
+          Alcotest.failf "jobs=%d: mutant accepted as equivalent" jobs
+      | Cec.Undecided r, _ -> Alcotest.failf "jobs=%d: mutant undecided: %s" jobs r)
+    [ 1; 4 ]
+
+let test_sat_time_charged_to_sat () =
+  (* regression: every SAT call's time lands in sat_seconds — the sweep
+     engine's merge queries used to be charged to sweep_seconds, leaving
+     sat_calls > 0 with phase_sat_seconds = 0 in the bench output *)
+  let c1 = xor_chain ~name:"sta" 12 and c2 = xor_tree ~name:"stb" 12 in
+  List.iter
+    (fun (nm, e) ->
+      let v, s = Cec.check_with_stats ~engine:e c1 c2 in
+      (match v with
+      | Cec.Equivalent -> ()
+      | _ -> Alcotest.fail (nm ^ ": parity pair not proven"));
+      Alcotest.(check bool) (nm ^ ": makes SAT calls") true (s.Cec.sat_calls > 0);
+      Alcotest.(check bool)
+        (nm ^ ": SAT time charged to the sat bucket")
+        true (s.Cec.sat_seconds > 0.))
+    [ ("sat", Cec.Sat_engine); ("sweep", Cec.Sweep_engine) ]
+
 let suite =
   [
     Alcotest.test_case "equivalent rewrites proven" `Quick test_equivalent_rewrites;
@@ -637,4 +827,17 @@ let suite =
     Alcotest.test_case "stats_pp prints every field" `Quick
       test_stats_pp_prints_every_field;
     Alcotest.test_case "elapsed_seconds wall clock" `Quick test_elapsed_seconds;
+    Alcotest.test_case "layout: estimate monotone" `Quick test_estimate_monotone;
+    Alcotest.test_case "layout: small problems go monolithic" `Quick
+      test_small_problem_goes_monolithic;
+    Alcotest.test_case "layout: below threshold spawns no pool" `Quick
+      test_below_threshold_no_pool;
+    Alcotest.test_case "layout: deterministic, partitions outputs" `Quick
+      test_layout_deterministic_and_partitioning;
+    Alcotest.test_case "layout: signature survives extraction" `Quick
+      test_cluster_signature_matches_extraction;
+    Alcotest.test_case "large generators: jobs agree, mutant caught" `Quick
+      test_large_generators_jobs_agree;
+    Alcotest.test_case "sat time charged to sat bucket" `Quick
+      test_sat_time_charged_to_sat;
   ]

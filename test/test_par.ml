@@ -97,6 +97,25 @@ let test_pool_reuse_and_nesting () =
         Alcotest.(check (list int)) "nested" (List.map (fun x -> 3 * x) xs) got
       done)
 
+let test_lazy_spawn () =
+  (* workers are spawned on first use, never at creation, and never more
+     than the run's task count warrants — a pool created for a check that
+     turns out monolithic costs nothing *)
+  Par.Pool.with_pool ~jobs:4 (fun p ->
+      Alcotest.(check int) "creation spawns nothing" 0 (Par.Pool.spawned p);
+      ignore (Par.Pool.map p Fun.id [ 42 ]);
+      Alcotest.(check int) "a single task needs no worker" 0 (Par.Pool.spawned p);
+      ignore (Par.Pool.map p Fun.id [ 1; 2 ]);
+      Alcotest.(check int) "two tasks: one worker" 1 (Par.Pool.spawned p);
+      ignore (Par.Pool.map p Fun.id (List.init 16 Fun.id));
+      Alcotest.(check int) "capped at jobs-1 workers" 3 (Par.Pool.spawned p);
+      (* workers persist once spawned; later small runs don't shrink *)
+      ignore (Par.Pool.map p Fun.id [ 7 ]);
+      Alcotest.(check int) "workers persist" 3 (Par.Pool.spawned p));
+  Par.Pool.with_pool ~jobs:1 (fun p ->
+      ignore (Par.Pool.map p Fun.id (List.init 16 Fun.id));
+      Alcotest.(check int) "jobs=1 never spawns" 0 (Par.Pool.spawned p))
+
 let test_effects_visible_after_run () =
   Par.Pool.with_pool ~jobs:4 (fun p ->
       let arr = Array.make 1000 0 in
@@ -113,5 +132,6 @@ let suite =
     Alcotest.test_case "find_first found flag" `Quick test_find_first_found_flag;
     Alcotest.test_case "exceptions propagate" `Quick test_exceptions_propagate;
     Alcotest.test_case "pool reuse and nesting" `Quick test_pool_reuse_and_nesting;
+    Alcotest.test_case "lazy spawn" `Quick test_lazy_spawn;
     Alcotest.test_case "task effects visible" `Quick test_effects_visible_after_run;
   ]

@@ -139,6 +139,100 @@ let test_by_name_missing () =
     Alcotest.fail "missing name accepted"
   with Not_found -> ()
 
+(* ---- large tier ---- *)
+
+let test_fifo_shape () =
+  List.iter
+    (fun style ->
+      let entries = 8 and width = 4 in
+      let c = Workloads.fifo ~entries ~width ~style () in
+      Circuit.check c;
+      (* data latches plus the two log2(entries)-bit pointers *)
+      Alcotest.(check int) "latch count"
+        ((entries * width) + 6)
+        (Circuit.latch_count c);
+      (* every data latch is a hold-mux self-loop: the structural plan
+         must expose all of them (pointers are a counter cycle too) *)
+      let plan = Feedback.plan_structural c in
+      Alcotest.(check int) "all latches exposed"
+        (Circuit.latch_count c)
+        (List.length plan.Feedback.exposed))
+    [ `Sop; `Mux ];
+  (* the two styles share latch names, so one exposure cut fits both *)
+  let names style =
+    let c = Workloads.fifo ~entries:8 ~width:4 ~style () in
+    List.sort compare (List.map (Circuit.signal_name c) (Circuit.latches c))
+  in
+  Alcotest.(check (list string)) "styles share latch names" (names `Sop) (names `Mux);
+  (* styles are structurally different but must stay functionally equal;
+     the bug variant must not *)
+  let v c1 c2 =
+    (Result.get_ok
+       (Verify.check
+          ~exposed:
+            (List.map
+               (Circuit.signal_name c1)
+               (Feedback.plan_structural c1).Feedback.exposed)
+          c1 c2))
+      .Verify.verdict
+  in
+  let sop = Workloads.fifo ~entries:4 ~width:2 ~style:`Sop () in
+  let mux = Workloads.fifo ~entries:4 ~width:2 ~style:`Mux () in
+  let bug = Workloads.fifo ~entries:4 ~width:2 ~style:`Mux ~bug:true () in
+  Alcotest.(check bool) "styles equivalent" true (v sop mux = Verify.Equivalent);
+  (match v sop bug with
+  | Verify.Inequivalent _ -> ()
+  | _ -> Alcotest.fail "bug variant accepted");
+  (* entries must be a power of two (the pointer decode relies on it) *)
+  try
+    ignore (Workloads.fifo ~entries:6 ~width:2 ~style:`Sop ());
+    Alcotest.fail "non-power-of-two entries accepted"
+  with Invalid_argument _ -> ()
+
+let test_lane_alu_shape () =
+  let lanes = 2 and width = 4 and stages = 3 in
+  List.iter
+    (fun style ->
+      let c = Workloads.lane_alu ~lanes ~width ~stages ~style () in
+      Circuit.check c;
+      Alcotest.(check int) "flip-flops = lanes*width*stages"
+        (lanes * width * stages)
+        (Circuit.latch_count c);
+      (* acyclic: CBF needs no exposure at all *)
+      let g, _ = Feedback.latch_graph c in
+      Alcotest.(check bool) "acyclic" true (Vgraph.Topo.is_acyclic g))
+    [ `Ripple; `Select ];
+  let rip = Workloads.lane_alu ~lanes ~width ~stages:2 ~style:`Ripple () in
+  let sel = Workloads.lane_alu ~lanes ~width ~stages:2 ~style:`Select () in
+  let v c1 c2 = (Result.get_ok (Verify.check c1 c2)).Verify.verdict in
+  Alcotest.(check bool) "adder styles equivalent" true
+    (v rip sel = Verify.Equivalent);
+  let bug = Workloads.lane_alu ~lanes ~width ~stages:2 ~style:`Select ~bug:true () in
+  match v rip bug with
+  | Verify.Inequivalent _ -> ()
+  | _ -> Alcotest.fail "bug variant accepted"
+
+let test_large_suite_shape () =
+  let full = Workloads.large_suite () in
+  let smoke = Workloads.large_suite ~smoke:true () in
+  Alcotest.(check bool) "smoke is smaller" true
+    (List.length smoke < List.length full && smoke <> []);
+  List.iter
+    (fun (name, c1, c2) ->
+      Circuit.check c1;
+      Circuit.check c2;
+      Alcotest.(check bool) (name ^ ": style names differ") true
+        (Circuit.name c1 <> Circuit.name c2);
+      (* generators are deterministic and reachable through by_name *)
+      Alcotest.(check string) (name ^ ": by_name round-trips")
+        (Netlist_io.to_string c1)
+        (Netlist_io.to_string (Workloads.by_name (Circuit.name c1))))
+    (full @ smoke);
+  let mname, m1, m2 = Workloads.large_mutant () in
+  Circuit.check m1;
+  Circuit.check m2;
+  Alcotest.(check bool) "mutant named" true (String.length mname > 0)
+
 let suite =
   [
     Alcotest.test_case "table 1 latch counts" `Quick test_table1_latch_counts;
@@ -151,4 +245,7 @@ let suite =
     Alcotest.test_case "fsm_datapath self-loops" `Quick test_fsm_datapath_selfloops;
     Alcotest.test_case "deep datapath shape" `Quick test_deep_datapath_shape;
     Alcotest.test_case "by_name missing" `Quick test_by_name_missing;
+    Alcotest.test_case "fifo shape and styles" `Quick test_fifo_shape;
+    Alcotest.test_case "lane ALU shape and styles" `Quick test_lane_alu_shape;
+    Alcotest.test_case "large suite shape" `Quick test_large_suite_shape;
   ]
