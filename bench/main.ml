@@ -14,6 +14,9 @@
      dune exec bench/main.exe -- --suite large [--smoke] [--jobs N|auto]
                                               # large tier (FIFOs, lane ALUs):
                                               # adaptive partitioning vs monolithic
+     dune exec bench/main.exe -- --suite serve [--smoke] [--jobs N|auto]
+                                              # warm concurrent server vs cold
+                                              # one-shot runs (BENCH_serve.json)
    --jobs accepts an integer or "auto" (Domain.recommended_domain_count,
    further capped per check by the layout's bin count; default 1).
      dune exec bench/main.exe -- --figs       # figure reproductions
@@ -119,7 +122,7 @@ let write_table1_json ~path ~suite_name ~jobs records =
          elapsed field is the CEC's true wall clock *)
       p "\"phase_unroll_seconds\": %.6f, \"phase_partition_seconds\": %.6f, "
         r.r_unroll_seconds r.r_cec.Cec.partition_seconds;
-      p "\"phase_sweep_seconds\": %.6f, \"phase_sat_seconds\": %.6f, \"phase_bdd_seconds\": %.6f, "
+      p "\"phase_sweep_cpu_seconds\": %.6f, \"phase_sat_cpu_seconds\": %.6f, \"phase_bdd_cpu_seconds\": %.6f, "
         r.r_cec.Cec.sweep_seconds r.r_cec.Cec.sat_seconds
         r.r_cec.Cec.bdd_seconds;
       p
@@ -564,9 +567,9 @@ let write_large_json ~path ~jobs records speedup =
       p "\"unrolled_aig_nodes\": %d, \"partitions\": %d, \"sat_calls\": %d, \"cache_hits\": %d, "
         r.g_nodes r.g_cec.Cec.partitions r.g_cec.Cec.sat_calls
         r.g_cec.Cec.cache_hits;
-      p "\"phase_partition_seconds\": %.6f, \"phase_sweep_seconds\": %.6f, "
+      p "\"phase_partition_seconds\": %.6f, \"phase_sweep_cpu_seconds\": %.6f, "
         r.g_cec.Cec.partition_seconds r.g_cec.Cec.sweep_seconds;
-      p "\"phase_sat_seconds\": %.6f, \"phase_bdd_seconds\": %.6f, "
+      p "\"phase_sat_cpu_seconds\": %.6f, \"phase_bdd_cpu_seconds\": %.6f, "
         r.g_cec.Cec.sat_seconds r.g_cec.Cec.bdd_seconds;
       p "\"elapsed_seconds\": %.6f, \"parallel_speedup\": %.3f}%s\n"
         r.g_cec.Cec.elapsed_seconds
@@ -649,6 +652,255 @@ let suite_large ~jobs ~smoke () =
     | fs ->
         List.iter (fun f -> pf "SMOKE FAILURE: %s@." f) fs;
         exit 1)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Serve suite                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [--suite serve]: the long-lived server against cold one-shot runs.
+   An in-process server (real Unix socket, real wire protocol) is loaded
+   by [clients] concurrent connections replaying a mixed request stream
+   [rounds] times; every verdict must agree with a cold jobs=1 one-shot
+   run of the same pair.  The server's edge is the shared warm state: from
+   round two on, every request is answered from the shared cache/store
+   instead of re-running the engines.  A final burst against a
+   max_pending=0 server demonstrates deterministic load shedding.
+   Writes BENCH_serve.json. *)
+
+let percentile sorted q =
+  match Array.length sorted with
+  | 0 -> 0.
+  | n -> sorted.(min (n - 1) (int_of_float (Float.of_int n *. q)))
+
+let serve_pairs () =
+  let fifo ?bug ~entries style = Workloads.fifo ?bug ~entries ~width:8 ~style () in
+  [
+    ("fifo8x8", fifo ~entries:8 `Sop, fifo ~entries:8 `Mux);
+    ("fifo16x8", fifo ~entries:16 `Sop, fifo ~entries:16 `Mux);
+    ("minmax8", Workloads.minmax ~width:8, Workloads.minmax ~width:8);
+    ("fifo8x8_bug", fifo ~entries:8 `Sop, fifo ~bug:true ~entries:8 `Mux);
+  ]
+
+let write_serve_json ~path ~pool_jobs ~executors ~clients ~rounds ~rows
+    ~requests ~wall ~rps ~cold_rps ~p50 ~p95 ~p99 ~shed_requests ~shed_busy =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"suite\": \"serve\",\n";
+  p "  \"pool_jobs\": %d,\n" pool_jobs;
+  p "  \"executors\": %d,\n" executors;
+  p "  \"clients\": %d,\n" clients;
+  p "  \"rounds\": %d,\n" rounds;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i (name, sv, cv, cold_s) ->
+      p
+        "    {\"pair\": \"%s\", \"verdict\": \"%s\", \"verdict_jobs1\": \
+         \"%s\", \"cold_oneshot_seconds\": %.6f}%s\n"
+        (json_escape name) (json_escape sv) (json_escape cv) cold_s
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  p "  \"requests\": %d,\n" requests;
+  p "  \"warm_wall_seconds\": %.6f,\n" wall;
+  p "  \"warm_throughput_rps\": %.3f,\n" rps;
+  p "  \"cold_oneshot_rps\": %.3f,\n" cold_rps;
+  p "  \"warm_over_cold\": %.3f,\n" (rps /. Float.max cold_rps 1e-9);
+  p "  \"latency_p50_ms\": %.3f,\n" p50;
+  p "  \"latency_p95_ms\": %.3f,\n" p95;
+  p "  \"latency_p99_ms\": %.3f,\n" p99;
+  p "  \"shed\": {\"requests\": %d, \"busy\": %d}\n" shed_requests shed_busy;
+  p "}\n";
+  close_out oc
+
+let suite_serve ~jobs ~smoke () =
+  pf "@.== Serve suite: warm shared-state server vs cold one-shot runs ==@.";
+  let clients = 8 in
+  let rounds = if smoke then 3 else 10 in
+  let executors = 2 in
+  let pairs = serve_pairs () in
+  let exposed_of c =
+    List.map (Circuit.signal_name c) (Feedback.plan_structural c).Feedback.exposed
+  in
+  (* cold baseline: every pair verified one-shot at jobs=1, fresh state *)
+  pf "@.cold one-shot baseline (jobs=1, fresh caches):@.";
+  let rows_cold =
+    List.map
+      (fun (name, c1, c2) ->
+        let t0 = Unix.gettimeofday () in
+        let o = check_outcome ~jobs:1 ~exposed:(exposed_of c1) c1 c2 in
+        let dt = Unix.gettimeofday () -. t0 in
+        pf "  %-12s %-5s %8.3fs@." name (verdict_str o.Verify.verdict) dt;
+        (name, verdict_str o.Verify.verdict, dt))
+      pairs
+  in
+  (* the server under load: [clients] connections replay the stream *)
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seqver_bench_%d.sock" (Unix.getpid ()))
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seqver_bench_store_%d" (Unix.getpid ()))
+  in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:sock) with
+      Server.executors;
+      pool_jobs = jobs;
+      cache_dir = Some dir;
+    }
+  in
+  let t = Server.start cfg in
+  let texts =
+    List.map (fun (n, c1, c2) -> (n, Netlist_io.to_string c1, Netlist_io.to_string c2)) pairs
+  in
+  let sstr j k = Option.bind (Sjson.member k j) Sjson.get_string in
+  let latencies = Array.make clients [] in
+  let verdicts : (string, string) Hashtbl.t = Hashtbl.create 8 in
+  let vm = Mutex.create () in
+  let wall0 = Unix.gettimeofday () in
+  let threads =
+    List.init clients (fun ci ->
+        Thread.create
+          (fun () ->
+            let c = Server.Client.connect ~retries:50 sock in
+            for _ = 1 to rounds do
+              List.iter
+                (fun (name, l, r) ->
+                  let req =
+                    Sjson.Obj
+                      [
+                        ("id", Sjson.Int ci);
+                        ("op", Sjson.String "check");
+                        ("left", Sjson.String l);
+                        ("right", Sjson.String r);
+                      ]
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  let resp = Server.Client.request c req in
+                  let dt = Unix.gettimeofday () -. t0 in
+                  latencies.(ci) <- dt :: latencies.(ci);
+                  match sstr resp "verdict" with
+                  | Some v ->
+                      Mutex.lock vm;
+                      Hashtbl.replace verdicts name v;
+                      Mutex.unlock vm
+                  | None -> ())
+                texts
+            done;
+            Server.Client.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. wall0 in
+  Server.stop t;
+  let all = Array.of_list (List.concat (Array.to_list latencies)) in
+  Array.sort compare all;
+  let requests = Array.length all in
+  let rps = float_of_int requests /. Float.max wall 1e-9 in
+  (* the same stream served cold: every request pays its one-shot price *)
+  let cold_stream =
+    float_of_int (clients * rounds)
+    *. List.fold_left (fun a (_, _, dt) -> a +. dt) 0. rows_cold
+  in
+  let cold_rps = float_of_int requests /. Float.max cold_stream 1e-9 in
+  let ms q = 1000. *. percentile all q in
+  let p50 = ms 0.50 and p95 = ms 0.95 and p99 = ms 0.99 in
+  pf "@.warm server (%d clients x %d rounds x %d pairs on %d executors, pool jobs=%d):@."
+    clients rounds (List.length pairs) executors jobs;
+  pf "  %d requests in %.3fs: %.1f req/s (cold one-shot equivalent: %.1f req/s, %.1fx)@."
+    requests wall rps cold_rps (rps /. Float.max cold_rps 1e-9);
+  pf "  latency p50 %.1fms  p95 %.1fms  p99 %.1fms@." p50 p95 p99;
+  (* verdict agreement, server vs cold jobs=1 *)
+  let short = function
+    | "equivalent" -> "EQ"
+    | "inequivalent" -> "NEQ"
+    | _ -> "UNDEC"
+  in
+  let rows =
+    List.map
+      (fun (name, cv, dt) ->
+        let sv =
+          match Hashtbl.find_opt verdicts name with Some v -> short v | None -> "?"
+        in
+        (name, sv, cv, dt))
+      rows_cold
+  in
+  List.iter
+    (fun (name, sv, cv, _) -> pf "  %-12s server=%-5s jobs1=%-5s@." name sv cv)
+    rows;
+  (* deterministic shedding: a zero-capacity server sheds every check *)
+  let sock2 = sock ^ ".shed" in
+  let cfg2 =
+    {
+      (Server.default_config ~socket_path:sock2) with
+      Server.executors = 1;
+      pool_jobs = 1;
+      max_pending = 0;
+    }
+  in
+  let t2 = Server.start cfg2 in
+  let c2 = Server.Client.connect ~retries:50 sock2 in
+  let shed_requests = List.length texts in
+  let shed_busy = ref 0 in
+  List.iter
+    (fun (_, l, r) ->
+      let resp =
+        Server.Client.request c2
+          (Sjson.Obj
+             [
+               ("id", Sjson.Int 0);
+               ("op", Sjson.String "check");
+               ("left", Sjson.String l);
+               ("right", Sjson.String r);
+             ])
+      in
+      if sstr resp "reason" = Some "busy" then incr shed_busy)
+    texts;
+  Server.Client.close c2;
+  Server.stop t2;
+  pf "  shed burst: %d/%d checks shed busy at max_pending=0@." !shed_busy
+    shed_requests;
+  write_serve_json ~path:"BENCH_serve.json" ~pool_jobs:jobs ~executors ~clients
+    ~rounds ~rows ~requests ~wall ~rps ~cold_rps ~p50 ~p95 ~p99 ~shed_requests
+    ~shed_busy:!shed_busy;
+  pf "wrote BENCH_serve.json@.";
+  if smoke then begin
+    let fails = ref [] in
+    List.iter
+      (fun (name, sv, cv, _) ->
+        if sv <> cv then
+          fails :=
+            Printf.sprintf "%s: server verdict %s, jobs=1 one-shot %s" name sv
+              cv
+            :: !fails)
+      rows;
+    if requests <> clients * rounds * List.length pairs then
+      fails :=
+        Printf.sprintf "dropped responses: %d of %d" requests
+          (clients * rounds * List.length pairs)
+        :: !fails;
+    if !shed_busy <> shed_requests then
+      fails :=
+        Printf.sprintf "shed burst: %d/%d busy" !shed_busy shed_requests
+        :: !fails;
+    if rps < 2. *. cold_rps then
+      fails :=
+        Printf.sprintf "warm throughput %.1f req/s < 2x cold %.1f req/s" rps
+          cold_rps
+        :: !fails;
+    match !fails with
+    | [] ->
+        pf "smoke: verdicts agree, %d/%d responses, warm %.1fx cold, shedding deterministic@."
+          requests (clients * rounds * List.length pairs)
+          (rps /. Float.max cold_rps 1e-9)
+    | fs ->
+        List.iter (fun f -> pf "SMOKE FAILURE: %s@." f) fs;
+        exit 1
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1098,8 +1350,10 @@ let () =
   (match suite_arg with
   | Some "retime" -> suite_retime ~jobs ~smoke ()
   | Some "large" -> suite_large ~jobs ~smoke ()
+  | Some "serve" -> suite_serve ~jobs ~smoke ()
   | Some s ->
-      failwith (Printf.sprintf "unknown --suite %s (expected: retime, large)" s)
+      failwith
+        (Printf.sprintf "unknown --suite %s (expected: retime, large, serve)" s)
   | None -> ());
   if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ~cache_dir ();
   if (not any) || has "--table2" then table2 ();

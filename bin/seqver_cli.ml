@@ -570,6 +570,205 @@ let generate_cmd =
   let term = Term.(const run $ name_arg $ out) in
   Cmd.v (Cmd.info "generate" ~doc:"Emit a benchmark-suite circuit as a netlist.") term
 
+(* ---- serve ---- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (created by serve, dialed by client).")
+
+let serve_cmd =
+  let run socket executors jobs max_pending timeout sat_conflicts cache_dir
+      engine =
+    let cfg =
+      {
+        Server.socket_path = socket;
+        executors;
+        pool_jobs = jobs;
+        max_pending;
+        limits = limits_of timeout sat_conflicts;
+        engine;
+        cache_dir;
+      }
+    in
+    let t = Server.create cfg in
+    (* graceful drain: finish everything admitted, flush the store, exit 0 *)
+    let on_signal _ = Server.request_stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Format.eprintf
+      "seqver serve: listening on %s (%d executors, pool of %d jobs, %d \
+       pending max)@."
+      socket executors jobs max_pending;
+    Server.run t;
+    Format.eprintf "seqver serve: drained@."
+  in
+  let executors =
+    Arg.(
+      value & opt int 2
+      & info [ "executors" ] ~docv:"N"
+          ~doc:"Concurrent checks (worker domains draining the queue).")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests queued beyond this are shed \
+             immediately with verdict UNDECIDED, reason \"busy\".")
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ executors $ jobs_arg $ max_pending $ timeout_arg
+      $ sat_conflicts_arg $ cache_dir_arg $ engine_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived verification server: concurrent checks over a \
+          line-delimited JSON protocol, one shared domain pool and verdict \
+          cache, SIGTERM-drained.")
+    term
+
+(* ---- client ---- *)
+
+let client_cmd =
+  let retries_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Connection retries at 100 ms intervals (lets scripts dial a \
+             daemon that is still starting).")
+  in
+  let with_client socket retries f =
+    let c =
+      try Server.Client.connect ~retries socket
+      with Unix.Unix_error (e, _, _) ->
+        Format.eprintf "error: cannot connect to %s: %s@." socket
+          (Unix.error_message e);
+        exit 1
+    in
+    Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f c)
+  in
+  let roundtrip c req =
+    match Server.Client.request c req with
+    | r -> r
+    | exception End_of_file ->
+        Format.eprintf "error: server hung up@.";
+        exit 1
+  in
+  (* "@name" goes over the wire as a suite reference; a file is loaded and
+     sent inline in Netlist_io form (normalizing .blif on the way) *)
+  let wire_circuit path =
+    if String.length path > 0 && path.[0] = '@' then path
+    else Netlist_io.to_string (load path)
+  in
+  let ping_c =
+    let run socket retries =
+      with_client socket retries @@ fun c ->
+      let r = roundtrip c (Sjson.Obj [ ("op", Sjson.String "ping") ]) in
+      print_endline (Sjson.to_string r);
+      if Option.bind (Sjson.member "ok" r) Sjson.get_bool <> Some true then
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "ping" ~doc:"Round-trip a ping; exit 0 when the server answers.")
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let stats_c =
+    let run socket retries =
+      with_client socket retries @@ fun c ->
+      let r = roundtrip c (Sjson.Obj [ ("op", Sjson.String "stats") ]) in
+      print_endline (Sjson.to_string r);
+      if Option.bind (Sjson.member "ok" r) Sjson.get_bool <> Some true then
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Scrape live server/Obs/store counters as one JSON line.")
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let check_c =
+    let run socket retries p1 p2 exposed no_expose engine timeout sat_conflicts
+        jobs =
+      let fields =
+        [
+          ("id", Sjson.Int (Unix.getpid ()));
+          ("op", Sjson.String "check");
+          ("left", Sjson.String (wire_circuit p1));
+          ("right", Sjson.String (wire_circuit p2));
+        ]
+        @ (match (exposed, no_expose) with
+          | [], false -> [ ("exposed", Sjson.String "auto") ]
+          | [], true -> [ ("exposed", Sjson.List []) ]
+          | names, _ ->
+              [
+                ( "exposed",
+                  Sjson.List (List.map (fun n -> Sjson.String n) names) );
+              ])
+        @ [
+            ( "engine",
+              Sjson.String
+                (match engine with
+                | Cec.Sweep_engine -> "sweep"
+                | Cec.Sat_engine -> "sat"
+                | Cec.Bdd_engine -> "bdd") );
+          ]
+        @ (match timeout with
+          | Some s -> [ ("timeout", Sjson.Float s) ]
+          | None -> [])
+        @ (match sat_conflicts with
+          | Some n -> [ ("sat_conflicts", Sjson.Int n) ]
+          | None -> [])
+        @ match jobs with Some n -> [ ("jobs", Sjson.Int n) ] | None -> []
+      in
+      with_client socket retries @@ fun c ->
+      let r = roundtrip c (Sjson.Obj fields) in
+      print_endline (Sjson.to_string r);
+      (* same exit codes as the one-shot verify command *)
+      match
+        ( Option.bind (Sjson.member "ok" r) Sjson.get_bool,
+          Option.bind (Sjson.member "verdict" r) Sjson.get_string )
+      with
+      | Some true, Some "equivalent" -> ()
+      | Some true, Some "inequivalent" -> exit 1
+      | Some true, Some "undecided" -> exit 2
+      | _ -> exit 1
+    in
+    let no_expose =
+      Arg.(
+        value & flag
+        & info [ "no-expose" ]
+            ~doc:
+              "Send an empty exposure list instead of the server's \
+               structural-plan default.")
+    in
+    let req_jobs =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "j"; "jobs" ] ~docv:"N"
+            ~doc:"Narrow this request's pool parallelism.")
+    in
+    Cmd.v
+      (Cmd.info "check"
+         ~doc:
+           "Submit one equivalence check; prints the response JSON and exits \
+            0/1/2 for EQUIVALENT/NOT EQUIVALENT/UNDECIDED.")
+      Term.(
+        const run $ socket_arg $ retries_arg
+        $ circuit_arg ~pos:0 ~doc:"First netlist (or @suite-name)."
+        $ circuit_arg ~pos:1 ~doc:"Second netlist (or @suite-name)."
+        $ exposed_arg $ no_expose $ engine_arg $ timeout_arg
+        $ sat_conflicts_arg $ req_jobs)
+  in
+  Cmd.group
+    (Cmd.info "client" ~doc:"Talk to a running seqver serve daemon.")
+    [ check_c; stats_c; ping_c ]
+
 let () =
   let doc = "sequential verification by combinational reduction (DATE'99 reproduction)" in
   let info = Cmd.info "seqver" ~version:"1.0.0" ~doc in
@@ -577,4 +776,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; cache_cmd; generate_cmd ]))
+          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; cache_cmd; generate_cmd; serve_cmd; client_cmd ]))

@@ -841,7 +841,8 @@ let check_monolithic ~engine ~limits ~cache p =
   | Equivalent | Inequivalent _ -> ());
   (v, stats_of_counters ~partitions:1 [| ct |])
 
-let check_partitioned ~engine ~jobs ~limits ~cache ~forced (p : Seqprob.t) =
+let check_partitioned ~engine ~jobs ~pool ~limits ~cache ~forced (p : Seqprob.t)
+    =
   if p.outs1 = [] then (Equivalent, empty_stats)
   else begin
     let o1 = Array.of_list p.outs1 and o2 = Array.of_list p.outs2 in
@@ -914,22 +915,30 @@ let check_partitioned ~engine ~jobs ~limits ~cache ~forced (p : Seqprob.t) =
       in
       let found =
         (* one pool task per scheduling bin; a task checks its clusters in
-           ascending index order.  Never spawn more workers than bins. *)
+           ascending index order.  Never spawn more workers than bins.
+           With a caller-supplied pool (the shared server pool) the batch
+           runs on it as-is — the pool's lazy demand-driven worker sizing
+           already never spawns more domains than there are outstanding
+           tasks — and the pool is left running for the next batch. *)
         let bins = layout.Layout.bins in
-        Par.Pool.with_pool ~jobs:(min jobs (List.length bins)) (fun pool ->
-            Par.Pool.find_first ~found:cancel pool
-              (fun bin ->
-                let rec go = function
-                  | [] -> None
-                  | k :: rest ->
-                      if Atomic.get cancel then None
-                      else (
-                        match check_cluster k with
-                        | None -> go rest
-                        | Some cex -> Some cex)
-                in
-                go bin)
-              bins)
+        let search pool =
+          Par.Pool.find_first ~found:cancel pool
+            (fun bin ->
+              let rec go = function
+                | [] -> None
+                | k :: rest ->
+                    if Atomic.get cancel then None
+                    else (
+                      match check_cluster k with
+                      | None -> go rest
+                      | Some cex -> Some cex)
+              in
+              go bin)
+            bins
+        in
+        match pool with
+        | Some pool -> search pool
+        | None -> Par.Pool.with_pool ~jobs:(min jobs (List.length bins)) search
       in
       let stats =
         {
@@ -956,7 +965,7 @@ let check_partitioned ~engine ~jobs ~limits ~cache ~forced (p : Seqprob.t) =
     end
   end
 
-let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
+let check_problem_with_stats ?(engine = Sweep_engine) ?jobs ?pool ?partition
     ?(limits = no_limits) ?cache ?store (p : Seqprob.t) =
   if List.length p.outs1 <> List.length p.outs2 then
     invalid_arg "Cec: output counts differ";
@@ -968,7 +977,14 @@ let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
     | None, Some st -> Some (Cache.create ~store:st ())
     | None, None -> cache
   in
-  let jobs = max 1 jobs in
+  (* a shared pool implies its own parallelism level unless the caller
+     narrows it (e.g. a per-request jobs cap below the server's pool) *)
+  let jobs =
+    match (jobs, pool) with
+    | Some j, _ -> max 1 j
+    | None, Some pl -> Par.Pool.jobs pl
+    | None, None -> 1
+  in
   (* elapsed_seconds is the true wall clock of the whole check, derived
      from the enclosing span — in parallel runs the per-engine CPU-second
      sums can legitimately exceed it *)
@@ -985,19 +1001,20 @@ let check_problem_with_stats ?(engine = Sweep_engine) ?(jobs = 1) ?partition
         | Some true ->
             (* forced: always lay out and run per-cluster, the historical
                [~partition:true] contract tests rely on *)
-            check_partitioned ~engine ~jobs ~limits ~cache ~forced:true p
+            check_partitioned ~engine ~jobs ~pool ~limits ~cache ~forced:true p
         | Some false -> check_monolithic ~engine ~limits ~cache p
         | None when jobs > 1 ->
             (* adaptive: the layout's cost model decides — monolithic
                below the threshold, cost-packed bins above *)
-            check_partitioned ~engine ~jobs ~limits ~cache ~forced:false p
+            check_partitioned ~engine ~jobs ~pool ~limits ~cache ~forced:false p
         | None -> check_monolithic ~engine ~limits ~cache p)
   in
   (v, { stats with elapsed_seconds = elapsed })
 
-let check_problem ?engine ?jobs ?partition ?limits ?cache ?store p =
+let check_problem ?engine ?jobs ?pool ?partition ?limits ?cache ?store p =
   fst
-    (check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache ?store p)
+    (check_problem_with_stats ?engine ?jobs ?pool ?partition ?limits ?cache
+       ?store p)
 
 (* ---------- Circuit.t entry points (thin wrappers) ---------- *)
 
@@ -1010,12 +1027,15 @@ let problem_of_circuits c1 c2 =
       invalid_arg "Cec: output counts differ"
   | Error d -> invalid_arg (Seqprob.diagnosis_to_string d)
 
-let check_with_stats ?engine ?jobs ?partition ?limits ?cache ?store c1 c2 =
-  check_problem_with_stats ?engine ?jobs ?partition ?limits ?cache ?store
+let check_with_stats ?engine ?jobs ?pool ?partition ?limits ?cache ?store c1 c2
+    =
+  check_problem_with_stats ?engine ?jobs ?pool ?partition ?limits ?cache ?store
     (problem_of_circuits c1 c2)
 
-let check ?engine ?jobs ?partition ?limits ?cache ?store c1 c2 =
-  fst (check_with_stats ?engine ?jobs ?partition ?limits ?cache ?store c1 c2)
+let check ?engine ?jobs ?pool ?partition ?limits ?cache ?store c1 c2 =
+  fst
+    (check_with_stats ?engine ?jobs ?pool ?partition ?limits ?cache ?store c1
+       c2)
 
 let counterexample_is_valid c1 c2 cex =
   (* The environment is keyed by the full variable, not just its base —

@@ -167,6 +167,7 @@ module Layout = Layout
 val check_problem :
   ?engine:engine ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
@@ -196,6 +197,16 @@ val check_problem :
     {!Aig.extract} — no netlist round-trip — and bins run on a lazily
     spawned {!Par.Pool} of at most [min jobs bins] domains.
 
+    {b Shared pools.}  [pool] runs the partitioned search on a
+    caller-owned pool instead of a per-check one: the pool is {e not}
+    shut down afterwards, and — because {!Par.Pool} is safe under
+    concurrent submitters — many simultaneous checks (the verification
+    server's concurrent requests) may share one pool, whose lazy
+    demand-driven sizing never spawns more domains than outstanding bins
+    warrant.  When [pool] is given and [jobs] is not, the parallelism
+    level defaults to the pool's [jobs]; an explicit [jobs] below that
+    narrows this one check (and [~jobs:1] keeps it monolithic).
+
     {b Budgets.}  With [limits] set, each cluster checks under its own
     wall-clock deadline and each SAT call / BDD build under its resource
     cap; a blown budget climbs the escalation ladder (requested engine at
@@ -223,6 +234,7 @@ val check_problem :
 val check_problem_with_stats :
   ?engine:engine ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
@@ -234,6 +246,7 @@ val check_problem_with_stats :
 val check :
   ?engine:engine ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->
@@ -249,6 +262,7 @@ val check :
 val check_with_stats :
   ?engine:engine ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?partition:bool ->
   ?limits:limits ->
   ?cache:Cache.t ->

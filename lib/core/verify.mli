@@ -58,6 +58,7 @@ val exposed_pred :
 val check :
   ?engine:Cec.engine ->
   ?jobs:int ->
+  ?pool:Par.Pool.t ->
   ?limits:Cec.limits ->
   ?cache:Cec.Cache.t ->
   ?store:Store.t ->
@@ -72,7 +73,10 @@ val check :
     event-consistency refinement of {!Edbf.unroll} — a sound strengthening
     beyond the published method that removes more EDBF false negatives.
     [jobs] (default 1) runs the combinational check partitioned per output
-    cone on that many domains (see {!Cec.check_problem}); [limits]
+    cone on that many domains (see {!Cec.check_problem}); [pool] runs it
+    on a caller-owned (possibly shared) pool instead, which is left
+    running afterwards — the verification server passes one pool to every
+    concurrent request; [limits]
     (default {!Cec.no_limits}) bounds the combinational engines and turns
     a blown budget into an [Undecided] verdict; [cache] shares a
     combinational result cache across checks, and [store] backs a fresh

@@ -33,6 +33,12 @@ type buf = {
   (* open spans of this domain, innermost first; each cell accumulates the
      attrs to be carried on the span's End event.  Owner-domain only. *)
   mutable open_spans : (string * attrs ref) list;
+  (* live counter accumulators (see [enable_counters]); written by the
+     owning domain, read by [Counters.snapshot] on any domain — both under
+     [counts_m].  The per-buf mutex is uncontended except during a
+     snapshot, so the owner's increment stays cheap. *)
+  counts : (string, int ref) Hashtbl.t;
+  counts_m : Mutex.t;
 }
 
 let registry : buf list ref = ref []
@@ -46,6 +52,8 @@ let buf_key =
           arr = Array.make 256 dummy;
           len = Atomic.make 0;
           open_spans = [];
+          counts = Hashtbl.create 16;
+          counts_m = Mutex.create ();
         }
       in
       Mutex.lock registry_m;
@@ -58,12 +66,25 @@ let enabled () = Atomic.get on
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false
 
+(* Live counters are a separate, cheaper switch: no event buffering, just
+   per-domain accumulators a server can scrape at any time. *)
+let counters_on = Atomic.make false
+let counters_enabled () = Atomic.get counters_on
+let enable_counters () = Atomic.set counters_on true
+let disable_counters () = Atomic.set counters_on false
+
 let hook : (event -> unit) option ref = ref None
 let set_hook h = hook := h
 
 let reset () =
   Mutex.lock registry_m;
-  List.iter (fun b -> Atomic.set b.len 0) !registry;
+  List.iter
+    (fun b ->
+      Atomic.set b.len 0;
+      Mutex.lock b.counts_m;
+      Hashtbl.reset b.counts;
+      Mutex.unlock b.counts_m)
+    !registry;
   Mutex.unlock registry_m;
   (Domain.DLS.get buf_key).open_spans <- []
 
@@ -134,6 +155,14 @@ let instant ?(attrs = []) name =
   end
 
 let count name n =
+  if Atomic.get counters_on then begin
+    let b = Domain.DLS.get buf_key in
+    Mutex.lock b.counts_m;
+    (match Hashtbl.find_opt b.counts name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.add b.counts name (ref n));
+    Mutex.unlock b.counts_m
+  end;
   if Atomic.get on then begin
     let b = Domain.DLS.get buf_key in
     push b (Count { name; t = Clock.now (); dom = b.dom; n })
@@ -151,6 +180,24 @@ module Counters = struct
               (n + Option.value ~default:0 (Hashtbl.find_opt tbl name))
         | _ -> ())
       evs;
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
+
+  let snapshot () =
+    Mutex.lock registry_m;
+    let bufs = !registry in
+    Mutex.unlock registry_m;
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun b ->
+        Mutex.lock b.counts_m;
+        Hashtbl.iter
+          (fun k r ->
+            Hashtbl.replace tbl k
+              (!r + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+          b.counts;
+        Mutex.unlock b.counts_m)
+      bufs;
     Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
     |> List.sort (fun (a, _) (b, _) -> compare (a : string) b)
 end

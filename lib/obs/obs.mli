@@ -8,7 +8,7 @@
     the hot path.
 
     The global sink is disabled by default; every emitting call then costs
-    a single branch (one atomic load) plus whatever the caller spent
+    a branch or two (atomic loads) plus whatever the caller spent
     building its arguments — instrumentation sites that would allocate
     should pass attributes through the lazy {!attr} form.  Timing helpers
     ({!timed_span}) measure even while disabled, so derived statistics
@@ -50,9 +50,22 @@ val enable : unit -> unit
 
 val disable : unit -> unit
 
+val counters_enabled : unit -> bool
+
+val enable_counters : unit -> unit
+(** Turns on {e live counters} — a switch independent of {!enable}:
+    {!count} calls accumulate into per-domain tables (no event buffering,
+    so memory stays bounded over an arbitrarily long run) and
+    {!Counters.snapshot} reads the merged totals at any time.  This is
+    the long-lived server's stats source: full tracing would grow the
+    event buffers without bound, live counters do not. *)
+
+val disable_counters : unit -> unit
+
 val reset : unit -> unit
-(** Drops all buffered events.  Call only while no other domain is
-    emitting (e.g. between benchmark runs). *)
+(** Drops all buffered events and zeroes the live counter accumulators.
+    Call only while no other domain is emitting (e.g. between benchmark
+    runs). *)
 
 val collect : unit -> event list
 (** Merges every domain's buffer into one list sorted by timestamp
@@ -88,13 +101,23 @@ val instant : ?attrs:attrs -> string -> unit
 
 val count : string -> int -> unit
 (** [count name n] increments counter [name] by [n].  Per-domain buffers
-    make this contention-free; totals are merged at collection time. *)
+    make this contention-free; totals are merged at collection time.
+    Under {!enable_counters} the increment additionally lands in the
+    domain's live accumulator (readable via {!Counters.snapshot}),
+    whether or not tracing is enabled. *)
 
 (** {1 Sinks} *)
 
 module Counters : sig
   val totals : event list -> (string * int) list
   (** Counter sums across all domains, sorted by name. *)
+
+  val snapshot : unit -> (string * int) list
+  (** Current live-counter totals merged across every domain, sorted by
+      name — empty unless {!enable_counters} is (or was) on.  Safe to
+      call from any domain while others are counting; the result is a
+      consistent-per-counter snapshot (counters are summed one domain at
+      a time, so a concurrent increment may or may not be included). *)
 end
 
 module Chrome : sig

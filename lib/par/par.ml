@@ -9,6 +9,11 @@ module Pool = struct
     qm : Mutex.t;
     qcv : Condition.t;
     mutable stop : bool;
+    (* queued tasks plus tasks currently executing on a worker domain —
+       the number of tasks that could use a worker right now, summed over
+       every concurrent batch.  Tasks the submitting domain runs itself
+       (the inline task, helper-drained tasks) never count. *)
+    mutable demand : int;
   }
 
   let jobs p = p.jobs
@@ -29,6 +34,9 @@ module Pool = struct
       let task = Queue.pop p.q in
       Mutex.unlock p.qm;
       task ();
+      Mutex.lock p.qm;
+      p.demand <- p.demand - 1;
+      Mutex.unlock p.qm;
       worker p
     end
 
@@ -42,15 +50,19 @@ module Pool = struct
       qm = Mutex.create ();
       qcv = Condition.create ();
       stop = false;
+      demand = 0;
     }
 
   (* Workers spawn lazily, on the first batch that can use them, and never
-     more than that batch has parallel tasks: a pool created for [jobs]
-     but only ever handed [n]-task batches spawns [min (jobs-1) (n-1)]
-     domains, and a pool whose batches all run inline (jobs = 1 or n = 1)
-     spawns none.  Called with [p.qm] held. *)
-  let ensure_workers p ~tasks =
-    let want = min (p.jobs - 1) (tasks - 1) in
+     more than the {e total outstanding} demand warrants: with concurrent
+     submitters the target is [min (jobs-1) demand] where [demand] counts
+     every batch's queued-or-worker-running tasks, not just the current
+     batch's — two 2-task batches on a jobs=4 pool get two workers, not
+     one.  A pool whose batches all run inline (jobs = 1 or n = 1) spawns
+     none.  Called with [p.qm] held; never spawns after [shutdown] began
+     (the submitter's helper drain still completes such a batch). *)
+  let ensure_workers p =
+    let want = if p.stop then 0 else min (p.jobs - 1) p.demand in
     while p.nspawned < want do
       p.nspawned <- p.nspawned + 1;
       p.domains <-
@@ -62,14 +74,22 @@ module Pool = struct
         :: p.domains
     done
 
+  (* The domain list and spawn count are only read or written under [qm]:
+     a concurrent [spawned] probe or submitter's [ensure_workers] must
+     never observe the fields mid-teardown.  The joins happen outside the
+     lock (a worker draining the queue may be arbitrarily slow), on a
+     snapshot taken under it. *)
   let shutdown p =
     Mutex.lock p.qm;
     p.stop <- true;
+    let doms = p.domains in
+    p.domains <- [];
     Condition.broadcast p.qcv;
     Mutex.unlock p.qm;
-    List.iter Domain.join p.domains;
-    p.domains <- [];
-    p.nspawned <- 0
+    List.iter Domain.join doms;
+    Mutex.lock p.qm;
+    p.nspawned <- 0;
+    Mutex.unlock p.qm
 
   let with_pool ~jobs f =
     let p = create ~jobs in
@@ -117,18 +137,33 @@ module Pool = struct
               (task i)
         in
         Mutex.lock p.qm;
-        ensure_workers p ~tasks:n;
         let tq = if Obs.enabled () then Some (Obs.Clock.now ()) else None in
         for i = 1 to n - 1 do
           Queue.push (wrap ~enqueued:tq i) p.q
         done;
+        p.demand <- p.demand + (n - 1);
+        ensure_workers p;
         Condition.broadcast p.qcv;
         Mutex.unlock p.qm;
         wrap ~enqueued:None 0 ();
-        (* the submitter helps drain the queue instead of blocking *)
+        (* The submitter helps drain the queue instead of blocking.  The
+           queue is shared: under concurrent batches the helper may pop a
+           {e sibling batch's} task — that is by design and safe, because
+           every task closure carries its own batch's completion counter
+           and failure slot, so results and exceptions always land in the
+           batch that submitted them; helping a sibling only speeds it
+           up.  A popped task no longer needs a worker domain, so the
+           demand drops at pop time (workers, by contrast, hold their
+           demand until the task completes — they stay busy). *)
         let rec help () =
           Mutex.lock p.qm;
-          let t = if Queue.is_empty p.q then None else Some (Queue.pop p.q) in
+          let t =
+            if Queue.is_empty p.q then None
+            else begin
+              p.demand <- p.demand - 1;
+              Some (Queue.pop p.q)
+            end
+          in
           Mutex.unlock p.qm;
           match t with
           | Some t ->

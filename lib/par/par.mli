@@ -15,7 +15,21 @@
     Tasks must be self-contained: they may share read-only data with the
     submitter (publication happens-before is provided by the internal
     queue mutex) but must not mutate anything another task can reach
-    unless they synchronize it themselves. *)
+    unless they synchronize it themselves.
+
+    {b Concurrent submitters.}  One pool may be shared by several domains
+    submitting batches {e simultaneously} (the verification server runs
+    every request's partitioned check on one pool).  The guarantees:
+    batches are isolated — each {!Pool.run} returns exactly when {e its}
+    [n] tasks have completed, an exception raised by a task re-raises in
+    the batch that submitted it and never in a sibling batch, and
+    {!Pool.map}/{!Pool.find_first} results never mix across batches.
+    Tasks of concurrent batches interleave on the shared queue (a
+    submitting domain helping to drain the queue may execute a sibling
+    batch's task — that only speeds the sibling up), and worker-domain
+    sizing counts the {e total} outstanding demand across batches, so
+    concurrent small batches still get [min (jobs-1) total] workers.
+    Fairness is cooperative, not preemptive: tasks run to completion. *)
 
 val cpu_count : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible default for
@@ -38,7 +52,11 @@ module Pool : sig
 
   val shutdown : t -> unit
   (** Drains queued tasks, stops the workers and joins their domains.
-      The pool must not be used afterwards. *)
+      All pool state is read and written under the internal mutex, so a
+      concurrent {!spawned} probe or a batch still in flight observes a
+      consistent pool; a batch racing [shutdown] still completes (its
+      submitting domain drains what the stopped workers leave behind),
+      but no {e new} batch may be submitted once [shutdown] begins. *)
 
   val with_pool : jobs:int -> (t -> 'a) -> 'a
   (** [create], run, then [shutdown] (also on exception). *)

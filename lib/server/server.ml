@@ -1,0 +1,598 @@
+(* The verification server.  See server.mli for the architecture; the
+   short version of the concurrency story:
+
+     main thread          accept loop (select, polls the stop flag)
+     reader threads       one per connection; parse lines, answer
+                          ping/stats inline, submit checks
+     executor domains     [cfg.executors] of them; drain the admission
+                          queue round-robin per connection and run each
+                          check on the ONE shared Par.Pool
+     shared Par.Pool      intra-check parallelism, concurrent submitters
+
+   Scheduler state lives under one mutex [t.m]; per-connection write
+   serialization under each connection's [wm].  Lock order: never hold
+   [t.m] while taking a [wm] or doing I/O — every send happens after
+   [t.m] is released, so the two levels never nest. *)
+
+type config = {
+  socket_path : string;
+  executors : int;
+  pool_jobs : int;
+  max_pending : int;
+  limits : Cec.limits;
+  engine : Cec.engine;
+  cache_dir : string option;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    executors = 2;
+    pool_jobs = Par.cpu_count ();
+    max_pending = 64;
+    limits = Cec.default_limits;
+    engine = Cec.Sweep_engine;
+    cache_dir = None;
+  }
+
+type conn = {
+  cid : int;
+  fd : Unix.file_descr;
+  ic : in_channel;  (* reader thread only *)
+  wm : Mutex.t;  (* serializes writes; guards [alive] *)
+  mutable alive : bool;
+}
+
+type pending = { pconn : conn; req : Sjson.t }
+
+type t = {
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  pool : Par.Pool.t;
+  cache : Cec.Cache.t;
+  store : Store.t option;
+  stop_req : bool Atomic.t;  (* the only thing a signal handler touches *)
+  m : Mutex.t;
+  work_cv : Condition.t;  (* executors sleep here *)
+  drain_cv : Condition.t;  (* run/stop wait here *)
+  queues : (int, pending Queue.t) Hashtbl.t;  (* cid -> queued checks *)
+  rr : int Queue.t;  (* cids with a nonempty queue, round-robin order *)
+  mutable npending : int;  (* admitted, not yet started *)
+  mutable inflight : int;  (* started, not yet finished *)
+  mutable stopping : bool;  (* drain begun: no new admissions *)
+  mutable quit : bool;  (* queue empty and drained: executors exit *)
+  conns : (int, conn) Hashtbl.t;
+  mutable next_cid : int;
+  mutable readers : Thread.t list;
+  mutable runner : Thread.t option;  (* the [start] thread, if any *)
+  mutable finished : bool;  (* [run] has returned *)
+  (* request accounting, reported by the stats op *)
+  mutable n_accepted : int;
+  mutable n_checks : int;
+  mutable n_completed : int;
+  mutable n_shed : int;
+  mutable n_errors : int;
+}
+
+let socket_path t = t.cfg.socket_path
+
+(* ---------- responses ---------- *)
+
+let send conn (j : Sjson.t) =
+  let line = Sjson.to_string j ^ "\n" in
+  Mutex.lock conn.wm;
+  Fun.protect ~finally:(fun () -> Mutex.unlock conn.wm) @@ fun () ->
+  if conn.alive then begin
+    try
+      let b = Bytes.of_string line in
+      let n = Bytes.length b in
+      let off = ref 0 in
+      while !off < n do
+        off := !off + Unix.write conn.fd b !off (n - !off)
+      done
+    with Unix.Unix_error _ | Sys_error _ ->
+      (* client went away; its reader thread will clean up *)
+      conn.alive <- false
+  end
+
+let conn_alive conn =
+  Mutex.lock conn.wm;
+  let a = conn.alive in
+  Mutex.unlock conn.wm;
+  a
+
+let error_response id msg =
+  Sjson.(Obj [ ("id", id); ("ok", Bool false); ("error", String msg) ])
+
+let shed_response id reason =
+  Sjson.(
+    Obj
+      [
+        ("id", id);
+        ("ok", Bool true);
+        ("verdict", String "undecided");
+        ("reason", String reason);
+      ])
+
+(* ---------- request decoding ---------- *)
+
+let circuit_of req field =
+  match Sjson.member field req with
+  | Some (Sjson.String s) when String.length s > 0 && s.[0] = '@' -> (
+      let name = String.sub s 1 (String.length s - 1) in
+      try Workloads.by_name name
+      with Not_found -> failwith (Printf.sprintf "unknown circuit @%s" name))
+  | Some (Sjson.String s) -> Netlist_io.parse s
+  | Some _ -> failwith (field ^ ": expected a string")
+  | None -> failwith ("missing field " ^ field)
+
+let exposed_of req c1 =
+  match Sjson.member "exposed" req with
+  | None | Some (Sjson.String "auto") ->
+      (* the paper's default: expose a minimum feedback vertex set of the
+         left circuit (names must also exist on the right, else the check
+         reports the diagnosis) *)
+      let plan = Feedback.plan_structural c1 in
+      List.map (Circuit.signal_name c1) plan.Feedback.exposed
+  | Some (Sjson.List l) ->
+      List.map
+        (fun v ->
+          match Sjson.get_string v with
+          | Some s -> s
+          | None -> failwith "exposed: expected latch names")
+        l
+  | Some _ -> failwith "exposed: expected a list of names or \"auto\""
+
+let engine_of cfg req =
+  match Option.bind (Sjson.member "engine" req) Sjson.get_string with
+  | None -> cfg.engine
+  | Some "sweep" -> Cec.Sweep_engine
+  | Some "sat" -> Cec.Sat_engine
+  | Some "bdd" -> Cec.Bdd_engine
+  | Some other -> failwith (Printf.sprintf "unknown engine %S" other)
+
+let limits_of cfg req =
+  let timeout = Option.bind (Sjson.member "timeout" req) Sjson.get_float in
+  let sc = Option.bind (Sjson.member "sat_conflicts" req) Sjson.get_int in
+  let l = cfg.limits in
+  let l =
+    match timeout with Some s -> { l with Cec.seconds = Some s } | None -> l
+  in
+  match sc with Some n -> { l with Cec.sat_conflicts = Some n } | None -> l
+
+(* ---------- the check itself (executor domain) ---------- *)
+
+let check_response t req =
+  let id = Option.value ~default:Sjson.Null (Sjson.member "id" req) in
+  try
+    let c1 = circuit_of req "left" in
+    let c2 = circuit_of req "right" in
+    let exposed = exposed_of req c1 in
+    let engine = engine_of t.cfg req in
+    let limits = limits_of t.cfg req in
+    let jobs = Option.bind (Sjson.member "jobs" req) Sjson.get_int in
+    match
+      Verify.check ~engine ?jobs ~pool:t.pool ~limits ~cache:t.cache ~exposed
+        c1 c2
+    with
+    | Error d -> error_response id (Seqprob.diagnosis_to_string d)
+    | Ok outcome ->
+        let s = outcome.Verify.stats in
+        let cec = s.Verify.cec in
+        let verdict_fields =
+          match outcome.Verify.verdict with
+          | Verify.Equivalent -> [ ("verdict", Sjson.String "equivalent") ]
+          | Verify.Inequivalent (Some cex) ->
+              [
+                ("verdict", Sjson.String "inequivalent");
+                ("certified", Sjson.Bool true);
+                ( "cex",
+                  Sjson.List
+                    (List.map
+                       (fun (v, b) ->
+                         Sjson.List
+                           [
+                             Sjson.String (Seqprob.Var.to_string v);
+                             Sjson.Bool b;
+                           ])
+                       cex) );
+              ]
+          | Verify.Inequivalent None ->
+              [
+                ("verdict", Sjson.String "inequivalent");
+                ("certified", Sjson.Bool false);
+              ]
+          | Verify.Undecided reason ->
+              [
+                ("verdict", Sjson.String "undecided");
+                ("reason", Sjson.String reason);
+              ]
+        in
+        Sjson.Obj
+          ([ ("id", id); ("ok", Sjson.Bool true) ]
+          @ verdict_fields
+          @ [
+              ( "method",
+                Sjson.String
+                  (match s.Verify.method_ with
+                  | Verify.Cbf_method -> "CBF"
+                  | Verify.Edbf_method -> "EDBF") );
+              ("seconds", Sjson.Float s.Verify.seconds);
+              ( "phases",
+                Sjson.Obj
+                  [
+                    ("unroll_seconds", Sjson.Float s.Verify.unroll_seconds);
+                    ( "cec_elapsed_seconds",
+                      Sjson.Float cec.Cec.elapsed_seconds );
+                    ("partition_seconds", Sjson.Float cec.Cec.partition_seconds);
+                    ("sweep_cpu_seconds", Sjson.Float cec.Cec.sweep_seconds);
+                    ("sat_cpu_seconds", Sjson.Float cec.Cec.sat_seconds);
+                    ("bdd_cpu_seconds", Sjson.Float cec.Cec.bdd_seconds);
+                  ] );
+              ( "counters",
+                Sjson.Obj
+                  [
+                    ("sat_calls", Sjson.Int cec.Cec.sat_calls);
+                    ("partitions", Sjson.Int cec.Cec.partitions);
+                    ("cache_hits", Sjson.Int cec.Cec.cache_hits);
+                    ("store_hits", Sjson.Int cec.Cec.store_hits);
+                    ("store_writes", Sjson.Int cec.Cec.store_writes);
+                  ] );
+            ])
+  with e -> error_response id (Printexc.to_string e)
+
+(* ---------- stats (reader thread, answered inline) ---------- *)
+
+let stats_response t id =
+  Mutex.lock t.m;
+  let server =
+    Sjson.Obj
+      [
+        ("connections", Sjson.Int t.n_accepted);
+        ("checks", Sjson.Int t.n_checks);
+        ("completed", Sjson.Int t.n_completed);
+        ("shed", Sjson.Int t.n_shed);
+        ("errors", Sjson.Int t.n_errors);
+        ("inflight", Sjson.Int t.inflight);
+        ("pending", Sjson.Int t.npending);
+        ("executors", Sjson.Int t.cfg.executors);
+        ("pool_jobs", Sjson.Int (Par.Pool.jobs t.pool));
+        ("pool_spawned", Sjson.Int (Par.Pool.spawned t.pool));
+      ]
+  in
+  Mutex.unlock t.m;
+  let counters =
+    Sjson.Obj
+      (List.map (fun (k, v) -> (k, Sjson.Int v)) (Obs.Counters.snapshot ()))
+  in
+  let store =
+    match t.store with
+    | None -> Sjson.Null
+    | Some st ->
+        let i = Store.info st in
+        Sjson.Obj
+          [
+            ("entries", Sjson.Int i.Store.entries);
+            ("file_bytes", Sjson.Int i.Store.file_bytes);
+            ("hits", Sjson.Int i.Store.hits);
+            ("misses", Sjson.Int i.Store.misses);
+            ("writes", Sjson.Int i.Store.writes);
+          ]
+  in
+  Sjson.Obj
+    [
+      ("id", id);
+      ("ok", Sjson.Bool true);
+      ("server", server);
+      ("counters", counters);
+      ("store", store);
+    ]
+
+(* ---------- scheduling ---------- *)
+
+(* Caller holds [t.m].  Pops the next request round-robin by connection:
+   first cid in [rr], one request from its queue, cid re-queued at the
+   tail while its queue stays nonempty — a connection streaming 100
+   requests shares the executors equally with one sending a single
+   request. *)
+let take_next t =
+  match Queue.take_opt t.rr with
+  | None -> None
+  | Some cid -> (
+      match Hashtbl.find_opt t.queues cid with
+      | None -> None (* unreachable: rr entries always have a queue *)
+      | Some q ->
+          let item = Queue.pop q in
+          if Queue.is_empty q then Hashtbl.remove t.queues cid
+          else Queue.add cid t.rr;
+          t.npending <- t.npending - 1;
+          Some item)
+
+let submit t conn req id =
+  Mutex.lock t.m;
+  let decision =
+    if t.stopping then `Shed "shutting down"
+    else if t.npending >= t.cfg.max_pending then `Shed "busy"
+    else begin
+      let q =
+        match Hashtbl.find_opt t.queues conn.cid with
+        | Some q -> q
+        | None ->
+            let q = Queue.create () in
+            Hashtbl.replace t.queues conn.cid q;
+            q
+      in
+      if Queue.is_empty q then Queue.add conn.cid t.rr;
+      Queue.add { pconn = conn; req } q;
+      t.npending <- t.npending + 1;
+      t.n_checks <- t.n_checks + 1;
+      Condition.signal t.work_cv;
+      `Admitted
+    end
+  in
+  (match decision with `Shed _ -> t.n_shed <- t.n_shed + 1 | `Admitted -> ());
+  Mutex.unlock t.m;
+  match decision with
+  | `Admitted -> Obs.count "server.admitted" 1
+  | `Shed reason ->
+      Obs.count "server.shed" 1;
+      send conn (shed_response id reason)
+
+let executor t () =
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.quit) && Queue.is_empty t.rr do
+      Condition.wait t.work_cv t.m
+    done;
+    match take_next t with
+    | None ->
+        (* quit, queue drained *)
+        Mutex.unlock t.m
+    | Some { pconn; req } ->
+        t.inflight <- t.inflight + 1;
+        Mutex.unlock t.m;
+        (* a client that disconnected while queued gets no check run on
+           its behalf — the response could never be delivered *)
+        let resp = if conn_alive pconn then Some (check_response t req) else None in
+        let failed =
+          match resp with
+          | Some (Sjson.Obj kvs) -> List.assoc_opt "ok" kvs = Some (Sjson.Bool false)
+          | _ -> false
+        in
+        (* account BEFORE sending: a client that reads its response and
+           immediately asks for stats must see this check completed *)
+        Obs.count "server.completed" 1;
+        Mutex.lock t.m;
+        t.inflight <- t.inflight - 1;
+        t.n_completed <- t.n_completed + 1;
+        if failed then t.n_errors <- t.n_errors + 1;
+        Condition.broadcast t.drain_cv;
+        Mutex.unlock t.m;
+        Option.iter (fun r -> send pconn r) resp;
+        loop ()
+  in
+  loop ()
+
+(* ---------- connections ---------- *)
+
+let handle_line t conn line =
+  match Sjson.parse line with
+  | exception Sjson.Parse_error msg ->
+      Mutex.lock t.m;
+      t.n_errors <- t.n_errors + 1;
+      Mutex.unlock t.m;
+      send conn (error_response Sjson.Null ("parse error: " ^ msg))
+  | req -> (
+      let id = Option.value ~default:Sjson.Null (Sjson.member "id" req) in
+      match Option.bind (Sjson.member "op" req) Sjson.get_string with
+      | Some "ping" ->
+          send conn
+            (Sjson.Obj
+               [ ("id", id); ("ok", Sjson.Bool true); ("pong", Sjson.Bool true) ])
+      | Some "check" -> submit t conn req id
+      | Some "stats" -> send conn (stats_response t id)
+      | Some op ->
+          Mutex.lock t.m;
+          t.n_errors <- t.n_errors + 1;
+          Mutex.unlock t.m;
+          send conn (error_response id (Printf.sprintf "unknown op %S" op))
+      | None ->
+          Mutex.lock t.m;
+          t.n_errors <- t.n_errors + 1;
+          Mutex.unlock t.m;
+          send conn (error_response id "missing op"))
+
+let reader t conn () =
+  (try
+     while true do
+       let line = input_line conn.ic in
+       if String.trim line <> "" then handle_line t conn line
+     done
+   with End_of_file | Sys_error _ -> ());
+  (* mark dead under [wm] BEFORE closing the fd, so no executor write can
+     land on a closed (or recycled) descriptor *)
+  Mutex.lock conn.wm;
+  conn.alive <- false;
+  Mutex.unlock conn.wm;
+  close_in_noerr conn.ic;
+  Mutex.lock t.m;
+  Hashtbl.remove t.conns conn.cid;
+  Mutex.unlock t.m
+
+let spawn_reader t fd =
+  Mutex.lock t.m;
+  let cid = t.next_cid in
+  t.next_cid <- cid + 1;
+  t.n_accepted <- t.n_accepted + 1;
+  let conn =
+    {
+      cid;
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      wm = Mutex.create ();
+      alive = true;
+    }
+  in
+  Hashtbl.replace t.conns cid conn;
+  let th = Thread.create (reader t conn) () in
+  t.readers <- th :: t.readers;
+  Mutex.unlock t.m;
+  Obs.count "server.connections" 1
+
+(* ---------- lifecycle ---------- *)
+
+let create cfg =
+  if cfg.executors < 1 || cfg.pool_jobs < 1 || cfg.max_pending < 0 then
+    invalid_arg "Server.create: bad config";
+  (* a client hanging up mid-response must be an EPIPE error, not a
+     process-killing signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let store = Option.map Store.open_ cfg.cache_dir in
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     if Sys.file_exists cfg.socket_path then Sys.remove cfg.socket_path;
+     Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen listen_fd 64
+   with e ->
+     (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+     Option.iter Store.close store;
+     raise e);
+  Obs.enable_counters ();
+  {
+    cfg;
+    listen_fd;
+    pool = Par.Pool.create ~jobs:cfg.pool_jobs;
+    cache = Cec.Cache.create ?store ();
+    store;
+    stop_req = Atomic.make false;
+    m = Mutex.create ();
+    work_cv = Condition.create ();
+    drain_cv = Condition.create ();
+    queues = Hashtbl.create 16;
+    rr = Queue.create ();
+    npending = 0;
+    inflight = 0;
+    stopping = false;
+    quit = false;
+    conns = Hashtbl.create 16;
+    next_cid = 0;
+    readers = [];
+    runner = None;
+    finished = false;
+    n_accepted = 0;
+    n_checks = 0;
+    n_completed = 0;
+    n_shed = 0;
+    n_errors = 0;
+  }
+
+let request_stop t = Atomic.set t.stop_req true
+
+let rec accept_loop t =
+  if not (Atomic.get t.stop_req) then begin
+    (match Unix.select [ t.listen_fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true t.listen_fd with
+        | exception Unix.Unix_error _ -> ()
+        | fd, _ -> spawn_reader t fd));
+    accept_loop t
+  end
+
+let run t =
+  let execs =
+    List.init t.cfg.executors (fun _ -> Domain.spawn (executor t))
+  in
+  accept_loop t;
+  (* 1. stop accepting *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
+  (* 2. drain: no new admissions, finish everything admitted *)
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.work_cv;
+  while t.npending > 0 || t.inflight > 0 do
+    Condition.wait t.drain_cv t.m
+  done;
+  (* 3. release the executors *)
+  t.quit <- true;
+  Condition.broadcast t.work_cv;
+  Mutex.unlock t.m;
+  List.iter Domain.join execs;
+  (* 4. hang up on the remaining connections and join their readers.
+     [shutdown] (not [close]) wakes a reader blocked in [input_line] while
+     leaving the fd for the reader's own close; a reader that already
+     closed makes this EBADF, which is fine — nothing opens new fds at
+     this point, so the descriptor cannot have been recycled. *)
+  Mutex.lock t.m;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  let readers = t.readers in
+  t.readers <- [];
+  Mutex.unlock t.m;
+  List.iter
+    (fun c ->
+      try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+      with Unix.Unix_error _ | Invalid_argument _ -> ())
+    conns;
+  List.iter Thread.join readers;
+  (* 5. shared state: pool down, store flushed and closed *)
+  Par.Pool.shutdown t.pool;
+  Option.iter Store.close t.store;
+  Mutex.lock t.m;
+  t.finished <- true;
+  Condition.broadcast t.drain_cv;
+  Mutex.unlock t.m
+
+let start cfg =
+  let t = create cfg in
+  let th = Thread.create run t in
+  t.runner <- Some th;
+  t
+
+let stop t =
+  request_stop t;
+  match t.runner with
+  | Some th -> Thread.join th
+  | None ->
+      Mutex.lock t.m;
+      while not t.finished do
+        Condition.wait t.drain_cv t.m
+      done;
+      Mutex.unlock t.m
+
+(* ---------- client ---------- *)
+
+module Client = struct
+  type t = { fd : Unix.file_descr; ic : in_channel }
+
+  let connect ?(retries = 0) path =
+    let rec go attempt =
+      let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> { fd; ic = Unix.in_channel_of_descr fd }
+      | exception
+          Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+        when attempt < retries ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          Unix.sleepf 0.1;
+          go (attempt + 1)
+      | exception e ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          raise e
+    in
+    go 0
+
+  let request t j =
+    let line = Sjson.to_string j ^ "\n" in
+    let b = Bytes.of_string line in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write t.fd b !off (n - !off)
+    done;
+    Sjson.parse (input_line t.ic)
+
+  let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+end

@@ -1,0 +1,118 @@
+(** [seqver serve]: a long-lived concurrent verification server.
+
+    One process owns the expensive shared state — a single {!Par.Pool}
+    (every request's partitioned check runs on it; safe because the pool
+    supports concurrent submitters), a single {!Cec.Cache.t} optionally
+    backed by one persistent {!Store.t} — and answers line-delimited JSON
+    requests over a Unix-domain socket.  Warm requests hit the shared
+    cache/store, which is the whole point: the second verification of a
+    structurally familiar miter costs a table lookup, not a SAT run.
+
+    {b Architecture.}  The main thread accepts connections; each
+    connection gets a reader {e thread} (cheap, blocks on socket reads);
+    admitted [check] requests land on a bounded pending queue drained by
+    [executors] worker {e domains}, each running the full verification on
+    the shared pool.  Fairness is round-robin {e per connection}: one
+    chatty client cannot starve the others.  [stats] and [ping] answer
+    inline from the reader thread, so the server is observable while
+    saturated.
+
+    {b Admission control.}  At most [max_pending] admitted-but-unstarted
+    requests; beyond that a [check] is shed immediately with verdict
+    [undecided], reason ["busy"] — the client sees a well-formed response,
+    never a hang.
+
+    {b Shutdown.}  {!request_stop} (async-signal-safe — the CLI calls it
+    from the SIGTERM/SIGINT handler) stops accepting, finishes every
+    admitted request, flushes and closes the store, joins every thread
+    and domain, removes the socket, then {!run} returns.
+
+    {b Wire protocol} (one JSON object per line, response mirrors the
+    request's [id]):
+
+    {v
+    -> {"id":1,"op":"check","left":"@fifo64x16s","right":"@fifo64x16m",
+        "exposed":"auto","engine":"sweep","timeout":30,"sat_conflicts":50000}
+    <- {"id":1,"ok":true,"verdict":"equivalent","method":"CBF",
+        "seconds":1.93,
+        "phases":{"unroll_seconds":0.12,"cec_elapsed_seconds":1.71,
+                  "partition_seconds":0.05,"sweep_cpu_seconds":3.1,
+                  "sat_cpu_seconds":0.4,"bdd_cpu_seconds":0.0},
+        "counters":{"sat_calls":18,"partitions":16,"cache_hits":0,
+                    "store_hits":0,"store_writes":16}}
+    v}
+
+    [left]/[right] are ["@name"] (a {!Workloads.by_name} suite circuit)
+    or inline {!Netlist_io} text.  [exposed] is a list of latch names,
+    or ["auto"] (the default) for {!Feedback.plan_structural} on [left].
+    [engine] is ["sweep"]/["sat"]/["bdd"]; [timeout] and [sat_conflicts]
+    build the request's {!Cec.limits} (defaulting to the server's);
+    [jobs] narrows the pool parallelism for this one request.
+    An [inequivalent] response carries ["cex":[[var,bool],...]] when the
+    counterexample is certified (CBF) and ["certified":false] when it is
+    the conservative EDBF rejection.  Failures (bad netlist, unknown
+    name, exposure diagnosis) answer [{"ok":false,"error":...}] — the
+    connection survives.  [{"op":"stats"}] returns live {!Obs} counter
+    totals, per-server request counts and the store {!Store.info};
+    [{"op":"ping"}] returns [{"ok":true,"pong":true}]. *)
+
+type config = {
+  socket_path : string;
+  executors : int;  (** worker domains draining the admission queue *)
+  pool_jobs : int;  (** parallelism of the one shared {!Par.Pool} *)
+  max_pending : int;  (** admission bound: queued (unstarted) requests *)
+  limits : Cec.limits;  (** default per-request budgets *)
+  engine : Cec.engine;  (** default engine *)
+  cache_dir : string option;
+      (** back the shared cache with one persistent store *)
+}
+
+val default_config : socket_path:string -> config
+(** 2 executors, pool of {!Par.cpu_count} jobs, 64 pending,
+    {!Cec.default_limits}, sweep engine, no store. *)
+
+type t
+
+val create : config -> t
+(** Binds and listens on [socket_path] (an existing socket file is
+    replaced), opens the store when configured, enables live {!Obs}
+    counters.  No thread is started yet.
+    @raise Unix.Unix_error when the socket cannot be bound. *)
+
+val run : t -> unit
+(** The accept loop; blocks until {!request_stop}, then drains (finishes
+    every admitted request), tears everything down and returns.  Call at
+    most once. *)
+
+val start : config -> t
+(** [create] plus {!run} on a background thread — the in-process form
+    used by tests and the bench harness. *)
+
+val request_stop : t -> unit
+(** Begin graceful shutdown.  Only sets a flag — safe from a signal
+    handler, safe to call repeatedly and from any thread. *)
+
+val stop : t -> unit
+(** {!request_stop}, then waits until {!run} has returned (joining the
+    {!start} thread when there is one). *)
+
+val socket_path : t -> string
+
+(** Blocking single-connection client for the wire protocol — what
+    [seqver client] and the bench harness use.  One request at a time per
+    connection; run several clients for concurrency. *)
+module Client : sig
+  type t
+
+  val connect : ?retries:int -> string -> t
+  (** Connects to the server socket.  [retries] (default 0) retries a
+      refused/missing socket at 100 ms intervals — for scripts that
+      start the daemon and connect immediately.
+      @raise Unix.Unix_error when the connection (still) fails. *)
+
+  val request : t -> Sjson.t -> Sjson.t
+  (** Sends one request line, blocks for the one response line.
+      @raise End_of_file if the server hangs up first. *)
+
+  val close : t -> unit
+end

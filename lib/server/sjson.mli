@@ -1,0 +1,42 @@
+(** Minimal JSON for the server's line-delimited wire protocol.
+
+    The repository carries no JSON dependency; this is a small, strict
+    parser/printer covering exactly what the protocol needs: the standard
+    seven value shapes, UTF-8 pass-through, [\uXXXX] escapes (surrogate
+    pairs included) decoded to UTF-8 on input.  Numbers without a
+    fraction or exponent parse as [Int]; everything else as [Float].
+    Printing never emits newlines, so one value is always one line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!parse} on malformed input; the message includes the
+    offending byte offset. *)
+
+val parse : string -> t
+(** Parses exactly one JSON value (leading/trailing whitespace allowed;
+    trailing garbage is an error). *)
+
+val to_string : t -> string
+(** Compact single-line rendering; strings are escaped, non-finite floats
+    print as [null] (they have no JSON form). *)
+
+(** {1 Accessors} — total, [None]/default on shape mismatch. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an [Obj]; [None] otherwise. *)
+
+val get_string : t -> string option
+val get_int : t -> int option
+val get_float : t -> float option
+(** [get_float] also accepts [Int]. *)
+
+val get_bool : t -> bool option
+val get_list : t -> t list option

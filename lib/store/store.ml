@@ -159,6 +159,12 @@ type t = {
   mutable gen : int;  (* LRU logical clock, > every loaded last_hit *)
   mutable oc : out_channel option;  (* append channel; None once closed *)
   mutable closed : bool;
+  (* true exactly while [file_locked] holds the advisory lock.  Written
+     under [m] (the one exception is [open_], before the handle is
+     shared); lets [close] assert it never closes [lock_fd] while the
+     lock is held — releasing an flock by closing the fd mid-critical-
+     section would silently break cross-process exclusion. *)
+  mutable lock_held : bool;
   mutable hits : int;
   mutable misses : int;
   mutable writes : int;
@@ -175,8 +181,10 @@ let check_open t = if t.closed then invalid_arg "Store: store is closed"
    handle plus O_APPEND record atomicity keeps that case safe. *)
 let file_locked t f =
   Unix.lockf t.lock_fd Unix.F_LOCK 0;
+  t.lock_held <- true;
   Fun.protect
     ~finally:(fun () ->
+      t.lock_held <- false;
       try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
     f
 
@@ -282,6 +290,7 @@ let open_ ?(capacity = default_capacity) dir =
       gen = 0;
       oc = None;
       closed = false;
+      lock_held = false;
       hits = 0;
       misses = 0;
       writes = 0;
@@ -322,21 +331,41 @@ let open_ ?(capacity = default_capacity) dir =
       ]);
   t
 
+(* Idempotent teardown.  The whole body runs under [m], so a second call
+   — or two concurrent ones — finds [closed] already set and does
+   nothing; an operation racing [close] either completes first (it held
+   [m]) or fails cleanly on its own [check_open], never on a closed fd,
+   because [closed] flips before any fd is touched.  Holding [m] also
+   means [file_locked] cannot be in flight, which the assertion pins
+   down: closing [lock_fd] while the advisory lock is held would release
+   the cross-process lock out from under the critical section.  The
+   append channel closes with [close_out] (not [_noerr]): this is the
+   server's drain path, and a failed final flush must be loud, but the
+   lock fd is closed even then. *)
 let close t =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
   if not t.closed then begin
-    (match t.oc with
-    | Some oc -> close_out_noerr oc; t.oc <- None
-    | None -> ());
-    (try Unix.close t.lock_fd with Unix.Unix_error _ -> ());
-    t.closed <- true
+    t.closed <- true;
+    assert (not t.lock_held);
+    Fun.protect
+      ~finally:(fun () ->
+        try Unix.close t.lock_fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match t.oc with
+        | Some oc ->
+            t.oc <- None;
+            close_out oc
+        | None -> ())
   end
 
+(* [check_open] runs under [m] in every operation: a closed flag read
+   outside the mutex could pass just before a concurrent [close], and the
+   operation would then act on a closed fd. *)
 let find t key =
-  check_open t;
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  check_open t;
   match Hashtbl.find_opt t.tbl key with
   | Some s ->
       s.last_hit <- t.gen;
@@ -350,11 +379,10 @@ let find t key =
       None
 
 let mem t key =
-  check_open t;
   Mutex.lock t.m;
-  let r = Hashtbl.mem t.tbl key in
-  Mutex.unlock t.m;
-  r
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  check_open t;
+  Hashtbl.mem t.tbl key
 
 (* The append channel can be left pointing at a replaced inode when some
    other process compacts (rename over the path): re-sync before writing. *)
@@ -378,9 +406,9 @@ let resync_append_locked t =
   else oc
 
 let add t key v =
-  check_open t;
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  check_open t;
   if Hashtbl.mem t.tbl key then false
   else begin
     let lh = t.gen in
@@ -400,17 +428,17 @@ let add t key v =
   end
 
 let compact t =
-  check_open t;
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  check_open t;
   Obs.span ~name:"store.compact"
     ~attrs:[ ("trigger", Obs.String "manual") ]
     (fun () -> file_locked t (fun () -> compact_locked t))
 
 let clear t =
-  check_open t;
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  check_open t;
   Hashtbl.reset t.tbl;
   file_locked t (fun () -> rewrite_locked t)
 

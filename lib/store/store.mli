@@ -79,7 +79,13 @@ val open_ : ?capacity:int -> string -> t
 val close : t -> unit
 (** Flushes and closes the log and lock file descriptors.  Verdicts are
     durable as soon as {!add} returns; [close] is hygiene, not a commit
-    point.  Further operations on a closed store raise [Invalid_argument]. *)
+    point.  Idempotent: closing twice (or from two domains at once) is a
+    no-op after the first, and an operation racing [close] either
+    completes first or raises [Invalid_argument] — it never touches a
+    closed descriptor, and the advisory cross-process lock is never
+    released by closing its fd mid-critical-section.  Further operations
+    on a closed store raise [Invalid_argument]; a failed final flush
+    propagates (data loss is not silent). *)
 
 val find : t -> string -> verdict option
 (** In-memory index lookup; a hit refreshes the entry's recency. *)

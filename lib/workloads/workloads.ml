@@ -698,6 +698,8 @@ let by_name n =
                 List.concat_map
                   (fun (_, a, b) -> [ a; b ])
                   (large_suite () @ large_suite ~smoke:true ())
+                @ (let _, a, b = large_mutant () in
+                   [ a; b ])
               in
               match List.find_opt (fun c -> Circuit.name c = n) large with
               | Some c -> c

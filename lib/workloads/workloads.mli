@@ -120,4 +120,5 @@ val large_mutant : unit -> string * Circuit.t * Circuit.t
 
 val by_name : string -> Circuit.t
 (** Look up any suite circuit by name (large-tier circuits by their
-    [Circuit.name], e.g. ["fifo64x16s"]).  @raise Not_found. *)
+    [Circuit.name], e.g. ["fifo64x16s"]; the {!large_mutant} sides too,
+    e.g. ["fifo64x16m_bug"]).  @raise Not_found. *)

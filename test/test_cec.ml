@@ -779,7 +779,7 @@ let test_large_generators_jobs_agree () =
 let test_sat_time_charged_to_sat () =
   (* regression: every SAT call's time lands in sat_seconds — the sweep
      engine's merge queries used to be charged to sweep_seconds, leaving
-     sat_calls > 0 with phase_sat_seconds = 0 in the bench output *)
+     sat_calls > 0 with phase_sat_cpu_seconds = 0 in the bench output *)
   let c1 = xor_chain ~name:"sta" 12 and c2 = xor_tree ~name:"stb" 12 in
   List.iter
     (fun (nm, e) ->

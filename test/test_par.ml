@@ -35,22 +35,33 @@ let test_find_first_deterministic () =
     job_counts
 
 let test_find_first_cancels () =
-  (* once the match at index 0 is known, most later elements must never
-     start; with the match placed first this is deterministic enough to
-     assert a strict bound even under adversarial scheduling *)
+  (* once the match at index 0 is recorded, the index guard must skip the
+     rest of the sweep.  Deterministic formulation: tail tasks park until
+     the match is published (via the [?found] flag), so the only tasks
+     that can enter [f] before cancellation are the ones already running
+     on a worker when the match landed — at most jobs-1 of them.  The
+     submitter always executes index 0 itself, so the match is recorded
+     without ever waiting on a worker (no deadlock against the gate). *)
   Par.Pool.with_pool ~jobs:4 (fun p ->
-      let started = Atomic.make 0 in
+      let flag = Atomic.make false in
+      let early = Atomic.make 0 in
       let n = 10_000 in
       let f i =
-        Atomic.incr started;
-        if i = 0 then Some i else None
+        if i = 0 then Some i
+        else begin
+          if not (Atomic.get flag) then Atomic.incr early;
+          while not (Atomic.get flag) do
+            Domain.cpu_relax ()
+          done;
+          None
+        end
       in
-      let r = Par.Pool.find_first p f (List.init n Fun.id) in
+      let r = Par.Pool.find_first ~found:flag p f (List.init n Fun.id) in
       Alcotest.(check (option int)) "found" (Some 0) r;
       Alcotest.(check bool)
-        (Printf.sprintf "cancelled most of the sweep (started %d)" (Atomic.get started))
+        (Printf.sprintf "tail cancelled (early entries: %d)" (Atomic.get early))
         true
-        (Atomic.get started < n))
+        (Atomic.get early < 4))
 
 let test_find_first_found_flag () =
   (* the ?found flag is raised the moment any match is recorded — the hook
@@ -124,6 +135,113 @@ let test_effects_visible_after_run () =
       Array.iteri (fun i v -> if v <> i + 1 then ok := false) arr;
       Alcotest.(check bool) "all writes visible" true !ok)
 
+(* ---- one pool, many submitting domains (the server's sharing shape) ---- *)
+
+let test_concurrent_submitters () =
+  (* several domains run interleaved map batches on ONE pool: each batch's
+     results must be exactly its own (no cross-batch mixing), at every
+     jobs level including 1 *)
+  List.iter
+    (fun jobs ->
+      let p = Par.Pool.create ~jobs in
+      let doms =
+        List.init 4 (fun s ->
+            Domain.spawn (fun () ->
+                let ok = ref true in
+                for round = 1 to 25 do
+                  let xs =
+                    List.init (10 + ((s + round) mod 17)) (fun i -> (s * 1000) + i)
+                  in
+                  let got = Par.Pool.map p (fun x -> (x * 2) + s) xs in
+                  if got <> List.map (fun x -> (x * 2) + s) xs then ok := false
+                done;
+                !ok))
+      in
+      List.iter
+        (fun d ->
+          Alcotest.(check bool)
+            (Printf.sprintf "jobs=%d batches intact" jobs)
+            true (Domain.join d))
+        doms;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d worker cap held" jobs)
+        true
+        (Par.Pool.spawned p <= max 0 (jobs - 1));
+      Par.Pool.shutdown p)
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_concurrent_exception_isolation () =
+  (* one domain's batches keep failing while another's keep succeeding on
+     the same pool: every exception must land in the batch that submitted
+     the raising task (even when a helping sibling domain executed it),
+     and the healthy batches must never observe it *)
+  let p = Par.Pool.create ~jobs:4 in
+  let good =
+    Domain.spawn (fun () ->
+        let ok = ref true in
+        let expect = List.init 32 (fun x -> x + 1) in
+        for _ = 1 to 50 do
+          match Par.Pool.map p (fun x -> x + 1) (List.init 32 Fun.id) with
+          | got -> if got <> expect then ok := false
+          | exception _ -> ok := false
+        done;
+        !ok)
+  in
+  let bad =
+    Domain.spawn (fun () ->
+        let landed = ref 0 in
+        for r = 1 to 50 do
+          match Par.Pool.run p 8 (fun i -> if i = 5 then raise (Boom r)) with
+          | () -> ()
+          | exception Boom r' -> if r' = r then incr landed
+        done;
+        !landed)
+  in
+  Alcotest.(check bool) "healthy batches unaffected" true (Domain.join good);
+  Alcotest.(check int) "exceptions land in the raising batch" 50
+    (Domain.join bad);
+  Par.Pool.shutdown p
+
+let test_concurrent_find_first () =
+  let p = Par.Pool.create ~jobs:4 in
+  let doms =
+    List.init 4 (fun s ->
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            for _ = 1 to 25 do
+              let f x = if x mod 10 = s then Some (x, s) else None in
+              (* lowest index matching this submitter's own predicate *)
+              if Par.Pool.find_first p f (List.init 40 Fun.id) <> Some (s, s)
+              then ok := false
+            done;
+            !ok))
+  in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "find_first per-batch result" true (Domain.join d))
+    doms;
+  Par.Pool.shutdown p
+
+let test_shutdown_races_batch () =
+  (* shutdown while a batch may be mid-flight: the batch still completes
+     (the submitter drains what the stopped workers leave), shutdown joins
+     every worker, and the pool ends empty either way the race goes *)
+  for _ = 1 to 10 do
+    let p = Par.Pool.create ~jobs:4 in
+    let count = Atomic.make 0 in
+    let d =
+      Domain.spawn (fun () ->
+          Par.Pool.run p 64 (fun _ -> Atomic.incr count))
+    in
+    Par.Pool.shutdown p;
+    Domain.join d;
+    Alcotest.(check int) "every task of the racing batch ran" 64
+      (Atomic.get count);
+    Alcotest.(check int) "no workers left" 0 (Par.Pool.spawned p)
+  done
+
 let suite =
   [
     Alcotest.test_case "map preserves order" `Quick test_map_preserves_order;
@@ -134,4 +252,9 @@ let suite =
     Alcotest.test_case "pool reuse and nesting" `Quick test_pool_reuse_and_nesting;
     Alcotest.test_case "lazy spawn" `Quick test_lazy_spawn;
     Alcotest.test_case "task effects visible" `Quick test_effects_visible_after_run;
+    Alcotest.test_case "concurrent submitters" `Quick test_concurrent_submitters;
+    Alcotest.test_case "concurrent exception isolation" `Quick
+      test_concurrent_exception_isolation;
+    Alcotest.test_case "concurrent find_first" `Quick test_concurrent_find_first;
+    Alcotest.test_case "shutdown races a batch" `Quick test_shutdown_races_batch;
   ]

@@ -1,0 +1,401 @@
+(* The verification server: wire protocol, concurrent clients, admission
+   shedding, per-request budgets, graceful drain.  Every test runs a real
+   in-process server over a Unix socket — the same code path as
+   [seqver serve]. *)
+
+let fresh_sock =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seqver_srv_%d_%d.sock" (Unix.getpid ()) !n)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seqver_srvstore_%d_%d" (Unix.getpid ()) !n)
+
+let with_server ?(executors = 2) ?(pool_jobs = 2) ?(max_pending = 64)
+    ?cache_dir f =
+  let cfg =
+    {
+      (Server.default_config ~socket_path:(fresh_sock ())) with
+      Server.executors;
+      pool_jobs;
+      max_pending;
+      cache_dir;
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      let c = Server.Client.connect ~retries:50 cfg.Server.socket_path in
+      Fun.protect ~finally:(fun () -> Server.Client.close c) (fun () -> f cfg c))
+
+(* JSON path accessors over Sjson *)
+let sget j path =
+  List.fold_left (fun a k -> Option.bind a (Sjson.member k)) (Some j) path
+
+let sint j path = Option.bind (sget j path) Sjson.get_int
+let sstr j path = Option.bind (sget j path) Sjson.get_string
+let sbool j path = Option.bind (sget j path) Sjson.get_bool
+
+let check_ok msg j = Alcotest.(check (option bool)) msg (Some true) (sbool j [ "ok" ])
+
+(* a raw connection for byte-level tests (malformed lines, split
+   send/receive around a drain) *)
+type raw = { rfd : Unix.file_descr; ric : in_channel }
+
+let raw_connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  { rfd = fd; ric = Unix.in_channel_of_descr fd }
+
+let raw_send r line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write r.rfd b !off (n - !off)
+  done
+
+let raw_recv r = Sjson.parse (input_line r.ric)
+let raw_close r = try Unix.close r.rfd with Unix.Unix_error _ -> ()
+
+let fifo_text style = Netlist_io.to_string (Workloads.fifo ~entries:8 ~width:4 ~style ())
+let fifo_bug_text () =
+  Netlist_io.to_string (Workloads.fifo ~bug:true ~entries:8 ~width:4 ~style:`Mux ())
+
+let check_req ?(id = 1) ?engine ?timeout left right =
+  Sjson.Obj
+    ([
+       ("id", Sjson.Int id);
+       ("op", Sjson.String "check");
+       ("left", Sjson.String left);
+       ("right", Sjson.String right);
+     ]
+    @ (match engine with Some e -> [ ("engine", Sjson.String e) ] | None -> [])
+    @ match timeout with Some s -> [ ("timeout", Sjson.Float s) ] | None -> [])
+
+(* ---- protocol basics ---- *)
+
+let test_ping () =
+  with_server (fun _ c ->
+      let r =
+        Server.Client.request c
+          Sjson.(Obj [ ("id", Int 42); ("op", String "ping") ])
+      in
+      check_ok "ok" r;
+      Alcotest.(check (option int)) "id echoed" (Some 42) (sint r [ "id" ]);
+      Alcotest.(check (option bool)) "pong" (Some true) (sbool r [ "pong" ]))
+
+let test_check_equivalent () =
+  with_server (fun _ c ->
+      (* two genuinely different implementations of the same FIFO, sent as
+         inline netlist text; exposure defaults to "auto" *)
+      let r =
+        Server.Client.request c (check_req (fifo_text `Sop) (fifo_text `Mux))
+      in
+      check_ok "ok" r;
+      Alcotest.(check (option string)) "verdict" (Some "equivalent")
+        (sstr r [ "verdict" ]);
+      Alcotest.(check bool) "method reported" true (sstr r [ "method" ] <> None);
+      Alcotest.(check bool) "phase timings present" true
+        (sget r [ "phases"; "unroll_seconds" ] <> None
+        && sget r [ "phases"; "sweep_cpu_seconds" ] <> None);
+      Alcotest.(check bool) "counters present" true
+        (sint r [ "counters"; "partitions" ] <> None);
+      (* suite circuits by @name resolve too *)
+      let r2 = Server.Client.request c (check_req ~id:2 "@minmax10" "@minmax10") in
+      check_ok "ok @name" r2;
+      Alcotest.(check (option string)) "@name verdict" (Some "equivalent")
+        (sstr r2 [ "verdict" ]))
+
+let test_check_inequivalent () =
+  with_server (fun _ c ->
+      let r =
+        Server.Client.request c (check_req (fifo_text `Sop) (fifo_bug_text ()))
+      in
+      check_ok "ok" r;
+      Alcotest.(check (option string)) "verdict" (Some "inequivalent")
+        (sstr r [ "verdict" ]);
+      (* a certified counterexample carries the assignment *)
+      match sbool r [ "certified" ] with
+      | Some true ->
+          Alcotest.(check bool) "cex present" true (sget r [ "cex" ] <> None)
+      | Some false -> ()
+      | None -> Alcotest.fail "inequivalent response must say certified")
+
+let test_request_limits () =
+  with_server (fun _ c ->
+      (* an already-expired per-request deadline: the engine gives up
+         before doing any work, deterministically *)
+      let mk name tree =
+        let c = Circuit.create name in
+        let ins =
+          List.init 14 (fun i -> Circuit.add_input c (Printf.sprintf "p%d" i))
+        in
+        let out =
+          if tree then begin
+            let rec pair = function
+              | a :: b :: tl -> Circuit.add_gate c Xor [ a; b ] :: pair tl
+              | rest -> rest
+            in
+            let rec build = function [ x ] -> x | xs -> build (pair xs) in
+            build ins
+          end
+          else
+            List.fold_left
+              (fun acc i -> Circuit.add_gate c Xor [ acc; i ])
+              (List.hd ins) (List.tl ins)
+        in
+        Circuit.mark_output c out;
+        Circuit.check c;
+        Netlist_io.to_string c
+      in
+      let r =
+        Server.Client.request c
+          (check_req ~engine:"sat" ~timeout:0.0 (mk "uchain" false)
+             (mk "utree" true))
+      in
+      check_ok "ok" r;
+      Alcotest.(check (option string)) "expired budget -> undecided"
+        (Some "undecided")
+        (sstr r [ "verdict" ]))
+
+(* ---- errors never kill the connection ---- *)
+
+let test_errors_and_survival () =
+  with_server (fun cfg c ->
+      let r = Server.Client.request c Sjson.(Obj [ ("op", String "frob") ]) in
+      Alcotest.(check (option bool)) "unknown op rejected" (Some false)
+        (sbool r [ "ok" ]);
+      let r =
+        Server.Client.request c Sjson.(Obj [ ("id", Int 7) ])
+      in
+      Alcotest.(check (option bool)) "missing op rejected" (Some false)
+        (sbool r [ "ok" ]);
+      Alcotest.(check (option int)) "id echoed on error" (Some 7)
+        (sint r [ "id" ]);
+      let r = Server.Client.request c (check_req "@no_such_circuit" "@minmax10") in
+      Alcotest.(check (option bool)) "unknown circuit rejected" (Some false)
+        (sbool r [ "ok" ]);
+      Alcotest.(check bool) "error message present" true
+        (sstr r [ "error" ] <> None);
+      (* malformed JSON on a raw connection: error response, and the SAME
+         connection keeps working afterwards *)
+      let raw = raw_connect cfg.Server.socket_path in
+      raw_send raw "{this is not json";
+      let e = raw_recv raw in
+      Alcotest.(check (option bool)) "parse error rejected" (Some false)
+        (sbool e [ "ok" ]);
+      raw_send raw {|{"id":9,"op":"ping"}|};
+      let p = raw_recv raw in
+      Alcotest.(check (option bool)) "connection survives a bad line"
+        (Some true)
+        (sbool p [ "pong" ]);
+      raw_close raw)
+
+(* ---- admission control ---- *)
+
+let test_shedding () =
+  (* max_pending = 0 sheds every check deterministically; ping and stats
+     still answer inline *)
+  with_server ~max_pending:0 (fun _ c ->
+      let r = Server.Client.request c (check_req "@minmax10" "@minmax10") in
+      check_ok "shed response well-formed" r;
+      Alcotest.(check (option string)) "verdict" (Some "undecided")
+        (sstr r [ "verdict" ]);
+      Alcotest.(check (option string)) "reason" (Some "busy")
+        (sstr r [ "reason" ]);
+      let s =
+        Server.Client.request c
+          Sjson.(Obj [ ("id", Int 0); ("op", String "stats") ])
+      in
+      Alcotest.(check (option int)) "shed counted" (Some 1)
+        (sint s [ "server"; "shed" ]);
+      Alcotest.(check (option int)) "nothing admitted" (Some 0)
+        (sint s [ "server"; "checks" ]))
+
+(* ---- stats ---- *)
+
+let test_stats () =
+  let dir = fresh_dir () in
+  with_server ~cache_dir:dir (fun _ c ->
+      let (_ : Sjson.t) =
+        Server.Client.request c (check_req (fifo_text `Sop) (fifo_text `Mux))
+      in
+      let s =
+        Server.Client.request c
+          Sjson.(Obj [ ("id", Int 5); ("op", String "stats") ])
+      in
+      check_ok "ok" s;
+      Alcotest.(check (option int)) "checks" (Some 1) (sint s [ "server"; "checks" ]);
+      Alcotest.(check (option int)) "completed" (Some 1)
+        (sint s [ "server"; "completed" ]);
+      Alcotest.(check (option int)) "nothing in flight" (Some 0)
+        (sint s [ "server"; "inflight" ]);
+      Alcotest.(check bool) "live Obs counters exposed" true
+        (match sget s [ "counters" ] with
+        | Some (Sjson.Obj kvs) ->
+            List.mem_assoc "server.admitted" kvs
+            && List.mem_assoc "server.completed" kvs
+        | _ -> false);
+      Alcotest.(check bool) "store info exposed" true
+        (match sint s [ "store"; "entries" ] with Some n -> n >= 0 | None -> false))
+
+(* ---- the shared cache is warm across requests ---- *)
+
+let test_warm_requests () =
+  let dir = fresh_dir () in
+  with_server ~cache_dir:dir (fun _ c ->
+      let req id = check_req ~id (fifo_text `Sop) (fifo_text `Mux) in
+      let r1 = Server.Client.request c (req 1) in
+      check_ok "cold" r1;
+      Alcotest.(check (option string)) "cold verdict" (Some "equivalent")
+        (sstr r1 [ "verdict" ]);
+      let wrote = Option.value ~default:0 (sint r1 [ "counters"; "store_writes" ]) in
+      Alcotest.(check bool) "cold run persists verdicts" true (wrote > 0);
+      let r2 = Server.Client.request c (req 2) in
+      check_ok "warm" r2;
+      Alcotest.(check (option string)) "warm verdict" (Some "equivalent")
+        (sstr r2 [ "verdict" ]);
+      let hits =
+        Option.value ~default:0 (sint r2 [ "counters"; "cache_hits" ])
+        + Option.value ~default:0 (sint r2 [ "counters"; "store_hits" ])
+      in
+      Alcotest.(check bool) "warm run answered from the shared cache" true
+        (hits > 0))
+
+(* ---- concurrency ---- *)
+
+let test_concurrent_clients () =
+  (* 8 clients at once on 2 executor domains sharing one pool: every
+     client gets its own correct verdict, nothing is dropped *)
+  with_server ~executors:2 ~pool_jobs:4 (fun cfg _ ->
+      let eq_l = fifo_text `Sop and eq_r = fifo_text `Mux in
+      let bug = fifo_bug_text () in
+      let results = Array.make 8 None in
+      let threads =
+        List.init 8 (fun i ->
+            Thread.create
+              (fun () ->
+                let c = Server.Client.connect cfg.Server.socket_path in
+                let right = if i mod 2 = 0 then eq_r else bug in
+                let r = Server.Client.request c (check_req ~id:i eq_l right) in
+                Server.Client.close c;
+                results.(i) <- sstr r [ "verdict" ])
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i v ->
+          let expect = if i mod 2 = 0 then "equivalent" else "inequivalent" in
+          Alcotest.(check (option string))
+            (Printf.sprintf "client %d" i)
+            (Some expect) v)
+        results)
+
+let test_round_robin_fairness () =
+  (* one executor, a chatty connection that queues 4 checks, then a second
+     connection's single check: round-robin admission means the single
+     check is answered before the chatty connection's tail *)
+  with_server ~executors:1 ~pool_jobs:2 (fun cfg c ->
+      let chatty = raw_connect cfg.Server.socket_path in
+      let l = fifo_text `Sop and r = fifo_text `Mux in
+      let line id =
+        Sjson.to_string (check_req ~id l r)
+      in
+      for i = 1 to 4 do
+        raw_send chatty (line i)
+      done;
+      (* wait until the chatty batch is admitted (so the executor is busy
+         and its queue nonempty), then race the single check in *)
+      let rec wait () =
+        let s =
+          Server.Client.request c
+            Sjson.(Obj [ ("id", Int 0); ("op", String "stats") ])
+        in
+        match sint s [ "server"; "checks" ] with
+        | Some n when n >= 4 -> ()
+        | _ ->
+            Thread.yield ();
+            wait ()
+      in
+      wait ();
+      let single = raw_connect cfg.Server.socket_path in
+      raw_send single (line 99);
+      let r99 = raw_recv single in
+      Alcotest.(check (option int)) "single check answered" (Some 99)
+        (sint r99 [ "id" ]);
+      (* the chatty connection still gets all four answers, in order *)
+      for i = 1 to 4 do
+        let ri = raw_recv chatty in
+        Alcotest.(check (option int)) "chatty answer" (Some i) (sint ri [ "id" ])
+      done;
+      raw_close single;
+      raw_close chatty)
+
+(* ---- graceful drain ---- *)
+
+let test_drain_finishes_admitted () =
+  (* stop while requests are queued and in flight: every admitted check
+     still gets its real verdict before the server exits *)
+  let cfg =
+    {
+      (Server.default_config ~socket_path:(fresh_sock ())) with
+      Server.executors = 1;
+      pool_jobs = 2;
+    }
+  in
+  let t = Server.start cfg in
+  let stats_c = Server.Client.connect ~retries:50 cfg.Server.socket_path in
+  let raw = raw_connect cfg.Server.socket_path in
+  let l = fifo_text `Sop and r = fifo_text `Mux in
+  raw_send raw (Sjson.to_string (check_req ~id:1 l r));
+  raw_send raw (Sjson.to_string (check_req ~id:2 l r));
+  let rec wait () =
+    let s =
+      Server.Client.request stats_c
+        Sjson.(Obj [ ("id", Int 0); ("op", String "stats") ])
+    in
+    match sint s [ "server"; "checks" ] with
+    | Some n when n >= 2 -> ()
+    | _ ->
+        Thread.yield ();
+        wait ()
+  in
+  wait ();
+  Server.stop t;
+  let r1 = raw_recv raw in
+  let r2 = raw_recv raw in
+  List.iter
+    (fun (resp, id) ->
+      Alcotest.(check (option int)) "id" (Some id) (sint resp [ "id" ]);
+      Alcotest.(check (option string)) "drained to a real verdict"
+        (Some "equivalent")
+        (sstr resp [ "verdict" ]))
+    [ (r1, 1); (r2, 2) ];
+  raw_close raw;
+  Server.Client.close stats_c;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists cfg.Server.socket_path)
+
+let suite =
+  [
+    Alcotest.test_case "ping" `Quick test_ping;
+    Alcotest.test_case "check equivalent" `Quick test_check_equivalent;
+    Alcotest.test_case "check inequivalent" `Quick test_check_inequivalent;
+    Alcotest.test_case "per-request limits" `Quick test_request_limits;
+    Alcotest.test_case "errors keep the connection" `Quick test_errors_and_survival;
+    Alcotest.test_case "load shedding" `Quick test_shedding;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "warm shared cache" `Quick test_warm_requests;
+    Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "round-robin fairness" `Quick test_round_robin_fairness;
+    Alcotest.test_case "graceful drain" `Quick test_drain_finishes_admitted;
+  ]

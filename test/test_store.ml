@@ -288,6 +288,102 @@ let test_undecided_never_persisted () =
   Alcotest.(check int) "store still empty" 0 (Store.info st).Store.entries;
   Store.close st
 
+(* ---- close: idempotent, race-safe ---- *)
+
+(* spin barrier: releases once [n] parties arrive *)
+let barrier n =
+  let c = Atomic.make n in
+  fun () ->
+    Atomic.decr c;
+    while Atomic.get c > 0 do
+      Domain.cpu_relax ()
+    done
+
+let test_close_idempotent () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  Alcotest.(check bool) "add" true (Store.add st "sig-a" Store.Equivalent);
+  Store.close st;
+  (* a second close is a no-op, not a double-free of the fd or channel *)
+  Store.close st;
+  Store.close st;
+  let st2 = Store.open_ dir in
+  Alcotest.(check int) "entries intact" 1 (Store.info st2).Store.entries;
+  Store.close st2;
+  (* two domains racing to close ONE handle: exactly one wins, none crash *)
+  let st = Store.open_ dir in
+  ignore (Store.add st "sig-b" Store.Equivalent);
+  let bar = barrier 2 in
+  let closer () =
+    bar ();
+    Store.close st;
+    true
+  in
+  let d1 = Domain.spawn closer and d2 = Domain.spawn closer in
+  Alcotest.(check bool) "both closers return" true (Domain.join d1 && Domain.join d2);
+  let st3 = Store.open_ dir in
+  Alcotest.(check int) "no entry lost to the racing close" 2
+    (Store.info st3).Store.entries;
+  Alcotest.(check (option string)) "no quarantine" None
+    (Store.info st3).Store.quarantined_to;
+  Store.close st3
+
+let test_close_races_writer () =
+  (* one domain streams unique-key adds while another closes the handle:
+     every add either lands fully or raises the closed error — afterwards
+     the log replays cleanly and holds exactly the successful adds *)
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  let bar = barrier 2 in
+  let writer =
+    Domain.spawn (fun () ->
+        bar ();
+        let landed = ref 0 in
+        (try
+           for i = 0 to 999 do
+             if Store.add st (Printf.sprintf "race-%04d" i) Store.Equivalent
+             then incr landed
+           done
+         with Invalid_argument _ -> ());
+        !landed)
+  in
+  bar ();
+  (* let the writer get some adds in, then pull the rug *)
+  while (Store.info st).Store.writes = 0 do
+    Domain.cpu_relax ()
+  done;
+  Store.close st;
+  let landed = Domain.join writer in
+  let st2 = Store.open_ dir in
+  let i = Store.info st2 in
+  Alcotest.(check (option string)) "log replays cleanly" None i.Store.quarantined_to;
+  Alcotest.(check int) "exactly the successful adds survive" landed i.Store.entries;
+  Alcotest.(check bool) "the race actually wrote something" true (landed > 0);
+  Store.close st2
+
+(* ---- two domains, one store handle, warm verification reads ---- *)
+
+let test_two_domain_warm_reads () =
+  (* seed the store with one cold check, then two domains replay the same
+     problem concurrently through the SAME handle: both must be answered
+     from the store without solver work — the server's steady state *)
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  (match Cec.check_problem ~store:st (xy_problem 0) with
+  | Cec.Inequivalent _ -> ()
+  | _ -> Alcotest.fail "cold check must find the counterexample");
+  let warm () =
+    let _, s = Cec.check_problem_with_stats ~store:st (xy_problem 0) in
+    (s.Cec.store_hits, s.Cec.sat_calls)
+  in
+  let d1 = Domain.spawn warm and d2 = Domain.spawn warm in
+  let h1, sat1 = Domain.join d1 in
+  let h2, sat2 = Domain.join d2 in
+  Alcotest.(check bool) "both domains hit the store" true (h1 > 0 && h2 > 0);
+  Alcotest.(check int) "no solver work (domain 1)" 0 sat1;
+  Alcotest.(check int) "no solver work (domain 2)" 0 sat2;
+  Store.close st
+
 let suite =
   [
     Alcotest.test_case "crc32" `Quick test_crc32;
@@ -300,4 +396,7 @@ let suite =
     Alcotest.test_case "bad magic cold start" `Quick test_bad_magic;
     Alcotest.test_case "cex replay across depths" `Quick test_cex_replay_across_depths;
     Alcotest.test_case "undecided never persisted" `Quick test_undecided_never_persisted;
+    Alcotest.test_case "close is idempotent" `Quick test_close_idempotent;
+    Alcotest.test_case "close races a writer" `Quick test_close_races_writer;
+    Alcotest.test_case "two-domain warm reads" `Quick test_two_domain_warm_reads;
   ]
