@@ -668,10 +668,12 @@ let suite_large ~jobs ~smoke () =
    max_pending=0 server demonstrates deterministic load shedding.
    Writes BENCH_serve.json. *)
 
-let percentile sorted q =
-  match Array.length sorted with
-  | 0 -> 0.
-  | n -> sorted.(min (n - 1) (int_of_float (Float.of_int n *. q)))
+(* Nearest-rank (rank = ceil (q*n)) over a sorted sample.  The previous
+   truncation index [int_of_float (n *. q)] overshot every exact-boundary
+   quantile by one rank (p50 of [|1.; 2.|] came out 2.); nearest-rank is
+   also the rank convention [Obs.Histogram.quantile] uses, so the exact
+   and histogram percentiles below are comparable rank-for-rank. *)
+let percentile sorted q = Obs.Histogram.nearest_rank sorted q
 
 let serve_pairs () =
   let fifo ?bug ~entries style = Workloads.fifo ?bug ~entries ~width:8 ~style () in
@@ -683,7 +685,8 @@ let serve_pairs () =
   ]
 
 let write_serve_json ~path ~pool_jobs ~executors ~clients ~rounds ~rows
-    ~requests ~wall ~rps ~cold_rps ~p50 ~p95 ~p99 ~shed_requests ~shed_busy =
+    ~requests ~wall ~rps ~cold_rps ~p50 ~p95 ~p99 ~hp50 ~hp95 ~hp99
+    ~completed ~shed ~metrics_count ~shed_requests ~shed_busy =
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -710,6 +713,12 @@ let write_serve_json ~path ~pool_jobs ~executors ~clients ~rounds ~rows
   p "  \"latency_p50_ms\": %.3f,\n" p50;
   p "  \"latency_p95_ms\": %.3f,\n" p95;
   p "  \"latency_p99_ms\": %.3f,\n" p99;
+  p "  \"latency_hist_p50_ms\": %.3f,\n" hp50;
+  p "  \"latency_hist_p95_ms\": %.3f,\n" hp95;
+  p "  \"latency_hist_p99_ms\": %.3f,\n" hp99;
+  p "  \"server_completed\": %d,\n" completed;
+  p "  \"server_shed\": %d,\n" shed;
+  p "  \"metrics_request_seconds_count\": %d,\n" metrics_count;
   p "  \"shed\": {\"requests\": %d, \"busy\": %d}\n" shed_requests shed_busy;
   p "}\n";
   close_out oc
@@ -784,6 +793,10 @@ let suite_serve ~jobs ~smoke () =
                   let resp = Server.Client.request c req in
                   let dt = Unix.gettimeofday () -. t0 in
                   latencies.(ci) <- dt :: latencies.(ci);
+                  (* same samples into the live histogram, so the exact
+                     and histogram percentiles below see one population
+                     (server startup enabled Obs counters) *)
+                  Obs.observe "bench.client_seconds" dt;
                   match sstr resp "verdict" with
                   | Some v ->
                       Mutex.lock vm;
@@ -797,7 +810,40 @@ let suite_serve ~jobs ~smoke () =
   in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. wall0 in
+  (* scrape the live telemetry before the server goes down: stats + the
+     Prometheus exposition, to reconcile against the client-side tally *)
+  let sint j k = Option.bind (Sjson.member k j) Sjson.get_int in
+  let scrape = Server.Client.connect sock in
+  let stats =
+    Server.Client.request scrape
+      (Sjson.Obj [ ("id", Sjson.Int 0); ("op", Sjson.String "stats") ])
+  in
+  let mresp =
+    Server.Client.request scrape
+      (Sjson.Obj [ ("id", Sjson.Int 0); ("op", Sjson.String "metrics") ])
+  in
+  Server.Client.close scrape;
   Server.stop t;
+  let sobj = Option.value ~default:Sjson.Null (Sjson.member "server" stats) in
+  let completed = Option.value ~default:(-1) (sint sobj "completed") in
+  let shed = Option.value ~default:(-1) (sint sobj "shed") in
+  let submitted = Option.value ~default:(-1) (sint sobj "checks") in
+  let metric_value name =
+    Option.value ~default:"" (sstr mresp "metrics")
+    |> String.split_on_char '\n'
+    |> List.find_map (fun line ->
+           match String.index_opt line ' ' with
+           | Some i when String.sub line 0 i = name ->
+               float_of_string_opt
+                 (String.sub line (i + 1) (String.length line - i - 1))
+           | _ -> None)
+  in
+  let metrics_count =
+    match metric_value "seqver_server_request_seconds_count" with
+    | Some v -> int_of_float v
+    | None -> -1
+  in
+  let hist = Obs.Histogram.find "bench.client_seconds" in
   let all = Array.of_list (List.concat (Array.to_list latencies)) in
   Array.sort compare all;
   let requests = Array.length all in
@@ -810,11 +856,22 @@ let suite_serve ~jobs ~smoke () =
   let cold_rps = float_of_int requests /. Float.max cold_stream 1e-9 in
   let ms q = 1000. *. percentile all q in
   let p50 = ms 0.50 and p95 = ms 0.95 and p99 = ms 0.99 in
+  let hms q =
+    match hist with
+    | Some s -> 1000. *. Obs.Histogram.quantile s q
+    | None -> 0.
+  in
+  let hp50 = hms 0.50 and hp95 = hms 0.95 and hp99 = hms 0.99 in
   pf "@.warm server (%d clients x %d rounds x %d pairs on %d executors, pool jobs=%d):@."
     clients rounds (List.length pairs) executors jobs;
   pf "  %d requests in %.3fs: %.1f req/s (cold one-shot equivalent: %.1f req/s, %.1fx)@."
     requests wall rps cold_rps (rps /. Float.max cold_rps 1e-9);
-  pf "  latency p50 %.1fms  p95 %.1fms  p99 %.1fms@." p50 p95 p99;
+  pf "  latency (exact)     p50 %.1fms  p95 %.1fms  p99 %.1fms@." p50 p95 p99;
+  pf "  latency (histogram) p50 %.1fms  p95 %.1fms  p99 %.1fms (bucket upper bounds)@."
+    hp50 hp95 hp99;
+  pf "  server accounting: %d submitted = %d completed + %d shed; \
+      exposition _count %d@."
+    submitted completed shed metrics_count;
   (* verdict agreement, server vs cold jobs=1 *)
   let short = function
     | "equivalent" -> "EQ"
@@ -866,8 +923,8 @@ let suite_serve ~jobs ~smoke () =
   pf "  shed burst: %d/%d checks shed busy at max_pending=0@." !shed_busy
     shed_requests;
   write_serve_json ~path:"BENCH_serve.json" ~pool_jobs:jobs ~executors ~clients
-    ~rounds ~rows ~requests ~wall ~rps ~cold_rps ~p50 ~p95 ~p99 ~shed_requests
-    ~shed_busy:!shed_busy;
+    ~rounds ~rows ~requests ~wall ~rps ~cold_rps ~p50 ~p95 ~p99 ~hp50 ~hp95
+    ~hp99 ~completed ~shed ~metrics_count ~shed_requests ~shed_busy:!shed_busy;
   pf "wrote BENCH_serve.json@.";
   if smoke then begin
     let fails = ref [] in
@@ -883,6 +940,49 @@ let suite_serve ~jobs ~smoke () =
       fails :=
         Printf.sprintf "dropped responses: %d of %d" requests
           (clients * rounds * List.length pairs)
+        :: !fails;
+    (* the histogram view must agree with the exact sorted sample: same
+       count, and each quantile within one bucket of the exact value
+       (Obs.Histogram.quantile answers the upper bound of the bucket
+       holding the rank-th sample) *)
+    (match hist with
+    | None -> fails := "no bench.client_seconds histogram" :: !fails
+    | Some s ->
+        if s.Obs.Histogram.count <> requests then
+          fails :=
+            Printf.sprintf "histogram count %d <> %d requests"
+              s.Obs.Histogram.count requests
+            :: !fails);
+    List.iter
+      (fun (label, exact_ms, hist_ms) ->
+        let v = exact_ms /. 1000. in
+        let _, hi = Obs.Histogram.bucket_bounds_of_value v in
+        let h = hist_ms /. 1000. in
+        if not (h >= v -. 1e-12 && h <= hi +. 1e-12) then
+          fails :=
+            Printf.sprintf
+              "%s: histogram %.4fms not within one bucket of exact %.4fms \
+               (bucket top %.4fms)"
+              label hist_ms exact_ms (hi *. 1000.)
+            :: !fails)
+      [ ("p50", p50, hp50); ("p95", p95, hp95); ("p99", p99, hp99) ];
+    (* server-side accounting must reconcile with the client-side tally
+       and with the Prometheus exposition *)
+    if completed + shed <> submitted then
+      fails :=
+        Printf.sprintf "accounting: completed %d + shed %d <> submitted %d"
+          completed shed submitted
+        :: !fails;
+    if completed <> requests then
+      fails :=
+        Printf.sprintf "accounting: server completed %d <> %d client requests"
+          completed requests
+        :: !fails;
+    if metrics_count <> completed then
+      fails :=
+        Printf.sprintf
+          "metrics: seqver_server_request_seconds_count %d <> completed %d"
+          metrics_count completed
         :: !fails;
     if !shed_busy <> shed_requests then
       fails :=
@@ -1295,6 +1395,8 @@ let micro () =
           (Staged.stage (fun () -> Obs.span ~name:"bench" (fun () -> ())));
         Test.make ~name:"obs/count-disabled"
           (Staged.stage (fun () -> Obs.count "bench" 1));
+        Test.make ~name:"obs/observe-disabled"
+          (Staged.stage (fun () -> Obs.observe "bench" 1.0));
       ]
   in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
@@ -1314,6 +1416,45 @@ let micro () =
         (List.sort compare rows))
     results
 
+(* [--micro-obs]: the disabled-site cost gate.  A histogram site compiled
+   into hot code ([Par] worker wrap, [Cec.run_one]) must stay as close to
+   free as a disabled span when counters are off — one atomic load and a
+   branch.  Measured with a plain best-of-5 loop rather than bechamel so
+   the [--smoke] gate is a single comparable number. *)
+
+let micro_obs ~smoke () =
+  pf "@.== Obs disabled-site cost ==@.";
+  let iters = 2_000_000 in
+  let time f =
+    for _ = 1 to 100_000 do f () done;
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do f () done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best /. float_of_int iters *. 1e9
+  in
+  let span_ns = time (fun () -> Obs.span ~name:"bench" (fun () -> ())) in
+  let observe_ns = time (fun () -> Obs.observe "bench" 1.0) in
+  pf "  span-disabled    %6.2f ns/site@." span_ns;
+  pf "  observe-disabled %6.2f ns/site@." observe_ns;
+  if smoke then begin
+    (* relative gate with an absolute floor so a noisy box cannot fail on
+       a sub-nanosecond delta between two ~5ns sites *)
+    let budget = Float.max (2. *. span_ns) (span_ns +. 15.) in
+    if observe_ns > budget then begin
+      pf "SMOKE FAILURE: observe-disabled %.2f ns > budget %.2f ns \
+          (max of 2x span-disabled and span + 15ns)@."
+        observe_ns budget;
+      exit 1
+    end
+    else
+      pf "smoke: observe-disabled %.2f ns within budget %.2f ns@." observe_ns
+        budget
+  end
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -1327,8 +1468,9 @@ let () =
   let suite_arg = opt_str "--suite" args in
   let any =
     has "--table1" || has "--table2" || has "--figs" || has "--micro"
-    || has "--baseline" || has "--ablation-cec" || has "--ablation-rewrite"
-    || has "--ablation-guard" || has "--ablation-synth" || has "--ablation-dchoice"
+    || has "--micro-obs" || has "--baseline" || has "--ablation-cec"
+    || has "--ablation-rewrite" || has "--ablation-guard"
+    || has "--ablation-synth" || has "--ablation-dchoice"
     || suite_arg <> None
   in
   let full = has "--full" in
@@ -1365,6 +1507,7 @@ let () =
   if (not any) || has "--ablation-synth" then ablation_synth_rewrite ();
   if (not any) || has "--ablation-dchoice" then ablation_dchoice ();
   if (not any) || has "--micro" then micro ();
+  if (not any) || has "--micro-obs" then micro_obs ~smoke ();
   match trace with
   | Some path ->
       let oc = open_out path in

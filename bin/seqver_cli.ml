@@ -581,7 +581,7 @@ let socket_arg =
 
 let serve_cmd =
   let run socket executors jobs max_pending timeout sat_conflicts cache_dir
-      engine =
+      engine metrics_addr trace_sample slow_ms =
     let cfg =
       {
         Server.socket_path = socket;
@@ -591,6 +591,9 @@ let serve_cmd =
         limits = limits_of timeout sat_conflicts;
         engine;
         cache_dir;
+        metrics_addr;
+        trace_sample;
+        slow_ms = (if slow_ms < 0. then infinity else slow_ms);
       }
     in
     let t = Server.create cfg in
@@ -602,6 +605,9 @@ let serve_cmd =
       "seqver serve: listening on %s (%d executors, pool of %d jobs, %d \
        pending max)@."
       socket executors jobs max_pending;
+    (match Server.metrics_port t with
+    | Some p -> Format.eprintf "seqver serve: metrics on port %d@." p
+    | None -> ());
     Server.run t;
     Format.eprintf "seqver serve: drained@."
   in
@@ -619,10 +625,36 @@ let serve_cmd =
             "Admission bound: requests queued beyond this are shed \
              immediately with verdict UNDECIDED, reason \"busy\".")
   in
+  let metrics_addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"ADDR"
+          ~doc:
+            "Serve HTTP GET /metrics (Prometheus text exposition) on this \
+             TCP address (host:port, :port or port; port 0 picks one).")
+  in
+  let trace_sample =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-sample" ] ~docv:"N"
+          ~doc:
+            "Capture every Nth check's span tree into the trace ring \
+             (op trace); 0 disables periodic sampling.")
+  in
+  let slow_ms =
+    Arg.(
+      value & opt float 500.
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Checks at least this slow always enter the trace ring and the \
+             stats slow-request log; negative disables the slow path.")
+  in
   let term =
     Term.(
       const run $ socket_arg $ executors $ jobs_arg $ max_pending $ timeout_arg
-      $ sat_conflicts_arg $ cache_dir_arg $ engine_arg)
+      $ sat_conflicts_arg $ cache_dir_arg $ engine_arg $ metrics_addr
+      $ trace_sample $ slow_ms)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -689,6 +721,41 @@ let client_cmd =
     Cmd.v
       (Cmd.info "stats"
          ~doc:"Scrape live server/Obs/store counters as one JSON line.")
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let metrics_c =
+    let run socket retries =
+      with_client socket retries @@ fun c ->
+      let r = roundtrip c (Sjson.Obj [ ("op", Sjson.String "metrics") ]) in
+      match
+        ( Option.bind (Sjson.member "ok" r) Sjson.get_bool,
+          Option.bind (Sjson.member "metrics" r) Sjson.get_string )
+      with
+      | Some true, Some text -> print_string text
+      | _ ->
+          print_endline (Sjson.to_string r);
+          exit 1
+    in
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Print the server's Prometheus text exposition (the same payload \
+            GET /metrics serves) — for socket-only deployments.")
+      Term.(const run $ socket_arg $ retries_arg)
+  in
+  let trace_c =
+    let run socket retries =
+      with_client socket retries @@ fun c ->
+      let r = roundtrip c (Sjson.Obj [ ("op", Sjson.String "trace") ]) in
+      print_endline (Sjson.to_string r);
+      if Option.bind (Sjson.member "ok" r) Sjson.get_bool <> Some true then
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "Dump the server's trace ring (sampled and slow requests, with \
+            span trees) as one JSON line.")
       Term.(const run $ socket_arg $ retries_arg)
   in
   let check_c =
@@ -767,7 +834,7 @@ let client_cmd =
   in
   Cmd.group
     (Cmd.info "client" ~doc:"Talk to a running seqver serve daemon.")
-    [ check_c; stats_c; ping_c ]
+    [ check_c; stats_c; metrics_c; trace_c; ping_c ]
 
 let () =
   let doc = "sequential verification by combinational reduction (DATE'99 reproduction)" in

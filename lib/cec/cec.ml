@@ -639,6 +639,20 @@ let verdict_attr = function
   | Inequivalent _ -> Obs.String "inequivalent"
   | Undecided r -> Obs.String ("undecided: " ^ r)
 
+(* Cone-cost attribution: one live histogram per decade of estimated
+   cluster cost (node-frames, {!Layout.estimate}), so a metrics scrape
+   answers "which cone class burns the time" without a trace.  Names are
+   preallocated — the disabled path must not sprintf. *)
+let cost_decade_names =
+  Array.init 8 (fun d -> Printf.sprintf "cec.cone_seconds.cost_1e%d" d)
+
+let observe_cone_cost ~cost dt =
+  if Obs.counters_enabled () then begin
+    let d = if cost < 10. then 0 else int_of_float (Float.log10 cost) in
+    let d = max 0 (min (Array.length cost_decade_names - 1) d) in
+    Obs.observe cost_decade_names.(d) dt
+  end
+
 (* Runs one engine on one (sub)problem, charging wall-clock to the engine's
    stats bucket.  The clock is the span instrumentation itself
    (Obs.timed_span measures even with tracing disabled), so the stats
@@ -670,6 +684,11 @@ let run_one ct b ~engine ~factor p =
   | Bdd_engine -> ct.k_bdd_s <- ct.k_bdd_s +. dt
   | Sat_engine -> ct.k_sat_s <- ct.k_sat_s +. Float.max 0. (dt -. sat_dt)
   | Sweep_engine -> ct.k_sweep_s <- ct.k_sweep_s +. Float.max 0. (dt -. sat_dt));
+  (* per-engine attribution histogram (whole engine run incl. inner SAT) *)
+  (match engine with
+  | Bdd_engine -> Obs.observe "cec.engine_seconds.bdd" dt
+  | Sat_engine -> Obs.observe "cec.engine_seconds.sat" dt
+  | Sweep_engine -> Obs.observe "cec.engine_seconds.sweep" dt);
   v
 
 (* Staged escalation: a blown budget retries harder instead of failing.
@@ -871,7 +890,9 @@ let check_partitioned ~engine ~jobs ~pool ~limits ~cache ~forced (p : Seqprob.t)
     if layout.Layout.monolithic then begin
       (* Below the cost threshold the whole check is cheaper than the
          partitioning machinery: run it in one piece, spin up no pool. *)
+      let t0 = now () in
       let v, st = check_monolithic ~engine ~limits ~cache p in
+      observe_cone_cost ~cost:layout.Layout.total_cost (now () -. t0);
       (v, { st with partition_seconds = layout_seconds })
     end
     else begin
@@ -883,8 +904,8 @@ let check_partitioned ~engine ~jobs ~pool ~limits ~cache ~forced (p : Seqprob.t)
          mid-solve, and bins abandon their not-yet-started clusters. *)
       let cancel = Atomic.make false in
       let undecided = Array.make n None in
-      let check_cluster k =
-        let sub = subs.(k) in
+      let clusters = Array.of_list layout.Layout.clusters in
+      let check_cluster_span k sub =
         Obs.span ~name:"cec.partition"
           ~attrs:
             [
@@ -912,6 +933,13 @@ let check_partitioned ~engine ~jobs ~pool ~limits ~cache ~forced (p : Seqprob.t)
                    records this answer *)
                 Obs.instant "cec.first_cex" ~attrs:[ ("cluster", Obs.Int k) ];
                 Some cex)
+      in
+      let check_cluster k =
+        let sub = subs.(k) in
+        let t0 = now () in
+        let res = check_cluster_span k sub in
+        observe_cone_cost ~cost:clusters.(k).Layout.cost (now () -. t0);
+        res
       in
       let found =
         (* one pool task per scheduling bin; a task checks its clusters in

@@ -33,6 +33,9 @@ type engine =
       (** fraig-style: random simulation classes + incremental SAT merging,
           then a miter check on the swept AIG *)
 
+val engine_name : engine -> string
+(** ["bdd"] / ["sat"] / ["sweep"] — the CLI/wire spelling. *)
+
 type limits = {
   sat_conflicts : int option;
       (** base conflict budget per SAT call; the escalation ladder's SAT

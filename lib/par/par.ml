@@ -117,10 +117,11 @@ module Pool = struct
         in
         (* Tracing wrapper: a span per task, recording how long the task
            sat in the queue before a domain picked it up (run time is the
-           span itself).  Tasks run by the submitting domain never queue,
-           so their wait is 0 by construction. *)
+           span itself), plus queue-wait/run histograms under live
+           metrics.  Tasks run by the submitting domain never queue, so
+           their wait is 0 by construction. *)
         let wrap ~enqueued i =
-          if not (Obs.enabled ()) then task i
+          if not (Obs.enabled () || Obs.counters_enabled ()) then task i
           else fun () ->
             let wait =
               match enqueued with
@@ -128,16 +129,24 @@ module Pool = struct
               | Some t -> Obs.Clock.now () -. t
             in
             Obs.count "pool.queue_wait_ns" (int_of_float (wait *. 1e9));
-            Obs.span ~name:"pool.task"
-              ~attrs:
-                [
-                  ("task", Obs.Int i);
-                  ("queue_wait_us", Obs.Float (wait *. 1e6));
-                ]
-              (task i)
+            Obs.observe "pool.queue_wait_seconds" wait;
+            let (), dt =
+              Obs.timed_span ~name:"pool.task"
+                ~attrs:
+                  [
+                    ("task", Obs.Int i);
+                    ("queue_wait_us", Obs.Float (wait *. 1e6));
+                  ]
+                (task i)
+            in
+            Obs.observe "pool.task_run_seconds" dt
         in
         Mutex.lock p.qm;
-        let tq = if Obs.enabled () then Some (Obs.Clock.now ()) else None in
+        let tq =
+          if Obs.enabled () || Obs.counters_enabled () then
+            Some (Obs.Clock.now ())
+          else None
+        in
         for i = 1 to n - 1 do
           Queue.push (wrap ~enqueued:tq i) p.q
         done;

@@ -22,6 +22,9 @@ type config = {
   limits : Cec.limits;
   engine : Cec.engine;
   cache_dir : string option;
+  metrics_addr : string option;
+  trace_sample : int;
+  slow_ms : float;
 }
 
 let default_config ~socket_path =
@@ -33,6 +36,9 @@ let default_config ~socket_path =
     limits = Cec.default_limits;
     engine = Cec.Sweep_engine;
     cache_dir = None;
+    metrics_addr = None;
+    trace_sample = 0;
+    slow_ms = 500.;
   }
 
 type conn = {
@@ -43,11 +49,49 @@ type conn = {
   mutable alive : bool;
 }
 
-type pending = { pconn : conn; req : Sjson.t }
+type pending = {
+  pconn : conn;
+  req : Sjson.t;
+  pseq : int;  (* 1-based admitted-check sequence number = trace id *)
+  psub : float;  (* Clock.now at admission, for the queue-wait histogram *)
+  pcapture : bool;  (* capture this request's span tree *)
+}
+
+(* per-request phase breakdown carried into the trace ring / slow log *)
+type phases = {
+  ph_unroll : float;
+  ph_sweep : float;
+  ph_sat : float;
+  ph_bdd : float;
+}
+
+(* what the executor learns from a completed check besides the response *)
+type req_meta = {
+  m_verdict : string;
+  m_engine : string;  (* requested engine *)
+  m_escalations : int;
+  m_phases : phases;
+}
+
+type trace_entry = {
+  tr_seq : int;  (* trace id *)
+  tr_id : Sjson.t;  (* client-supplied request id *)
+  tr_verdict : string;  (* "equivalent" / ... / "error" *)
+  tr_seconds : float;
+  tr_queue_wait : float;
+  tr_slow : bool;
+  tr_sampled : bool;  (* picked by the 1-in-N policy (vs slow-only) *)
+  tr_meta : req_meta option;  (* None for error responses *)
+  tr_spans : Sjson.t;  (* span tree, or Null when not captured *)
+}
+
+let trace_ring_cap = 64
 
 type t = {
   cfg : config;
   listen_fd : Unix.file_descr;
+  metrics_fd : Unix.file_descr option;  (* TCP /metrics listener *)
+  t_created : float;  (* Obs.Clock.now at create, for uptime *)
   pool : Par.Pool.t;
   cache : Cec.Cache.t;
   store : Store.t option;
@@ -72,9 +116,21 @@ type t = {
   mutable n_completed : int;
   mutable n_shed : int;
   mutable n_errors : int;
+  (* bounded ring of traced requests (sampled or slow), newest at
+     [(t_pos - 1) mod cap]; guarded by [t.m] *)
+  traces : trace_entry option array;
+  mutable t_pos : int;
 }
 
 let socket_path t = t.cfg.socket_path
+
+let metrics_port t =
+  Option.map
+    (fun fd ->
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> 0)
+    t.metrics_fd
 
 (* ---------- responses ---------- *)
 
@@ -162,6 +218,8 @@ let limits_of cfg req =
 
 (* ---------- the check itself (executor domain) ---------- *)
 
+(* Returns the wire response plus the metadata the executor needs for
+   the trace ring / slow log ([None] on an error response). *)
 let check_response t req =
   let id = Option.value ~default:Sjson.Null (Sjson.member "id" req) in
   try
@@ -175,10 +233,30 @@ let check_response t req =
       Verify.check ~engine ?jobs ~pool:t.pool ~limits ~cache:t.cache ~exposed
         c1 c2
     with
-    | Error d -> error_response id (Seqprob.diagnosis_to_string d)
+    | Error d -> (error_response id (Seqprob.diagnosis_to_string d), None)
     | Ok outcome ->
         let s = outcome.Verify.stats in
         let cec = s.Verify.cec in
+        let verdict_str =
+          match outcome.Verify.verdict with
+          | Verify.Equivalent -> "equivalent"
+          | Verify.Inequivalent _ -> "inequivalent"
+          | Verify.Undecided _ -> "undecided"
+        in
+        let meta =
+          {
+            m_verdict = verdict_str;
+            m_engine = Cec.engine_name (engine_of t.cfg req);
+            m_escalations = cec.Cec.escalations;
+            m_phases =
+              {
+                ph_unroll = s.Verify.unroll_seconds;
+                ph_sweep = cec.Cec.sweep_seconds;
+                ph_sat = cec.Cec.sat_seconds;
+                ph_bdd = cec.Cec.bdd_seconds;
+              };
+          }
+        in
         let verdict_fields =
           match outcome.Verify.verdict with
           | Verify.Equivalent -> [ ("verdict", Sjson.String "equivalent") ]
@@ -208,10 +286,10 @@ let check_response t req =
                 ("reason", Sjson.String reason);
               ]
         in
-        Sjson.Obj
-          ([ ("id", id); ("ok", Sjson.Bool true) ]
-          @ verdict_fields
-          @ [
+        ( Sjson.Obj
+            ([ ("id", id); ("ok", Sjson.Bool true) ]
+            @ verdict_fields
+            @ [
               ( "method",
                 Sjson.String
                   (match s.Verify.method_ with
@@ -229,21 +307,138 @@ let check_response t req =
                     ("sat_cpu_seconds", Sjson.Float cec.Cec.sat_seconds);
                     ("bdd_cpu_seconds", Sjson.Float cec.Cec.bdd_seconds);
                   ] );
-              ( "counters",
-                Sjson.Obj
-                  [
-                    ("sat_calls", Sjson.Int cec.Cec.sat_calls);
-                    ("partitions", Sjson.Int cec.Cec.partitions);
-                    ("cache_hits", Sjson.Int cec.Cec.cache_hits);
-                    ("store_hits", Sjson.Int cec.Cec.store_hits);
-                    ("store_writes", Sjson.Int cec.Cec.store_writes);
-                  ] );
-            ])
-  with e -> error_response id (Printexc.to_string e)
+                ( "counters",
+                  Sjson.Obj
+                    [
+                      ("sat_calls", Sjson.Int cec.Cec.sat_calls);
+                      ("partitions", Sjson.Int cec.Cec.partitions);
+                      ("cache_hits", Sjson.Int cec.Cec.cache_hits);
+                      ("store_hits", Sjson.Int cec.Cec.store_hits);
+                      ("store_writes", Sjson.Int cec.Cec.store_writes);
+                    ] );
+              ]),
+          Some meta )
+  with e -> (error_response id (Printexc.to_string e), None)
 
-(* ---------- stats (reader thread, answered inline) ---------- *)
+(* ---------- traces, stats, metrics (reader thread, answered inline) ---------- *)
+
+let rec span_node_json (n : Obs.Summary.node) =
+  Sjson.Obj
+    [
+      ("name", Sjson.String n.Obs.Summary.name);
+      ("count", Sjson.Int n.Obs.Summary.count);
+      ("total_seconds", Sjson.Float n.Obs.Summary.total);
+      ("self_seconds", Sjson.Float n.Obs.Summary.self);
+      ("children", Sjson.List (List.map span_node_json n.Obs.Summary.children));
+    ]
+
+let span_tree_json events =
+  Sjson.List (List.map span_node_json (Obs.Summary.tree events))
+
+let phases_json ph =
+  Sjson.Obj
+    [
+      ("unroll_seconds", Sjson.Float ph.ph_unroll);
+      ("sweep_cpu_seconds", Sjson.Float ph.ph_sweep);
+      ("sat_cpu_seconds", Sjson.Float ph.ph_sat);
+      ("bdd_cpu_seconds", Sjson.Float ph.ph_bdd);
+    ]
+
+let trace_entry_json ~with_spans e =
+  let meta_fields =
+    match e.tr_meta with
+    | None -> []
+    | Some m ->
+        [
+          ("engine", Sjson.String m.m_engine);
+          ("escalations", Sjson.Int m.m_escalations);
+          ("phases", phases_json m.m_phases);
+        ]
+  in
+  Sjson.Obj
+    ([
+       ("trace_id", Sjson.Int e.tr_seq);
+       ("id", e.tr_id);
+       ("verdict", Sjson.String e.tr_verdict);
+       ("seconds", Sjson.Float e.tr_seconds);
+       ("queue_wait_seconds", Sjson.Float e.tr_queue_wait);
+       ("slow", Sjson.Bool e.tr_slow);
+       ("sampled", Sjson.Bool e.tr_sampled);
+     ]
+    @ meta_fields
+    @ if with_spans then [ ("spans", e.tr_spans) ] else [])
+
+(* Caller holds [t.m].  Newest-first list of ring entries. *)
+let ring_entries t =
+  let cap = Array.length t.traces in
+  let rec go i acc =
+    if i >= cap then acc
+    else
+      match t.traces.((t.t_pos - 1 - i + (2 * cap)) mod cap) with
+      | None -> acc
+      | Some e -> go (i + 1) (e :: acc)
+  in
+  List.rev (go 0 [])
+
+(* Caller holds [t.m]. *)
+let push_trace t e =
+  t.traces.(t.t_pos mod Array.length t.traces) <- Some e;
+  t.t_pos <- t.t_pos + 1
+
+let quantiles_json name =
+  match Obs.Histogram.find name with
+  | None -> Sjson.Null
+  | Some h ->
+      let q p = Sjson.Float (Obs.Histogram.quantile h p *. 1000.) in
+      Sjson.Obj
+        [
+          ("count", Sjson.Int h.Obs.Histogram.count);
+          ("sum_seconds", Sjson.Float h.Obs.Histogram.sum);
+          ("p50_ms", q 0.5);
+          ("p95_ms", q 0.95);
+          ("p99_ms", q 0.99);
+        ]
+
+let config_json cfg =
+  Sjson.Obj
+    [
+      ("executors", Sjson.Int cfg.executors);
+      ("pool_jobs", Sjson.Int cfg.pool_jobs);
+      ("max_pending", Sjson.Int cfg.max_pending);
+      ("engine", Sjson.String (Cec.engine_name cfg.engine));
+      ( "timeout_seconds",
+        match cfg.limits.Cec.seconds with
+        | None -> Sjson.Null
+        | Some s -> Sjson.Float s );
+      ( "sat_conflicts",
+        match cfg.limits.Cec.sat_conflicts with
+        | None -> Sjson.Null
+        | Some n -> Sjson.Int n );
+      ( "cache_dir",
+        match cfg.cache_dir with
+        | None -> Sjson.Null
+        | Some d -> Sjson.String d );
+      ( "metrics_addr",
+        match cfg.metrics_addr with
+        | None -> Sjson.Null
+        | Some a -> Sjson.String a );
+      ("trace_sample", Sjson.Int cfg.trace_sample);
+      ("slow_ms", Sjson.Float cfg.slow_ms);
+    ]
+
+(* Point-in-time gauges only the server can compute; refreshed on every
+   scrape (stats, metrics op, GET /metrics) rather than on a timer. *)
+let refresh_scrape_gauges t =
+  Obs.Gauge.set "pool.spawned" (float_of_int (Par.Pool.spawned t.pool));
+  match t.store with
+  | None -> ()
+  | Some st ->
+      let i = Store.info st in
+      Obs.Gauge.set "store.entries" (float_of_int i.Store.entries);
+      Obs.Gauge.set "store.file_bytes" (float_of_int i.Store.file_bytes)
 
 let stats_response t id =
+  refresh_scrape_gauges t;
   Mutex.lock t.m;
   let server =
     Sjson.Obj
@@ -260,10 +455,20 @@ let stats_response t id =
         ("pool_spawned", Sjson.Int (Par.Pool.spawned t.pool));
       ]
   in
+  let slow =
+    ring_entries t
+    |> List.filter (fun e -> e.tr_slow)
+    |> List.filteri (fun i _ -> i < 8)
+    |> List.map (trace_entry_json ~with_spans:false)
+  in
   Mutex.unlock t.m;
   let counters =
     Sjson.Obj
       (List.map (fun (k, v) -> (k, Sjson.Int v)) (Obs.Counters.snapshot ()))
+  in
+  let gauges =
+    Sjson.Obj
+      (List.map (fun (k, v) -> (k, Sjson.Float v)) (Obs.Gauge.snapshot ()))
   in
   let store =
     match t.store with
@@ -283,9 +488,42 @@ let stats_response t id =
     [
       ("id", id);
       ("ok", Sjson.Bool true);
+      ("uptime_seconds", Sjson.Float (Obs.Clock.now () -. t.t_created));
       ("server", server);
+      ("config", config_json t.cfg);
       ("counters", counters);
+      ("gauges", gauges);
+      ("latency", quantiles_json "server.request_seconds");
+      ("queue_wait", quantiles_json "server.queue_wait_seconds");
+      ("dropped_events", Sjson.Int (Obs.dropped_events ()));
+      ("slow", Sjson.List slow);
       ("store", store);
+    ]
+
+let metrics_text t =
+  refresh_scrape_gauges t;
+  Obs.Prom.to_string ()
+
+let metrics_response t id =
+  Sjson.Obj
+    [
+      ("id", id);
+      ("ok", Sjson.Bool true);
+      ("content_type", Sjson.String "text/plain; version=0.0.4");
+      ("metrics", Sjson.String (metrics_text t));
+    ]
+
+let trace_response t id =
+  Mutex.lock t.m;
+  (* newest-first ring order flipped: the wire presents oldest to newest *)
+  let entries = List.rev (ring_entries t) in
+  Mutex.unlock t.m;
+  Sjson.Obj
+    [
+      ("id", id);
+      ("ok", Sjson.Bool true);
+      ("trace_ring_capacity", Sjson.Int trace_ring_cap);
+      ("traces", Sjson.List (List.map (trace_entry_json ~with_spans:true) entries));
     ]
 
 (* ---------- scheduling ---------- *)
@@ -323,9 +561,20 @@ let submit t conn req id =
             q
       in
       if Queue.is_empty q then Queue.add conn.cid t.rr;
-      Queue.add { pconn = conn; req } q;
-      t.npending <- t.npending + 1;
       t.n_checks <- t.n_checks + 1;
+      let pseq = t.n_checks in
+      (* deterministic 1-in-N sampling by admission sequence number; a
+         finite slow threshold also needs the capture, because slowness is
+         only known at completion *)
+      let pcapture =
+        (t.cfg.trace_sample > 0 && pseq mod t.cfg.trace_sample = 0)
+        || Float.is_finite t.cfg.slow_ms
+      in
+      Queue.add
+        { pconn = conn; req; pseq; psub = Obs.Clock.now (); pcapture }
+        q;
+      t.npending <- t.npending + 1;
+      Obs.Gauge.set "server.pending" (float_of_int t.npending);
       Condition.signal t.work_cv;
       `Admitted
     end
@@ -348,15 +597,32 @@ let executor t () =
     | None ->
         (* quit, queue drained *)
         Mutex.unlock t.m
-    | Some { pconn; req } ->
+    | Some { pconn; req; pseq; psub; pcapture } ->
         t.inflight <- t.inflight + 1;
+        Obs.Gauge.set "server.pending" (float_of_int t.npending);
+        Obs.Gauge.set "server.inflight" (float_of_int t.inflight);
         Mutex.unlock t.m;
+        let queue_wait = Obs.Clock.now () -. psub in
+        Obs.observe "server.queue_wait_seconds" queue_wait;
         (* a client that disconnected while queued gets no check run on
            its behalf — the response could never be delivered *)
-        let resp = if conn_alive pconn then Some (check_response t req) else None in
+        let result =
+          if not (conn_alive pconn) then None
+          else begin
+            let t0 = Obs.Clock.now () in
+            let (resp, meta), events =
+              if pcapture then Obs.capture (fun () -> check_response t req)
+              else (check_response t req, [])
+            in
+            let dt = Obs.Clock.now () -. t0 in
+            Obs.observe "server.request_seconds" dt;
+            Some (resp, meta, events, dt)
+          end
+        in
         let failed =
-          match resp with
-          | Some (Sjson.Obj kvs) -> List.assoc_opt "ok" kvs = Some (Sjson.Bool false)
+          match result with
+          | Some (Sjson.Obj kvs, _, _, _) ->
+              List.assoc_opt "ok" kvs = Some (Sjson.Bool false)
           | _ -> false
         in
         (* account BEFORE sending: a client that reads its response and
@@ -364,11 +630,39 @@ let executor t () =
         Obs.count "server.completed" 1;
         Mutex.lock t.m;
         t.inflight <- t.inflight - 1;
+        Obs.Gauge.set "server.inflight" (float_of_int t.inflight);
         t.n_completed <- t.n_completed + 1;
         if failed then t.n_errors <- t.n_errors + 1;
+        (* trace ring: keep the request if it was picked by the sampler or
+           turned out slow; spans only exist when the capture ran *)
+        (match result with
+        | None -> ()
+        | Some (_, meta, events, dt) ->
+            let sampled =
+              t.cfg.trace_sample > 0 && pseq mod t.cfg.trace_sample = 0
+            in
+            let slow = dt *. 1000. >= t.cfg.slow_ms in
+            if sampled || slow then
+              push_trace t
+                {
+                  tr_seq = pseq;
+                  tr_id =
+                    Option.value ~default:Sjson.Null (Sjson.member "id" req);
+                  tr_verdict =
+                    (match meta with
+                    | Some m -> m.m_verdict
+                    | None -> "error");
+                  tr_seconds = dt;
+                  tr_queue_wait = queue_wait;
+                  tr_slow = slow;
+                  tr_sampled = sampled;
+                  tr_meta = meta;
+                  tr_spans =
+                    (if pcapture then span_tree_json events else Sjson.Null);
+                });
         Condition.broadcast t.drain_cv;
         Mutex.unlock t.m;
-        Option.iter (fun r -> send pconn r) resp;
+        (match result with Some (r, _, _, _) -> send pconn r | None -> ());
         loop ()
   in
   loop ()
@@ -391,6 +685,8 @@ let handle_line t conn line =
                [ ("id", id); ("ok", Sjson.Bool true); ("pong", Sjson.Bool true) ])
       | Some "check" -> submit t conn req id
       | Some "stats" -> send conn (stats_response t id)
+      | Some "metrics" -> send conn (metrics_response t id)
+      | Some "trace" -> send conn (trace_response t id)
       | Some op ->
           Mutex.lock t.m;
           t.n_errors <- t.n_errors + 1;
@@ -417,6 +713,7 @@ let reader t conn () =
   close_in_noerr conn.ic;
   Mutex.lock t.m;
   Hashtbl.remove t.conns conn.cid;
+  Obs.Gauge.set "server.connections_open" (float_of_int (Hashtbl.length t.conns));
   Mutex.unlock t.m
 
 let spawn_reader t fd =
@@ -434,16 +731,109 @@ let spawn_reader t fd =
     }
   in
   Hashtbl.replace t.conns cid conn;
+  Obs.Gauge.set "server.connections_open" (float_of_int (Hashtbl.length t.conns));
   let th = Thread.create (reader t conn) () in
   t.readers <- th :: t.readers;
   Mutex.unlock t.m;
   Obs.count "server.connections" 1
 
+(* ---------- the /metrics HTTP listener ---------- *)
+
+(* "host:port", ":port" or "port"; the host must be numeric (or
+   "localhost") — this is a scrape endpoint, not a web server. *)
+let parse_metrics_addr s =
+  let host, port =
+    match String.rindex_opt s ':' with
+    | Some i ->
+        (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> ("", s)
+  in
+  let host = if host = "" then "127.0.0.1" else host in
+  let host = if host = "localhost" then "127.0.0.1" else host in
+  let port =
+    match int_of_string_opt port with
+    | Some p when p >= 0 && p <= 65535 -> p
+    | _ -> invalid_arg ("Server: bad --metrics-addr port in " ^ s)
+  in
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> invalid_arg ("Server: bad --metrics-addr host in " ^ s)
+  in
+  (addr, port)
+
+let bind_metrics addr_str =
+  let addr, port = parse_metrics_addr addr_str in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.setsockopt fd Unix.SO_REUSEADDR true;
+    Unix.bind fd (Unix.ADDR_INET (addr, port));
+    Unix.listen fd 16;
+    fd
+  with e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e
+
+(* One scrape at a time, handled inline in the metrics thread: reads the
+   request head, answers GET /metrics with the exposition, everything
+   else with 404, then closes (Connection: close).  A stuck client is
+   bounded by the socket receive timeout. *)
+let serve_http_client t cfd =
+  (try Unix.setsockopt_float cfd Unix.SO_RCVTIMEO 5. with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr cfd in
+  let respond status ctype body =
+    let msg =
+      Printf.sprintf
+        "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+        status ctype (String.length body) body
+    in
+    let b = Bytes.of_string msg in
+    let n = Bytes.length b in
+    let off = ref 0 in
+    while !off < n do
+      off := !off + Unix.write cfd b !off (n - !off)
+    done
+  in
+  (try
+     let request_line = input_line ic in
+     (* drain the headers so the client sees a clean close *)
+     (try
+        while
+          let l = input_line ic in
+          String.trim l <> ""
+        do
+          ()
+        done
+      with End_of_file -> ());
+     match String.split_on_char ' ' (String.trim request_line) with
+     | "GET" :: path :: _
+       when path = "/metrics"
+            || String.length path > 8
+               && String.sub path 0 9 = "/metrics?" ->
+         respond "200 OK" "text/plain; version=0.0.4; charset=utf-8"
+           (metrics_text t)
+     | _ -> respond "404 Not Found" "text/plain" "not found\n"
+   with End_of_file | Unix.Unix_error _ | Sys_error _ -> ());
+  close_in_noerr ic
+
+let rec metrics_loop t fd =
+  if not (Atomic.get t.stop_req) then begin
+    (match Unix.select [ fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept ~cloexec:true fd with
+        | exception Unix.Unix_error _ -> ()
+        | cfd, _ -> serve_http_client t cfd));
+    metrics_loop t fd
+  end
+
 (* ---------- lifecycle ---------- *)
 
 let create cfg =
-  if cfg.executors < 1 || cfg.pool_jobs < 1 || cfg.max_pending < 0 then
-    invalid_arg "Server.create: bad config";
+  if
+    cfg.executors < 1 || cfg.pool_jobs < 1 || cfg.max_pending < 0
+    || cfg.trace_sample < 0
+  then invalid_arg "Server.create: bad config";
   (* a client hanging up mid-response must be an EPIPE error, not a
      process-killing signal *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
@@ -458,10 +848,22 @@ let create cfg =
      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
      Option.iter Store.close store;
      raise e);
+  let metrics_fd =
+    match cfg.metrics_addr with
+    | None -> None
+    | Some a -> (
+        try Some (bind_metrics a)
+        with e ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Option.iter Store.close store;
+          raise e)
+  in
   Obs.enable_counters ();
   {
     cfg;
     listen_fd;
+    metrics_fd;
+    t_created = Obs.Clock.now ();
     pool = Par.Pool.create ~jobs:cfg.pool_jobs;
     cache = Cec.Cache.create ?store ();
     store;
@@ -485,6 +887,8 @@ let create cfg =
     n_completed = 0;
     n_shed = 0;
     n_errors = 0;
+    traces = Array.make trace_ring_cap None;
+    t_pos = 0;
   }
 
 let request_stop t = Atomic.set t.stop_req true
@@ -505,9 +909,16 @@ let run t =
   let execs =
     List.init t.cfg.executors (fun _ -> Domain.spawn (executor t))
   in
+  let metrics_th =
+    Option.map (fun fd -> Thread.create (fun () -> metrics_loop t fd) ()) t.metrics_fd
+  in
   accept_loop t;
   (* 1. stop accepting *)
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  Option.iter Thread.join metrics_th;
+  Option.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.metrics_fd;
   (try Sys.remove t.cfg.socket_path with Sys_error _ -> ());
   (* 2. drain: no new admissions, finish everything admitted *)
   Mutex.lock t.m;

@@ -13,19 +13,41 @@
     admitted [check] requests land on a bounded pending queue drained by
     [executors] worker {e domains}, each running the full verification on
     the shared pool.  Fairness is round-robin {e per connection}: one
-    chatty client cannot starve the others.  [stats] and [ping] answer
-    inline from the reader thread, so the server is observable while
-    saturated.
+    chatty client cannot starve the others.  [stats], [metrics], [trace]
+    and [ping] answer inline from the reader thread, so the server is
+    observable while saturated.
 
     {b Admission control.}  At most [max_pending] admitted-but-unstarted
     requests; beyond that a [check] is shed immediately with verdict
     [undecided], reason ["busy"] — the client sees a well-formed response,
     never a hang.
 
+    {b Telemetry.}  Live {!Obs} metrics are always on: request-latency
+    and queue-wait histograms ([server.request_seconds],
+    [server.queue_wait_seconds]), queue/in-flight/connection gauges,
+    per-engine solve-seconds histograms ([cec.engine_seconds.*]),
+    per-cone-cost-decade histograms ([cec.cone_seconds.*]) and pool
+    queue-wait/run histograms ([pool.*]).  Scraped three ways: the
+    [stats] op (quantiles inline), the [metrics] op, and — when
+    [metrics_addr] is set — a minimal HTTP/1.1 listener answering
+    [GET /metrics] with Prometheus text exposition (format 0.0.4).
+
+    {b Request tracing.}  Every [trace_sample]-th admitted check (by
+    admission sequence number, so sampling is deterministic), plus every
+    check slower than [slow_ms], lands in a bounded in-memory ring of 64
+    entries: trace id, verdict, seconds, queue wait, engine, escalations,
+    phase breakdown, and — when the request was captured — its span tree
+    ({!Obs.capture}; spans emitted by pool-worker domains on the
+    request's behalf are not included).  The ring is served by the
+    [trace] op; [stats] summarizes the slow entries as a slow-request
+    log.  Set [slow_ms = infinity] and [trace_sample = 0] to disable
+    capture entirely.
+
     {b Shutdown.}  {!request_stop} (async-signal-safe — the CLI calls it
     from the SIGTERM/SIGINT handler) stops accepting, finishes every
-    admitted request, flushes and closes the store, joins every thread
-    and domain, removes the socket, then {!run} returns.
+    admitted request, joins the metrics listener, flushes and closes the
+    store, joins every thread and domain, removes the socket, then
+    {!run} returns.
 
     {b Wire protocol} (one JSON object per line, response mirrors the
     request's [id]):
@@ -52,9 +74,43 @@
     counterexample is certified (CBF) and ["certified":false] when it is
     the conservative EDBF rejection.  Failures (bad netlist, unknown
     name, exposure diagnosis) answer [{"ok":false,"error":...}] — the
-    connection survives.  [{"op":"stats"}] returns live {!Obs} counter
-    totals, per-server request counts and the store {!Store.info};
-    [{"op":"ping"}] returns [{"ok":true,"pong":true}]. *)
+    connection survives.
+
+    The other ops:
+    - [{"op":"ping"}] returns [{"ok":true,"pong":true}].
+    - [{"op":"stats"}] returns
+      [{"ok":true,"uptime_seconds":...,
+        "server":{"connections","checks","completed","shed","errors",
+                  "inflight","pending","executors","pool_jobs",
+                  "pool_spawned"},
+        "config":{"executors","pool_jobs","max_pending","engine",
+                  "timeout_seconds","sat_conflicts","cache_dir",
+                  "metrics_addr","trace_sample","slow_ms"},
+        "counters":{...live Obs counter totals...},
+        "gauges":{...live Obs gauge values...},
+        "latency":{"count","sum_seconds","p50_ms","p95_ms","p99_ms"},
+        "queue_wait":{...same shape...},
+        "dropped_events":N,
+        "slow":[...up to 8 newest slow trace entries, no spans...],
+        "store":{"entries","file_bytes","hits","misses","writes"}}]
+      ([latency]/[queue_wait] are [null] before the first completed
+      check; quantiles come from {!Obs.Histogram} and carry its
+      bucket-bound error).
+    - [{"op":"metrics"}] returns
+      [{"ok":true,"content_type":"text/plain; version=0.0.4",
+        "metrics":"...Prometheus exposition text..."}] — the scrape for
+      socket-only deployments.
+    - [{"op":"trace"}] returns
+      [{"ok":true,"trace_ring_capacity":64,"traces":[...oldest to
+        newest...]}]; each entry is
+      [{"trace_id","id","verdict","seconds","queue_wait_seconds",
+        "slow","sampled","engine","escalations",
+        "phases":{"unroll_seconds","sweep_cpu_seconds","sat_cpu_seconds",
+                  "bdd_cpu_seconds"},
+        "spans":[{"name","count","total_seconds","self_seconds",
+                  "children":[...]}]}]
+      (error responses omit [engine]/[escalations]/[phases]; [spans] is
+      [null] when the entry was kept for slowness without a capture). *)
 
 type config = {
   socket_path : string;
@@ -65,19 +121,35 @@ type config = {
   engine : Cec.engine;  (** default engine *)
   cache_dir : string option;
       (** back the shared cache with one persistent store *)
+  metrics_addr : string option;
+      (** ["host:port"], [":port"] or ["port"]: serve HTTP
+          [GET /metrics] (Prometheus text exposition) on this TCP
+          address; [None] disables the listener (the [metrics] wire op
+          always works).  Port [0] binds an ephemeral port, readable via
+          {!metrics_port}. *)
+  trace_sample : int;
+      (** capture every Nth admitted check's span tree into the trace
+          ring; [0] disables periodic sampling *)
+  slow_ms : float;
+      (** checks at least this slow (wall-clock milliseconds) always
+          enter the trace ring and the [stats] slow-request log;
+          [infinity] disables the slow path *)
 }
 
 val default_config : socket_path:string -> config
 (** 2 executors, pool of {!Par.cpu_count} jobs, 64 pending,
-    {!Cec.default_limits}, sweep engine, no store. *)
+    {!Cec.default_limits}, sweep engine, no store, no HTTP metrics
+    listener, no periodic sampling, [slow_ms = 500.]. *)
 
 type t
 
 val create : config -> t
 (** Binds and listens on [socket_path] (an existing socket file is
-    replaced), opens the store when configured, enables live {!Obs}
-    counters.  No thread is started yet.
-    @raise Unix.Unix_error when the socket cannot be bound. *)
+    replaced) and on [metrics_addr] when set, opens the store when
+    configured, enables live {!Obs} counters.  No thread is started yet.
+    @raise Unix.Unix_error when a socket cannot be bound.
+    @raise Invalid_argument on a malformed [metrics_addr] or a negative
+    [trace_sample]. *)
 
 val run : t -> unit
 (** The accept loop; blocks until {!request_stop}, then drains (finishes
@@ -97,6 +169,11 @@ val stop : t -> unit
     {!start} thread when there is one). *)
 
 val socket_path : t -> string
+
+val metrics_port : t -> int option
+(** The TCP port the /metrics listener is bound to ([None] when
+    [metrics_addr] is unset) — the actual port, so binding port [0]
+    works in tests. *)
 
 (** Blocking single-connection client for the wire protocol — what
     [seqver client] and the bench harness use.  One request at a time per

@@ -20,14 +20,18 @@ let fresh_dir =
       (Printf.sprintf "seqver_srvstore_%d_%d" (Unix.getpid ()) !n)
 
 let with_server ?(executors = 2) ?(pool_jobs = 2) ?(max_pending = 64)
-    ?cache_dir f =
+    ?cache_dir ?metrics_addr ?trace_sample ?slow_ms f =
+  let base = Server.default_config ~socket_path:(fresh_sock ()) in
   let cfg =
     {
-      (Server.default_config ~socket_path:(fresh_sock ())) with
+      base with
       Server.executors;
       pool_jobs;
       max_pending;
       cache_dir;
+      metrics_addr;
+      trace_sample = Option.value ~default:base.Server.trace_sample trace_sample;
+      slow_ms = Option.value ~default:base.Server.slow_ms slow_ms;
     }
   in
   let t = Server.start cfg in
@@ -44,6 +48,7 @@ let sget j path =
 let sint j path = Option.bind (sget j path) Sjson.get_int
 let sstr j path = Option.bind (sget j path) Sjson.get_string
 let sbool j path = Option.bind (sget j path) Sjson.get_bool
+let sfloat j path = Option.bind (sget j path) Sjson.get_float
 
 let check_ok msg j = Alcotest.(check (option bool)) msg (Some true) (sbool j [ "ok" ])
 
@@ -247,7 +252,34 @@ let test_stats () =
             && List.mem_assoc "server.completed" kvs
         | _ -> false);
       Alcotest.(check bool) "store info exposed" true
-        (match sint s [ "store"; "entries" ] with Some n -> n >= 0 | None -> false))
+        (match sint s [ "store"; "entries" ] with Some n -> n >= 0 | None -> false);
+      (* the telemetry extension: uptime, config echo, gauges, quantiles *)
+      Alcotest.(check bool) "uptime" true
+        (match sfloat s [ "uptime_seconds" ] with
+        | Some u -> u >= 0.
+        | None -> false);
+      Alcotest.(check (option int)) "config echoes executors" (Some 2)
+        (sint s [ "config"; "executors" ]);
+      Alcotest.(check (option string)) "config echoes engine" (Some "sweep")
+        (sstr s [ "config"; "engine" ]);
+      Alcotest.(check (option string)) "config echoes cache_dir" (Some dir)
+        (sstr s [ "config"; "cache_dir" ]);
+      Alcotest.(check bool) "live gauges exposed" true
+        (match sget s [ "gauges" ] with
+        | Some (Sjson.Obj kvs) -> List.mem_assoc "server.inflight" kvs
+        | _ -> false);
+      Alcotest.(check bool) "latency quantiles from the live histogram" true
+        (match sint s [ "latency"; "count" ] with Some n -> n >= 1 | None -> false);
+      Alcotest.(check bool) "latency percentiles present" true
+        (sfloat s [ "latency"; "p50_ms" ] <> None
+        && sfloat s [ "latency"; "p95_ms" ] <> None
+        && sfloat s [ "latency"; "p99_ms" ] <> None);
+      Alcotest.(check bool) "queue wait histogram" true
+        (match sint s [ "queue_wait"; "count" ] with
+        | Some n -> n >= 1
+        | None -> false);
+      Alcotest.(check (option int)) "no dropped events" (Some 0)
+        (sint s [ "dropped_events" ]))
 
 (* ---- the shared cache is warm across requests ---- *)
 
@@ -385,6 +417,180 @@ let test_drain_finishes_admitted () =
   Server.Client.close stats_c;
   Alcotest.(check bool) "socket removed" false (Sys.file_exists cfg.Server.socket_path)
 
+(* ---- live telemetry: metrics op, HTTP scrape, trace ring ---- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_metrics_op () =
+  (* a clean global slate so the exposed totals are this test's alone *)
+  Obs.reset ();
+  with_server (fun _ c ->
+      let (_ : Sjson.t) =
+        Server.Client.request c (check_req (fifo_text `Sop) (fifo_text `Mux))
+      in
+      let m =
+        Server.Client.request c
+          Sjson.(Obj [ ("id", Int 3); ("op", String "metrics") ])
+      in
+      check_ok "ok" m;
+      Alcotest.(check (option string)) "content type"
+        (Some "text/plain; version=0.0.4")
+        (sstr m [ "content_type" ]);
+      let text = Option.value ~default:"" (sstr m [ "metrics" ]) in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) ("exposes " ^ needle) true (contains text needle))
+        [
+          "# TYPE seqver_server_request_seconds histogram";
+          "seqver_server_request_seconds_bucket{le=";
+          "seqver_server_request_seconds_bucket{le=\"+Inf\"} 1";
+          "seqver_server_request_seconds_count 1";
+          "seqver_server_request_seconds_sum ";
+          "seqver_server_queue_wait_seconds_count 1";
+          "seqver_server_admitted_total 1";
+          "seqver_server_completed_total 1";
+          "# TYPE seqver_server_pending gauge";
+          "seqver_pool_spawned ";
+          "seqver_cec_engine_seconds_";
+        ])
+
+let test_http_metrics () =
+  Obs.reset ();
+  let cfg =
+    {
+      (Server.default_config ~socket_path:(fresh_sock ())) with
+      Server.executors = 1;
+      pool_jobs = 2;
+      metrics_addr = Some "127.0.0.1:0" (* ephemeral port *);
+    }
+  in
+  let t = Server.start cfg in
+  Fun.protect
+    ~finally:(fun () -> Server.stop t)
+    (fun () ->
+      let port =
+        match Server.metrics_port t with
+        | Some p -> p
+        | None -> Alcotest.fail "no metrics port bound"
+      in
+      let c = Server.Client.connect ~retries:50 cfg.Server.socket_path in
+      let (_ : Sjson.t) =
+        Server.Client.request c (check_req (fifo_text `Sop) (fifo_text `Mux))
+      in
+      Server.Client.close c;
+      let http_get path =
+        let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        let oc = Unix.out_channel_of_descr fd in
+        let ic = Unix.in_channel_of_descr fd in
+        output_string oc
+          (Printf.sprintf "GET %s HTTP/1.1\r\nHost: localhost\r\n\r\n" path);
+        flush oc;
+        let buf = Buffer.create 4096 in
+        (try
+           while true do
+             Buffer.add_channel buf ic 1
+           done
+         with End_of_file -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Buffer.contents buf
+      in
+      let resp = http_get "/metrics" in
+      Alcotest.(check bool) "200 OK" true (contains resp "HTTP/1.1 200 OK");
+      Alcotest.(check bool) "prometheus content type" true
+        (contains resp "Content-Type: text/plain; version=0.0.4");
+      Alcotest.(check bool) "request histogram exposed" true
+        (contains resp "seqver_server_request_seconds_bucket{le=");
+      Alcotest.(check bool) "count reconciles with the one check" true
+        (contains resp "seqver_server_request_seconds_count 1");
+      Alcotest.(check bool) "connection closed per scrape" true
+        (contains resp "Connection: close");
+      let missing = http_get "/nope" in
+      Alcotest.(check bool) "404 elsewhere" true
+        (contains missing "HTTP/1.1 404"))
+
+let trace_req = Sjson.(Obj [ ("id", Int 9); ("op", String "trace") ])
+
+let trace_entries tr =
+  match sget tr [ "traces" ] with
+  | Some (Sjson.List l) -> l
+  | _ -> Alcotest.fail "no traces list"
+
+let test_trace_sampling () =
+  (* trace_sample=2, slow path off: admission seqs 2 and 4 of 4 checks are
+     captured — deterministically, by sequence number *)
+  with_server ~executors:1 ~trace_sample:2 ~slow_ms:infinity (fun _ c ->
+      let l = fifo_text `Sop and r = fifo_text `Mux in
+      for i = 1 to 4 do
+        check_ok "check" (Server.Client.request c (check_req ~id:i l r))
+      done;
+      let tr = Server.Client.request c trace_req in
+      check_ok "ok" tr;
+      Alcotest.(check (option int)) "ring capacity" (Some 64)
+        (sint tr [ "trace_ring_capacity" ]);
+      let entries = trace_entries tr in
+      Alcotest.(check (list int)) "sampled seqs, oldest first" [ 2; 4 ]
+        (List.filter_map (fun e -> sint e [ "trace_id" ]) entries);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option bool)) "sampled" (Some true)
+            (sbool e [ "sampled" ]);
+          Alcotest.(check (option bool)) "not slow" (Some false)
+            (sbool e [ "slow" ]);
+          Alcotest.(check (option string)) "verdict" (Some "equivalent")
+            (sstr e [ "verdict" ]);
+          Alcotest.(check bool) "engine attributed" true
+            (sstr e [ "engine" ] <> None);
+          Alcotest.(check bool) "phase breakdown" true
+            (sfloat e [ "phases"; "unroll_seconds" ] <> None);
+          Alcotest.(check bool) "span tree captured" true
+            (match sget e [ "spans" ] with
+            | Some (Sjson.List _) -> true
+            | _ -> false))
+        entries)
+
+let test_trace_slow_log () =
+  (* slow_ms=0: every check is "slow", lands in the ring and in the stats
+     slow-request log (which strips the span trees) *)
+  with_server ~executors:1 ~slow_ms:0. (fun _ c ->
+      let l = fifo_text `Sop and r = fifo_text `Mux in
+      for i = 1 to 2 do
+        check_ok "check" (Server.Client.request c (check_req ~id:i l r))
+      done;
+      let tr = Server.Client.request c trace_req in
+      let entries = trace_entries tr in
+      Alcotest.(check int) "every check kept" 2 (List.length entries);
+      List.iter
+        (fun e ->
+          Alcotest.(check (option bool)) "slow" (Some true) (sbool e [ "slow" ]);
+          Alcotest.(check (option bool)) "not sampled" (Some false)
+            (sbool e [ "sampled" ]))
+        entries;
+      let s =
+        Server.Client.request c
+          Sjson.(Obj [ ("id", Int 0); ("op", String "stats") ])
+      in
+      match sget s [ "slow" ] with
+      | Some (Sjson.List sl) ->
+          Alcotest.(check int) "slow log mirrors the ring" 2 (List.length sl);
+          List.iter
+            (fun e ->
+              Alcotest.(check bool) "no spans in the slow log" true
+                (sget e [ "spans" ] = None))
+            sl
+      | _ -> Alcotest.fail "no slow list in stats")
+
+let test_trace_disabled () =
+  (* slow path off and no sampling: the ring stays empty *)
+  with_server ~slow_ms:infinity (fun _ c ->
+      check_ok "check"
+        (Server.Client.request c (check_req (fifo_text `Sop) (fifo_text `Mux)));
+      let tr = Server.Client.request c trace_req in
+      Alcotest.(check int) "ring empty" 0 (List.length (trace_entries tr)))
+
 let suite =
   [
     Alcotest.test_case "ping" `Quick test_ping;
@@ -398,4 +604,9 @@ let suite =
     Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
     Alcotest.test_case "round-robin fairness" `Quick test_round_robin_fairness;
     Alcotest.test_case "graceful drain" `Quick test_drain_finishes_admitted;
+    Alcotest.test_case "metrics op" `Quick test_metrics_op;
+    Alcotest.test_case "http GET /metrics" `Quick test_http_metrics;
+    Alcotest.test_case "deterministic trace sampling" `Quick test_trace_sampling;
+    Alcotest.test_case "slow-request log" `Quick test_trace_slow_log;
+    Alcotest.test_case "trace ring disabled" `Quick test_trace_disabled;
   ]
