@@ -17,6 +17,9 @@
      dune exec bench/main.exe -- --suite serve [--smoke] [--jobs N|auto]
                                               # warm concurrent server vs cold
                                               # one-shot runs (BENCH_serve.json)
+     dune exec bench/main.exe -- --suite hier [--smoke] [--jobs N|auto]
+                                              # compositional SEC vs flat, warm
+                                              # verdict reuse (BENCH_hier.json)
    --jobs accepts an integer or "auto" (Domain.recommended_domain_count,
    further capped per check by the layout's bin count; default 1).
      dune exec bench/main.exe -- --figs       # figure reproductions
@@ -1004,6 +1007,277 @@ let suite_serve ~jobs ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Hier suite                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* [--suite hier]: compositional SEC on the hierarchical tier against the
+   flat monolithic reference.  Every pair runs three ways: flat (flatten
+   both designs, one Verify.check), cold compositional (fresh verdict
+   store, every module pair checked leaf-first) and warm compositional
+   (store reopened, every module pair answered from the log — zero engine
+   runs).  Equivalent pairs additionally get a mutate-one-leaf warm
+   rerun: one leaf of the right design is resynthesized (equivalence
+   preserved, netlist signature changed), and the planner must re-check
+   exactly that leaf's ancestor chain — the Obs counters pin the
+   untouched modules to store hits.  Writes BENCH_hier.json. *)
+type hr_record = {
+  h_name : string;
+  h_modules : int;  (* modules reachable from the top *)
+  h_expected : string;
+  h_expected_module : string;  (* offending module of `Neq rows, else "" *)
+  h_flat_verdict : string;
+  h_flat_seconds : float;
+  h_cold : Hier.report;
+  h_warm : Hier.report;
+  h_warm_seconds : float;  (* best of two warm passes (noise floor) *)
+  h_offending : string;  (* compositional attribution, "" when EQ *)
+  (* mutate-one-leaf rerun, `Eq rows only:
+     (leaf, chain = |invalidation set|, checked, store hits, verdict) *)
+  h_mut : (string * int * int * int * string) option;
+}
+
+let hier_verdict_str = function
+  | Hier.Equivalent -> "EQ"
+  | Hier.Inequivalent _ -> "NEQ"
+  | Hier.Undecided _ -> "UNDEC"
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let write_hier_json ~path ~jobs rows speedup detection =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"suite\": \"hier\",\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      p "    {\"pair\": \"%s\", \"modules\": %d, \"expected\": \"%s\", "
+        (json_escape r.h_name) r.h_modules (json_escape r.h_expected);
+      p "\"expected_module\": \"%s\", " (json_escape r.h_expected_module);
+      p "\"flat_verdict\": \"%s\", \"flat_seconds\": %.6f, "
+        (json_escape r.h_flat_verdict) r.h_flat_seconds;
+      p "\"cold_verdict\": \"%s\", \"cold_seconds\": %.6f, "
+        (json_escape (hier_verdict_str r.h_cold.Hier.verdict))
+        r.h_cold.Hier.seconds;
+      p "\"cold_checked\": %d, \"cold_store_hits\": %d, \"cold_flat_fallbacks\": %d, "
+        r.h_cold.Hier.checked r.h_cold.Hier.store_hits
+        r.h_cold.Hier.flat_fallbacks;
+      p "\"warm_seconds\": %.6f, \"warm_store_hits\": %d, \"warm_checked\": %d, "
+        r.h_warm_seconds r.h_warm.Hier.store_hits r.h_warm.Hier.checked;
+      p "\"warm_reuse_speedup\": %.3f, \"offending\": \"%s\""
+        (r.h_cold.Hier.seconds /. Float.max r.h_warm_seconds 1e-9)
+        (json_escape r.h_offending);
+      (match r.h_mut with
+      | Some (leaf, chain, checked, hits, v) ->
+          p
+            ", \"mutated_module\": \"%s\", \"mutated_chain\": %d, \
+             \"mutated_checked\": %d, \"mutated_store_hits\": %d, \
+             \"mutated_verdict\": \"%s\""
+            (json_escape leaf) chain checked hits (json_escape v)
+      | None -> ());
+      p "}%s\n" (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ],\n";
+  p "  \"warm_reuse_speedup\": %.3f,\n" speedup;
+  p "  \"mutant_detection_rate\": %.3f\n" detection;
+  p "}\n";
+  close_out oc
+
+let suite_hier ~jobs ~smoke () =
+  pf "@.== Hier suite: compositional SEC vs flat monolithic ==@.";
+  pf "(flat: flatten + one check; cold: per-module leaf-first, fresh store;@.";
+  pf " warm: store reopened, all hits; mut: one leaf resynthesized, only@.";
+  pf " its ancestor chain re-checked.)@.@.";
+  pf "%-10s %4s | %-5s %8s | %-5s %8s | %8s %7s | %s@." "pair" "mods" "flat"
+    "secs" "cold" "secs" "warm(s)" "speedup" "mut chain";
+  pf "%s@." (String.make 86 '-');
+  Obs.enable_counters ();
+  let counter name snap = Option.value ~default:0 (List.assoc_opt name snap) in
+  let delta name before after = counter name after - counter name before in
+  let exposed_of c =
+    List.map (Circuit.signal_name c) (Feedback.plan_structural c).Feedback.exposed
+  in
+  let store_root =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "seqver-bench-hier-%d" (Unix.getpid ()))
+  in
+  let row (name, dl, dr, expected) =
+    let dir = Filename.concat store_root name in
+    let c1 = Hier.flatten dl and c2 = Hier.flatten dr in
+    let flat =
+      check_outcome ~jobs ~limits:Cec.default_limits ~exposed:(exposed_of c1) c1
+        c2
+    in
+    let st = Store.open_ dir in
+    let cold = Hier.check ~jobs ~store:st dl dr in
+    Store.close st;
+    (* a fresh handle on the same log: hits come from disk, not the run's
+       in-memory table *)
+    let st = Store.open_ dir in
+    let warm = Hier.check ~jobs ~store:st dl dr in
+    let warm2 = Hier.check ~jobs ~store:st dl dr in
+    let warm_seconds = Float.min warm.Hier.seconds warm2.Hier.seconds in
+    let mut =
+      match expected with
+      | `Neq _ -> None
+      | `Eq ->
+          (* resynthesize the leaf with the shortest ancestor chain, so the
+             rerun leaves the most modules untouched *)
+          let leaf, chain =
+            List.fold_left
+              (fun best (m : Hier.module_def) ->
+                if m.Hier.instances <> [] then best
+                else
+                  let n =
+                    List.length (Hier.invalidation_set dr m.Hier.mod_name)
+                  in
+                  match best with
+                  | Some (_, bn) when bn <= n -> best
+                  | _ -> Some (m.Hier.mod_name, n))
+              None dr.Hier.modules
+            |> Option.get
+          in
+          let dm = Hier.map_module dr ~name:leaf ~f:(Hier.resynthesize ~seed:23) in
+          let before = Obs.Counters.snapshot () in
+          let r = Hier.check ~jobs ~store:st dl dm in
+          let after = Obs.Counters.snapshot () in
+          let checked = delta "hier.module_checked" before after in
+          let hits = delta "hier.module_store_hits" before after in
+          Some (leaf, chain, checked, hits, hier_verdict_str r.Hier.verdict)
+    in
+    Store.close st;
+    rm_rf dir;
+    let expected_str, expected_module =
+      match expected with `Eq -> ("EQ", "") | `Neq m -> ("NEQ", m)
+    in
+    let offending =
+      match cold.Hier.verdict with
+      | Hier.Inequivalent { offending; _ } -> offending
+      | _ -> ""
+    in
+    let r =
+      {
+        h_name = name;
+        h_modules = List.length (Hier.module_order dl);
+        h_expected = expected_str;
+        h_expected_module = expected_module;
+        h_flat_verdict = verdict_str flat.Verify.verdict;
+        h_flat_seconds = flat.Verify.stats.Verify.seconds;
+        h_cold = cold;
+        h_warm = warm;
+        h_warm_seconds = warm_seconds;
+        h_offending = offending;
+        h_mut = mut;
+      }
+    in
+    pf "%-10s %4d | %-5s %7.3fs | %-5s %7.3fs | %7.4fs %6.2fx | %s@." name
+      r.h_modules r.h_flat_verdict r.h_flat_seconds
+      (hier_verdict_str cold.Hier.verdict)
+      cold.Hier.seconds warm_seconds
+      (cold.Hier.seconds /. Float.max warm_seconds 1e-9)
+      (match mut with
+      | Some (leaf, chain, checked, hits, v) ->
+          Printf.sprintf "%s: %d re-checked, %d hits, %s" leaf chain hits v
+          |> fun s -> if checked = chain then s else s ^ " (!)"
+      | None -> Printf.sprintf "NEQ at %s" offending);
+    r
+  in
+  let rows = List.map row (Workloads.hier_suite ()) in
+  pf "%s@." (String.make 86 '-');
+  let speedup =
+    geomean
+      (List.map
+         (fun r -> r.h_cold.Hier.seconds /. Float.max r.h_warm_seconds 1e-9)
+         rows)
+  in
+  let neq_rows = List.filter (fun r -> r.h_expected = "NEQ") rows in
+  let detection =
+    match neq_rows with
+    | [] -> 1.
+    | _ ->
+        float_of_int
+          (List.length
+             (List.filter (fun r -> r.h_offending = r.h_expected_module) neq_rows))
+        /. float_of_int (List.length neq_rows)
+  in
+  pf "warm_reuse_speedup (geomean cold/warm over %d pairs): %.2fx@."
+    (List.length rows) speedup;
+  pf "mutant_detection_rate: %.0f%% (%d/%d attributed to the right module)@."
+    (100. *. detection)
+    (List.length (List.filter (fun r -> r.h_offending = r.h_expected_module) neq_rows))
+    (List.length neq_rows);
+  write_hier_json ~path:"BENCH_hier.json" ~jobs rows speedup detection;
+  pf "wrote BENCH_hier.json@.";
+  if smoke then begin
+    let fails = ref [] in
+    let fail fmt = Printf.ksprintf (fun s -> fails := s :: !fails) fmt in
+    List.iter
+      (fun r ->
+        if r.h_flat_verdict <> r.h_expected then
+          fail "%s: flat verdict %s (want %s)" r.h_name r.h_flat_verdict
+            r.h_expected;
+        if hier_verdict_str r.h_cold.Hier.verdict <> r.h_flat_verdict then
+          fail "%s: compositional %s disagrees with flat %s" r.h_name
+            (hier_verdict_str r.h_cold.Hier.verdict)
+            r.h_flat_verdict;
+        if r.h_cold.Hier.flat_fallbacks <> 0 then
+          fail "%s: %d flat fallbacks on a designed-compositional pair"
+            r.h_name r.h_cold.Hier.flat_fallbacks;
+        if r.h_expected = "NEQ" && r.h_offending <> r.h_expected_module then
+          fail "%s: counterexample attributed to %S (want %S)" r.h_name
+            r.h_offending r.h_expected_module;
+        if hier_verdict_str r.h_warm.Hier.verdict
+           <> hier_verdict_str r.h_cold.Hier.verdict
+        then
+          fail "%s: warm verdict %s <> cold %s" r.h_name
+            (hier_verdict_str r.h_warm.Hier.verdict)
+            (hier_verdict_str r.h_cold.Hier.verdict);
+        if r.h_warm.Hier.checked <> 0 then
+          fail "%s: warm rerun re-checked %d module pairs (want 0)" r.h_name
+            r.h_warm.Hier.checked;
+        if r.h_warm.Hier.store_hits <> List.length r.h_warm.Hier.modules then
+          fail "%s: warm rerun %d/%d store hits" r.h_name
+            r.h_warm.Hier.store_hits
+            (List.length r.h_warm.Hier.modules);
+        match r.h_mut with
+        | None -> ()
+        | Some (leaf, chain, checked, hits, v) ->
+            if v <> "EQ" then
+              fail "%s: resynthesized %s rerun verdict %s (want EQ)" r.h_name
+                leaf v;
+            if checked <> chain then
+              fail
+                "%s: mutated-%s rerun checked %d module pairs (want the \
+                 %d-module ancestor chain)"
+                r.h_name leaf checked chain;
+            if hits <> r.h_modules - chain then
+              fail
+                "%s: mutated-%s rerun %d store hits (want the %d untouched \
+                 modules)"
+                r.h_name leaf hits (r.h_modules - chain))
+      rows;
+    if speedup <= 1. then fail "warm_reuse_speedup %.2f <= 1" speedup;
+    if detection < 1. then fail "mutant_detection_rate %.2f < 1" detection;
+    match !fails with
+    | [] ->
+        pf
+          "smoke: compositional agrees with flat on %d pairs, warm reruns all \
+           store hits (%.2fx), mutants attributed correctly@."
+          (List.length rows) speedup
+    | fs ->
+        List.iter (fun f -> pf "SMOKE FAILURE: %s@." f) fs;
+        exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Table 2                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -1493,9 +1767,11 @@ let () =
   | Some "retime" -> suite_retime ~jobs ~smoke ()
   | Some "large" -> suite_large ~jobs ~smoke ()
   | Some "serve" -> suite_serve ~jobs ~smoke ()
+  | Some "hier" -> suite_hier ~jobs ~smoke ()
   | Some s ->
       failwith
-        (Printf.sprintf "unknown --suite %s (expected: retime, large, serve)" s)
+        (Printf.sprintf
+           "unknown --suite %s (expected: retime, large, serve, hier)" s)
   | None -> ());
   if (not any) || has "--table1" then table1 ~full ~jobs ~smoke ~cache_dir ();
   if (not any) || has "--table2" then table2 ();

@@ -10,7 +10,11 @@ let is_blif path = Filename.check_suffix path ".blif"
 
 let load path =
   if String.length path > 0 && path.[0] = '@' then
-    Workloads.by_name (String.sub path 1 (String.length path - 1))
+    match Workloads.lookup (String.sub path 1 (String.length path - 1)) with
+    | Ok c -> c
+    | Error msg ->
+        Format.eprintf "error: %s@." msg;
+        exit 1
   else begin
     let ic = open_in path in
     let n = in_channel_length ic in
@@ -556,7 +560,13 @@ let cache_cmd =
 
 let generate_cmd =
   let run name out =
-    let c = Workloads.by_name name in
+    let c =
+      match Workloads.lookup name with
+      | Ok c -> c
+      | Error msg ->
+          Format.eprintf "error: %s@." msg;
+          exit 1
+    in
     match out with
     | Some p -> save p c
     | None -> print_string (Netlist_io.to_string c)
@@ -569,6 +579,147 @@ let generate_cmd =
   in
   let term = Term.(const run $ name_arg $ out) in
   Cmd.v (Cmd.info "generate" ~doc:"Emit a benchmark-suite circuit as a netlist.") term
+
+(* ---- hier ---- *)
+
+let hier_cmd =
+  let run name list_only flat engine jobs timeout sat_conflicts cache_dir trace
+      verbose obs_stats =
+    let suite = Workloads.hier_suite () in
+    if list_only then begin
+      List.iter
+        (fun (n, (dl : Hier.design), (dr : Hier.design), expected) ->
+          Format.printf "%-10s %s vs %s  (%d modules, expected %s)@." n
+            dl.Hier.design_name dr.Hier.design_name
+            (List.length dl.Hier.modules)
+            (match expected with
+            | `Eq -> "EQ"
+            | `Neq m -> Printf.sprintf "NEQ in %s" m))
+        suite;
+      exit 0
+    end;
+    let name =
+      match name with
+      | Some n -> n
+      | None ->
+          Format.eprintf "error: a PAIR name is required (or use --list)@.";
+          exit 1
+    in
+    let dl, dr =
+      match List.find_opt (fun (n, _, _, _) -> n = name) suite with
+      | Some (_, dl, dr, _) -> (dl, dr)
+      | None ->
+          Format.eprintf "error: unknown hier pair %S (have: %s)@." name
+            (String.concat ", " (List.map (fun (n, _, _, _) -> n) suite));
+          exit 1
+    in
+    let finish = obs_setup ~trace ~verbose ~stats:obs_stats in
+    let store = Option.map open_store cache_dir in
+    let quit code =
+      Option.iter Store.close store;
+      finish ();
+      exit code
+    in
+    let limits = limits_of timeout sat_conflicts in
+    if flat then begin
+      (* monolithic reference: flatten both designs and run one Verify.check *)
+      let c1 = Hier.flatten dl and c2 = Hier.flatten dr in
+      let exposed =
+        List.map (Circuit.signal_name c1)
+          (Feedback.plan_structural c1).Feedback.exposed
+      in
+      match Verify.check ~engine ~jobs ~limits ?store ~exposed c1 c2 with
+      | Error d ->
+          Format.eprintf "error: %s@." (Seqprob.diagnosis_to_string d);
+          quit 1
+      | Ok o -> (
+          (match o.Verify.verdict with
+          | Verify.Equivalent -> Format.printf "EQUIVALENT (flat)@."
+          | Verify.Inequivalent _ -> Format.printf "NOT EQUIVALENT (flat)@."
+          | Verify.Undecided reason ->
+              Format.printf "UNDECIDED (flat: %s)@." reason);
+          Format.printf "%.3fs@." o.Verify.stats.Verify.seconds;
+          match o.Verify.verdict with
+          | Verify.Equivalent -> quit 0
+          | Verify.Inequivalent _ -> quit 1
+          | Verify.Undecided _ -> quit 2)
+    end
+    else begin
+      let r = Hier.check ~engine ~jobs ~limits ?store dl dr in
+      Format.printf "%-12s %-9s %-6s %-8s %s@." "MODULE" "MODE" "SRC"
+        "VERDICT" "SECONDS";
+      List.iter
+        (fun (m : Hier.module_report) ->
+          Format.printf "%-12s %-9s %-6s %-8s %.3f@." m.Hier.rm_module
+            (match m.Hier.rm_mode with
+            | Hier.Leaf -> "leaf"
+            | Hier.Blackbox -> "blackbox"
+            | Hier.Flat -> "flat")
+            (match m.Hier.rm_source with
+            | Hier.Checked -> "check"
+            | Hier.Store_hit -> "store")
+            (match m.Hier.rm_verdict with
+            | Hier.M_equivalent -> "EQ"
+            | Hier.M_inequivalent -> "NEQ"
+            | Hier.M_undecided _ -> "UNDEC")
+            m.Hier.rm_seconds)
+        r.Hier.modules;
+      Format.printf
+        "%d store hits, %d checked, %d flat fallbacks, %.3fs@."
+        r.Hier.store_hits r.Hier.checked r.Hier.flat_fallbacks r.Hier.seconds;
+      match r.Hier.verdict with
+      | Hier.Equivalent ->
+          Format.printf "EQUIVALENT@.";
+          quit 0
+      | Hier.Inequivalent { offending; cex } ->
+          Format.printf "NOT EQUIVALENT: module %s@." offending;
+          (match cex with
+          | Some cex ->
+              Format.printf "counterexample:@.";
+              List.iter
+                (fun (v, b) ->
+                  Format.printf "  %s = %b@." (Seqprob.Var.to_string v) b)
+                cex
+          | None -> ());
+          quit 1
+      | Hier.Undecided { module_; reason } ->
+          Format.printf "UNDECIDED at module %s (%s)@." module_ reason;
+          quit 2
+    end
+  in
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"PAIR"
+          ~doc:"Hierarchical suite pair name (see $(b,--list)).")
+  in
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ] ~doc:"List the hierarchical suite pairs and exit.")
+  in
+  let flat_arg =
+    Arg.(
+      value & flag
+      & info [ "flat" ]
+          ~doc:
+            "Flatten both designs and run one monolithic check instead of \
+             the compositional planner (reference verdict / timing).")
+  in
+  let term =
+    Term.(
+      const run $ name_arg $ list_arg $ flat_arg $ engine_arg $ jobs_arg
+      $ timeout_arg $ sat_conflicts_arg $ cache_dir_arg $ trace_arg
+      $ verbose_arg $ obs_stats_arg)
+  in
+  Cmd.v
+    (Cmd.info "hier"
+       ~doc:
+         "Compositional sequential equivalence on a hierarchical design \
+          pair: leaves first, parents with verified submodules black-boxed, \
+          per-module verdicts reused through the store (--cache-dir).")
+    term
 
 (* ---- serve ---- *)
 
@@ -843,4 +994,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; cache_cmd; generate_cmd; serve_cmd; client_cmd ]))
+          [ stats_cmd; expose_cmd; synth_cmd; retime_cmd; verify_cmd; baseline_cmd; redundancy_cmd; flow_cmd; cache_cmd; generate_cmd; hier_cmd; serve_cmd; client_cmd ]))

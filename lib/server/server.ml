@@ -176,8 +176,11 @@ let circuit_of req field =
   match Sjson.member field req with
   | Some (Sjson.String s) when String.length s > 0 && s.[0] = '@' -> (
       let name = String.sub s 1 (String.length s - 1) in
-      try Workloads.by_name name
-      with Not_found -> failwith (Printf.sprintf "unknown circuit @%s" name))
+      (* any registered workload, hier designs' flattened sides included;
+         the error carries the registry's near-miss suggestions *)
+      match Workloads.lookup name with
+      | Ok c -> c
+      | Error msg -> failwith msg)
   | Some (Sjson.String s) -> Netlist_io.parse s
   | Some _ -> failwith (field ^ ": expected a string")
   | None -> failwith ("missing field " ^ field)

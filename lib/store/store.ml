@@ -15,6 +15,7 @@ type info = {
   evictions : int;
   compactions : int;
   quarantined_to : string option;
+  kinds : (string * int) list;
 }
 
 let default_capacity = 262_144
@@ -54,14 +55,38 @@ let crc32 s =
 let add_u32 buf n = Buffer.add_int32_le buf (Int32.of_int (n land 0xFFFFFFFF))
 let get_u32 s off = Int32.to_int (String.get_int32_le s off) land 0xFFFFFFFF
 
+(* The record kind of plain combinational cone verdicts.  Records of this
+   kind are written in the original (tag 0/1) framing, byte-identical to
+   pre-kind logs, so existing caches keep reading and old readers keep
+   understanding everything a "flat"-only writer produces. *)
+let default_kind = "flat"
+
 (* payload := tag u8 | last_hit u32 | keylen u32 | key
-            | (tag 1 only) n u32 | n * (pos u32, value u8) *)
-let encode_payload ~last_hit key v =
+            | (tags 2,3) kindlen u8 | kind
+            | (tags 1,3) n u32 | n * (pos u32, value u8)
+
+   Tags 0/1 are the legacy kind-less framing (implicitly kind "flat");
+   tags 2/3 carry an explicit kind string.  Old readers treat tags 2/3 as
+   an unknown tag — corruption — and quarantine the log into a safe cold
+   start rather than misreading it. *)
+let encode_payload ~last_hit ~kind key v =
+  if String.length kind > 255 then
+    invalid_arg (Printf.sprintf "Store: kind %S longer than 255 bytes" kind);
+  let tagged = kind <> default_kind in
   let buf = Buffer.create (String.length key + 32) in
-  Buffer.add_char buf (match v with Equivalent -> '\000' | Inequivalent _ -> '\001');
+  Buffer.add_char buf
+    (match (v, tagged) with
+    | Equivalent, false -> '\000'
+    | Inequivalent _, false -> '\001'
+    | Equivalent, true -> '\002'
+    | Inequivalent _, true -> '\003');
   add_u32 buf last_hit;
   add_u32 buf (String.length key);
   Buffer.add_string buf key;
+  if tagged then begin
+    Buffer.add_char buf (Char.chr (String.length kind));
+    Buffer.add_string buf kind
+  end;
   (match v with
   | Equivalent -> ()
   | Inequivalent cex ->
@@ -84,27 +109,40 @@ let decode_payload s =
     else begin
       let key = String.sub s 9 klen in
       let off = 9 + klen in
-      match tag with
-      | 0 -> if off = len then Some (key, Equivalent, last_hit) else None
-      | 1 ->
-          if len - off < 4 then None
-          else begin
-            let n = get_u32 s off in
-            if off + 4 + (n * 5) <> len then None
-            else
-              let cex =
-                List.init n (fun i ->
-                    let o = off + 4 + (i * 5) in
-                    (get_u32 s o, s.[o + 4] = '\001'))
-              in
-              Some (key, Inequivalent cex, last_hit)
-          end
-      | _ -> None
+      (* tags 2/3 interpose the kind string before any cex payload *)
+      let kinded =
+        if tag < 2 then Some (default_kind, off)
+        else if off >= len then None
+        else begin
+          let kl = Char.code s.[off] in
+          if off + 1 + kl > len then None
+          else Some (String.sub s (off + 1) kl, off + 1 + kl)
+        end
+      in
+      match kinded with
+      | None -> None
+      | Some (kind, off) -> (
+          match tag with
+          | 0 | 2 -> if off = len then Some (key, Equivalent, kind, last_hit) else None
+          | 1 | 3 ->
+              if len - off < 4 then None
+              else begin
+                let n = get_u32 s off in
+                if off + 4 + (n * 5) <> len then None
+                else
+                  let cex =
+                    List.init n (fun i ->
+                        let o = off + 4 + (i * 5) in
+                        (get_u32 s o, s.[o + 4] = '\001'))
+                  in
+                  Some (key, Inequivalent cex, kind, last_hit)
+              end
+          | _ -> None)
     end
   end
 
-let output_record oc ~last_hit key v =
-  let payload = encode_payload ~last_hit key v in
+let output_record oc ~last_hit ~kind key v =
+  let payload = encode_payload ~last_hit ~kind key v in
   let buf = Buffer.create (String.length payload + 8) in
   add_u32 buf (String.length payload);
   add_u32 buf (crc32 payload);
@@ -147,7 +185,7 @@ let load_records path =
 
 (* ---------- the store ---------- *)
 
-type slot = { verdict : verdict; mutable last_hit : int }
+type slot = { verdict : verdict; kind : string; mutable last_hit : int }
 
 type t = {
   dir : string;
@@ -217,7 +255,9 @@ let rewrite_locked t =
   let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
   (try
      output_string oc magic;
-     Hashtbl.iter (fun k s -> output_record oc ~last_hit:s.last_hit k s.verdict) t.tbl;
+     Hashtbl.iter
+       (fun k s -> output_record oc ~last_hit:s.last_hit ~kind:s.kind k s.verdict)
+       t.tbl;
      close_out oc
    with e -> close_out_noerr oc; raise e);
   Sys.rename tmp t.path;
@@ -231,11 +271,11 @@ let merge_file_locked t =
   if Sys.file_exists t.path then begin
     let records, _damaged = load_records t.path in
     List.iter
-      (fun (k, v, lh) ->
+      (fun (k, v, kind, lh) ->
         t.gen <- max t.gen (lh + 1);
         match Hashtbl.find_opt t.tbl k with
         | Some s -> s.last_hit <- max s.last_hit lh
-        | None -> Hashtbl.add t.tbl k { verdict = v; last_hit = lh })
+        | None -> Hashtbl.add t.tbl k { verdict = v; kind; last_hit = lh })
       records
   end
 
@@ -304,11 +344,11 @@ let open_ ?(capacity = default_capacity) dir =
       if size > 0 then begin
         let records, damaged = load_records t.path in
         List.iter
-          (fun (k, v, lh) ->
+          (fun (k, v, kind, lh) ->
             t.gen <- max t.gen (lh + 1);
             match Hashtbl.find_opt t.tbl k with
             | Some s -> s.last_hit <- max s.last_hit lh
-            | None -> Hashtbl.add t.tbl k { verdict = v; last_hit = lh })
+            | None -> Hashtbl.add t.tbl k { verdict = v; kind; last_hit = lh })
           records;
         match damaged with
         | None -> t.oc <- Some (open_append t.path)
@@ -405,7 +445,7 @@ let resync_append_locked t =
   end
   else oc
 
-let add t key v =
+let add ?(kind = default_kind) t key v =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
   check_open t;
@@ -413,10 +453,10 @@ let add t key v =
   else begin
     let lh = t.gen in
     t.gen <- t.gen + 1;
-    Hashtbl.add t.tbl key { verdict = v; last_hit = lh };
+    Hashtbl.add t.tbl key { verdict = v; kind; last_hit = lh };
     file_locked t (fun () ->
         let oc = resync_append_locked t in
-        output_record oc ~last_hit:lh key v;
+        output_record oc ~last_hit:lh ~kind key v;
         flush oc);
     t.writes <- t.writes + 1;
     Obs.count "store.write" 1;
@@ -445,8 +485,18 @@ let clear t =
 let info t =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+  let by_kind = Hashtbl.create 4 in
+  Hashtbl.iter
+    (fun _ s ->
+      Hashtbl.replace by_kind s.kind
+        (1 + Option.value (Hashtbl.find_opt by_kind s.kind) ~default:0))
+    t.tbl;
+  let kinds =
+    List.sort compare (Hashtbl.fold (fun k n acc -> (k, n) :: acc) by_kind [])
+  in
   {
     entries = Hashtbl.length t.tbl;
+    kinds;
     capacity = t.capacity;
     file_bytes =
       (try (Unix.stat t.path).Unix.st_size with Unix.Unix_error _ -> 0);
@@ -460,9 +510,15 @@ let info t =
 
 let pp_info ppf i =
   Format.fprintf ppf
-    "%d entries (capacity %d), %d bytes on disk, %d hits, %d misses, %d writes, %d evictions, %d compactions%s"
-    i.entries i.capacity i.file_bytes i.hits i.misses i.writes i.evictions
-    i.compactions
+    "%d entries (capacity %d)%s, %d bytes on disk, %d hits, %d misses, %d writes, %d evictions, %d compactions%s"
+    i.entries i.capacity
+    (match i.kinds with
+    | [] | [ ("flat", _) ] -> ""
+    | kinds ->
+        Printf.sprintf " [%s]"
+          (String.concat ", "
+             (List.map (fun (k, n) -> Printf.sprintf "%s: %d" k n) kinds)))
+    i.file_bytes i.hits i.misses i.writes i.evictions i.compactions
     (match i.quarantined_to with
     | None -> ""
     | Some q -> ", corrupt log quarantined to " ^ q)

@@ -57,6 +57,10 @@ type info = {
   compactions : int;  (** compaction passes since open (manual + automatic) *)
   quarantined_to : string option;
       (** set when {!open_} found a corrupt log and renamed it aside *)
+  kinds : (string * int) list;
+      (** entry counts per record {e kind} (sorted by kind name) — e.g.
+          [("flat", _)] for combinational cone verdicts, [("hier", _)]
+          for per-module hierarchical verdicts *)
 }
 
 val default_capacity : int
@@ -92,12 +96,19 @@ val find : t -> string -> verdict option
 
 val mem : t -> string -> bool
 
-val add : t -> string -> verdict -> bool
+val add : ?kind:string -> t -> string -> verdict -> bool
 (** [add t key v] appends the record write-through and returns [true], or
     returns [false] without touching the file when [key] is already
     present (first verdict wins — verdicts for one signature are unique,
     so a duplicate is always benign).  May trigger an automatic
-    capacity compaction. *)
+    capacity compaction.
+
+    [kind] (default ["flat"], at most 255 bytes) tags the record's schema
+    class so mixed caches stay attributable ({!info}[.kinds]) and
+    readable across versions: ["flat"] records use the original framing
+    (byte-identical to pre-kind logs), any other kind is written with a
+    newer record tag that {e pre-kind readers quarantine} — a safe cold
+    start, never a misread. *)
 
 val compact : t -> unit
 (** Re-reads the log (merging records appended by other processes),

@@ -630,16 +630,21 @@ let table2_suite () =
           ~seed:(Hashtbl.hash name) ))
     table2_params
 
+(* (name, width, stages, seed); the first is small enough for the
+   fast-vs-reference differential *)
+let retime_params =
+  [
+    ("deep_w4x64", 4, 64, 11);
+    ("deep_w6x120", 6, 120, 12);
+    ("deep_w8x160", 8, 160, 13);
+    ("deep_w8x300", 8, 300, 14);
+  ]
+
 let retime_suite () =
   List.map
-    (fun c -> (Circuit.name c, c))
-    [
-      (* small enough for the fast-vs-reference differential *)
-      deep_datapath ~name:"deep_w4x64" ~width:4 ~stages:64 ~seed:11;
-      deep_datapath ~name:"deep_w6x120" ~width:6 ~stages:120 ~seed:12;
-      deep_datapath ~name:"deep_w8x160" ~width:8 ~stages:160 ~seed:13;
-      deep_datapath ~name:"deep_w8x300" ~width:8 ~stages:300 ~seed:14;
-    ]
+    (fun (name, width, stages, seed) ->
+      (name, deep_datapath ~name ~width ~stages ~seed))
+    retime_params
 
 (* Equivalent style pairs for the large tier: (name, style A, style B).
    Sized so the adaptive layout's cost model is well above its monolithic
@@ -682,25 +687,302 @@ let large_mutant () =
     fifo ~entries:64 ~width:16 ~style:`Sop (),
     fifo ~entries:64 ~width:16 ~style:`Mux ~bug:true () )
 
-let by_name n =
-  match List.assoc_opt n (table1_suite ()) with
-  | Some c -> c
-  | None -> (
-      match List.assoc_opt n (table2_suite ()) with
-      | Some c -> c
-      | None -> (
-          match List.assoc_opt n (retime_suite ()) with
-          | Some c -> c
-          | None -> (
-              (* large-tier circuits go by their own Circuit.name (the pair
-                 name plus a style suffix, e.g. "fifo64x16s") *)
-              let large =
-                List.concat_map
-                  (fun (_, a, b) -> [ a; b ])
-                  (large_suite () @ large_suite ~smoke:true ())
-                @ (let _, a, b = large_mutant () in
-                   [ a; b ])
-              in
-              match List.find_opt (fun c -> Circuit.name c = n) large with
-              | Some c -> c
-              | None -> raise Not_found)))
+(* ---- hierarchical designs (the hier suite) ---- *)
+
+(* Wrap a generator circuit as a hier leaf: its inputs become the module
+   ports, its outputs the module outputs, no instances. *)
+let leaf_module name c =
+  {
+    Hier.mod_name = name;
+    glue = c;
+    ports_in = List.map (Circuit.signal_name c) (Circuit.inputs c);
+    out_count = List.length (Circuit.outputs c);
+    instances = [];
+  }
+
+(* Parent glue circuits below all follow one discipline: besides the
+   mixed/combined outputs they expose a {e direct spine} — instance
+   outputs passed through (or registered) unmixed — so a corrupted leaf
+   is never masked by a self-cancelling combine (xor of two identically
+   broken instances of one module cancels; a pass-through never does)
+   and the flat reference check agrees with the compositional verdict on
+   every broken mutant. *)
+
+(* Two qsmall banks behind a write-select, read through a registered
+   last-select mux. *)
+let build_qpair qsmall =
+  let b = Hier.Build.create "qpair" in
+  let g = Hier.Build.glue b in
+  let d = List.init 4 (fun i -> Hier.Build.input b (Printf.sprintf "d%d" i)) in
+  let w = Hier.Build.input b "w" in
+  let r = Hier.Build.input b "r" in
+  let sel = Hier.Build.input b "sel" in
+  let w0 = Circuit.add_gate g And [ w; sel ] in
+  let w1 = Circuit.add_gate g And [ w; Circuit.add_gate g Not [ sel ] ] in
+  let q0 = Hier.Build.inst b ~name:"q0" ~child:qsmall ~inputs:(d @ [ w0; r ]) in
+  let rot = match d with x :: tl -> tl @ [ x ] | [] -> assert false in
+  let q1 = Hier.Build.inst b ~name:"q1" ~child:qsmall ~inputs:(rot @ [ w1; r ]) in
+  let psel = Circuit.declare g ~name:"psel" () in
+  Circuit.set_latch g psel ~data:sel ();
+  List.iter2
+    (fun a z -> Hier.Build.output b (Circuit.add_gate g Mux [ psel; a; z ]))
+    q0 q1;
+  List.iter (Hier.Build.output b) q0;
+  Hier.Build.finish b
+
+(* A qwide stream cross-checked against a qsmall fed xor-mixed data. *)
+let build_qmix qsmall qwide =
+  let b = Hier.Build.create "qmix" in
+  let g = Hier.Build.glue b in
+  let e = List.init 6 (fun i -> Hier.Build.input b (Printf.sprintf "e%d" i)) in
+  let w = Hier.Build.input b "w" in
+  let r = Hier.Build.input b "r" in
+  let qw = Hier.Build.inst b ~name:"qw" ~child:qwide ~inputs:(e @ [ w; r ]) in
+  let ea = Array.of_list e in
+  let mixed =
+    List.init 4 (fun k -> Circuit.add_gate g Xor [ ea.(k); ea.(k + 2) ])
+  in
+  let qs = Hier.Build.inst b ~name:"qs" ~child:qsmall ~inputs:(mixed @ [ w; r ]) in
+  let qwa = Array.of_list qw and qsa = Array.of_list qs in
+  for k = 0 to 3 do
+    Hier.Build.output b (Circuit.add_gate g Xor [ qwa.(k); qsa.(k) ])
+  done;
+  Hier.Build.output b (Circuit.add_gate g And [ qwa.(6); qsa.(4) ]);
+  List.iter (Hier.Build.output b) qw;
+  List.iter (Hier.Build.output b) qs;
+  Hier.Build.finish b
+
+let build_hfifo_top qpair qmix =
+  let b = Hier.Build.create "hfifo_top" in
+  let g = Hier.Build.glue b in
+  let i = List.init 6 (fun k -> Hier.Build.input b (Printf.sprintf "i%d" k)) in
+  let w = Hier.Build.input b "w" in
+  let r = Hier.Build.input b "r" in
+  let sel = Hier.Build.input b "sel" in
+  let ia = Array.of_list i in
+  let p =
+    Hier.Build.inst b ~name:"p" ~child:qpair
+      ~inputs:[ ia.(0); ia.(1); ia.(2); ia.(3); w; r; sel ]
+  in
+  let m = Hier.Build.inst b ~name:"m" ~child:qmix ~inputs:(i @ [ w; r ]) in
+  let pa = Array.of_list p and ma = Array.of_list m in
+  (* one self-feedback register in the top glue, so the hierarchy's own
+     state participates in the exposure cut too *)
+  let st = Circuit.declare g ~name:"st" () in
+  Circuit.set_latch g st ~data:(Circuit.add_gate g Xor [ st; pa.(0) ]) ();
+  Hier.Build.output b st;
+  List.iter (Hier.Build.output b) p;
+  List.iter (Hier.Build.output b) m;
+  for k = 0 to 4 do
+    Hier.Build.output b (Circuit.add_gate g Xor [ pa.(k); ma.(k) ])
+  done;
+  Hier.Build.finish b
+
+(* FIFO-of-queues: qsmall/qwide leaves (the large tier's fifo generator,
+   downsized), a banked pair, a mixer, and a stateful top — 5 modules,
+   3 levels.  [style] picks the leaf read-port structure; [glue_seed]
+   additionally resynthesizes every parent glue, so the two sides of a
+   pair differ at {e every} level of the hierarchy. *)
+let hfifo_design ~design_name ~style ~glue_seed =
+  let qsmall = leaf_module "qsmall" (fifo ~entries:4 ~width:4 ~style ()) in
+  let qwide = leaf_module "qwide" (fifo ~entries:4 ~width:6 ~style ()) in
+  let qpair = build_qpair qsmall in
+  let qmix = build_qmix qsmall qwide in
+  let top = build_hfifo_top qpair qmix in
+  let d =
+    Hier.make_design ~name:design_name ~top:"hfifo_top"
+      [ qsmall; qwide; qpair; qmix; top ]
+  in
+  match glue_seed with
+  | None -> d
+  | Some seed ->
+      List.fold_left
+        (fun d n -> Hier.map_module d ~name:n ~f:(Hier.resynthesize ~seed))
+        d
+        [ "qpair"; "qmix"; "hfifo_top" ]
+
+let build_alane alu_x alu_y =
+  let b = Hier.Build.create "alane" in
+  let g = Hier.Build.glue b in
+  let a = List.init 6 (fun k -> Hier.Build.input b (Printf.sprintf "a%d" k)) in
+  let aa = Array.of_list a in
+  let x =
+    Hier.Build.inst b ~name:"x" ~child:alu_x
+      ~inputs:[ aa.(0); aa.(1); aa.(2); aa.(3) ]
+  in
+  let y = Hier.Build.inst b ~name:"y" ~child:alu_y ~inputs:a in
+  let xa = Array.of_list x and ya = Array.of_list y in
+  let acc = Circuit.declare g ~name:"acc" () in
+  Circuit.set_latch g acc ~data:(Circuit.add_gate g Xor [ acc; xa.(0) ]) ();
+  Hier.Build.output b acc;
+  List.iter (Hier.Build.output b) x;
+  List.iter (Hier.Build.output b) y;
+  for k = 0 to 5 do
+    Hier.Build.output b (Circuit.add_gate g Xor [ xa.(k); ya.(k) ])
+  done;
+  Hier.Build.finish b
+
+let build_halu_top alane =
+  let b = Hier.Build.create "halu_top" in
+  let g = Hier.Build.glue b in
+  let t = List.init 6 (fun k -> Hier.Build.input b (Printf.sprintf "t%d" k)) in
+  let rot = match t with x :: tl -> tl @ [ x ] | [] -> assert false in
+  let u = Hier.Build.inst b ~name:"u" ~child:alane ~inputs:t in
+  let v = Hier.Build.inst b ~name:"v" ~child:alane ~inputs:rot in
+  let ua = Array.of_list u and va = Array.of_list v in
+  List.iter (Hier.Build.output b) u;
+  for k = 0 to List.length u - 1 do
+    Hier.Build.output b (Circuit.add_gate g Xor [ ua.(k); va.(k) ])
+  done;
+  Hier.Build.finish b
+
+(* Lane-ALU cluster: two lane_alu leaves under a cross-checking lane
+   module instantiated twice (rotated inputs) by the top — 4 modules,
+   3 levels, with a module ("alane") that is multiply instantiated.
+   [bug] breaks the aluX leaf (lane_alu's intentional sum-bit bug). *)
+let halu_design ~design_name ~style ~bug ~glue_seed =
+  let alu_x =
+    leaf_module "aluX" (lane_alu ~bug ~lanes:2 ~width:4 ~stages:2 ~style ())
+  in
+  let alu_y = leaf_module "aluY" (lane_alu ~lanes:1 ~width:6 ~stages:2 ~style ()) in
+  let alane = build_alane alu_x alu_y in
+  let top = build_halu_top alane in
+  let d =
+    Hier.make_design ~name:design_name ~top:"halu_top"
+      [ alu_x; alu_y; alane; top ]
+  in
+  match glue_seed with
+  | None -> d
+  | Some seed ->
+      List.fold_left
+        (fun d n -> Hier.map_module d ~name:n ~f:(Hier.resynthesize ~seed))
+        d [ "alane"; "halu_top" ]
+
+let hier_suite () =
+  let hfifo_a = hfifo_design ~design_name:"hfifo_a" ~style:`Sop ~glue_seed:None in
+  let hfifo_b =
+    hfifo_design ~design_name:"hfifo_b" ~style:`Mux ~glue_seed:(Some 7)
+  in
+  let halu_a =
+    halu_design ~design_name:"halu_a" ~style:`Ripple ~bug:false ~glue_seed:None
+  in
+  let halu_b =
+    halu_design ~design_name:"halu_b" ~style:`Select ~bug:false
+      ~glue_seed:(Some 9)
+  in
+  let hfifo_mut =
+    {
+      (Hier.map_module hfifo_b ~name:"qwide" ~f:(Hier.break_output ~output:0)) with
+      Hier.design_name = "hfifo_mut_b";
+    }
+  in
+  let halu_mut =
+    halu_design ~design_name:"halu_mut_b" ~style:`Select ~bug:true
+      ~glue_seed:(Some 9)
+  in
+  [
+    ("hfifo", hfifo_a, hfifo_b, `Eq);
+    ("halu", halu_a, halu_b, `Eq);
+    ("hfifo_mut", hfifo_a, hfifo_mut, `Neq "qwide");
+    ("halu_mut", halu_a, halu_mut, `Neq "aluX");
+  ]
+
+(* ---- the name registry ---- *)
+
+(* Every circuit any suite can produce, as (name, thunk): lookups build
+   only the named circuit, never a whole suite.  Hier designs register
+   their flattened sides under the design name, so a server check request
+   can name them like any flat workload. *)
+let registry () =
+  let entries = ref [] in
+  let seen = Hashtbl.create 64 in
+  let add n th =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      entries := (n, th) :: !entries
+    end
+  in
+  List.iter
+    (fun w -> add (Printf.sprintf "minmax%d" w) (fun () -> minmax ~width:w))
+    [ 10; 12; 20; 32 ];
+  List.iter
+    (fun p ->
+      let n, _, _, _ = p in
+      add n (fun () -> table1_gen p))
+    table1_params;
+  List.iter
+    (fun (name, latches, exposed) ->
+      add name (fun () ->
+          industrial ~name ~latches ~exposed ~unate_fraction:0.5
+            ~enable_fraction:0.35 ~seed:(Hashtbl.hash name)))
+    table2_params;
+  List.iter
+    (fun (name, width, stages, seed) ->
+      add name (fun () -> deep_datapath ~name ~width ~stages ~seed))
+    retime_params;
+  (* large-tier circuits go by their own Circuit.name (the pair name plus
+     a style suffix, e.g. "fifo64x16s"), the mutant side by its _bug name *)
+  List.iter
+    (fun (entries, width) ->
+      add
+        (Printf.sprintf "fifo%dx%ds" entries width)
+        (fun () -> fifo ~entries ~width ~style:`Sop ());
+      add
+        (Printf.sprintf "fifo%dx%dm" entries width)
+        (fun () -> fifo ~entries ~width ~style:`Mux ()))
+    [ (64, 16); (128, 8) ];
+  List.iter
+    (fun (lanes, width, stages) ->
+      add
+        (Printf.sprintf "alu%dx%dx%dr" lanes width stages)
+        (fun () -> lane_alu ~lanes ~width ~stages ~style:`Ripple ());
+      add
+        (Printf.sprintf "alu%dx%dx%ds" lanes width stages)
+        (fun () -> lane_alu ~lanes ~width ~stages ~style:`Select ()))
+    [ (8, 8, 4); (64, 8, 4) ];
+  add "fifo64x16m_bug" (fun () ->
+      fifo ~entries:64 ~width:16 ~style:`Mux ~bug:true ());
+  List.iter
+    (fun (_, l, r, _) ->
+      add l.Hier.design_name (fun () -> Hier.flatten l);
+      add r.Hier.design_name (fun () -> Hier.flatten r))
+    (hier_suite ());
+  List.rev !entries
+
+let names () = List.map fst (registry ())
+
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
+let suggestions n =
+  let cutoff = max 2 (String.length n / 3) in
+  names ()
+  |> List.filter_map (fun m ->
+         let d = levenshtein n m in
+         if d <= cutoff then Some (d, m) else None)
+  |> List.sort compare
+  |> List.filteri (fun i _ -> i < 5)
+  |> List.map snd
+
+let lookup n =
+  match List.assoc_opt n (registry ()) with
+  | Some th -> Ok (th ())
+  | None ->
+      Error
+        (Printf.sprintf "unknown circuit %S%s" n
+           (match suggestions n with
+           | [] -> ""
+           | near -> Printf.sprintf "; did you mean %s?" (String.concat ", " near)))
+
+let by_name n = match lookup n with Ok c -> c | Error _ -> raise Not_found

@@ -118,7 +118,36 @@ val large_mutant : unit -> string * Circuit.t * Circuit.t
     [~bug] style-B one) exercising first-counterexample cancellation; the
     verdict must be the same at every jobs value. *)
 
+val hier_suite :
+  unit -> (string * Hier.design * Hier.design * [ `Eq | `Neq of string ]) list
+(** The hierarchical tier ([bench --suite hier] and [seqver hier]):
+    [(pair name, left design, right design, expected)] rows.
+
+    - ["hfifo"]: FIFO-of-queues — {!fifo} leaves (two sizes), a banked
+      pair, a mixer and a stateful top (5 modules, 3 levels); the right
+      side uses the other read-port style {e and} resynthesized parent
+      glue, so every level differs structurally.
+    - ["halu"]: lane-ALU cluster — {!lane_alu} leaves under a
+      cross-checking lane module the top instantiates twice (4 modules,
+      one multiply-instantiated).
+    - ["hfifo_mut"] / ["halu_mut"]: intentionally broken right sides; the
+      compositional check must attribute the counterexample to the named
+      module ([`Neq "qwide"] / [`Neq "aluX"]), agreeing with flat
+      verification of the flattened pair.
+
+    Every design's flattened side is registered by its design name
+    (e.g. ["@hfifo_a"]) for {!lookup}/server resolution. *)
+
+val names : unit -> string list
+(** Every circuit name {!lookup} resolves — all suite circuits by name,
+    large-tier circuits by their [Circuit.name] (e.g. ["fifo64x16s"],
+    mutant side ["fifo64x16m_bug"]), and the {!hier_suite} designs'
+    flattened sides by design name. *)
+
+val lookup : string -> (Circuit.t, string) result
+(** Look up (and build) one named circuit.  On failure the error message
+    lists up to five near-miss names (edit distance), ready to show to a
+    CLI or server user. *)
+
 val by_name : string -> Circuit.t
-(** Look up any suite circuit by name (large-tier circuits by their
-    [Circuit.name], e.g. ["fifo64x16s"]; the {!large_mutant} sides too,
-    e.g. ["fifo64x16m_bug"]).  @raise Not_found. *)
+(** {!lookup}, raising.  @raise Not_found on an unknown name. *)

@@ -23,6 +23,7 @@ let () =
       ("seqbdd", Test_seqbdd.suite);
       ("properties", Test_properties.suite);
       ("store", Test_store.suite);
+      ("hier", Test_hier.suite);
       ("server", Test_server.suite);
       ("integration", Test_integration.suite);
       ("edge-cases", Test_edge_cases.suite);

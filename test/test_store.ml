@@ -288,6 +288,56 @@ let test_undecided_never_persisted () =
   Alcotest.(check int) "store still empty" 0 (Store.info st).Store.entries;
   Store.close st
 
+(* ---- record kinds ---- *)
+
+let test_kinds () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  ignore (Store.add st "flatkey" Store.Equivalent);
+  ignore (Store.add ~kind:"hier" st "hierkey1" Store.Equivalent);
+  ignore (Store.add ~kind:"hier" st "hierkey2" (Store.Inequivalent [ (2, true) ]));
+  let kinds st = (Store.info st).Store.kinds in
+  Alcotest.(check (list (pair string int)))
+    "per-kind counts"
+    [ ("flat", 1); ("hier", 2) ]
+    (kinds st);
+  Store.close st;
+  (* kinds and payloads survive reopen and compaction *)
+  let st = Store.open_ dir in
+  Alcotest.(check (list (pair string int)))
+    "kinds after reopen"
+    [ ("flat", 1); ("hier", 2) ]
+    (kinds st);
+  check_verdict "kinded cex round-trips"
+    (Store.Inequivalent [ (2, true) ])
+    (Store.find st "hierkey2");
+  Store.compact st;
+  Alcotest.(check (list (pair string int)))
+    "kinds after compaction"
+    [ ("flat", 1); ("hier", 2) ]
+    (kinds st);
+  Store.close st
+
+(* A store holding only default-kind records must stay byte-compatible
+   with the pre-kind format: record tags 0/1, no kind field.  (A pre-kind
+   reader sees tags 2/3 as unknown — corruption — and quarantines into a
+   cold start, which is the safe direction.) *)
+let test_flat_records_legacy_framing () =
+  let dir = fresh_dir () in
+  let st = Store.open_ dir in
+  ignore (Store.add st "k" Store.Equivalent);
+  ignore (Store.add st "k2" (Store.Inequivalent [ (0, false) ]));
+  Store.close st;
+  let ic = open_in_bin (log_path dir) in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* magic(8) | len(4) crc(4) payload... — payload byte 0 is the tag *)
+  let tag1 = Char.code s.[16] in
+  let len1 = Char.code s.[8] lor (Char.code s.[9] lsl 8) in
+  let tag2 = Char.code s.[16 + 8 + len1] in
+  Alcotest.(check int) "equivalent record uses legacy tag 0" 0 tag1;
+  Alcotest.(check int) "inequivalent record uses legacy tag 1" 1 tag2
+
 (* ---- close: idempotent, race-safe ---- *)
 
 (* spin barrier: releases once [n] parties arrive *)
@@ -396,6 +446,8 @@ let suite =
     Alcotest.test_case "bad magic cold start" `Quick test_bad_magic;
     Alcotest.test_case "cex replay across depths" `Quick test_cex_replay_across_depths;
     Alcotest.test_case "undecided never persisted" `Quick test_undecided_never_persisted;
+    Alcotest.test_case "record kinds" `Quick test_kinds;
+    Alcotest.test_case "flat records keep legacy framing" `Quick test_flat_records_legacy_framing;
     Alcotest.test_case "close is idempotent" `Quick test_close_idempotent;
     Alcotest.test_case "close races a writer" `Quick test_close_races_writer;
     Alcotest.test_case "two-domain warm reads" `Quick test_two_domain_warm_reads;

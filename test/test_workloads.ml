@@ -139,6 +139,68 @@ let test_by_name_missing () =
     Alcotest.fail "missing name accepted"
   with Not_found -> ()
 
+(* ---- the name registry ---- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_registry_resolves_everything () =
+  let ns = Workloads.names () in
+  Alcotest.(check bool) "registry is populated" true (List.length ns > 40);
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "name %s listed" n)
+        true (List.mem n ns))
+    [ "minmax10"; "s1423"; "ex3"; "deep_w4x64"; "fifo64x16s"; "fifo64x16m_bug"; "hfifo_a"; "halu_mut_b" ];
+  (* every cheap name builds a valid circuit under its own name *)
+  List.iter
+    (fun n ->
+      match Workloads.lookup n with
+      | Ok c ->
+          Circuit.check c;
+          Alcotest.(check string) "circuit carries its registry name" n (Circuit.name c)
+      | Error e -> Alcotest.fail e)
+    [ "minmax10"; "ex3"; "hfifo_a" ]
+
+let test_lookup_suggests_near_misses () =
+  match Workloads.lookup "mnmax10" with
+  | Ok _ -> Alcotest.fail "typo accepted"
+  | Error e ->
+      Alcotest.(check bool) "suggests the close name" true
+        (contains ~sub:"minmax10" e);
+      Alcotest.(check bool) "names the unknown input" true
+        (contains ~sub:"mnmax10" e)
+
+let test_hier_suite_shape () =
+  let suite = Workloads.hier_suite () in
+  Alcotest.(check int) "four pairs" 4 (List.length suite);
+  List.iter
+    (fun (name, l, r, expected) ->
+      Alcotest.(check bool)
+        (name ^ ": same top") true
+        (l.Hier.top = r.Hier.top);
+      Alcotest.(check bool)
+        (name ^ ": same module names") true
+        (List.map (fun m -> m.Hier.mod_name) l.Hier.modules
+        = List.map (fun m -> m.Hier.mod_name) r.Hier.modules);
+      (* sides differ structurally at every module *)
+      List.iter
+        (fun lm ->
+          let rm = Hier.find_module r lm.Hier.mod_name in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s differs" name lm.Hier.mod_name)
+            true
+            (Hier.circuit_signature lm.Hier.glue
+            <> Hier.circuit_signature rm.Hier.glue))
+        l.Hier.modules;
+      match expected with
+      | `Eq -> ()
+      | `Neq m -> ignore (Hier.find_module r m))
+    suite
+
 (* ---- large tier ---- *)
 
 let test_fifo_shape () =
@@ -245,6 +307,9 @@ let suite =
     Alcotest.test_case "fsm_datapath self-loops" `Quick test_fsm_datapath_selfloops;
     Alcotest.test_case "deep datapath shape" `Quick test_deep_datapath_shape;
     Alcotest.test_case "by_name missing" `Quick test_by_name_missing;
+    Alcotest.test_case "registry resolves everything" `Quick test_registry_resolves_everything;
+    Alcotest.test_case "lookup suggests near misses" `Quick test_lookup_suggests_near_misses;
+    Alcotest.test_case "hier suite shape" `Quick test_hier_suite_shape;
     Alcotest.test_case "fifo shape and styles" `Quick test_fifo_shape;
     Alcotest.test_case "lane ALU shape and styles" `Quick test_lane_alu_shape;
     Alcotest.test_case "large suite shape" `Quick test_large_suite_shape;
